@@ -1,0 +1,162 @@
+// A1 — ablation of the scheduling policy (DESIGN.md design choice #1):
+// how much does the dynamic task bag buy over static distributions as the
+// task-cost variance grows? Synthetic task sets isolate the scheduler
+// from the integral kernel; the same sweep is run on the host executor
+// and on the machine simulator.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <random>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "hfx/schedulers.hpp"
+
+namespace {
+
+using namespace mthfx;
+
+// Log-normal-ish synthetic costs with controlled spread.
+std::vector<double> synthetic_costs(std::size_t n, double spread,
+                                    unsigned seed) {
+  std::mt19937 rng(seed);
+  std::lognormal_distribution<double> dist(0.0, spread);
+  std::vector<double> c(n);
+  for (double& v : c) v = 20e-6 * dist(rng);  // ~20 us mean scale
+  return c;
+}
+
+void spin_for(double seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < seconds) {
+  }
+}
+
+void host_ablation_table() {
+  bench::print_header(
+      "A1a: host executor, makespan vs. task-cost spread (4 threads, 2000 "
+      "tasks)");
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf(
+        "[note] single-core host: thread schedulers serialize here; the "
+        "machine simulation below carries the comparison.\n");
+  std::printf("%-10s %-14s %-14s %-14s %-14s\n", "spread", "dynamic/s",
+              "static/s", "cyclic/s", "stealing/s");
+  bench::print_rule();
+  for (double spread : {0.0, 0.5, 1.0, 2.0}) {
+    const auto costs = synthetic_costs(2000, spread, 99);
+    std::printf("%-10.1f", spread);
+    for (auto sched :
+         {hfx::HfxSchedule::kDynamicBag, hfx::HfxSchedule::kStaticBlock,
+          hfx::HfxSchedule::kStaticCyclic, hfx::HfxSchedule::kWorkStealing}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      hfx::execute_tasks(costs.size(), 4, sched,
+                         [&](std::size_t i, std::size_t) {
+                           spin_for(costs[i]);
+                         });
+      const auto t1 = std::chrono::steady_clock::now();
+      std::printf(" %-13.4f",
+                  std::chrono::duration<double>(t1 - t0).count());
+    }
+    std::printf("\n");
+  }
+}
+
+// Real quartet-task costs are not i.i.d. along the task list: heavy
+// shell classes (pp|pp-type blocks) arrive in long runs. A cost-blind
+// static distribution inherits that correlation as per-thread imbalance,
+// while the dynamic bag is immune. Modeled with a two-state Markov cost
+// sequence (persistence rho), executed exactly at node granularity.
+void machine_ablation_table() {
+  bench::print_header(
+      "A1b: scheduling under correlated task costs (96 racks, 20M tasks, "
+      "reduction excluded)");
+  std::printf("%-14s %-16s %-16s %-8s\n", "persistence", "dynamic/s",
+              "static-block/s", "ratio");
+  bench::print_rule();
+
+  const auto machine = bgq::machine_for_racks(96);
+  const std::int64_t nodes = machine.num_nodes();
+  const std::int64_t num_tasks = 20'000'000;
+  const double light = 10e-6, heavy = 200e-6;  // 20x cost classes
+  const double node_rate = 64.0;
+
+  for (double rho : {0.0, 0.9, 0.999, 0.99999}) {
+    std::mt19937 rng(1234);
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    // Chunk the task list (16 tasks/chunk) exactly as both schemes see it.
+    const std::int64_t chunk = 16;
+    const std::int64_t num_chunks = num_tasks / chunk;
+    std::vector<double> chunk_cost(static_cast<std::size_t>(num_chunks));
+    bool in_heavy = false;
+    for (auto& cc : chunk_cost) {
+      double sum = 0.0;
+      for (int t = 0; t < chunk; ++t) {
+        if (u(rng) > rho) in_heavy = (u(rng) < 0.1);  // 10% heavy overall
+        sum += in_heavy ? heavy : light;
+      }
+      cc = sum;
+    }
+
+    // Static contiguous-block partition over nodes (each node owns one
+    // slice of the quartet list, the classic cost-blind decomposition).
+    std::vector<double> load(static_cast<std::size_t>(nodes), 0.0);
+    const std::int64_t per_node = (num_chunks + nodes - 1) / nodes;
+    for (std::int64_t c = 0; c < num_chunks; ++c)
+      load[static_cast<std::size_t>(std::min(c / per_node, nodes - 1))] +=
+          chunk_cost[static_cast<std::size_t>(c)];
+    double stat_max = 0.0;
+    for (double l : load) stat_max = std::max(stat_max, l);
+    const double stat_time = stat_max / node_rate;
+
+    // Dynamic bag: greedy earliest-available node.
+    std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+    for (std::int64_t n = 0; n < nodes; ++n) heap.push(0.0);
+    double dyn_time = 0.0;
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const double start = heap.top();
+      heap.pop();
+      const double finish =
+          start + chunk_cost[static_cast<std::size_t>(c)] / node_rate;
+      heap.push(finish);
+      dyn_time = std::max(dyn_time, finish);
+    }
+
+    std::printf("%-14.5f %-16.4f %-16.4f %-8.2f\n", rho, dyn_time, stat_time,
+                stat_time / dyn_time);
+  }
+  std::printf(
+      "\nuncorrelated costs average out even statically; the long heavy "
+      "runs of real quartet lists are what the dynamic bag absorbs.\n");
+}
+
+void BM_ExecuteTasksOverhead(benchmark::State& state) {
+  // Pure scheduling overhead: empty task bodies.
+  const auto sched = static_cast<hfx::HfxSchedule>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    hfx::execute_tasks(10000, 4, sched, [&](std::size_t i, std::size_t) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ExecuteTasksOverhead)
+    ->Arg(static_cast<int>(mthfx::hfx::HfxSchedule::kDynamicBag))
+    ->Arg(static_cast<int>(mthfx::hfx::HfxSchedule::kWorkStealing))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  host_ablation_table();
+  machine_ablation_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E1 — the paper's headline figure: strong scaling of one HFX build up to
+// 6,291,456 threads (96 BG/Q racks) with near-perfect parallel efficiency.
+//
+// Host part: the real HFX kernel is strong-scaled across host threads and
+// its per-task costs are measured. Machine part: the measured cost
+// distribution drives the BG/Q discrete-event simulator over the rack
+// sweep for a condensed-phase-sized system (512 PC molecules).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mthfx;
+
+const bench::HostCalibration& calibration() {
+  static const bench::HostCalibration cal = bench::calibrate_pc_cluster(2);
+  return cal;
+}
+
+void host_strong_scaling_table() {
+  bench::print_header(
+      "E1a: host strong scaling of the real HFX kernel (2 PC molecules)");
+  std::printf("%-10s %-14s %-10s %-12s\n", "threads", "time/s", "speedup",
+              "efficiency");
+  bench::print_rule();
+
+  const auto unit = workload::propylene_carbonate();
+  const auto cluster = workload::cluster_of(unit, 2, 9.0);
+  const auto basis = chem::BasisSet::build(cluster, "sto-3g");
+  const auto s = ints::overlap(basis);
+  const auto x = linalg::inverse_sqrt(s);
+  const auto p = scf::core_guess_density(basis, cluster, x);
+
+  double t1 = 0.0;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (std::size_t nt = 1; nt <= hw; nt *= 2) {
+    hfx::HfxOptions opts;
+    opts.eps_schwarz = 1e-8;
+    opts.num_threads = nt;
+    hfx::FockBuilder builder(basis, opts);
+    const auto result = builder.exchange(p);
+    if (nt == 1) t1 = result.stats.wall_seconds;
+    const double speedup = t1 / result.stats.wall_seconds;
+    std::printf("%-10zu %-14.4f %-10.2f %-12.3f\n", nt,
+                result.stats.wall_seconds, speedup,
+                speedup / static_cast<double>(nt));
+  }
+}
+
+void machine_strong_scaling_table() {
+  bench::print_header(
+      "E1b: BG/Q strong scaling, 512-PC condensed-phase workload "
+      "(simulated machine, measured task costs)");
+  const auto& cal = calibration();
+  const auto dist = bgq::EmpiricalCostDistribution::from_records(
+      bench::denoised(cal.records));
+  const auto w = bench::scaled_workload(cal, 2, 512);
+  std::printf("tasks in system: %lld   mean task cost: %.3g s\n",
+              static_cast<long long>(w.num_tasks), dist.mean());
+  std::printf("%-7s %-9s %-11s %-12s %-11s %-12s\n", "racks", "nodes",
+              "threads", "time/s", "speedup", "efficiency");
+  bench::print_rule();
+
+  bgq::SimResult base;
+  for (int racks : bgq::supported_rack_counts()) {
+    const auto machine = bgq::machine_for_racks(racks);
+    const auto r = bgq::simulate_step(machine, w, dist);
+    if (racks == 1) base = r;
+    const double eff = bgq::parallel_efficiency(base, r);
+    const double speedup = base.makespan_seconds / r.makespan_seconds;
+    std::printf("%-7d %-9lld %-11lld %-12.4f %-11.1f %-12.3f\n", racks,
+                static_cast<long long>(machine.num_nodes()),
+                static_cast<long long>(machine.num_threads()),
+                r.makespan_seconds, speedup, eff);
+  }
+  std::printf(
+      "\npaper claim: near-perfect parallel efficiency at 6,291,456 "
+      "threads (96 racks).\n");
+}
+
+void BM_HostExchangeBuild(benchmark::State& state) {
+  const auto unit = workload::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(unit, "sto-3g");
+  const auto s = ints::overlap(basis);
+  const auto x = linalg::inverse_sqrt(s);
+  const auto p = scf::core_guess_density(basis, unit, x);
+  hfx::HfxOptions opts;
+  opts.eps_schwarz = 1e-8;
+  opts.num_threads = static_cast<std::size_t>(state.range(0));
+  hfx::FockBuilder builder(basis, opts);
+  for (auto _ : state) {
+    auto r = builder.exchange(p);
+    benchmark::DoNotOptimize(r.k.data());
+  }
+}
+BENCHMARK(BM_HostExchangeBuild)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  host_strong_scaling_table();
+  machine_strong_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

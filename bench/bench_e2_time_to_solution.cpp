@@ -1,0 +1,76 @@
+// E2 — time-to-solution: the paper claims >10x runtime reduction against
+// "directly comparable approaches". The comparable approach here is the
+// static block-cyclic quartet distribution with replicated matrices and a
+// flat reduction; the paper's scheme is the hierarchical dynamic bag with
+// tree reduction. Same measured task-cost population for both.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mthfx;
+
+void time_to_solution_table() {
+  bench::print_header(
+      "E2: time to solution, dynamic-bag scheme vs. directly comparable "
+      "static scheme (64-PC workload)");
+  const auto cal = bench::calibrate_pc_cluster(2);
+  const auto dist = bgq::EmpiricalCostDistribution::from_records(
+      bench::denoised(cal.records));
+  const auto w = bench::scaled_workload(cal, 2, 64);
+
+  std::printf("%-7s %-12s %-14s %-14s %-8s\n", "racks", "threads",
+              "this work/s", "baseline/s", "ratio");
+  bench::print_rule();
+  for (int racks : bgq::supported_rack_counts()) {
+    const auto machine = bgq::machine_for_racks(racks);
+    bgq::SimOptions dyn;
+    dyn.scheme = bgq::SimScheme::kDynamicHierarchical;
+    bgq::SimOptions stat;
+    stat.scheme = bgq::SimScheme::kStaticBlockCyclic;
+    const auto rd = bgq::simulate_step(machine, w, dist, dyn);
+    const auto rs = bgq::simulate_step(machine, w, dist, stat);
+    std::printf("%-7d %-12lld %-14.4f %-14.4f %-8.1f\n", racks,
+                static_cast<long long>(machine.num_threads()),
+                rd.makespan_seconds, rs.makespan_seconds,
+                rs.makespan_seconds / rd.makespan_seconds);
+  }
+  std::printf(
+      "\npaper claim: improvement 'can surpass a 10-fold decrease in "
+      "runtime'.\nnote: at the paper's full 512-molecule scale the "
+      "replicated baseline needs gigabytes per MPI rank and does not fit "
+      "a BG/Q node at all — the comparison above uses the largest "
+      "baseline-feasible system.\n");
+}
+
+// Host-level companion: dynamic vs. static on the real kernel.
+void BM_HostScheme(benchmark::State& state) {
+  const auto unit = workload::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(unit, "sto-3g");
+  const auto s = ints::overlap(basis);
+  const auto x = linalg::inverse_sqrt(s);
+  const auto p = scf::core_guess_density(basis, unit, x);
+  hfx::HfxOptions opts;
+  opts.eps_schwarz = 1e-8;
+  opts.schedule = static_cast<hfx::HfxSchedule>(state.range(0));
+  hfx::FockBuilder builder(basis, opts);
+  for (auto _ : state) {
+    auto r = builder.exchange(p);
+    benchmark::DoNotOptimize(r.k.data());
+  }
+}
+BENCHMARK(BM_HostScheme)
+    ->Arg(static_cast<int>(mthfx::hfx::HfxSchedule::kDynamicBag))
+    ->Arg(static_cast<int>(mthfx::hfx::HfxSchedule::kStaticBlock))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  time_to_solution_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

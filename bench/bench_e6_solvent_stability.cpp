@@ -1,0 +1,144 @@
+// E6 — electrolyte screening: the paper's application result is that
+// propylene carbonate is degraded by the lithium peroxide discharge
+// product and that alternative solvents (e.g. DMSO-class) are more
+// stable. We compute the electronic-stability indicators the screening
+// relies on: HOMO-LUMO gaps (RHF and PBE0) and the interaction energy of
+// each solvent with Li2O2 at contact distance.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include <algorithm>
+
+#include "chem/elements.hpp"
+#include "scf/properties.hpp"
+#include "scf/rhf.hpp"
+#include "scf/rks.hpp"
+
+namespace {
+
+using namespace mthfx;
+
+scf::ScfOptions fast_scf() {
+  scf::ScfOptions o;
+  o.hfx.eps_schwarz = 1e-9;
+  o.energy_tolerance = 1e-8;
+  o.diis_tolerance = 1e-5;
+  return o;
+}
+
+double rhf_energy(const chem::Molecule& m) {
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::rhf(m, basis, fast_scf());
+  if (!r.converged) std::printf("  [warn] RHF unconverged\n");
+  return r.energy;
+}
+
+void gap_table() {
+  bench::print_header("E6a: frontier-orbital stability indicators");
+  std::printf("%-10s %-18s %-18s %-18s\n", "solvent", "RHF gap/eV",
+              "PBE0 gap/eV", "PBE gap/eV");
+  bench::print_rule();
+  for (const char* name : {"pc", "dmso"}) {
+    const auto m = workload::by_name(name);
+    const auto basis = chem::BasisSet::build(m, "sto-3g");
+    const auto rhf_result = scf::rhf(m, basis, fast_scf());
+
+    auto gap_for = [&](const char* functional) {
+      scf::KsOptions ks;
+      ks.scf = fast_scf();
+      ks.functional = functional;
+      ks.grid.radial_points = 25;
+      ks.grid.angular_points = 26;
+      const auto r = scf::rks(m, basis, ks);
+      return scf::homo_lumo_gap(r.scf, m) * chem::kEvPerHartree;
+    };
+
+    std::printf("%-10s %-18.2f %-18.2f %-18.2f\n", name,
+                scf::homo_lumo_gap(rhf_result, m) * chem::kEvPerHartree,
+                gap_for("pbe0"), gap_for("pbe"));
+  }
+  std::printf(
+      "\nthe hybrid (PBE0) gap sits between RHF and PBE — the accuracy "
+      "argument for hybrid-functional screening.\n");
+}
+
+void interaction_table() {
+  bench::print_header(
+      "E6b: solvent + Li2O2 interaction energies (RHF/STO-3G, contact vs. "
+      "separated)");
+  std::printf("%-10s %-18s %-18s %-20s\n", "solvent", "E(complex)/Ha",
+              "E(separated)/Ha", "interaction/kcal/mol");
+  bench::print_rule();
+
+  const auto li2o2 = workload::lithium_peroxide();
+  const double e_li2o2 = rhf_energy(li2o2);
+
+  for (const char* name : {"pc", "dmso"}) {
+    const auto solvent = workload::by_name(name);
+    const double e_solvent = rhf_energy(solvent);
+
+    // Contact complex: peroxide placed above the solvent's polar end.
+    chem::Molecule complex_mol = solvent;
+    chem::Molecule adduct = li2o2;
+    adduct.translate({0.0, 4.5 * chem::kBohrPerAngstrom,
+                      1.5 * chem::kBohrPerAngstrom});
+    complex_mol.append(adduct);
+    const double e_complex = rhf_energy(complex_mol);
+
+    const double e_sep = e_solvent + e_li2o2;
+    std::printf("%-10s %-18.6f %-18.6f %-20.2f\n", name, e_complex, e_sep,
+                (e_complex - e_sep) * chem::kKcalPerMolPerHartree);
+  }
+  std::printf(
+      "\nboth solvents coordinate the peroxide (Li+ solvation); the "
+      "*degradation* risk is the chemistry probed below and in E7.\n");
+}
+
+void electrophilic_site_table() {
+  bench::print_header(
+      "E6c: electrophilic-site analysis (Mulliken charges, RHF/STO-3G)");
+  std::printf("%-10s %-26s %-22s\n", "solvent", "most positive C charge",
+              "dipole moment/D");
+  bench::print_rule();
+  for (const char* name : {"pc", "dmso"}) {
+    const auto m = workload::by_name(name);
+    const auto basis = chem::BasisSet::build(m, "sto-3g");
+    const auto r = scf::rhf(m, basis, fast_scf());
+    const auto q = scf::mulliken_charges(m, basis, r.density);
+    double cmax = -10.0;
+    for (std::size_t i = 0; i < m.size(); ++i)
+      if (m.atom(i).z == 6) cmax = std::max(cmax, q[i]);
+    std::printf("%-10s %-26.3f %-22.2f\n", name, cmax,
+                scf::dipole_moment_debye(m, basis, r.density));
+  }
+  std::printf(
+      "\nPC's carbonyl carbon is the strongly electrophilic site that "
+      "peroxide/superoxide attacks (ring opening); DMSO carries no "
+      "comparably activated carbon — the paper's stability argument.\n");
+}
+
+void BM_SolventRhf(benchmark::State& state) {
+  const auto m = workload::by_name(state.range(0) == 0 ? "pc" : "dmso");
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  for (auto _ : state) {
+    auto r = scf::rhf(m, basis, fast_scf());
+    benchmark::DoNotOptimize(r.energy);
+  }
+}
+BENCHMARK(BM_SolventRhf)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gap_table();
+  interaction_table();
+  electrophilic_site_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

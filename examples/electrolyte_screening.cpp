@@ -1,0 +1,88 @@
+// Electrolyte screening — the paper's application workflow in miniature:
+// rank candidate Li/air-battery solvents by their electronic stability
+// against the Li2O2 discharge product. Prints frontier-orbital gaps and
+// peroxide-contact interaction energies for propylene carbonate (the
+// known failure) and DMSO (the proposed alternative class).
+//
+// Run:  ./build/examples/electrolyte_screening [basis]
+
+#include <cstdio>
+#include <string>
+
+#include "chem/basis.hpp"
+#include "chem/elements.hpp"
+#include "scf/rhf.hpp"
+#include "scf/rks.hpp"
+#include "workload/geometries.hpp"
+
+namespace {
+
+using namespace mthfx;
+
+scf::ScfOptions options() {
+  scf::ScfOptions o;
+  o.hfx.eps_schwarz = 1e-9;
+  o.energy_tolerance = 1e-8;
+  o.diis_tolerance = 1e-5;
+  o.max_iterations = 200;
+  return o;
+}
+
+struct SolventReport {
+  std::string name;
+  double rhf_energy = 0.0;
+  double gap_ev = 0.0;
+  double interaction_kcal = 0.0;
+  bool ok = true;
+};
+
+SolventReport screen(const std::string& name, const std::string& basis_name,
+                     double e_li2o2) {
+  SolventReport rep;
+  rep.name = name;
+  const auto solvent = workload::by_name(name);
+  const auto basis = chem::BasisSet::build(solvent, basis_name);
+  const auto r = scf::rhf(solvent, basis, options());
+  rep.ok = r.converged;
+  rep.rhf_energy = r.energy;
+  rep.gap_ev = scf::homo_lumo_gap(r, solvent) * chem::kEvPerHartree;
+
+  chem::Molecule complex_mol = solvent;
+  chem::Molecule adduct = workload::lithium_peroxide();
+  adduct.translate({0.0, 4.5 * chem::kBohrPerAngstrom,
+                    1.5 * chem::kBohrPerAngstrom});
+  complex_mol.append(adduct);
+  const auto cb = chem::BasisSet::build(complex_mol, basis_name);
+  const auto rc = scf::rhf(complex_mol, cb, options());
+  rep.ok = rep.ok && rc.converged;
+  rep.interaction_kcal =
+      (rc.energy - r.energy - e_li2o2) * chem::kKcalPerMolPerHartree;
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string basis_name = argc > 1 ? argv[1] : "sto-3g";
+  std::printf("electrolyte stability screening (RHF/%s)\n",
+              basis_name.c_str());
+
+  const auto li2o2 = workload::lithium_peroxide();
+  const auto li_basis = chem::BasisSet::build(li2o2, basis_name);
+  const auto li_result = scf::rhf(li2o2, li_basis, options());
+  std::printf("Li2O2 reference energy: %.6f Ha (converged=%d)\n\n",
+              li_result.energy, li_result.converged);
+
+  std::printf("%-8s %-16s %-12s %-22s %-4s\n", "solvent", "E(RHF)/Ha",
+              "gap/eV", "Li2O2 binding kcal/mol", "ok");
+  for (const std::string name : {"pc", "dmso"}) {
+    const auto rep = screen(name, basis_name, li_result.energy);
+    std::printf("%-8s %-16.6f %-12.2f %-22.2f %-4d\n", rep.name.c_str(),
+                rep.rhf_energy, rep.gap_ev, rep.interaction_kcal, rep.ok);
+  }
+  std::printf(
+      "\ninterpretation: a wider gap and weaker peroxide binding indicate "
+      "a solvent more robust against the degradation pathway that kills "
+      "propylene-carbonate cells.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// mthfx command-line driver: run SCF / gradient / BOMD calculations from
+// a simple input file (format documented in src/app/input.hpp).
+//
+//   ./build/examples/mthfx_cli water.in
+
+#include <cstdio>
+
+#include "app/driver.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <input-file>\n"
+                 "input format: see src/app/input.hpp\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const auto input = mthfx::app::parse_input_file(argv[1]);
+    const auto result = mthfx::app::run(input);
+    std::fputs(result.report.c_str(), stdout);
+    return result.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

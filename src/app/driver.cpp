@@ -1,0 +1,142 @@
+#include "app/driver.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "chem/basis.hpp"
+#include "chem/elements.hpp"
+#include "md/integrator.hpp"
+#include "scf/gradient.hpp"
+#include "scf/properties.hpp"
+#include "scf/rhf.hpp"
+#include "scf/rks.hpp"
+#include "scf/uks.hpp"
+
+namespace mthfx::app {
+
+namespace {
+
+bool wants_unrestricted(const Input& input) {
+  if (input.reference == Reference::kRestricted) return false;
+  if (input.reference == Reference::kUnrestricted) return true;
+  return input.multiplicity != 1 || input.molecule.num_electrons() % 2 != 0;
+}
+
+void print_geometry(std::ostringstream& out, const chem::Molecule& mol) {
+  out << "geometry (" << mol.size() << " atoms, charge " << mol.charge()
+      << ", " << mol.num_electrons() << " electrons):\n";
+  for (const auto& a : mol.atoms())
+    out << "  " << chem::element_symbol(a.z) << "  " << a.pos.x << " "
+        << a.pos.y << " " << a.pos.z << "  (bohr)\n";
+}
+
+}  // namespace
+
+RunResult run(const Input& input) {
+  RunResult result;
+  std::ostringstream out;
+  out.precision(10);
+
+  const auto& mol = input.molecule;
+  const auto basis = chem::BasisSet::build(mol, input.basis);
+  print_geometry(out, mol);
+  out << "basis " << input.basis << ": " << basis.num_functions()
+      << " AOs in " << basis.num_shells() << " shells\n";
+  out << "method " << input.method << ", task ";
+
+  const bool open_shell = wants_unrestricted(input);
+
+  if (input.task == Task::kEnergy || input.task == Task::kGradient) {
+    out << (input.task == Task::kEnergy ? "energy" : "gradient") << "\n\n";
+
+    if (open_shell) {
+      scf::UksOptions opts;
+      opts.functional = input.method;
+      opts.scf.hfx.eps_schwarz = input.eps_schwarz;
+      opts.grid.radial_points = input.grid_radial;
+      opts.grid.angular_points = input.grid_angular;
+      const auto r = scf::uks(mol, basis, input.multiplicity, opts);
+      result.ok = r.scf.converged;
+      result.energy = r.scf.energy;
+      out << "UKS(" << input.method << ") energy: " << r.scf.energy
+          << " Ha  (converged=" << r.scf.converged << ", iterations "
+          << r.scf.iterations << ")\n";
+      if (input.method != "hf")
+        out << "  E_xc = " << r.xc_energy
+            << " Ha, exact exchange = " << r.exact_exchange_energy << " Ha\n";
+      if (input.task == Task::kGradient)
+        out << "  [gradient for unrestricted references is not implemented; "
+               "use task energy]\n";
+    } else {
+      scf::KsOptions opts;
+      opts.functional = input.method;
+      opts.scf.hfx.eps_schwarz = input.eps_schwarz;
+      opts.grid.radial_points = input.grid_radial;
+      opts.grid.angular_points = input.grid_angular;
+      const auto r = scf::rks(mol, basis, opts);
+      result.ok = r.scf.converged;
+      result.energy = r.scf.energy;
+      out << "SCF(" << input.method << ") energy: " << r.scf.energy
+          << " Ha  (converged=" << r.scf.converged << ", iterations "
+          << r.scf.iterations << ")\n";
+      out << "  HOMO-LUMO gap: "
+          << scf::homo_lumo_gap(r.scf, mol) * chem::kEvPerHartree << " eV\n";
+      if (r.scf.converged) {
+        out << "  dipole moment: "
+            << scf::dipole_moment_debye(mol, basis, r.scf.density) << " D\n";
+      }
+      if (input.task == Task::kGradient && r.scf.converged) {
+        if (input.method != "hf") {
+          out << "  [analytic gradients available for method hf only]\n";
+        } else {
+          // Re-run through the RHF driver to get orbital data.
+          scf::ScfOptions rhf_opts;
+          rhf_opts.hfx.eps_schwarz = input.eps_schwarz;
+          const auto hf = scf::rhf(mol, basis, rhf_opts);
+          const auto g = scf::rhf_gradient(mol, basis, hf);
+          out << "  gradient (Ha/bohr):\n";
+          for (std::size_t i = 0; i < g.size(); ++i)
+            out << "    " << chem::element_symbol(mol.atom(i).z) << "  "
+                << g[i].x << " " << g[i].y << " " << g[i].z << "\n";
+        }
+      }
+    }
+  } else {  // Task::kMd
+    out << "md\n\n";
+    if (open_shell) {
+      out << "[BOMD supports closed-shell references only]\n";
+      result.ok = false;
+      result.report = out.str();
+      return result;
+    }
+    scf::KsOptions ks;
+    ks.functional = input.method;
+    ks.scf.hfx.eps_schwarz = input.eps_schwarz;
+    ks.grid.radial_points = input.grid_radial;
+    ks.grid.angular_points = input.grid_angular;
+    md::ScfPotential surface(input.basis, ks);
+
+    md::MdOptions opts;
+    opts.timestep_fs = input.md_timestep_fs;
+    opts.num_steps = input.md_steps;
+    opts.target_temperature_k = input.md_temperature_k;
+    opts.initial_temperature_k = input.md_temperature_k;
+
+    out << "BOMD: " << opts.num_steps << " steps of " << opts.timestep_fs
+        << " fs on the " << input.method << " surface\n";
+    out << "t/fs      E_total/Ha        T/K\n";
+    const auto traj = md::run_bomd(mol, surface, opts,
+                                   [&out](const md::MdFrame& f) {
+                                     out << f.time_fs << "    " << f.total
+                                         << "    " << f.temperature_k << "\n";
+                                   });
+    out << "max |energy drift|: " << traj.max_energy_drift() << " Ha\n";
+    result.ok = true;
+    result.energy = traj.frames.back().total;
+  }
+
+  result.report = out.str();
+  return result;
+}
+
+}  // namespace mthfx::app

@@ -1,0 +1,23 @@
+#pragma once
+
+// Task driver behind the mthfx CLI: runs the requested calculation and
+// renders a human-readable report.
+
+#include <string>
+
+#include "app/input.hpp"
+
+namespace mthfx::app {
+
+struct RunResult {
+  bool ok = false;
+  double energy = 0.0;
+  std::string report;  ///< formatted multi-line summary
+};
+
+/// Execute the input's task. Never throws for chemistry-level failures
+/// (they are reported in `report` with ok = false); throws
+/// std::runtime_error only for unusable inputs.
+RunResult run(const Input& input);
+
+}  // namespace mthfx::app

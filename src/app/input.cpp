@@ -1,0 +1,139 @@
+#include "app/input.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "chem/elements.hpp"
+
+namespace mthfx::app {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("input line " + std::to_string(line) + ": " + msg);
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find('#');
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+Input parse_input(const std::string& text) {
+  Input input;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  bool in_geometry = false;
+  bool saw_geometry = false;
+  double unit_scale = chem::kBohrPerAngstrom;
+  chem::Molecule mol;
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::istringstream line(strip_comment(raw));
+    std::string key;
+    if (!(line >> key)) continue;  // blank line
+
+    if (in_geometry) {
+      if (key == "end") {
+        in_geometry = false;
+        continue;
+      }
+      const auto z = chem::atomic_number(key);
+      if (!z) fail(lineno, "unknown element symbol '" + key + "'");
+      double xc = 0, yc = 0, zc = 0;
+      if (!(line >> xc >> yc >> zc))
+        fail(lineno, "expected three coordinates after element symbol");
+      mol.add_atom(*z, {xc * unit_scale, yc * unit_scale, zc * unit_scale});
+      continue;
+    }
+
+    if (key == "geometry") {
+      std::string unit = "angstrom";
+      line >> unit;
+      if (unit == "angstrom")
+        unit_scale = chem::kBohrPerAngstrom;
+      else if (unit == "bohr")
+        unit_scale = 1.0;
+      else
+        fail(lineno, "geometry unit must be 'angstrom' or 'bohr'");
+      in_geometry = true;
+      saw_geometry = true;
+      continue;
+    }
+
+    std::string value;
+    if (!(line >> value)) fail(lineno, "keyword '" + key + "' needs a value");
+
+    if (key == "method") {
+      input.method = value;
+    } else if (key == "basis") {
+      input.basis = value;
+    } else if (key == "reference") {
+      if (value == "auto")
+        input.reference = Reference::kAuto;
+      else if (value == "restricted")
+        input.reference = Reference::kRestricted;
+      else if (value == "unrestricted")
+        input.reference = Reference::kUnrestricted;
+      else
+        fail(lineno, "reference must be auto|restricted|unrestricted");
+    } else if (key == "charge") {
+      input.charge = std::stoi(value);
+    } else if (key == "multiplicity") {
+      input.multiplicity = std::stoi(value);
+      if (input.multiplicity < 1) fail(lineno, "multiplicity must be >= 1");
+    } else if (key == "task") {
+      if (value == "energy")
+        input.task = Task::kEnergy;
+      else if (value == "gradient")
+        input.task = Task::kGradient;
+      else if (value == "md")
+        input.task = Task::kMd;
+      else
+        fail(lineno, "task must be energy|gradient|md");
+    } else if (key == "eps_schwarz") {
+      input.eps_schwarz = std::stod(value);
+    } else if (key == "md_steps") {
+      input.md_steps = std::stoi(value);
+    } else if (key == "md_timestep_fs") {
+      input.md_timestep_fs = std::stod(value);
+    } else if (key == "md_temperature_k") {
+      input.md_temperature_k = std::stod(value);
+    } else if (key == "grid_radial") {
+      input.grid_radial = std::stoi(value);
+    } else if (key == "grid_angular") {
+      input.grid_angular = std::stoi(value);
+    } else {
+      fail(lineno, "unknown keyword '" + key + "'");
+    }
+  }
+
+  if (in_geometry) throw std::runtime_error("input: geometry block not closed");
+  if (!saw_geometry || mol.size() == 0)
+    throw std::runtime_error("input: no geometry given");
+
+  mol.set_charge(input.charge);
+  input.molecule = mol;
+
+  // Consistency: electron count vs. multiplicity parity.
+  const int nelec = mol.num_electrons();
+  const int nopen = input.multiplicity - 1;
+  if (nelec < nopen || (nelec - nopen) % 2 != 0)
+    throw std::runtime_error(
+        "input: electron count inconsistent with multiplicity");
+  return input;
+}
+
+Input parse_input_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("input: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_input(buffer.str());
+}
+
+}  // namespace mthfx::app

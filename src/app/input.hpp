@@ -1,0 +1,58 @@
+#pragma once
+
+// Input-file format for the mthfx command-line driver: simple
+// keyword/value lines plus a geometry block.
+//
+//   method pbe0            # hf | lda | pbe | pbe0
+//   reference auto         # auto | restricted | unrestricted
+//   basis sto-3g
+//   charge 0
+//   multiplicity 1
+//   task energy            # energy | gradient | md
+//   eps_schwarz 1e-10
+//   md_steps 20
+//   md_timestep_fs 0.2
+//   md_temperature_k 300
+//   grid_radial 40
+//   grid_angular 38
+//   geometry angstrom      # or: geometry bohr
+//   O 0.0 0.0 0.1173
+//   H 0.0 0.7572 -0.4692
+//   H 0.0 -0.7572 -0.4692
+//   end
+//
+// '#' starts a comment anywhere on a line.
+
+#include <string>
+
+#include "chem/molecule.hpp"
+
+namespace mthfx::app {
+
+enum class Task { kEnergy, kGradient, kMd };
+enum class Reference { kAuto, kRestricted, kUnrestricted };
+
+struct Input {
+  std::string method = "hf";
+  std::string basis = "sto-3g";
+  Reference reference = Reference::kAuto;
+  int charge = 0;
+  int multiplicity = 1;
+  Task task = Task::kEnergy;
+  double eps_schwarz = 1e-10;
+  int md_steps = 10;
+  double md_timestep_fs = 0.2;
+  double md_temperature_k = 0.0;
+  int grid_radial = 40;
+  int grid_angular = 38;
+  chem::Molecule molecule;
+};
+
+/// Parse input text. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Input parse_input(const std::string& text);
+
+/// Read and parse a file. Throws std::runtime_error if unreadable.
+Input parse_input_file(const std::string& path);
+
+}  // namespace mthfx::app

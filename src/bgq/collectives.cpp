@@ -1,0 +1,59 @@
+#include "bgq/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bgq/torus.hpp"
+
+namespace mthfx::bgq {
+
+double tree_allreduce_seconds(const MachineConfig& machine,
+                              std::int64_t bytes) {
+  // The BG/Q collective network embeds a spanning tree in the torus; the
+  // latency term scales with the torus diameter and the payload streams
+  // once at collective bandwidth (reduce) and once back (broadcast).
+  const int depth = torus_diameter(machine.torus);
+  return 2.0 * (depth * machine.hop_latency + machine.mpi_latency) +
+         2.0 * static_cast<double>(bytes) / machine.collective_bandwidth;
+}
+
+double distributed_reduce_seconds(const MachineConfig& machine,
+                                  std::int64_t bytes, double overlap) {
+  const auto p = static_cast<double>(machine.num_nodes());
+  const double node_bw =
+      links_per_node(machine.torus) * machine.link_bandwidth;
+  const double traffic = overlap * static_cast<double>(bytes) / p;
+  const int depth = torus_diameter(machine.torus);
+  return traffic / node_bw + depth * machine.hop_latency +
+         machine.mpi_latency;
+}
+
+double replicated_allreduce_seconds(const MachineConfig& machine,
+                                    std::int64_t bytes) {
+  const auto ranks = static_cast<double>(machine.num_threads());
+  const double per_rank_bw = links_per_node(machine.torus) *
+                             machine.link_bandwidth /
+                             static_cast<double>(kThreadsPerNode);
+  const double steps = std::ceil(std::log2(std::max(2.0, ranks)));
+  // Rabenseifner reduce-scatter + allgather: 2x the payload per rank.
+  return 2.0 * static_cast<double>(bytes) / per_rank_bw +
+         2.0 * steps * machine.mpi_latency;
+}
+
+double tree_broadcast_seconds(const MachineConfig& machine,
+                              std::int64_t bytes) {
+  const int depth = torus_diameter(machine.torus);
+  return depth * machine.hop_latency + machine.mpi_latency +
+         static_cast<double>(bytes) / machine.collective_bandwidth;
+}
+
+double work_fetch_seconds(const MachineConfig& machine,
+                          std::int64_t concurrent_nodes) {
+  // Distributed counters are spread over nodes; contention adds a term
+  // logarithmic in the number of simultaneously requesting nodes.
+  const double contention =
+      std::log2(static_cast<double>(std::max<std::int64_t>(2, concurrent_nodes)));
+  return machine.mpi_latency * (1.0 + 0.1 * contention);
+}
+
+}  // namespace mthfx::bgq

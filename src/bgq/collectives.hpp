@@ -1,0 +1,47 @@
+#pragma once
+
+// Cost models for the communication the HFX step performs at machine
+// scale. The architectural contrast the paper exploits:
+//
+//   * paper's scheme — hybrid (one rank per node, 64 threads inside),
+//     exchange matrix block-distributed across nodes; assembly is a
+//     reduce-scatter of partial blocks to their owners, plus tree
+//     collectives on the torus for the small control payloads;
+//   * comparable approaches of the era — flat MPI (one rank per hardware
+//     thread) with a *replicated* exchange matrix combined by a software
+//     allreduce; bandwidth-optimal (Rabenseifner) but over 64x more
+//     ranks sharing each node's links, and O(full matrix) per node.
+
+#include "bgq/machine.hpp"
+
+namespace mthfx::bgq {
+
+/// Pipelined tree allreduce over the torus collective network: full
+/// payload streamed at collective bandwidth; latency from the diameter.
+double tree_allreduce_seconds(const MachineConfig& machine,
+                              std::int64_t bytes);
+
+/// Block-distributed result assembly (the paper's scheme): each node owns
+/// bytes/P of the result and receives partial blocks from the `overlap`
+/// nodes that touched it; traffic per node = overlap * bytes / P through
+/// its torus links.
+double distributed_reduce_seconds(const MachineConfig& machine,
+                                  std::int64_t bytes, double overlap = 64.0);
+
+/// Replicated-matrix software allreduce over flat-MPI ranks (the
+/// "directly comparable approach"): bandwidth-optimal 2*bytes volume per
+/// rank, with 64 ranks per node sharing the links.
+double replicated_allreduce_seconds(const MachineConfig& machine,
+                                    std::int64_t bytes);
+
+/// Broadcast of `bytes` from one node via the spanning tree.
+double tree_broadcast_seconds(const MachineConfig& machine,
+                              std::int64_t bytes);
+
+/// Amortized per-chunk cost of fetching work from the distributed bag:
+/// an MPI round trip to the (distributed) counter plus counter contention
+/// that grows with the number of concurrently requesting nodes.
+double work_fetch_seconds(const MachineConfig& machine,
+                          std::int64_t concurrent_nodes);
+
+}  // namespace mthfx::bgq

@@ -1,0 +1,46 @@
+#include "bgq/machine.hpp"
+
+#include <stdexcept>
+
+namespace mthfx::bgq {
+
+namespace {
+
+// BG/Q partition shapes (A, B, C, D, E). A midplane is 4x4x4x4x2; larger
+// partitions extend the A/B/C/D dimensions. The 96-rack shape is the
+// Sequoia full-system 16x16x16x12x2 = 98,304 nodes.
+TorusShape shape_for_racks(int racks) {
+  switch (racks) {
+    case 1:  return {4, 4, 4, 8, 2};     // 1,024 nodes
+    case 2:  return {4, 4, 4, 16, 2};    // 2,048
+    case 4:  return {4, 8, 4, 16, 2};    // 4,096
+    case 8:  return {8, 8, 4, 16, 2};    // 8,192
+    case 16: return {8, 8, 8, 16, 2};    // 16,384
+    case 32: return {8, 16, 8, 16, 2};   // 32,768
+    case 48: return {8, 16, 12, 16, 2};  // 49,152
+    case 64: return {16, 16, 8, 16, 2};  // 65,536
+    case 96: return {16, 16, 16, 12, 2}; // 98,304 (Sequoia)
+    default:
+      throw std::invalid_argument("machine_for_racks: unsupported rack count");
+  }
+}
+
+}  // namespace
+
+MachineConfig machine_for_racks(int racks) {
+  MachineConfig m;
+  m.racks = racks;
+  m.torus = shape_for_racks(racks);
+  // Consistency: torus volume must equal the node count.
+  std::int64_t vol = 1;
+  for (int d : m.torus) vol *= d;
+  if (vol != m.num_nodes())
+    throw std::logic_error("machine_for_racks: torus/node count mismatch");
+  return m;
+}
+
+std::array<int, 9> supported_rack_counts() {
+  return {1, 2, 4, 8, 16, 32, 48, 64, 96};
+}
+
+}  // namespace mthfx::bgq

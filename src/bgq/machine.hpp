@@ -1,0 +1,69 @@
+#pragma once
+
+// IBM Blue Gene/Q machine model.
+//
+// Hardware hierarchy (per the BG/Q system architecture): a rack holds 2
+// midplanes; a midplane holds 16 node boards; a node board holds 32
+// compute nodes; a node is a 16-core A2 chip running 4 hardware threads
+// per core = 64 threads. 96 racks = 98,304 nodes = 6,291,456 threads —
+// the scale of the paper's headline result.
+//
+// This model drives the discrete-event simulator that substitutes for the
+// physical machine in this reproduction (see DESIGN.md): per-task compute
+// costs are measured on the host with the real integral kernel, and this
+// model supplies the topology, bandwidths and latencies.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mthfx::bgq {
+
+inline constexpr int kMidplanesPerRack = 2;
+inline constexpr int kNodeBoardsPerMidplane = 16;
+inline constexpr int kNodesPerNodeBoard = 32;
+inline constexpr int kNodesPerMidplane =
+    kNodeBoardsPerMidplane * kNodesPerNodeBoard;  // 512
+inline constexpr int kCoresPerNode = 16;
+inline constexpr int kThreadsPerCore = 4;
+inline constexpr int kThreadsPerNode = kCoresPerNode * kThreadsPerCore;  // 64
+
+/// 5-D torus shape (A, B, C, D, E).
+using TorusShape = std::array<int, 5>;
+
+struct MachineConfig {
+  int racks = 1;
+  TorusShape torus{};
+
+  /// Per-link nearest-neighbor bandwidth (bytes/s). BG/Q raw link rate is
+  /// 2 GB/s; ~1.8 GB/s is available to user payloads.
+  double link_bandwidth = 1.8e9;
+  /// Per-hop latency on the torus (seconds).
+  double hop_latency = 40e-9;
+  /// Software MPI-level point-to-point latency (seconds).
+  double mpi_latency = 2.5e-6;
+  /// Collective-network effective bandwidth for hardware-accelerated
+  /// reductions (bytes/s).
+  double collective_bandwidth = 1.5e9;
+  /// Intra-node atomic work-counter fetch cost (seconds).
+  double atomic_fetch = 1.0e-7;
+  /// Relative per-thread compute throughput vs. the measurement host
+  /// (cost units per second scale factor; 1.0 = identical to host thread).
+  double thread_rate = 1.0;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(racks) * kMidplanesPerRack *
+           kNodesPerMidplane;
+  }
+  std::int64_t num_threads() const { return num_nodes() * kThreadsPerNode; }
+};
+
+/// Machine for a rack count in {1,2,4,8,16,32,48,64,96}; torus shape from
+/// the standard BG/Q partition table. Throws std::invalid_argument for
+/// unsupported counts.
+MachineConfig machine_for_racks(int racks);
+
+/// The rack counts with tabulated torus shapes.
+std::array<int, 9> supported_rack_counts();
+
+}  // namespace mthfx::bgq

@@ -1,0 +1,224 @@
+#include "bgq/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "bgq/collectives.hpp"
+
+namespace mthfx::bgq {
+
+namespace {
+
+std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Event-count cap: beyond this, chunks are aggregated so machine-scale
+// workloads (10^9+ tasks) stay simulable. Sampling stays statistical —
+// at most kMaxSamples draws represent a block, scaled to its true size —
+// which preserves means and (approximately) the heavy tail.
+constexpr std::int64_t kMaxEvents = 1'000'000;
+constexpr std::int64_t kMaxSamples = 64;
+
+struct BlockCost {
+  double sum = 0.0;
+  double max = 0.0;
+};
+
+BlockCost sample_block(const EmpiricalCostDistribution& costs,
+                       std::uint64_t& rng, std::int64_t n) {
+  BlockCost b;
+  const std::int64_t draws = std::min(n, kMaxSamples);
+  for (std::int64_t i = 0; i < draws; ++i) {
+    const double s = costs.sample(rng);
+    b.sum += s;
+    b.max = std::max(b.max, s);
+  }
+  b.sum *= static_cast<double>(n) / static_cast<double>(draws);
+  return b;
+}
+
+}  // namespace
+
+EmpiricalCostDistribution::EmpiricalCostDistribution(std::vector<double> costs)
+    : sorted_(std::move(costs)) {
+  if (sorted_.empty())
+    throw std::invalid_argument("EmpiricalCostDistribution: no samples");
+  std::sort(sorted_.begin(), sorted_.end());
+  double s = 0.0;
+  for (double c : sorted_) s += c;
+  mean_ = s / static_cast<double>(sorted_.size());
+}
+
+EmpiricalCostDistribution EmpiricalCostDistribution::from_records(
+    const std::vector<hfx::TaskCostRecord>& records) {
+  // Timer resolution on fast tasks can yield zero wall seconds; rescale
+  // est_cost into the measured time scale for those.
+  double total_secs = 0.0, total_est = 0.0;
+  for (const auto& r : records) {
+    total_secs += r.seconds;
+    total_est += r.est_cost;
+  }
+  const double rate = (total_secs > 0.0 && total_est > 0.0)
+                          ? total_secs / total_est
+                          : 1e-9;
+  std::vector<double> costs;
+  costs.reserve(records.size());
+  for (const auto& r : records)
+    costs.push_back(r.seconds > 0.0 ? r.seconds : r.est_cost * rate);
+  return EmpiricalCostDistribution(std::move(costs));
+}
+
+double EmpiricalCostDistribution::sample(std::uint64_t& rng_state) const {
+  const std::uint64_t r = xorshift64(rng_state);
+  return sorted_[static_cast<std::size_t>(r % sorted_.size())];
+}
+
+SimResult simulate_step(const MachineConfig& machine,
+                        const SimWorkload& workload,
+                        const EmpiricalCostDistribution& costs,
+                        const SimOptions& options) {
+  SimResult result;
+  result.threads = machine.num_threads();
+  const auto nodes = machine.num_nodes();
+  const double node_rate =
+      machine.thread_rate * static_cast<double>(kThreadsPerNode);
+  std::uint64_t rng = options.seed;
+
+  if (options.scheme == SimScheme::kDynamicHierarchical) {
+    // Chunk-level greedy assignment to the earliest-available node: the
+    // behaviour of a distributed bag with per-node 64-thread pools.
+    // Beyond kMaxEvents chunks, consecutive chunks are aggregated into
+    // one event (statistically equivalent for i.i.d. task costs).
+    std::int64_t chunk = std::max<std::int64_t>(1, options.tasks_per_fetch);
+    std::int64_t num_chunks = (workload.num_tasks + chunk - 1) / chunk;
+    if (num_chunks > kMaxEvents) {
+      const std::int64_t agg = (num_chunks + kMaxEvents - 1) / kMaxEvents;
+      chunk *= agg;
+      num_chunks = (workload.num_tasks + chunk - 1) / chunk;
+    }
+    const double fetch = work_fetch_seconds(
+        machine, std::min<std::int64_t>(nodes, num_chunks));
+
+    // Min-heap of node available-times (only nodes that receive work).
+    const std::int64_t active =
+        std::min<std::int64_t>(nodes, std::max<std::int64_t>(1, num_chunks));
+    std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+    for (std::int64_t n = 0; n < active; ++n) heap.push(0.0);
+
+    double busy_total = 0.0;
+    double makespan = 0.0;
+    double max_task = 0.0;
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::int64_t in_chunk =
+          std::min<std::int64_t>(chunk, workload.num_tasks - c * chunk);
+      const BlockCost bc = sample_block(costs, rng, in_chunk);
+      max_task = std::max(max_task, bc.max);
+      // Service time on a 64-thread node with intra-node dynamic
+      // sharing: the chunk drains at node rate (long tasks overlap other
+      // work; the one-task-per-thread floor is applied once, globally,
+      // below as the tail correction).
+      const double service =
+          bc.sum / node_rate + fetch +
+          static_cast<double>(in_chunk) * machine.atomic_fetch /
+              static_cast<double>(kThreadsPerNode);
+      const double start = heap.top();
+      heap.pop();
+      const double finish = start + service;
+      heap.push(finish);
+      busy_total += service;
+      makespan = std::max(makespan, finish);
+    }
+    result.compute_seconds = makespan;
+    result.mean_compute_seconds =
+        busy_total / static_cast<double>(active);
+    // Tail correction: the last tasks drain through each node's 64
+    // threads, leaving at most one task per thread of residual skew.
+    result.compute_seconds += max_task / machine.thread_rate;
+
+    const double reduction =
+        distributed_reduce_seconds(machine, workload.reduction_bytes);
+    result.comm_seconds =
+        reduction + fetch * static_cast<double>(num_chunks) /
+                        static_cast<double>(std::max<std::int64_t>(1, active));
+    result.makespan_seconds = result.compute_seconds + reduction;
+  } else {
+    // Static block-cyclic over *threads* without cost knowledge.
+    const std::int64_t threads = machine.num_threads();
+    const std::int64_t chunk =
+        std::max<std::int64_t>(1, options.tasks_per_fetch);
+    const std::int64_t num_chunks = (workload.num_tasks + chunk - 1) / chunk;
+
+    if (num_chunks <= kMaxEvents) {
+      // Exact per-chunk assignment: chunk c goes to thread c mod N.
+      std::vector<double> load(static_cast<std::size_t>(std::min<std::int64_t>(
+          threads, std::max<std::int64_t>(1, num_chunks))));
+      for (std::int64_t c = 0; c < num_chunks; ++c) {
+        const std::int64_t in_chunk =
+            std::min<std::int64_t>(chunk, workload.num_tasks - c * chunk);
+        load[static_cast<std::size_t>(
+            c % static_cast<std::int64_t>(load.size()))] +=
+            sample_block(costs, rng, in_chunk).sum / machine.thread_rate;
+      }
+      double mx = 0.0, total = 0.0;
+      for (double l : load) {
+        mx = std::max(mx, l);
+        total += l;
+      }
+      result.compute_seconds = mx;
+      result.mean_compute_seconds = total / static_cast<double>(threads);
+    } else {
+      // Machine-scale path: thread loads are sums of many i.i.d. task
+      // costs, so the busiest of N threads follows extreme-value
+      // statistics: max ~ mean + std * sqrt(2 ln N). Moments come from a
+      // large sample; the single-task max floors the estimate (a thread
+      // that drew the heaviest task cannot finish before it).
+      const std::int64_t probe = 100'000;
+      double m1 = 0.0, m2 = 0.0, mx_task = 0.0;
+      for (std::int64_t i = 0; i < probe; ++i) {
+        const double s = costs.sample(rng);
+        m1 += s;
+        m2 += s * s;
+        mx_task = std::max(mx_task, s);
+      }
+      m1 /= static_cast<double>(probe);
+      m2 /= static_cast<double>(probe);
+      const double task_std = std::sqrt(std::max(0.0, m2 - m1 * m1));
+      const double tpt = static_cast<double>(workload.num_tasks) /
+                         static_cast<double>(threads);
+      const double load_mean = m1 * tpt;
+      const double load_std = task_std * std::sqrt(std::max(1.0, tpt));
+      const double evt =
+          load_mean +
+          load_std * std::sqrt(2.0 * std::log(static_cast<double>(threads)));
+      result.compute_seconds =
+          std::max(evt, load_mean + mx_task) / machine.thread_rate;
+      result.mean_compute_seconds = load_mean / machine.thread_rate;
+    }
+
+    const double reduction =
+        replicated_allreduce_seconds(machine, workload.reduction_bytes);
+    result.comm_seconds = reduction;
+    result.makespan_seconds = result.compute_seconds + reduction;
+  }
+
+  result.imbalance = result.mean_compute_seconds > 0.0
+                         ? result.compute_seconds / result.mean_compute_seconds
+                         : 1.0;
+  return result;
+}
+
+double parallel_efficiency(const SimResult& base, const SimResult& scaled) {
+  const double work_base =
+      base.makespan_seconds * static_cast<double>(base.threads);
+  const double work_scaled =
+      scaled.makespan_seconds * static_cast<double>(scaled.threads);
+  return work_scaled > 0.0 ? work_base / work_scaled : 0.0;
+}
+
+}  // namespace mthfx::bgq

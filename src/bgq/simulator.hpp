@@ -1,0 +1,79 @@
+#pragma once
+
+// Discrete-event simulation of one HFX build step at BG/Q machine scale.
+//
+// The host run supplies *measured* per-task kernel costs (see
+// HfxOptions::record_task_costs); this simulator replays a (scaled)
+// condensed-phase task population against the machine model and the two
+// execution schemes the paper compares:
+//
+//   * kDynamicHierarchical — the paper's scheme: chunks of quartet tasks
+//     fetched from a distributed bag by nodes, processed by each node's
+//     64-thread dynamic pool, partial K matrices combined with a
+//     pipelined tree allreduce on the torus.
+//   * kStaticBlockCyclic — the "directly comparable approach": quartet
+//     chunks preassigned round-robin without cost knowledge, replicated
+//     result matrices combined with a flat (serialized) reduction.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgq/machine.hpp"
+#include "hfx/fock_builder.hpp"
+
+namespace mthfx::bgq {
+
+/// Inverse-CDF sampler over an empirical set of per-task costs (seconds
+/// of one host thread).
+class EmpiricalCostDistribution {
+ public:
+  explicit EmpiricalCostDistribution(std::vector<double> costs);
+
+  /// Build from measured HFX task records (uses wall seconds; falls back
+  /// to normalized est_cost when a record was not timed).
+  static EmpiricalCostDistribution from_records(
+      const std::vector<hfx::TaskCostRecord>& records);
+
+  double sample(std::uint64_t& rng_state) const;
+  double mean() const { return mean_; }
+  double max() const { return sorted_.back(); }
+  std::size_t support_size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+enum class SimScheme { kDynamicHierarchical, kStaticBlockCyclic };
+
+struct SimWorkload {
+  std::int64_t num_tasks = 0;        ///< quartet tasks in the full system
+  std::int64_t reduction_bytes = 0;  ///< size of the K matrix to allreduce
+};
+
+struct SimOptions {
+  SimScheme scheme = SimScheme::kDynamicHierarchical;
+  std::int64_t tasks_per_fetch = 16;  ///< chunk size for the distributed bag
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct SimResult {
+  double makespan_seconds = 0.0;     ///< full step including reduction
+  double compute_seconds = 0.0;      ///< busiest executor's kernel time
+  double mean_compute_seconds = 0.0; ///< average executor kernel time
+  double comm_seconds = 0.0;         ///< reduction + work-fetch overhead
+  double imbalance = 1.0;            ///< compute / mean_compute
+  std::int64_t threads = 0;
+};
+
+/// Simulate one exchange-build step.
+SimResult simulate_step(const MachineConfig& machine,
+                        const SimWorkload& workload,
+                        const EmpiricalCostDistribution& costs,
+                        const SimOptions& options = {});
+
+/// Strong-scaling parallel efficiency of `scaled` against `base`:
+/// (T_base * N_base) / (T_scaled * N_scaled).
+double parallel_efficiency(const SimResult& base, const SimResult& scaled);
+
+}  // namespace mthfx::bgq

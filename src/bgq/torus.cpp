@@ -1,0 +1,56 @@
+#include "bgq/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mthfx::bgq {
+
+TorusCoord torus_coord(const TorusShape& shape, std::int64_t index) {
+  std::int64_t vol = 1;
+  for (int d : shape) vol *= d;
+  if (index < 0 || index >= vol)
+    throw std::out_of_range("torus_coord: node index outside torus");
+  TorusCoord out;
+  for (int dim = 4; dim >= 0; --dim) {
+    out.c[static_cast<std::size_t>(dim)] =
+        static_cast<int>(index % shape[static_cast<std::size_t>(dim)]);
+    index /= shape[static_cast<std::size_t>(dim)];
+  }
+  return out;
+}
+
+std::int64_t torus_index(const TorusShape& shape, const TorusCoord& coord) {
+  std::int64_t idx = 0;
+  for (std::size_t dim = 0; dim < 5; ++dim) {
+    if (coord.c[dim] < 0 || coord.c[dim] >= shape[dim])
+      throw std::out_of_range("torus_index: coordinate outside torus");
+    idx = idx * shape[dim] + coord.c[dim];
+  }
+  return idx;
+}
+
+int torus_hops(const TorusShape& shape, const TorusCoord& a,
+               const TorusCoord& b) {
+  int hops = 0;
+  for (std::size_t dim = 0; dim < 5; ++dim) {
+    const int n = shape[dim];
+    const int d = std::abs(a.c[dim] - b.c[dim]);
+    hops += std::min(d, n - d);
+  }
+  return hops;
+}
+
+int torus_diameter(const TorusShape& shape) {
+  int d = 0;
+  for (int n : shape) d += n / 2;
+  return d;
+}
+
+int links_per_node(const TorusShape& shape) {
+  int links = 0;
+  for (int n : shape) links += (n > 1) ? 2 : 0;
+  return links;
+}
+
+}  // namespace mthfx::bgq

@@ -1,0 +1,36 @@
+#pragma once
+
+// 5-D torus geometry: node <-> coordinate mapping, wraparound hop metric,
+// diameter. Used by the collective cost models and the locality-aware
+// work-distribution analysis.
+
+#include <cstdint>
+
+#include "bgq/machine.hpp"
+
+namespace mthfx::bgq {
+
+struct TorusCoord {
+  std::array<int, 5> c{};
+  friend bool operator==(const TorusCoord&, const TorusCoord&) = default;
+};
+
+/// Coordinates of node `index` (row-major over the shape).
+TorusCoord torus_coord(const TorusShape& shape, std::int64_t index);
+
+/// Inverse of torus_coord.
+std::int64_t torus_index(const TorusShape& shape, const TorusCoord& coord);
+
+/// Minimal hop count between two nodes with wraparound links.
+int torus_hops(const TorusShape& shape, const TorusCoord& a,
+               const TorusCoord& b);
+
+/// Maximum over node pairs of torus_hops = sum of floor(dim/2).
+int torus_diameter(const TorusShape& shape);
+
+/// Number of nearest-neighbor links per node (2 per dimension with
+/// extent > 1, 1 for extent 2 counted once, i.e. min(2, dim-1) ... BG/Q
+/// uses 10 links; dimensions of extent 2 still have two physical links).
+int links_per_node(const TorusShape& shape);
+
+}  // namespace mthfx::bgq

@@ -1,0 +1,168 @@
+#include "chem/basis.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mthfx::chem {
+
+std::vector<CartPowers> cartesian_powers(int l) {
+  std::vector<CartPowers> out;
+  out.reserve(num_cartesians(l));
+  for (int lx = l; lx >= 0; --lx)
+    for (int ly = l - lx; ly >= 0; --ly) out.push_back({lx, ly, l - lx - ly});
+  return out;
+}
+
+double odd_double_factorial(int n) {
+  // (2n-1)!! for n >= 0; (2*0-1)!! = (-1)!! = 1.
+  double r = 1.0;
+  for (int k = 2 * n - 1; k > 1; k -= 2) r *= k;
+  return r;
+}
+
+double primitive_norm(double a, int i, int j, int k) {
+  const int l = i + j + k;
+  const double dfact =
+      odd_double_factorial(i) * odd_double_factorial(j) * odd_double_factorial(k);
+  return std::pow(2.0 * a / std::numbers::pi, 0.75) *
+         std::pow(4.0 * a, 0.5 * l) / std::sqrt(dfact);
+}
+
+Shell::Shell(int l, std::size_t atom_index, Vec3 center,
+             std::vector<double> exponents, std::vector<double> coefs)
+    : l_(l),
+      atom_index_(atom_index),
+      center_(center),
+      exponents_(std::move(exponents)),
+      coefs_(std::move(coefs)) {
+  if (l_ < 0) throw std::invalid_argument("Shell: negative angular momentum");
+  if (exponents_.size() != coefs_.size() || exponents_.empty())
+    throw std::invalid_argument("Shell: exponent/coefficient size mismatch");
+
+  // Contraction normalization: the self-overlap of the contracted
+  // (l,0,0) component with normalized primitives must be 1. The
+  // double-factorial factors cancel between primitive norms and the
+  // moment integral, so the same scale applies to every component.
+  const std::size_t np = exponents_.size();
+  double self = 0.0;
+  for (std::size_t p = 0; p < np; ++p) {
+    for (std::size_t q = 0; q < np; ++q) {
+      const double ap = exponents_[p], aq = exponents_[q];
+      const double gamma = ap + aq;
+      // <p|q> for (l,0,0) primitives with norms included:
+      // N_p N_q (2l-1)!!/(2 gamma)^l (pi/gamma)^{3/2}
+      const double np_ = primitive_norm(ap, l_, 0, 0);
+      const double nq_ = primitive_norm(aq, l_, 0, 0);
+      const double ovl = np_ * nq_ * odd_double_factorial(l_) /
+                         std::pow(2.0 * gamma, l_) *
+                         std::pow(std::numbers::pi / gamma, 1.5);
+      self += coefs_[p] * coefs_[q] * ovl;
+    }
+  }
+  const double scale = 1.0 / std::sqrt(self);
+  for (double& c : coefs_) c *= scale;
+
+  // Precompute fully normalized coefficients per (primitive, component).
+  const auto powers = cartesian_powers(l_);
+  norm_coefs_.resize(np * powers.size());
+  for (std::size_t p = 0; p < np; ++p)
+    for (std::size_t c = 0; c < powers.size(); ++c)
+      norm_coefs_[p * powers.size() + c] =
+          coefs_[p] *
+          primitive_norm(exponents_[p], powers[c].x, powers[c].y, powers[c].z);
+}
+
+double Shell::min_exponent() const {
+  double m = exponents_.front();
+  for (double e : exponents_) m = std::min(m, e);
+  return m;
+}
+
+void BasisSet::add_shell(Shell shell) {
+  offsets_.push_back(nao_);
+  nao_ += shell.num_functions();
+  shells_.push_back(std::move(shell));
+}
+
+BasisSet BasisSet::build(const Molecule& mol, std::string_view name) {
+  BasisSet basis;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const Atom& atom = mol.atom(i);
+    for (const auto& entry : detail::element_basis(name, atom.z)) {
+      basis.add_shell(
+          Shell(entry.l, i, atom.pos, entry.exponents, entry.coefs));
+    }
+  }
+  return basis;
+}
+
+void BasisSet::evaluate(const Vec3& point, std::vector<double>& out) const {
+  out.assign(nao_, 0.0);
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const Shell& sh = shells_[s];
+    const Vec3 r = point - sh.center();
+    const double r2 = dot(r, r);
+    const auto powers = cartesian_powers(sh.l());
+    const std::size_t base = offsets_[s];
+    for (std::size_t p = 0; p < sh.num_primitives(); ++p) {
+      const double e = std::exp(-sh.exponents()[p] * r2);
+      if (e < 1e-16) continue;
+      for (std::size_t c = 0; c < powers.size(); ++c) {
+        const double ang = std::pow(r[0], powers[c].x) *
+                           std::pow(r[1], powers[c].y) *
+                           std::pow(r[2], powers[c].z);
+        out[base + c] += sh.norm_coef(p, c) * ang * e;
+      }
+    }
+  }
+}
+
+void BasisSet::evaluate_with_gradient(const Vec3& point,
+                                      std::vector<double>& val,
+                                      std::vector<double>& dx,
+                                      std::vector<double>& dy,
+                                      std::vector<double>& dz) const {
+  val.assign(nao_, 0.0);
+  dx.assign(nao_, 0.0);
+  dy.assign(nao_, 0.0);
+  dz.assign(nao_, 0.0);
+
+  // d/dx [x^i e^{-a r^2}] = (i x^{i-1} - 2 a x^{i+1}) e^{-a r^2}; the
+  // same pattern per Cartesian direction.
+  auto powi = [](double x, int n) {
+    double r = 1.0;
+    for (int k = 0; k < n; ++k) r *= x;
+    return r;
+  };
+
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const Shell& sh = shells_[s];
+    const Vec3 r = point - sh.center();
+    const double r2 = dot(r, r);
+    const auto powers = cartesian_powers(sh.l());
+    const std::size_t base = offsets_[s];
+    for (std::size_t p = 0; p < sh.num_primitives(); ++p) {
+      const double a = sh.exponents()[p];
+      const double e = std::exp(-a * r2);
+      if (e < 1e-16) continue;
+      for (std::size_t c = 0; c < powers.size(); ++c) {
+        const int i = powers[c].x, j = powers[c].y, k = powers[c].z;
+        const double xi = powi(r[0], i), yj = powi(r[1], j), zk = powi(r[2], k);
+        const double nc = sh.norm_coef(p, c) * e;
+        val[base + c] += nc * xi * yj * zk;
+        const double dxi = (i > 0 ? i * powi(r[0], i - 1) : 0.0) -
+                           2.0 * a * powi(r[0], i + 1);
+        const double dyj = (j > 0 ? j * powi(r[1], j - 1) : 0.0) -
+                           2.0 * a * powi(r[1], j + 1);
+        const double dzk = (k > 0 ? k * powi(r[2], k - 1) : 0.0) -
+                           2.0 * a * powi(r[2], k + 1);
+        dx[base + c] += nc * dxi * yj * zk;
+        dy[base + c] += nc * xi * dyj * zk;
+        dz[base + c] += nc * xi * yj * dzk;
+      }
+    }
+  }
+}
+
+}  // namespace mthfx::chem

@@ -1,0 +1,50 @@
+#include "chem/elements.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace mthfx::chem {
+
+namespace {
+
+// Masses: CIAAW standard atomic weights. Covalent radii: Cordero 2008.
+// Bragg–Slater radii: as tabulated by Becke (JCP 88, 2547 (1988)); H uses
+// the customary 0.35 Å adjustment rather than Slater's 0.25 Å.
+constexpr std::array<ElementInfo, kMaxZ> kElements{{
+    {1, "H", "Hydrogen", 1.008, 0.31, 0.35},
+    {2, "He", "Helium", 4.0026, 0.28, 0.35},
+    {3, "Li", "Lithium", 6.94, 1.28, 1.45},
+    {4, "Be", "Beryllium", 9.0122, 0.96, 1.05},
+    {5, "B", "Boron", 10.81, 0.84, 0.85},
+    {6, "C", "Carbon", 12.011, 0.76, 0.70},
+    {7, "N", "Nitrogen", 14.007, 0.71, 0.65},
+    {8, "O", "Oxygen", 15.999, 0.66, 0.60},
+    {9, "F", "Fluorine", 18.998, 0.57, 0.50},
+    {10, "Ne", "Neon", 20.180, 0.58, 0.45},
+    {11, "Na", "Sodium", 22.990, 1.66, 1.80},
+    {12, "Mg", "Magnesium", 24.305, 1.41, 1.50},
+    {13, "Al", "Aluminium", 26.982, 1.21, 1.25},
+    {14, "Si", "Silicon", 28.085, 1.11, 1.10},
+    {15, "P", "Phosphorus", 30.974, 1.07, 1.00},
+    {16, "S", "Sulfur", 32.06, 1.05, 1.00},
+    {17, "Cl", "Chlorine", 35.45, 1.02, 1.00},
+    {18, "Ar", "Argon", 39.948, 1.06, 1.00},
+}};
+
+}  // namespace
+
+const ElementInfo& element(int z) {
+  if (z < 1 || z > kMaxZ)
+    throw std::out_of_range("element: atomic number out of tabulated range");
+  return kElements[static_cast<std::size_t>(z - 1)];
+}
+
+std::optional<int> atomic_number(std::string_view symbol) {
+  for (const auto& e : kElements)
+    if (e.symbol == symbol) return e.atomic_number;
+  return std::nullopt;
+}
+
+std::string_view element_symbol(int z) { return element(z).symbol; }
+
+}  // namespace mthfx::chem

@@ -1,0 +1,48 @@
+#pragma once
+
+// Periodic-table data for the elements used in the Li/air electrolyte
+// studies (H through Ar covers every species in the paper's workloads:
+// propylene carbonate C₄H₆O₃, Li₂O₂/LiO₂, DMSO C₂H₆OS, water, LiPF₆
+// fragments).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mthfx::chem {
+
+struct ElementInfo {
+  int atomic_number;          ///< Z
+  std::string_view symbol;    ///< "H", "Li", ...
+  std::string_view name;      ///< "Hydrogen", ...
+  double mass_amu;            ///< standard atomic weight
+  double covalent_radius_a;   ///< covalent radius in Ångström
+  double bragg_radius_a;      ///< Bragg–Slater radius (Becke partitioning)
+};
+
+/// Highest Z with tabulated data.
+inline constexpr int kMaxZ = 18;
+
+/// Data for atomic number z (1..kMaxZ). Throws std::out_of_range otherwise.
+const ElementInfo& element(int z);
+
+/// Lookup by symbol (case-sensitive standard form, e.g. "Li").
+std::optional<int> atomic_number(std::string_view symbol);
+
+/// Convenience: symbol for z.
+std::string_view element_symbol(int z);
+
+/// Unit conversions used across the code base.
+inline constexpr double kBohrPerAngstrom = 1.8897261254578281;
+inline constexpr double kAngstromPerBohr = 1.0 / kBohrPerAngstrom;
+inline constexpr double kHartreePerEv = 1.0 / 27.211386245988;
+inline constexpr double kEvPerHartree = 27.211386245988;
+inline constexpr double kKcalPerMolPerHartree = 627.5094740631;
+inline constexpr double kAmuToElectronMass = 1822.888486209;
+/// Boltzmann constant in Hartree per Kelvin.
+inline constexpr double kBoltzmannHaPerK = 3.166811563e-6;
+/// One atomic unit of time in femtoseconds.
+inline constexpr double kFsPerAtomicTime = 0.02418884326509;
+
+}  // namespace mthfx::chem

@@ -1,0 +1,104 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "chem/elements.hpp"
+
+namespace mthfx::chem {
+
+Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+Vec3 operator*(double s, const Vec3& a) { return {s * a[0], s * a[1], s * a[2]}; }
+double dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+void Molecule::add_atom(int z, const Vec3& pos_bohr) {
+  element(z);  // validates z
+  atoms_.push_back({z, pos_bohr});
+}
+
+void Molecule::set_position(std::size_t i, const Vec3& pos_bohr) {
+  atoms_.at(i).pos = pos_bohr;
+}
+
+int Molecule::num_electrons() const {
+  int n = -charge_;
+  for (const Atom& a : atoms_) n += a.z;
+  return n;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j)
+      e += atoms_[i].z * atoms_[j].z / distance(atoms_[i].pos, atoms_[j].pos);
+  return e;
+}
+
+Vec3 Molecule::center_of_mass() const {
+  Vec3 com{0, 0, 0};
+  double mtot = 0.0;
+  for (const Atom& a : atoms_) {
+    const double m = element(a.z).mass_amu;
+    com = com + m * a.pos;
+    mtot += m;
+  }
+  if (mtot > 0.0) com = (1.0 / mtot) * com;
+  return com;
+}
+
+void Molecule::translate(const Vec3& shift) {
+  for (Atom& a : atoms_) a.pos = a.pos + shift;
+}
+
+void Molecule::append(const Molecule& other) {
+  atoms_.insert(atoms_.end(), other.atoms_.begin(), other.atoms_.end());
+  charge_ += other.charge_;
+}
+
+Molecule Molecule::from_xyz(const std::string& text, int charge) {
+  std::istringstream in(text);
+  std::size_t n = 0;
+  if (!(in >> n)) throw std::runtime_error("from_xyz: missing atom count");
+  std::string rest;
+  std::getline(in, rest);      // remainder of count line
+  std::getline(in, rest);      // comment line
+
+  Molecule mol;
+  mol.set_charge(charge);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string sym;
+    double x = 0, y = 0, z = 0;
+    if (!(in >> sym >> x >> y >> z))
+      throw std::runtime_error("from_xyz: truncated coordinate block");
+    const auto zn = atomic_number(sym);
+    if (!zn) throw std::runtime_error("from_xyz: unknown element " + sym);
+    mol.add_atom(*zn, {x * kBohrPerAngstrom, y * kBohrPerAngstrom,
+                       z * kBohrPerAngstrom});
+  }
+  return mol;
+}
+
+std::string Molecule::to_xyz(const std::string& comment) const {
+  std::ostringstream out;
+  out << atoms_.size() << '\n' << comment << '\n';
+  out.precision(10);
+  out << std::fixed;
+  for (const Atom& a : atoms_) {
+    out << element_symbol(a.z) << ' ' << a.pos[0] * kAngstromPerBohr << ' '
+        << a.pos[1] * kAngstromPerBohr << ' ' << a.pos[2] * kAngstromPerBohr
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mthfx::chem

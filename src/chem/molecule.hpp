@@ -1,0 +1,86 @@
+#pragma once
+
+// Molecular geometry: atoms with positions in Bohr, plus the geometric
+// operations the MD driver and workload generators need.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mthfx::chem {
+
+/// Cartesian triple in atomic units (Bohr). A named struct (rather than a
+/// std::array alias) so the arithmetic operators are found by ADL from any
+/// namespace.
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  double& operator[](std::size_t i) {
+    assert(i < 3);
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  double operator[](std::size_t i) const {
+    assert(i < 3);
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+Vec3 operator+(const Vec3& a, const Vec3& b);
+Vec3 operator-(const Vec3& a, const Vec3& b);
+Vec3 operator*(double s, const Vec3& a);
+double dot(const Vec3& a, const Vec3& b);
+double norm(const Vec3& a);
+double distance(const Vec3& a, const Vec3& b);
+
+struct Atom {
+  int z = 0;          ///< atomic number
+  Vec3 pos{0, 0, 0};  ///< position in Bohr
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms, int charge = 0)
+      : atoms_(std::move(atoms)), charge_(charge) {}
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+  const Atom& atom(std::size_t i) const { return atoms_.at(i); }
+
+  void add_atom(int z, const Vec3& pos_bohr);
+  void set_position(std::size_t i, const Vec3& pos_bohr);
+
+  int charge() const { return charge_; }
+  void set_charge(int c) { charge_ = c; }
+
+  /// Number of electrons = sum(Z) - charge.
+  int num_electrons() const;
+
+  /// Nuclear repulsion energy Σ_{i<j} Z_i Z_j / r_ij (Hartree).
+  double nuclear_repulsion() const;
+
+  /// Center of mass (Bohr).
+  Vec3 center_of_mass() const;
+
+  /// Translate every atom by `shift` (Bohr).
+  void translate(const Vec3& shift);
+
+  /// Merge another molecule's atoms into this one (charges add).
+  void append(const Molecule& other);
+
+  /// Parse XYZ-format text (coordinates in Ångström, per convention).
+  /// Throws std::runtime_error on malformed input or unknown element.
+  static Molecule from_xyz(const std::string& text, int charge = 0);
+
+  /// Serialize to XYZ-format text (coordinates in Ångström).
+  std::string to_xyz(const std::string& comment = "") const;
+
+ private:
+  std::vector<Atom> atoms_;
+  int charge_ = 0;
+};
+
+}  // namespace mthfx::chem

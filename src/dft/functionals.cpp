@@ -1,0 +1,109 @@
+#include "dft/functionals.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mthfx::dft {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// PW92 e_c per particle at Wigner-Seitz radius rs (zeta = 0 channel).
+double pw92_eps_c(double rs) {
+  constexpr double a = 0.031091;
+  constexpr double alpha1 = 0.21370;
+  constexpr double beta1 = 7.5957;
+  constexpr double beta2 = 3.5876;
+  constexpr double beta3 = 1.6382;
+  constexpr double beta4 = 0.49294;
+  const double srs = std::sqrt(rs);
+  const double q = 2.0 * a *
+                   (beta1 * srs + beta2 * rs + beta3 * rs * srs +
+                    beta4 * rs * rs);
+  return -2.0 * a * (1.0 + alpha1 * rs) * std::log(1.0 + 1.0 / q);
+}
+
+}  // namespace
+
+double lda_exchange_energy_density(double rho, double /*sigma*/) {
+  if (rho <= 0.0) return 0.0;
+  const double cx = 0.75 * std::cbrt(3.0 / kPi);
+  return -cx * std::pow(rho, 4.0 / 3.0);
+}
+
+double pw92_correlation_energy_density(double rho, double /*sigma*/) {
+  if (rho <= 0.0) return 0.0;
+  const double rs = std::cbrt(3.0 / (4.0 * kPi * rho));
+  return rho * pw92_eps_c(rs);
+}
+
+double pbe_exchange_energy_density(double rho, double sigma) {
+  if (rho <= 0.0) return 0.0;
+  constexpr double kappa = 0.804;
+  constexpr double mu = 0.2195149727645171;
+  const double kf = std::cbrt(3.0 * kPi * kPi * rho);
+  const double grad = std::sqrt(std::max(0.0, sigma));
+  const double s = grad / (2.0 * kf * rho);
+  const double fx = 1.0 + kappa - kappa / (1.0 + mu * s * s / kappa);
+  return lda_exchange_energy_density(rho, 0.0) * fx;
+}
+
+double pbe_correlation_energy_density(double rho, double sigma) {
+  if (rho <= 0.0) return 0.0;
+  constexpr double gamma = 0.031090690869654895;  // (1 - ln 2) / pi^2
+  constexpr double beta = 0.06672455060314922;
+
+  const double rs = std::cbrt(3.0 / (4.0 * kPi * rho));
+  const double eps_c = pw92_eps_c(rs);
+
+  const double kf = std::cbrt(3.0 * kPi * kPi * rho);
+  const double ks = std::sqrt(4.0 * kf / kPi);
+  const double grad = std::sqrt(std::max(0.0, sigma));
+  const double t = grad / (2.0 * ks * rho);  // phi = 1 for zeta = 0
+
+  const double expo = std::exp(-eps_c / gamma);
+  double h = 0.0;
+  if (expo != 1.0) {
+    const double a_coef = beta / gamma / (expo - 1.0);
+    const double t2 = t * t;
+    const double num = 1.0 + a_coef * t2;
+    const double den = 1.0 + a_coef * t2 + a_coef * a_coef * t2 * t2;
+    h = gamma * std::log(1.0 + beta / gamma * t2 * num / den);
+  }
+  return rho * (eps_c + h);
+}
+
+Functional make_functional(const std::string& name) {
+  if (name == "lda") {
+    return {"lda",
+            [](double rho, double sigma) {
+              return lda_exchange_energy_density(rho, sigma) +
+                     pw92_correlation_energy_density(rho, sigma);
+            },
+            0.0, false};
+  }
+  if (name == "pbe") {
+    return {"pbe",
+            [](double rho, double sigma) {
+              return pbe_exchange_energy_density(rho, sigma) +
+                     pbe_correlation_energy_density(rho, sigma);
+            },
+            0.0, true};
+  }
+  if (name == "pbe0") {
+    return {"pbe0",
+            [](double rho, double sigma) {
+              return 0.75 * pbe_exchange_energy_density(rho, sigma) +
+                     pbe_correlation_energy_density(rho, sigma);
+            },
+            0.25, true};
+  }
+  if (name == "hf") {
+    return {"hf", [](double, double) { return 0.0; }, 1.0, false};
+  }
+  throw std::invalid_argument("make_functional: unknown functional " + name);
+}
+
+}  // namespace mthfx::dft

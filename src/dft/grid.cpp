@@ -1,0 +1,93 @@
+#include "dft/grid.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/elements.hpp"
+#include "dft/lebedev.hpp"
+
+namespace mthfx::dft {
+
+namespace {
+
+// Becke's iterated smoothing polynomial p(p(p(mu))), p(mu) = 1.5mu - 0.5mu^3.
+double becke_smooth(double mu) {
+  for (int i = 0; i < 3; ++i) mu = 1.5 * mu - 0.5 * mu * mu * mu;
+  return mu;
+}
+
+// Size-adjusted cell function between atoms i and j (Becke's appendix):
+// nu_ij = mu_ij + a_ij (1 - mu_ij^2), a from the Bragg-radius ratio.
+double size_adjustment(double r_i, double r_j) {
+  const double chi = r_i / r_j;
+  const double u = (chi - 1.0) / (chi + 1.0);
+  double a = u / (u * u - 1.0);
+  if (a > 0.5) a = 0.5;
+  if (a < -0.5) a = -0.5;
+  return a;
+}
+
+double cell_product(const chem::Molecule& mol, std::size_t center,
+                    const chem::Vec3& p) {
+  double prod = 1.0;
+  const auto& atoms = mol.atoms();
+  const double ri = chem::distance(p, atoms[center].pos);
+  for (std::size_t j = 0; j < atoms.size(); ++j) {
+    if (j == center) continue;
+    const double rj = chem::distance(p, atoms[j].pos);
+    const double rij = chem::distance(atoms[center].pos, atoms[j].pos);
+    double mu = (ri - rj) / rij;
+    const double rad_i = chem::element(atoms[center].z).bragg_radius_a;
+    const double rad_j = chem::element(atoms[j].z).bragg_radius_a;
+    mu = mu + size_adjustment(rad_i, rad_j) * (1.0 - mu * mu);
+    prod *= 0.5 * (1.0 - becke_smooth(mu));
+  }
+  return prod;
+}
+
+}  // namespace
+
+double becke_weight(const chem::Molecule& mol, std::size_t center,
+                    const chem::Vec3& p) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < mol.size(); ++j) total += cell_product(mol, j, p);
+  if (total <= 0.0) return 0.0;
+  return cell_product(mol, center, p) / total;
+}
+
+MolecularGrid::MolecularGrid(const chem::Molecule& mol,
+                             const GridOptions& options) {
+  const auto angular = lebedev_grid_at_least(options.angular_points);
+  const int nr = options.radial_points;
+
+  for (std::size_t a = 0; a < mol.size(); ++a) {
+    const chem::Vec3& center = mol.atom(a).pos;
+    // Becke's radial map r = R (1+x)/(1-x) over Gauss–Chebyshev (2nd kind)
+    // nodes x_i = cos(i pi / (n+1)); the Jacobian folds the Chebyshev
+    // weight and the map derivative into one closed form.
+    const double rm = options.radial_scale *
+                      chem::element(mol.atom(a).z).bragg_radius_a *
+                      chem::kBohrPerAngstrom;
+    for (int i = 1; i <= nr; ++i) {
+      const double xi = std::cos(i * std::numbers::pi / (nr + 1));
+      const double r = rm * (1.0 + xi) / (1.0 - xi);
+      if (r < 1e-10) continue;
+      const double sin2 = std::sin(i * std::numbers::pi / (nr + 1)) *
+                          std::sin(i * std::numbers::pi / (nr + 1));
+      // w_i = pi/(n+1) sin^2 * dr/dx / sqrt(1-x^2) * r^2, with
+      // dr/dx = 2 rm / (1-x)^2 and sqrt(1-x^2) = sin(...).
+      const double drdx = 2.0 * rm / ((1.0 - xi) * (1.0 - xi));
+      const double wr = std::numbers::pi / (nr + 1) * sin2 /
+                        std::sqrt(1.0 - xi * xi) * drdx * r * r;
+      for (const AngularPoint& ap : angular) {
+        GridPoint gp;
+        gp.pos = center + chem::Vec3{r * ap.x, r * ap.y, r * ap.z};
+        const double wb = becke_weight(mol, a, gp.pos);
+        gp.weight = wr * 4.0 * std::numbers::pi * ap.weight * wb;
+        if (gp.weight > 1e-16) points_.push_back(gp);
+      }
+    }
+  }
+}
+
+}  // namespace mthfx::dft

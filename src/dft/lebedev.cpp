@@ -1,0 +1,141 @@
+#include "dft/lebedev.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mthfx::dft {
+
+namespace {
+
+// Symmetry-orbit generators for octahedral Lebedev sets.
+
+// 6 points: (+-1, 0, 0) permutations.
+void add_a1(std::vector<AngularPoint>& g, double w) {
+  for (int d = 0; d < 3; ++d)
+    for (double s : {1.0, -1.0}) {
+      AngularPoint p{0, 0, 0, w};
+      (d == 0 ? p.x : d == 1 ? p.y : p.z) = s;
+      g.push_back(p);
+    }
+}
+
+// 12 points: (+-1/√2, +-1/√2, 0) permutations.
+void add_a2(std::vector<AngularPoint>& g, double w) {
+  const double m = 1.0 / std::sqrt(2.0);
+  for (int d = 0; d < 3; ++d)
+    for (double s1 : {1.0, -1.0})
+      for (double s2 : {1.0, -1.0}) {
+        AngularPoint p{0, 0, 0, w};
+        if (d == 0) {
+          p.y = s1 * m;
+          p.z = s2 * m;
+        } else if (d == 1) {
+          p.x = s1 * m;
+          p.z = s2 * m;
+        } else {
+          p.x = s1 * m;
+          p.y = s2 * m;
+        }
+        g.push_back(p);
+      }
+}
+
+// 8 points: (+-1/√3, +-1/√3, +-1/√3).
+void add_a3(std::vector<AngularPoint>& g, double w) {
+  const double m = 1.0 / std::sqrt(3.0);
+  for (double s1 : {1.0, -1.0})
+    for (double s2 : {1.0, -1.0})
+      for (double s3 : {1.0, -1.0}) g.push_back({s1 * m, s2 * m, s3 * m, w});
+}
+
+// 24 points: (+-l, +-l, +-m) with 2l^2 + m^2 = 1, all position choices of m.
+void add_c1(std::vector<AngularPoint>& g, double l, double w) {
+  const double m = std::sqrt(std::max(0.0, 1.0 - 2.0 * l * l));
+  for (int d = 0; d < 3; ++d)  // which axis carries m
+    for (double s1 : {1.0, -1.0})
+      for (double s2 : {1.0, -1.0})
+        for (double s3 : {1.0, -1.0}) {
+          AngularPoint p{0, 0, 0, w};
+          const double vals[3] = {s1 * l, s2 * l, s3 * m};
+          if (d == 0) {
+            p.x = vals[2];
+            p.y = vals[0];
+            p.z = vals[1];
+          } else if (d == 1) {
+            p.x = vals[0];
+            p.y = vals[2];
+            p.z = vals[1];
+          } else {
+            p.x = vals[0];
+            p.y = vals[1];
+            p.z = vals[2];
+          }
+          g.push_back(p);
+        }
+}
+
+// 24 points: (+-l, +-m, 0) permutations with l^2 + m^2 = 1.
+void add_c2(std::vector<AngularPoint>& g, double l, double w) {
+  const double m = std::sqrt(std::max(0.0, 1.0 - l * l));
+  for (int d = 0; d < 3; ++d)     // zero axis
+    for (int o = 0; o < 2; ++o)   // order of (l, m) on the other two
+      for (double s1 : {1.0, -1.0})
+        for (double s2 : {1.0, -1.0}) {
+          const double u = s1 * (o == 0 ? l : m);
+          const double v = s2 * (o == 0 ? m : l);
+          AngularPoint p{0, 0, 0, w};
+          if (d == 0) {
+            p.y = u;
+            p.z = v;
+          } else if (d == 1) {
+            p.x = u;
+            p.z = v;
+          } else {
+            p.x = u;
+            p.y = v;
+          }
+          g.push_back(p);
+        }
+}
+
+}  // namespace
+
+std::vector<AngularPoint> lebedev_grid(int num_points) {
+  std::vector<AngularPoint> g;
+  switch (num_points) {
+    case 6:
+      add_a1(g, 1.0 / 6.0);
+      break;
+    case 14:
+      add_a1(g, 1.0 / 15.0);
+      add_a3(g, 3.0 / 40.0);
+      break;
+    case 26:
+      add_a1(g, 1.0 / 21.0);
+      add_a2(g, 4.0 / 105.0);
+      add_a3(g, 27.0 / 840.0);
+      break;
+    case 38:
+      add_a1(g, 1.0 / 105.0);
+      add_a3(g, 9.0 / 280.0);
+      add_c2(g, 0.4597008433809831, 1.0 / 35.0);
+      break;
+    case 50:
+      add_a1(g, 4.0 / 315.0);
+      add_a2(g, 64.0 / 2835.0);
+      add_a3(g, 27.0 / 1280.0);
+      add_c1(g, 1.0 / std::sqrt(11.0), 14641.0 / 725760.0);
+      break;
+    default:
+      throw std::invalid_argument("lebedev_grid: unsupported point count");
+  }
+  return g;
+}
+
+std::vector<AngularPoint> lebedev_grid_at_least(int min_points) {
+  for (int n : kLebedevOrders)
+    if (n >= min_points) return lebedev_grid(n);
+  return lebedev_grid(kLebedevOrders.back());
+}
+
+}  // namespace mthfx::dft

@@ -1,0 +1,29 @@
+#pragma once
+
+// Lebedev–Laikov angular quadrature on the unit sphere for the octahedral
+// orders with exact rational weights: 6, 14, 26, 38 and 50 points
+// (exact for spherical harmonics up to l = 3, 5, 7, 9, 11 respectively).
+// Weights are normalized to sum to 1 (multiply by 4π for the surface
+// integral).
+
+#include <array>
+#include <vector>
+
+namespace mthfx::dft {
+
+struct AngularPoint {
+  double x = 0.0, y = 0.0, z = 0.0;
+  double weight = 0.0;  ///< normalized: Σ w = 1
+};
+
+/// Supported point counts.
+inline constexpr std::array<int, 5> kLebedevOrders{6, 14, 26, 38, 50};
+
+/// The grid with exactly `num_points` points. Throws std::invalid_argument
+/// for unsupported counts.
+std::vector<AngularPoint> lebedev_grid(int num_points);
+
+/// Smallest supported grid with at least `min_points` points (clamps to 50).
+std::vector<AngularPoint> lebedev_grid_at_least(int min_points);
+
+}  // namespace mthfx::dft

@@ -1,0 +1,210 @@
+#include "dft/xc_integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mthfx::dft {
+
+using linalg::Matrix;
+
+XcIntegrator::XcIntegrator(const chem::BasisSet& basis,
+                           const MolecularGrid& grid)
+    : basis_(basis), grid_(grid) {
+  const std::size_t nao = basis.num_functions();
+  const std::size_t np = grid.size();
+  ao_.resize(np * nao);
+  ax_.resize(np * nao);
+  ay_.resize(np * nao);
+  az_.resize(np * nao);
+
+  std::vector<double> val, dx, dy, dz;
+  for (std::size_t g = 0; g < np; ++g) {
+    basis.evaluate_with_gradient(grid.points()[g].pos, val, dx, dy, dz);
+    std::copy(val.begin(), val.end(), ao_.begin() + static_cast<std::ptrdiff_t>(g * nao));
+    std::copy(dx.begin(), dx.end(), ax_.begin() + static_cast<std::ptrdiff_t>(g * nao));
+    std::copy(dy.begin(), dy.end(), ay_.begin() + static_cast<std::ptrdiff_t>(g * nao));
+    std::copy(dz.begin(), dz.end(), az_.begin() + static_cast<std::ptrdiff_t>(g * nao));
+  }
+}
+
+double XcIntegrator::integrate_density(const Matrix& density) const {
+  const std::size_t nao = basis_.num_functions();
+  double n = 0.0;
+  std::vector<double> pphi(nao);
+  for (std::size_t g = 0; g < grid_.size(); ++g) {
+    const double* phi = ao_.data() + g * nao;
+    double rho = 0.0;
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      double t = 0.0;
+      for (std::size_t nu = 0; nu < nao; ++nu) t += density(mu, nu) * phi[nu];
+      rho += t * phi[mu];
+    }
+    n += grid_.points()[g].weight * rho;
+  }
+  return n;
+}
+
+XcResult XcIntegrator::integrate(const Functional& functional,
+                                 const Matrix& density) const {
+  const std::size_t nao = basis_.num_functions();
+  XcResult result;
+  result.v = Matrix(nao, nao);
+
+  std::vector<double> pphi(nao);  // (P phi) at the current point
+
+  for (std::size_t g = 0; g < grid_.size(); ++g) {
+    const double w = grid_.points()[g].weight;
+    const double* phi = ao_.data() + g * nao;
+    const double* gx = ax_.data() + g * nao;
+    const double* gy = ay_.data() + g * nao;
+    const double* gz = az_.data() + g * nao;
+
+    double rho = 0.0;
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      double t = 0.0;
+      for (std::size_t nu = 0; nu < nao; ++nu) t += density(mu, nu) * phi[nu];
+      pphi[mu] = t;
+      rho += t * phi[mu];
+    }
+    if (rho < 1e-12) continue;
+    result.integrated_density += w * rho;
+
+    // grad rho = 2 (P phi) . grad phi.
+    double drx = 0.0, dry = 0.0, drz = 0.0;
+    if (functional.needs_gradient) {
+      for (std::size_t mu = 0; mu < nao; ++mu) {
+        drx += 2.0 * pphi[mu] * gx[mu];
+        dry += 2.0 * pphi[mu] * gy[mu];
+        drz += 2.0 * pphi[mu] * gz[mu];
+      }
+    }
+    const double sigma = drx * drx + dry * dry + drz * drz;
+
+    const double e = functional.energy_density(rho, sigma);
+    result.energy += w * e;
+
+    // Central-difference potentials.
+    const double hr = std::max(1e-9, 1e-6 * rho);
+    const double vrho = (functional.energy_density(rho + hr, sigma) -
+                         functional.energy_density(rho - hr, sigma)) /
+                        (2.0 * hr);
+    double vsigma = 0.0;
+    if (functional.needs_gradient && sigma > 1e-24) {
+      const double hs = std::max(1e-12, 1e-6 * sigma);
+      vsigma = (functional.energy_density(rho, sigma + hs) -
+                functional.energy_density(rho, sigma - hs)) /
+               (2.0 * hs);
+    }
+
+    // Symmetric rank-2 update: V += t phi^T + phi t^T with
+    // t = (w vrho / 2) phi + (2 w vsigma) (grad rho . grad phi).
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      const double d = drx * gx[mu] + dry * gy[mu] + drz * gz[mu];
+      const double t = 0.5 * w * vrho * phi[mu] + 2.0 * w * vsigma * d;
+      if (t == 0.0) continue;
+      for (std::size_t nu = 0; nu < nao; ++nu) {
+        result.v(mu, nu) += t * phi[nu];
+        result.v(nu, mu) += t * phi[nu];
+      }
+    }
+  }
+  return result;
+}
+
+
+XcSpinResult XcIntegrator::integrate_spin(const SpinFunctional& functional,
+                                          const Matrix& density_alpha,
+                                          const Matrix& density_beta) const {
+  const std::size_t nao = basis_.num_functions();
+  XcSpinResult result;
+  result.v_alpha = Matrix(nao, nao);
+  result.v_beta = Matrix(nao, nao);
+
+  std::vector<double> pa_phi(nao), pb_phi(nao);
+
+  for (std::size_t g = 0; g < grid_.size(); ++g) {
+    const double w = grid_.points()[g].weight;
+    const double* phi = ao_.data() + g * nao;
+    const double* gx = ax_.data() + g * nao;
+    const double* gy = ay_.data() + g * nao;
+    const double* gz = az_.data() + g * nao;
+
+    SpinDensity d;
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      double ta = 0.0, tb = 0.0;
+      for (std::size_t nu = 0; nu < nao; ++nu) {
+        ta += density_alpha(mu, nu) * phi[nu];
+        tb += density_beta(mu, nu) * phi[nu];
+      }
+      pa_phi[mu] = ta;
+      pb_phi[mu] = tb;
+      d.rho_a += ta * phi[mu];
+      d.rho_b += tb * phi[mu];
+    }
+    if (d.rho() < 1e-12) continue;
+    result.integrated_density += w * d.rho();
+
+    double gax = 0, gay = 0, gaz = 0, gbx = 0, gby = 0, gbz = 0;
+    if (functional.needs_gradient) {
+      for (std::size_t mu = 0; mu < nao; ++mu) {
+        gax += 2.0 * pa_phi[mu] * gx[mu];
+        gay += 2.0 * pa_phi[mu] * gy[mu];
+        gaz += 2.0 * pa_phi[mu] * gz[mu];
+        gbx += 2.0 * pb_phi[mu] * gx[mu];
+        gby += 2.0 * pb_phi[mu] * gy[mu];
+        gbz += 2.0 * pb_phi[mu] * gz[mu];
+      }
+      d.sigma_aa = gax * gax + gay * gay + gaz * gaz;
+      d.sigma_bb = gbx * gbx + gby * gby + gbz * gbz;
+      d.sigma_ab = gax * gbx + gay * gby + gaz * gbz;
+    }
+
+    const double e = functional.energy_density(d);
+    result.energy += w * e;
+
+    // Central-difference potentials over the five variables.
+    auto deriv = [&](auto mutate, double scale_hint) {
+      const double h = std::max(1e-10, 1e-6 * std::abs(scale_hint));
+      SpinDensity dp = d, dm = d;
+      mutate(dp, h);
+      mutate(dm, -h);
+      return (functional.energy_density(dp) - functional.energy_density(dm)) /
+             (2.0 * h);
+    };
+    const double vra =
+        deriv([](SpinDensity& s, double h) { s.rho_a += h; }, d.rho());
+    const double vrb =
+        deriv([](SpinDensity& s, double h) { s.rho_b += h; }, d.rho());
+    double vsaa = 0, vsbb = 0, vsab = 0;
+    if (functional.needs_gradient) {
+      const double shint = std::max(1e-8, d.sigma());
+      vsaa = deriv([](SpinDensity& s, double h) { s.sigma_aa += h; }, shint);
+      vsbb = deriv([](SpinDensity& s, double h) { s.sigma_bb += h; }, shint);
+      vsab = deriv([](SpinDensity& s, double h) { s.sigma_ab += h; }, shint);
+    }
+
+    // V_a += w [vra phi phi^T + (2 vsaa grad_a + vsab grad_b).(grad(phi)
+    // phi^T + phi grad(phi)^T)]; same for beta with labels swapped.
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      const double da = gax * gx[mu] + gay * gy[mu] + gaz * gz[mu];
+      const double db = gbx * gx[mu] + gby * gy[mu] + gbz * gz[mu];
+      const double ta =
+          0.5 * w * vra * phi[mu] + w * (2.0 * vsaa * da + vsab * db);
+      const double tb =
+          0.5 * w * vrb * phi[mu] + w * (2.0 * vsbb * db + vsab * da);
+      for (std::size_t nu = 0; nu < nao; ++nu) {
+        if (ta != 0.0) {
+          result.v_alpha(mu, nu) += ta * phi[nu];
+          result.v_alpha(nu, mu) += ta * phi[nu];
+        }
+        if (tb != 0.0) {
+          result.v_beta(mu, nu) += tb * phi[nu];
+          result.v_beta(nu, mu) += tb * phi[nu];
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mthfx::dft

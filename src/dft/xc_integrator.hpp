@@ -1,0 +1,52 @@
+#pragma once
+
+// Numerical exchange–correlation integration over the Becke grid:
+// E_xc = ∫ e_xc(rho, sigma) and the matching Kohn–Sham potential matrix
+// V_xc[mu][nu] = ∫ [v_rho phi_mu phi_nu + 2 v_sigma (grad rho)·grad(phi_mu
+// phi_nu)] with (v_rho, v_sigma) from central differences of e_xc.
+
+#include "chem/basis.hpp"
+#include "dft/functionals.hpp"
+#include "dft/grid.hpp"
+#include "dft/spin_functionals.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::dft {
+
+struct XcResult {
+  double energy = 0.0;
+  linalg::Matrix v;              ///< nao x nao potential matrix
+  double integrated_density = 0; ///< grid quality check: should equal N
+};
+
+struct XcSpinResult {
+  double energy = 0.0;
+  linalg::Matrix v_alpha;        ///< alpha Kohn-Sham potential matrix
+  linalg::Matrix v_beta;
+  double integrated_density = 0;
+};
+
+class XcIntegrator {
+ public:
+  XcIntegrator(const chem::BasisSet& basis, const MolecularGrid& grid);
+
+  /// Evaluate E_xc and V_xc for the closed-shell density matrix P.
+  XcResult integrate(const Functional& functional,
+                     const linalg::Matrix& density) const;
+
+  /// Spin-polarized evaluation from alpha/beta densities (no factor 2).
+  XcSpinResult integrate_spin(const SpinFunctional& functional,
+                              const linalg::Matrix& density_alpha,
+                              const linalg::Matrix& density_beta) const;
+
+  /// ∫ rho for a density matrix (electron-count check).
+  double integrate_density(const linalg::Matrix& density) const;
+
+ private:
+  const chem::BasisSet& basis_;
+  const MolecularGrid& grid_;
+  // Cached AO values and gradients per grid point (point-major).
+  std::vector<double> ao_, ax_, ay_, az_;
+};
+
+}  // namespace mthfx::dft

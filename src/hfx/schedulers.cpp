@@ -1,0 +1,41 @@
+#include "hfx/schedulers.hpp"
+
+#include <thread>
+
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
+
+namespace mthfx::hfx {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
+                   HfxSchedule schedule,
+                   const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel::ThreadPool pool(num_threads);
+  switch (schedule) {
+    case HfxSchedule::kDynamicBag:
+      pool.parallel_for(0, num_tasks, body, parallel::Schedule::kDynamic);
+      break;
+    case HfxSchedule::kStaticBlock:
+      pool.parallel_for(0, num_tasks, body, parallel::Schedule::kStatic);
+      break;
+    case HfxSchedule::kStaticCyclic:
+      pool.parallel_for(0, num_tasks, body, parallel::Schedule::kStaticCyclic);
+      break;
+    case HfxSchedule::kWorkStealing: {
+      parallel::WorkStealingScheduler ws(num_threads);
+      ws.seed(num_tasks);
+      pool.parallel_region([&](std::size_t tid) {
+        while (auto task = ws.next(tid)) body(*task, tid);
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace mthfx::hfx

@@ -1,0 +1,23 @@
+#pragma once
+
+// Mapping of HfxSchedule policies onto the threading runtime. Split out of
+// the Fock builder so the scheduler-ablation bench can exercise the
+// policies against synthetic task sets without touching integrals.
+
+#include <cstddef>
+#include <functional>
+
+#include "hfx/fock_builder.hpp"
+
+namespace mthfx::hfx {
+
+/// 0 -> hardware concurrency.
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Run body(task_index, thread_id) for every task under the policy.
+/// Blocks until all tasks are complete.
+void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
+                   HfxSchedule schedule,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace mthfx::hfx

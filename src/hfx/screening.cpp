@@ -1,0 +1,38 @@
+#include "hfx/screening.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mthfx::hfx {
+
+linalg::Matrix shell_block_max_density(const chem::BasisSet& basis,
+                                       const linalg::Matrix& density) {
+  const std::size_t ns = basis.num_shells();
+  linalg::Matrix bm(ns, ns);
+  for (std::size_t sa = 0; sa < ns; ++sa) {
+    const std::size_t oa = basis.first_function(sa);
+    const std::size_t na = basis.shell(sa).num_functions();
+    for (std::size_t sb = 0; sb < ns; ++sb) {
+      const std::size_t ob = basis.first_function(sb);
+      const std::size_t nb = basis.shell(sb).num_functions();
+      double mx = 0.0;
+      for (std::size_t i = 0; i < na; ++i)
+        for (std::size_t j = 0; j < nb; ++j)
+          mx = std::max(mx, std::abs(density(oa + i, ob + j)));
+      bm(sa, sb) = mx;
+    }
+  }
+  return bm;
+}
+
+double exchange_density_bound(const linalg::Matrix& block_max, std::uint32_t sa,
+                              std::uint32_t sb, std::uint32_t sc,
+                              std::uint32_t sd) {
+  // K_{ac} needs P_{bd}; with the full permutational orbit the digestion
+  // also touches P_{ad}, P_{bc}, P_{ac}... The conservative bound is the
+  // max over all bra-index x ket-index blocks.
+  return std::max(std::max(block_max(sa, sc), block_max(sa, sd)),
+                  std::max(block_max(sb, sc), block_max(sb, sd)));
+}
+
+}  // namespace mthfx::hfx

@@ -1,0 +1,43 @@
+#pragma once
+
+// Screening stage two: density-weighted Schwarz bounds.
+//
+// |K contribution of (ab|cd)| <= Q_ab * Q_cd * max relevant |P| block.
+// Together with the bare Schwarz prune this is the paper's "highly
+// controllable" accuracy mechanism: the threshold eps bounds the error
+// of every neglected integral's contribution to the Fock matrix.
+
+#include <cstdint>
+
+#include "chem/basis.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::hfx {
+
+struct ScreeningStats {
+  std::uint64_t quartets_considered = 0;
+  std::uint64_t quartets_schwarz_screened = 0;
+  std::uint64_t quartets_density_screened = 0;
+  std::uint64_t quartets_computed = 0;
+
+  ScreeningStats& operator+=(const ScreeningStats& o) {
+    quartets_considered += o.quartets_considered;
+    quartets_schwarz_screened += o.quartets_schwarz_screened;
+    quartets_density_screened += o.quartets_density_screened;
+    quartets_computed += o.quartets_computed;
+    return *this;
+  }
+};
+
+/// Per-shell-block max |P_ij|: entry (sa, sb) is the largest density
+/// magnitude between AOs of shells sa and sb.
+linalg::Matrix shell_block_max_density(const chem::BasisSet& basis,
+                                       const linalg::Matrix& density);
+
+/// Largest density bound relevant to the exchange digestion of quartet
+/// (sa sb | sc sd): max over the four bra-ket cross blocks.
+double exchange_density_bound(const linalg::Matrix& block_max, std::uint32_t sa,
+                              std::uint32_t sb, std::uint32_t sc,
+                              std::uint32_t sd);
+
+}  // namespace mthfx::hfx

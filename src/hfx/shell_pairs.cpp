@@ -1,0 +1,32 @@
+#include "hfx/shell_pairs.hpp"
+
+#include <algorithm>
+
+namespace mthfx::hfx {
+
+ShellPairList::ShellPairList(const chem::BasisSet& basis,
+                             const linalg::Matrix& schwarz, double eps) {
+  const std::size_t ns = basis.num_shells();
+  unscreened_ = ns * (ns + 1) / 2;
+
+  double qmax = 0.0;
+  for (std::size_t sa = 0; sa < ns; ++sa)
+    for (std::size_t sb = 0; sb <= sa; ++sb)
+      qmax = std::max(qmax, schwarz(sa, sb));
+  max_q_ = qmax;
+
+  for (std::size_t sa = 0; sa < ns; ++sa) {
+    for (std::size_t sb = 0; sb <= sa; ++sb) {
+      const double q = schwarz(sa, sb);
+      if (q * qmax < eps) continue;
+      pairs_.push_back({static_cast<std::uint32_t>(sa),
+                        static_cast<std::uint32_t>(sb), q});
+    }
+  }
+  // Sorting by descending bound keeps the heaviest bra pairs early: the
+  // dynamic bag hands them out first, which shortens the critical path.
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const ShellPair& x, const ShellPair& y) { return x.q > y.q; });
+}
+
+}  // namespace mthfx::hfx

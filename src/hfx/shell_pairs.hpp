@@ -1,0 +1,48 @@
+#pragma once
+
+// Significant shell-pair list: the compressed bra/ket space over which
+// quartet tasks are generated. A pair (sa >= sb) is significant when its
+// Schwarz bound could combine with the best partner pair to exceed the
+// screening threshold — everything else can never contribute an integral
+// above eps and is dropped up front.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "ints/schwarz.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::hfx {
+
+struct ShellPair {
+  std::uint32_t sa = 0;  ///< shell index, sa >= sb
+  std::uint32_t sb = 0;
+  double q = 0.0;        ///< Schwarz bound sqrt(max (ab|ab))
+};
+
+class ShellPairList {
+ public:
+  /// Build from precomputed Schwarz bounds. Pairs with
+  /// q(sa,sb) * max_q < eps are discarded.
+  ShellPairList(const chem::BasisSet& basis, const linalg::Matrix& schwarz,
+                double eps);
+
+  const std::vector<ShellPair>& pairs() const { return pairs_; }
+  std::size_t size() const { return pairs_.size(); }
+  const ShellPair& operator[](std::size_t i) const { return pairs_[i]; }
+
+  /// Largest Schwarz bound over all pairs.
+  double max_q() const { return max_q_; }
+
+  /// Number of pairs before screening: nshell*(nshell+1)/2.
+  std::size_t unscreened_count() const { return unscreened_; }
+
+ private:
+  std::vector<ShellPair> pairs_;
+  double max_q_ = 0.0;
+  std::size_t unscreened_ = 0;
+};
+
+}  // namespace mthfx::hfx

@@ -1,0 +1,67 @@
+#include "hfx/tasks.hpp"
+
+#include <algorithm>
+
+namespace mthfx::hfx {
+
+double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
+                             const ShellPair& ket) {
+  const auto& a = basis.shell(bra.sa);
+  const auto& b = basis.shell(bra.sb);
+  const auto& c = basis.shell(ket.sa);
+  const auto& d = basis.shell(ket.sb);
+  const double prim = static_cast<double>(a.num_primitives()) *
+                      static_cast<double>(b.num_primitives()) *
+                      static_cast<double>(c.num_primitives()) *
+                      static_cast<double>(d.num_primitives());
+  const double comp = static_cast<double>(a.num_functions()) *
+                      static_cast<double>(b.num_functions()) *
+                      static_cast<double>(c.num_functions()) *
+                      static_cast<double>(d.num_functions());
+  const int lsum = a.l() + b.l() + c.l() + d.l();
+  // Hermite contraction grows roughly with the volume of the (t,u,v) box.
+  const double herm = static_cast<double>((lsum + 1) * (lsum + 2) * (lsum + 3)) / 6.0;
+  return prim * comp * herm;
+}
+
+std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
+                                    const ShellPairList& pairs,
+                                    double target_cost) {
+  const std::size_t np = pairs.size();
+  std::vector<QuartetTask> tasks;
+  if (np == 0) return tasks;
+
+  // Per-pair unit costs (cost of pairing with one "average" ket is not
+  // separable, so estimate row by row).
+  if (target_cost <= 0.0) {
+    double total = 0.0;
+    for (std::size_t b = 0; b < np; ++b)
+      for (std::size_t k = 0; k <= b; ++k)
+        total += estimate_quartet_cost(basis, pairs[b], pairs[k]);
+    target_cost = total / (64.0 * static_cast<double>(np));
+  }
+
+  for (std::size_t b = 0; b < np; ++b) {
+    std::uint32_t begin = 0;
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= b; ++k) {
+      acc += estimate_quartet_cost(basis, pairs[b], pairs[k]);
+      const bool last = (k == b);
+      if (acc >= target_cost || last) {
+        tasks.push_back({static_cast<std::uint32_t>(b), begin,
+                         static_cast<std::uint32_t>(k + 1), acc});
+        begin = static_cast<std::uint32_t>(k + 1);
+        acc = 0.0;
+      }
+    }
+  }
+  return tasks;
+}
+
+double total_cost(const std::vector<QuartetTask>& tasks) {
+  double t = 0.0;
+  for (const auto& task : tasks) t += task.est_cost;
+  return t;
+}
+
+}  // namespace mthfx::hfx

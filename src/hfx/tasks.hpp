@@ -1,0 +1,40 @@
+#pragma once
+
+// Quartet task generation: the paper's flattened "bag of tasks".
+//
+// A task is one bra shell-pair combined with a contiguous range of ket
+// shell-pairs (ket list position <= bra list position, which realizes the
+// 8-fold permutational symmetry at pair level). Heavy bra rows are split
+// into multiple tasks so the cost distribution is even enough for the
+// dynamic scheduler; the per-task cost estimate drives both the host
+// execution order and the BG/Q machine simulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "hfx/shell_pairs.hpp"
+
+namespace mthfx::hfx {
+
+struct QuartetTask {
+  std::uint32_t bra = 0;        ///< index into the ShellPairList
+  std::uint32_t ket_begin = 0;  ///< ket range [ket_begin, ket_end)
+  std::uint32_t ket_end = 0;
+  double est_cost = 0.0;        ///< estimated kernel cost (arbitrary units)
+};
+
+/// Primitive-and-angular-momentum flop model for one shell quartet.
+/// Units are "primitive Hermite terms"; only relative sizes matter.
+double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
+                             const ShellPair& ket);
+
+/// Build the task list. `target_cost` bounds the estimated cost per task;
+/// 0 selects a heuristic (total cost / (64 * pairs)).
+std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
+                                    const ShellPairList& pairs,
+                                    double target_cost = 0.0);
+
+/// Total estimated cost of a task list.
+double total_cost(const std::vector<QuartetTask>& tasks);
+
+}  // namespace mthfx::hfx

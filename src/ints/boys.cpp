@@ -1,0 +1,61 @@
+#include "ints/boys.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace mthfx::ints {
+
+namespace {
+
+// Above this T the exp(-T) terms are below double precision and the
+// asymptotic/upward path is both exact and stable.
+constexpr double kLargeT = 36.0;
+
+double boys_series(int m, double t) {
+  // F_m(T) = exp(-T) Σ_{i≥0} (2T)^i / [(2m+1)(2m+3)...(2m+2i+1)]
+  double term = 1.0 / (2 * m + 1);
+  double sum = term;
+  for (int i = 1; i < 200; ++i) {
+    term *= 2.0 * t / (2 * m + 2 * i + 1);
+    sum += term;
+    if (term < 1e-17 * sum) break;
+  }
+  return std::exp(-t) * sum;
+}
+
+}  // namespace
+
+void boys(int m_max, double t, std::span<double> out) {
+  assert(static_cast<int>(out.size()) >= m_max + 1);
+  if (t < 1e-13) {
+    for (int m = 0; m <= m_max; ++m) out[static_cast<std::size_t>(m)] = 1.0 / (2 * m + 1);
+    return;
+  }
+  if (t < kLargeT) {
+    // Downward recursion from a series-evaluated top value:
+    // F_m = (2T F_{m+1} + e^{-T}) / (2m+1).
+    const double emt = std::exp(-t);
+    out[static_cast<std::size_t>(m_max)] = boys_series(m_max, t);
+    for (int m = m_max - 1; m >= 0; --m)
+      out[static_cast<std::size_t>(m)] =
+          (2.0 * t * out[static_cast<std::size_t>(m + 1)] + emt) / (2 * m + 1);
+    return;
+  }
+  // Large T: F_0 = sqrt(pi/T)/2 erf(sqrt T); upward recursion
+  // F_{m+1} = ((2m+1) F_m - e^{-T}) / (2T) is stable here.
+  const double emt = std::exp(-t);
+  out[0] = 0.5 * std::sqrt(std::numbers::pi / t) * std::erf(std::sqrt(t));
+  for (int m = 0; m < m_max; ++m)
+    out[static_cast<std::size_t>(m + 1)] =
+        ((2 * m + 1) * out[static_cast<std::size_t>(m)] - emt) / (2.0 * t);
+}
+
+double boys_single(int m, double t) {
+  std::vector<double> buf(static_cast<std::size_t>(m) + 1);
+  boys(m, t, buf);
+  return buf[static_cast<std::size_t>(m)];
+}
+
+}  // namespace mthfx::ints

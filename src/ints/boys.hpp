@@ -1,0 +1,19 @@
+#pragma once
+
+// Boys function F_m(T) = ∫₀¹ t^{2m} exp(-T t²) dt — the scalar kernel of
+// every Coulomb-type Gaussian integral.
+
+#include <span>
+
+namespace mthfx::ints {
+
+/// Fill out[0..m_max] with F_0(T) .. F_{m_max}(T).
+/// Strategy: convergent ascending series + downward recursion for small
+/// and moderate T; erf-based closed form + upward recursion for large T
+/// (where it is numerically stable).
+void boys(int m_max, double t, std::span<double> out);
+
+/// Single value F_m(T).
+double boys_single(int m, double t);
+
+}  // namespace mthfx::ints

@@ -1,0 +1,322 @@
+#include "ints/deriv.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ints/hermite.hpp"
+
+namespace mthfx::ints {
+
+using chem::cartesian_powers;
+using chem::CartPowers;
+using chem::Shell;
+using chem::Vec3;
+using linalg::Matrix;
+
+namespace {
+
+// 1-D overlap factor from an E table (zero for negative powers).
+double s1(const HermiteE& e, int i, int j) {
+  if (i < 0 || j < 0) return 0.0;
+  return e(i, j, 0);
+}
+
+struct PairTables {
+  HermiteE ex, ey, ez;
+  double p;
+  Vec3 pcen;
+};
+
+PairTables tables(const Shell& a, const Shell& b, std::size_t pa,
+                  std::size_t pb, int extra_i, int extra_j) {
+  const double ea = a.exponents()[pa];
+  const double eb = b.exponents()[pb];
+  const double p = ea + eb;
+  const Vec3& ca = a.center();
+  const Vec3& cb = b.center();
+  return {HermiteE(a.l() + extra_i, b.l() + extra_j, ea, eb, ca.x - cb.x),
+          HermiteE(a.l() + extra_i, b.l() + extra_j, ea, eb, ca.y - cb.y),
+          HermiteE(a.l() + extra_i, b.l() + extra_j, ea, eb, ca.z - cb.z),
+          p,
+          (1.0 / p) * (ea * ca + eb * cb)};
+}
+
+}  // namespace
+
+std::array<Matrix, 3> overlap_gradient_block(const Shell& a, const Shell& b) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  std::array<Matrix, 3> grad{Matrix(pa.size(), pb.size()),
+                             Matrix(pa.size(), pb.size()),
+                             Matrix(pa.size(), pb.size())};
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    const double ea = a.exponents()[i];
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const PairTables t = tables(a, b, i, j, /*extra_i=*/1, 0);
+      const double pref = std::pow(std::numbers::pi / t.p, 1.5);
+      const HermiteE* es[3] = {&t.ex, &t.ey, &t.ez};
+      for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+        const int ia[3] = {pa[ca].x, pa[ca].y, pa[ca].z};
+        for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+          const int jb[3] = {pb[cb].x, pb[cb].y, pb[cb].z};
+          const double cc = a.norm_coef(i, ca) * b.norm_coef(j, cb) * pref;
+          for (std::size_t d = 0; d < 3; ++d) {
+            // d/dA_d = 2a (i_d + 1 raised) - i_d (lowered), other dims
+            // unchanged.
+            double val = 2.0 * ea * s1(*es[d], ia[d] + 1, jb[d]);
+            if (ia[d] > 0) val -= ia[d] * s1(*es[d], ia[d] - 1, jb[d]);
+            for (std::size_t o = 0; o < 3; ++o)
+              if (o != d) val *= s1(*es[o], ia[o], jb[o]);
+            grad[d](ca, cb) += cc * val;
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+std::array<Matrix, 3> kinetic_gradient_block(const Shell& a, const Shell& b) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  std::array<Matrix, 3> grad{Matrix(pa.size(), pb.size()),
+                             Matrix(pa.size(), pb.size()),
+                             Matrix(pa.size(), pb.size())};
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    const double ea = a.exponents()[i];
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const double eb = b.exponents()[j];
+      // Bra raised by 1, ket raised by 2 (kinetic ladder).
+      const PairTables t = tables(a, b, i, j, 1, 2);
+      const double pref = std::pow(std::numbers::pi / t.p, 1.5);
+      const HermiteE* es[3] = {&t.ex, &t.ey, &t.ez};
+
+      // Kinetic 1-D factor with arbitrary bra power.
+      auto t1 = [&](const HermiteE& e, int ia, int jb) {
+        if (ia < 0) return 0.0;
+        double v = -2.0 * eb * eb * s1(e, ia, jb + 2) +
+                   eb * (2 * jb + 1) * s1(e, ia, jb);
+        if (jb >= 2) v -= 0.5 * jb * (jb - 1) * s1(e, ia, jb - 2);
+        return v;
+      };
+      // Full kinetic element for arbitrary bra powers q[3].
+      auto kin = [&](const int q[3], const int jb[3]) {
+        if (q[0] < 0 || q[1] < 0 || q[2] < 0) return 0.0;
+        return t1(*es[0], q[0], jb[0]) * s1(*es[1], q[1], jb[1]) *
+                   s1(*es[2], q[2], jb[2]) +
+               s1(*es[0], q[0], jb[0]) * t1(*es[1], q[1], jb[1]) *
+                   s1(*es[2], q[2], jb[2]) +
+               s1(*es[0], q[0], jb[0]) * s1(*es[1], q[1], jb[1]) *
+                   t1(*es[2], q[2], jb[2]);
+      };
+
+      for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+        const int ia[3] = {pa[ca].x, pa[ca].y, pa[ca].z};
+        for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+          const int jb[3] = {pb[cb].x, pb[cb].y, pb[cb].z};
+          const double cc = a.norm_coef(i, ca) * b.norm_coef(j, cb) * pref;
+          for (std::size_t d = 0; d < 3; ++d) {
+            int up[3] = {ia[0], ia[1], ia[2]};
+            int dn[3] = {ia[0], ia[1], ia[2]};
+            ++up[d];
+            --dn[d];
+            double val = 2.0 * ea * kin(up, jb);
+            if (ia[d] > 0) val -= ia[d] * kin(dn, jb);
+            grad[d](ca, cb) += cc * val;
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+std::vector<std::array<Matrix, 3>> nuclear_gradient_blocks(
+    const Shell& a, const Shell& b, const chem::Molecule& mol) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  std::vector<std::array<Matrix, 3>> grads(
+      mol.size(), {Matrix(pa.size(), pb.size()), Matrix(pa.size(), pb.size()),
+                   Matrix(pa.size(), pb.size())});
+
+  const int lsum = a.l() + b.l();
+
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    const double ea = a.exponents()[i];
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const double eb = b.exponents()[j];
+      const PairTables t = tables(a, b, i, j, 1, 1);
+      const double pref = 2.0 * std::numbers::pi / t.p;
+      const HermiteE* es[3] = {&t.ex, &t.ey, &t.ez};
+
+      for (std::size_t c = 0; c < mol.size(); ++c) {
+        const chem::Atom& atom = mol.atom(c);
+        const Vec3 pc = t.pcen - atom.pos;
+        // One extra order for the operator-center ladder.
+        const HermiteR r(lsum + 2, t.p, pc.x, pc.y, pc.z);
+
+        // V element for arbitrary powers on both sides, with an optional
+        // +1 shift in the Hermite index of direction `rshift` (for the
+        // operator-center derivative).
+        auto velem = [&](const int qa[3], const int qb[3], int rshift) {
+          if (qa[0] < 0 || qa[1] < 0 || qa[2] < 0) return 0.0;
+          double v = 0.0;
+          for (int tt = 0; tt <= qa[0] + qb[0]; ++tt)
+            for (int uu = 0; uu <= qa[1] + qb[1]; ++uu)
+              for (int ww = 0; ww <= qa[2] + qb[2]; ++ww) {
+                int ridx[3] = {tt, uu, ww};
+                if (rshift >= 0) ++ridx[rshift];
+                v += (*es[0])(qa[0], qb[0], tt) * (*es[1])(qa[1], qb[1], uu) *
+                     (*es[2])(qa[2], qb[2], ww) *
+                     r(ridx[0], ridx[1], ridx[2]);
+              }
+          return v;
+        };
+
+        for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+          const int ia[3] = {pa[ca].x, pa[ca].y, pa[ca].z};
+          for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+            const int jb[3] = {pb[cb].x, pb[cb].y, pb[cb].z};
+            const double cc =
+                a.norm_coef(i, ca) * b.norm_coef(j, cb) * pref * -atom.z;
+            for (std::size_t d = 0; d < 3; ++d) {
+              // Bra-center derivative (atom carrying shell a).
+              {
+                int up[3] = {ia[0], ia[1], ia[2]};
+                int dn[3] = {ia[0], ia[1], ia[2]};
+                ++up[d];
+                --dn[d];
+                double val = 2.0 * ea * velem(up, jb, -1);
+                if (ia[d] > 0) val -= ia[d] * velem(dn, jb, -1);
+                grads[a.atom_index()][d](ca, cb) += cc * val;
+              }
+              // Ket-center derivative (atom carrying shell b).
+              {
+                int up[3] = {jb[0], jb[1], jb[2]};
+                int dn[3] = {jb[0], jb[1], jb[2]};
+                ++up[d];
+                --dn[d];
+                double val = 2.0 * eb * velem(ia, up, -1);
+                if (jb[d] > 0) val -= jb[d] * velem(ia, dn, -1);
+                grads[b.atom_index()][d](ca, cb) += cc * val;
+              }
+              // Operator-center derivative: d/dC_d R = -R(t+1), so the
+              // element derivative flips the ladder sign.
+              grads[c][d](ca, cb) +=
+                  cc * -velem(ia, jb, static_cast<int>(d));
+            }
+          }
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+std::array<std::vector<double>, 3> eri_gradient_block(const Shell& a,
+                                                      const Shell& b,
+                                                      const Shell& c,
+                                                      const Shell& d,
+                                                      int center) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  const auto pc = cartesian_powers(c.l());
+  const auto pd = cartesian_powers(d.l());
+  const std::size_t nblock = pa.size() * pb.size() * pc.size() * pd.size();
+  std::array<std::vector<double>, 3> grad{
+      std::vector<double>(nblock, 0.0), std::vector<double>(nblock, 0.0),
+      std::vector<double>(nblock, 0.0)};
+
+  const int lsum = a.l() + b.l() + c.l() + d.l();
+  const double pi52 = 2.0 * std::pow(std::numbers::pi, 2.5);
+
+  for (std::size_t ia = 0; ia < a.num_primitives(); ++ia) {
+    for (std::size_t ib = 0; ib < b.num_primitives(); ++ib) {
+      const PairTables bra = tables(a, b, ia, ib, 1, 1);
+      for (std::size_t ic = 0; ic < c.num_primitives(); ++ic) {
+        for (std::size_t id = 0; id < d.num_primitives(); ++id) {
+          const PairTables ket = tables(c, d, ic, id, 1, 1);
+          const double p = bra.p, q = ket.p;
+          const double alpha = p * q / (p + q);
+          const Vec3 pq = bra.pcen - ket.pcen;
+          const HermiteR r(lsum + 1, alpha, pq.x, pq.y, pq.z);
+          const double pref = pi52 / (p * q * std::sqrt(p + q));
+
+          const HermiteE* be[3] = {&bra.ex, &bra.ey, &bra.ez};
+          const HermiteE* ke[3] = {&ket.ex, &ket.ey, &ket.ez};
+
+          // Full contraction with arbitrary powers on all four indices.
+          auto eri = [&](const int qa[3], const int qb[3], const int qc[3],
+                         const int qd[3]) {
+            for (int dd = 0; dd < 3; ++dd)
+              if (qa[dd] < 0 || qb[dd] < 0 || qc[dd] < 0 || qd[dd] < 0)
+                return 0.0;
+            double sum = 0.0;
+            for (int tt = 0; tt <= qa[0] + qb[0]; ++tt)
+              for (int uu = 0; uu <= qa[1] + qb[1]; ++uu)
+                for (int vv = 0; vv <= qa[2] + qb[2]; ++vv) {
+                  const double ebv = (*be[0])(qa[0], qb[0], tt) *
+                                     (*be[1])(qa[1], qb[1], uu) *
+                                     (*be[2])(qa[2], qb[2], vv);
+                  if (ebv == 0.0) continue;
+                  for (int t2 = 0; t2 <= qc[0] + qd[0]; ++t2)
+                    for (int u2 = 0; u2 <= qc[1] + qd[1]; ++u2)
+                      for (int v2 = 0; v2 <= qc[2] + qd[2]; ++v2) {
+                        const double ekv = (*ke[0])(qc[0], qd[0], t2) *
+                                           (*ke[1])(qc[1], qd[1], u2) *
+                                           (*ke[2])(qc[2], qd[2], v2);
+                        if (ekv == 0.0) continue;
+                        const double sign =
+                            ((t2 + u2 + v2) % 2 == 0) ? 1.0 : -1.0;
+                        sum += ebv * ekv * sign *
+                               r(tt + t2, uu + u2, vv + v2);
+                      }
+                }
+            return sum;
+          };
+
+          const double expo = center == 0   ? a.exponents()[ia]
+                              : center == 1 ? b.exponents()[ib]
+                                            : c.exponents()[ic];
+
+          std::size_t idx = 0;
+          for (std::size_t caa = 0; caa < pa.size(); ++caa) {
+            const int qa0[3] = {pa[caa].x, pa[caa].y, pa[caa].z};
+            for (std::size_t cbb = 0; cbb < pb.size(); ++cbb) {
+              const int qb0[3] = {pb[cbb].x, pb[cbb].y, pb[cbb].z};
+              for (std::size_t ccc = 0; ccc < pc.size(); ++ccc) {
+                const int qc0[3] = {pc[ccc].x, pc[ccc].y, pc[ccc].z};
+                for (std::size_t cdd = 0; cdd < pd.size(); ++cdd, ++idx) {
+                  const int qd0[3] = {pd[cdd].x, pd[cdd].y, pd[cdd].z};
+                  const double cc = a.norm_coef(ia, caa) *
+                                    b.norm_coef(ib, cbb) *
+                                    c.norm_coef(ic, ccc) *
+                                    d.norm_coef(id, cdd) * pref;
+                  for (std::size_t dd = 0; dd < 3; ++dd) {
+                    int qa[3] = {qa0[0], qa0[1], qa0[2]};
+                    int qb[3] = {qb0[0], qb0[1], qb0[2]};
+                    int qc[3] = {qc0[0], qc0[1], qc0[2]};
+                    const int* shifted = center == 0   ? qa
+                                         : center == 1 ? qb
+                                                       : qc;
+                    int* mut = const_cast<int*>(shifted);
+                    const int orig = mut[dd];
+                    mut[dd] = orig + 1;
+                    double val = 2.0 * expo * eri(qa, qb, qc, qd0);
+                    mut[dd] = orig - 1;
+                    if (orig > 0) val -= orig * eri(qa, qb, qc, qd0);
+                    mut[dd] = orig;
+                    grad[dd][idx] += cc * val;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace mthfx::ints

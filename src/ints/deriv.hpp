@@ -1,0 +1,47 @@
+#pragma once
+
+// Derivative integrals for analytic nuclear gradients.
+//
+// Everything follows from the function-level shift relation for a
+// primitive Cartesian Gaussian centered at A:
+//     d/dA_x [x_A^i e^{-a r_A^2}] = 2a (i+1 term) - i (i-1 term),
+// so every integral derivative is a combination of the same integral
+// with one Cartesian power raised and lowered. Operator-center
+// derivatives (nuclear attraction) come from the Hermite-Coulomb ladder
+// d/dC_x R(t,u,v) = -R(t+1,u,v). The fourth ERI center is eliminated by
+// translational invariance.
+
+#include <array>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::ints {
+
+/// d/d{Ax,Ay,Az} of the overlap block <a|b> (derivative with respect to
+/// shell a's center; d/dB = -d/dA).
+std::array<linalg::Matrix, 3> overlap_gradient_block(const chem::Shell& a,
+                                                     const chem::Shell& b);
+
+/// d/d{Ax,Ay,Az} of the kinetic block.
+std::array<linalg::Matrix, 3> kinetic_gradient_block(const chem::Shell& a,
+                                                     const chem::Shell& b);
+
+/// Nuclear-attraction derivatives of the block <a| sum_C -Z_C/r_C |b>:
+/// returns, for every atom g of the molecule, d(block)/d{X_g,Y_g,Z_g}.
+/// Includes both basis-center terms (for atoms carrying a or b) and
+/// operator-center terms.
+std::vector<std::array<linalg::Matrix, 3>> nuclear_gradient_blocks(
+    const chem::Shell& a, const chem::Shell& b, const chem::Molecule& mol);
+
+/// ERI derivative block: d(ab|cd)/d{center}. `center` selects A(0), B(1),
+/// C(2); the D derivative is -(A+B+C). Each entry is a flattened
+/// (na*nb*nc*nd) block for the x, y, z derivative.
+std::array<std::vector<double>, 3> eri_gradient_block(const chem::Shell& a,
+                                                      const chem::Shell& b,
+                                                      const chem::Shell& c,
+                                                      const chem::Shell& d,
+                                                      int center);
+
+}  // namespace mthfx::ints

@@ -1,0 +1,289 @@
+#include "ints/eri.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "ints/boys.hpp"
+
+namespace mthfx::ints {
+
+using chem::cartesian_powers;
+using chem::Shell;
+using chem::Vec3;
+
+namespace {
+
+// Compile-time capacity: supports shells up to l = 3 (f) on each center,
+// i.e. Hermite orders up to 12 in the Coulomb tensor.
+constexpr int kMaxL = 3;
+constexpr int kMaxLab = 2 * kMaxL;          // per-side Hermite order
+constexpr int kMaxTuv = 4 * kMaxL;          // combined order for R
+constexpr std::size_t kE1 = kMaxLab + 1;    // per-dimension box extent
+
+// Fixed-capacity E(t; i, j) table for one direction of one primitive pair.
+struct E1d {
+  double v[kMaxL + 1][kMaxL + 1][kE1];  // e[i][j][t]
+
+  void build(int imax, int jmax, double a, double b, double ab) {
+    const double p = a + b;
+    const double mu = a * b / p;
+    const double pa = -b * ab / p;
+    const double pb = a * ab / p;
+    const double inv2p = 0.5 / p;
+
+    for (int i = 0; i <= imax; ++i)
+      for (int j = 0; j <= jmax; ++j)
+        for (std::size_t t = 0; t < kE1; ++t) v[i][j][t] = 0.0;
+
+    v[0][0][0] = std::exp(-mu * ab * ab);
+    for (int i = 1; i <= imax; ++i)
+      for (int t = 0; t <= i; ++t) {
+        double val = pa * v[i - 1][0][t];
+        if (t > 0) val += inv2p * v[i - 1][0][t - 1];
+        val += (t + 1) * v[i - 1][0][t + 1];
+        v[i][0][t] = val;
+      }
+    for (int j = 1; j <= jmax; ++j)
+      for (int i = 0; i <= imax; ++i)
+        for (int t = 0; t <= i + j; ++t) {
+          double val = pb * v[i][j - 1][t];
+          if (t > 0) val += inv2p * v[i][j - 1][t - 1];
+          val += (t + 1) * v[i][j - 1][t + 1];
+          v[i][j][t] = val;
+        }
+  }
+};
+
+// Hermite Coulomb tensor with fixed-capacity ping-pong slices.
+struct RTensor {
+  std::size_t n1 = 0;
+  double slice_a[(kMaxTuv + 1) * (kMaxTuv + 1) * (kMaxTuv + 1)];
+  double slice_b[(kMaxTuv + 1) * (kMaxTuv + 1) * (kMaxTuv + 1)];
+
+  const double* build(int tuv_max, double alpha, double x, double y,
+                      double z) {
+    n1 = static_cast<std::size_t>(tuv_max + 1);
+    double f[kMaxTuv + 1];
+    boys(tuv_max, alpha * (x * x + y * y + z * z), {f, n1});
+
+    double* hi = slice_a;
+    double* lo = slice_b;
+    const auto idx = [this](int t, int u, int v) {
+      return (static_cast<std::size_t>(t) * n1 + static_cast<std::size_t>(u)) *
+                 n1 +
+             static_cast<std::size_t>(v);
+    };
+    double powers[kMaxTuv + 1];
+    double m2a = 1.0;
+    for (int n = 0; n <= tuv_max; ++n) {
+      powers[n] = m2a;
+      m2a *= -2.0 * alpha;
+    }
+    for (int n = tuv_max; n >= 0; --n) {
+      lo[idx(0, 0, 0)] = powers[n] * f[n];
+      for (int total = 1; total <= tuv_max - n; ++total) {
+        for (int t = total; t >= 0; --t) {
+          for (int u = total - t; u >= 0; --u) {
+            const int v = total - t - u;
+            double val = 0.0;
+            if (t > 0) {
+              if (t > 1) val += (t - 1) * hi[idx(t - 2, u, v)];
+              val += x * hi[idx(t - 1, u, v)];
+            } else if (u > 0) {
+              if (u > 1) val += (u - 1) * hi[idx(t, u - 2, v)];
+              val += y * hi[idx(t, u - 1, v)];
+            } else {
+              if (v > 1) val += (v - 1) * hi[idx(t, u, v - 2)];
+              val += z * hi[idx(t, u, v - 1)];
+            }
+            lo[idx(t, u, v)] = val;
+          }
+        }
+      }
+      std::swap(hi, lo);
+    }
+    return hi;  // the n = 0 slice
+  }
+};
+
+thread_local RTensor tls_r;
+
+}  // namespace
+
+ShellPairHermite::ShellPairHermite(const Shell& a, const Shell& b)
+    : lab_(a.l() + b.l()),
+      powers_a_(cartesian_powers(a.l())),
+      powers_b_(cartesian_powers(b.l())) {
+  na_ = powers_a_.size();
+  nb_ = powers_b_.size();
+  ncomp_ = na_ * nb_;
+  const std::size_t n1 = static_cast<std::size_t>(lab_ + 1);
+  const std::size_t box = n1 * n1 * n1;
+
+  prims_.resize(a.num_primitives() * b.num_primitives());
+  E1d ex, ey, ez;
+  const Vec3& ca = a.center();
+  const Vec3& cb = b.center();
+  std::size_t pp = 0;
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    for (std::size_t j = 0; j < b.num_primitives(); ++j, ++pp) {
+      const double ea = a.exponents()[i];
+      const double eb = b.exponents()[j];
+      Prim& prim = prims_[pp];
+      prim.p = ea + eb;
+      prim.center = (1.0 / prim.p) * (ea * ca + eb * cb);
+      ex.build(a.l(), b.l(), ea, eb, ca.x - cb.x);
+      ey.build(a.l(), b.l(), ea, eb, ca.y - cb.y);
+      ez.build(a.l(), b.l(), ea, eb, ca.z - cb.z);
+
+      prim.e.assign(ncomp_ * box, 0.0);
+      std::size_t comp = 0;
+      for (std::size_t ia = 0; ia < na_; ++ia) {
+        for (std::size_t ib = 0; ib < nb_; ++ib, ++comp) {
+          const double cc = a.norm_coef(i, ia) * b.norm_coef(j, ib);
+          double* dst = prim.e.data() + comp * box;
+          for (int t = 0; t <= powers_a_[ia].x + powers_b_[ib].x; ++t) {
+            const double vx = cc * ex.v[powers_a_[ia].x][powers_b_[ib].x][t];
+            for (int u = 0; u <= powers_a_[ia].y + powers_b_[ib].y; ++u) {
+              const double vxy =
+                  vx * ey.v[powers_a_[ia].y][powers_b_[ib].y][u];
+              for (int w = 0; w <= powers_a_[ia].z + powers_b_[ib].z; ++w)
+                dst[(static_cast<std::size_t>(t) * n1 +
+                     static_cast<std::size_t>(u)) *
+                        n1 +
+                    static_cast<std::size_t>(w)] =
+                    vxy * ez.v[powers_a_[ia].z][powers_b_[ib].z][w];
+            }
+          }
+        }
+      }
+      for (double ev : prim.e)
+        prim.max_abs_e = std::max(prim.max_abs_e, std::abs(ev));
+    }
+  }
+}
+
+void eri_shell_quartet(const ShellPairHermite& bra,
+                       const ShellPairHermite& ket, EriBlock& out) {
+  out.na = bra.na_;
+  out.nb = bra.nb_;
+  out.nc = ket.na_;
+  out.nd = ket.nb_;
+  out.values.assign(out.na * out.nb * out.nc * out.nd, 0.0);
+
+  const int lab = bra.lab_;
+  const int lcd = ket.lab_;
+  const std::size_t nb1 = static_cast<std::size_t>(lab + 1);
+  const std::size_t kb1 = static_cast<std::size_t>(lcd + 1);
+  const std::size_t bra_box = nb1 * nb1 * nb1;
+  const std::size_t ket_box = kb1 * kb1 * kb1;
+  const double pi52 = 2.0 * std::pow(std::numbers::pi, 2.5);
+  const std::size_t rn1 = static_cast<std::size_t>(lab + lcd + 1);
+
+  for (const auto& bp : bra.prims_) {
+    for (const auto& kp : ket.prims_) {
+      const double p = bp.p, q = kp.p;
+      const double pref = pi52 / (p * q * std::sqrt(p + q));
+      // Primitive-combination cutoff: the Hermite expansions carry the
+      // exp(-mu R^2) pair factors, so this bound removes combinations of
+      // tight/distant primitives that cannot reach double precision.
+      if (pref * bp.max_abs_e * kp.max_abs_e < 1e-18) continue;
+      const double alpha = p * q / (p + q);
+      const Vec3 pq = bp.center - kp.center;
+      const double* r = tls_r.build(lab + lcd, alpha, pq.x, pq.y, pq.z);
+
+      std::size_t braq = 0;
+      for (std::size_t ia = 0; ia < out.na; ++ia) {
+        for (std::size_t ib = 0; ib < out.nb; ++ib, ++braq) {
+          const int tx = bra.powers_a_[ia].x + bra.powers_b_[ib].x;
+          const int ty = bra.powers_a_[ia].y + bra.powers_b_[ib].y;
+          const int tz = bra.powers_a_[ia].z + bra.powers_b_[ib].z;
+          const double* eb = bp.e.data() + braq * bra_box;
+          std::size_t ketq = 0;
+          for (std::size_t ic = 0; ic < out.nc; ++ic) {
+            for (std::size_t id = 0; id < out.nd; ++id, ++ketq) {
+              const int sx = ket.powers_a_[ic].x + ket.powers_b_[id].x;
+              const int sy = ket.powers_a_[ic].y + ket.powers_b_[id].y;
+              const int sz = ket.powers_a_[ic].z + ket.powers_b_[id].z;
+              const double* ek = kp.e.data() + ketq * ket_box;
+              double sum = 0.0;
+              for (int t = 0; t <= tx; ++t)
+                for (int u = 0; u <= ty; ++u)
+                  for (int v = 0; v <= tz; ++v) {
+                    const double ebv =
+                        eb[(static_cast<std::size_t>(t) * nb1 +
+                            static_cast<std::size_t>(u)) *
+                               nb1 +
+                           static_cast<std::size_t>(v)];
+                    if (ebv == 0.0) continue;
+                    double inner = 0.0;
+                    for (int tt = 0; tt <= sx; ++tt)
+                      for (int uu = 0; uu <= sy; ++uu)
+                        for (int vv = 0; vv <= sz; ++vv) {
+                          const double ekv =
+                              ek[(static_cast<std::size_t>(tt) * kb1 +
+                                  static_cast<std::size_t>(uu)) *
+                                     kb1 +
+                                 static_cast<std::size_t>(vv)];
+                          if (ekv == 0.0) continue;
+                          const double rv =
+                              r[(static_cast<std::size_t>(t + tt) * rn1 +
+                                 static_cast<std::size_t>(u + uu)) *
+                                    rn1 +
+                                static_cast<std::size_t>(v + vv)];
+                          inner += ((tt + uu + vv) & 1) ? -ekv * rv : ekv * rv;
+                        }
+                    sum += ebv * inner;
+                  }
+              out.values[((ia * out.nb + ib) * out.nc + ic) * out.nd + id] +=
+                  pref * sum;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+EriBlock eri_shell_quartet(const Shell& a, const Shell& b, const Shell& c,
+                           const Shell& d) {
+  const ShellPairHermite bra(a, b);
+  const ShellPairHermite ket(c, d);
+  EriBlock out;
+  eri_shell_quartet(bra, ket, out);
+  return out;
+}
+
+std::vector<double> eri_tensor(const chem::BasisSet& basis) {
+  const std::size_t n = basis.num_functions();
+  std::vector<double> tensor(n * n * n * n, 0.0);
+  // Precompute all pair expansions once.
+  std::vector<ShellPairHermite> pairs;
+  pairs.reserve(basis.num_shells() * basis.num_shells());
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa)
+    for (std::size_t sb = 0; sb < basis.num_shells(); ++sb)
+      pairs.emplace_back(basis.shell(sa), basis.shell(sb));
+
+  EriBlock block;
+  const std::size_t ns = basis.num_shells();
+  for (std::size_t sa = 0; sa < ns; ++sa)
+    for (std::size_t sb = 0; sb < ns; ++sb)
+      for (std::size_t sc = 0; sc < ns; ++sc)
+        for (std::size_t sd = 0; sd < ns; ++sd) {
+          eri_shell_quartet(pairs[sa * ns + sb], pairs[sc * ns + sd], block);
+          const std::size_t oa = basis.first_function(sa);
+          const std::size_t ob = basis.first_function(sb);
+          const std::size_t oc = basis.first_function(sc);
+          const std::size_t od = basis.first_function(sd);
+          for (std::size_t i = 0; i < block.na; ++i)
+            for (std::size_t j = 0; j < block.nb; ++j)
+              for (std::size_t k = 0; k < block.nc; ++k)
+                for (std::size_t l = 0; l < block.nd; ++l)
+                  tensor[(((oa + i) * n + (ob + j)) * n + (oc + k)) * n +
+                         (od + l)] = block(i, j, k, l);
+        }
+  return tensor;
+}
+
+}  // namespace mthfx::ints

@@ -1,0 +1,72 @@
+#pragma once
+
+// Two-electron repulsion integrals (ERIs) over shell quartets, evaluated
+// with the McMurchie–Davidson Hermite scheme. This is the hot kernel the
+// HFX layer parallelizes.
+//
+// The contracted-pair Hermite expansion (ShellPairHermite) depends only
+// on the bra or ket shell pair, so callers that sweep many quartets (the
+// Fock builder) precompute it once per significant pair and amortize it
+// across every partner pair.
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/basis.hpp"
+
+namespace mthfx::ints {
+
+/// Flattened (na x nb x nc x nd) block of (ab|cd) integrals in chemists'
+/// notation, index ((i*nb + j)*nc + k)*nd + l.
+struct EriBlock {
+  std::size_t na = 0, nb = 0, nc = 0, nd = 0;
+  std::vector<double> values;
+
+  double operator()(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l) const {
+    return values[((i * nb + j) * nc + k) * nd + l];
+  }
+};
+
+/// Precomputed coefficient-weighted Hermite expansion of one contracted
+/// shell pair (all primitive pairs).
+class ShellPairHermite {
+ public:
+  ShellPairHermite(const chem::Shell& a, const chem::Shell& b);
+
+  std::size_t num_functions_bra() const { return na_; }
+  std::size_t num_functions_ket() const { return nb_; }
+  int total_l() const { return lab_; }
+
+ private:
+  friend void eri_shell_quartet(const ShellPairHermite& bra,
+                                const ShellPairHermite& ket, EriBlock& out);
+
+  struct Prim {
+    double p = 0.0;         // exponent sum
+    chem::Vec3 center{};    // Gaussian product center
+    double max_abs_e = 0.0; // largest |e| — primitive-level cutoff bound
+    std::vector<double> e;  // [comp][t][u][v] over a (lab+1)^3 box
+  };
+
+  int lab_ = 0;
+  std::size_t na_ = 0, nb_ = 0, ncomp_ = 0;
+  std::vector<chem::CartPowers> powers_a_, powers_b_;
+  std::vector<Prim> prims_;
+};
+
+/// Compute one shell quartet from precomputed pair data into `out`
+/// (buffers are reused across calls — the hot path never allocates once
+/// capacities are warm).
+void eri_shell_quartet(const ShellPairHermite& bra,
+                       const ShellPairHermite& ket, EriBlock& out);
+
+/// Convenience: compute one shell quartet (ab|cd) from shells.
+EriBlock eri_shell_quartet(const chem::Shell& a, const chem::Shell& b,
+                           const chem::Shell& c, const chem::Shell& d);
+
+/// Full nao^4 tensor in chemists' notation (test/small-system use only).
+/// Index ((mu*n + nu)*n + lam)*n + sig.
+std::vector<double> eri_tensor(const chem::BasisSet& basis);
+
+}  // namespace mthfx::ints

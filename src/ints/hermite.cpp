@@ -1,0 +1,86 @@
+#include "ints/hermite.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mthfx::ints {
+
+HermiteE::HermiteE(int imax, int jmax, double a, double b, double ab_dist)
+    : imax_(imax), jmax_(jmax), tmax_(imax + jmax) {
+  table_.assign(static_cast<std::size_t>(imax_ + 1) *
+                    static_cast<std::size_t>(jmax_ + 1) *
+                    static_cast<std::size_t>(tmax_ + 1),
+                0.0);
+  const double p = a + b;
+  const double mu = a * b / p;
+  const double pa = -b * ab_dist / p;  // P_x - A_x
+  const double pb = a * ab_dist / p;   // P_x - B_x
+  const double inv2p = 0.5 / p;
+
+  auto at = [&](int i, int j, int t) -> double& {
+    return table_[index(i, j, t)];
+  };
+  auto get = [&](int i, int j, int t) -> double {
+    if (t < 0 || t > i + j) return 0.0;
+    return table_[index(i, j, t)];
+  };
+
+  at(0, 0, 0) = std::exp(-mu * ab_dist * ab_dist);
+  // Build up in i first (j = 0), then in j for every i.
+  for (int i = 1; i <= imax_; ++i)
+    for (int t = 0; t <= i; ++t)
+      at(i, 0, t) = inv2p * get(i - 1, 0, t - 1) + pa * get(i - 1, 0, t) +
+                    (t + 1) * get(i - 1, 0, t + 1);
+  for (int j = 1; j <= jmax_; ++j)
+    for (int i = 0; i <= imax_; ++i)
+      for (int t = 0; t <= i + j; ++t)
+        at(i, j, t) = inv2p * get(i, j - 1, t - 1) + pb * get(i, j - 1, t) +
+                      (t + 1) * get(i, j - 1, t + 1);
+}
+
+HermiteR::HermiteR(int tuv_max, double alpha, double pcx, double pcy,
+                   double pcz)
+    : max_(tuv_max) {
+  const auto n1 = static_cast<std::size_t>(max_ + 1);
+  const std::size_t slice = n1 * n1 * n1;
+  std::vector<double> hi(slice, 0.0), lo(slice, 0.0);
+
+  const double r2 = pcx * pcx + pcy * pcy + pcz * pcz;
+  std::vector<double> f(n1);
+  boys(max_, alpha * r2, f);
+
+  auto idx = [n1](int t, int u, int v) {
+    return (static_cast<std::size_t>(t) * n1 + static_cast<std::size_t>(u)) *
+               n1 +
+           static_cast<std::size_t>(v);
+  };
+
+  // Build slices downward in the Boys order n; the t/u/v ladders consume
+  // the (n+1) slice. After the loop `hi` holds the n = 0 slice.
+  for (int n = max_; n >= 0; --n) {
+    lo[idx(0, 0, 0)] = std::pow(-2.0 * alpha, n) * f[static_cast<std::size_t>(n)];
+    for (int total = 1; total <= max_ - n; ++total) {
+      for (int t = total; t >= 0; --t) {
+        for (int u = total - t; u >= 0; --u) {
+          const int v = total - t - u;
+          double val = 0.0;
+          if (t > 0) {
+            if (t > 1) val += (t - 1) * hi[idx(t - 2, u, v)];
+            val += pcx * hi[idx(t - 1, u, v)];
+          } else if (u > 0) {
+            if (u > 1) val += (u - 1) * hi[idx(t, u - 2, v)];
+            val += pcy * hi[idx(t, u - 1, v)];
+          } else {
+            if (v > 1) val += (v - 1) * hi[idx(t, u, v - 2)];
+            val += pcz * hi[idx(t, u, v - 1)];
+          }
+          lo[idx(t, u, v)] = val;
+        }
+      }
+    }
+    std::swap(hi, lo);
+  }
+  table_ = std::move(hi);
+}
+
+}  // namespace mthfx::ints

@@ -1,0 +1,62 @@
+#pragma once
+
+// McMurchie–Davidson Hermite machinery shared by the one-electron and
+// two-electron integral code (McMurchie & Davidson, JCP 26, 218 (1978)).
+//
+// E(t; i, j) — expansion coefficients of the product of two 1-D Cartesian
+// Gaussians in Hermite Gaussians Λ_t. R(t, u, v) — Hermite Coulomb
+// integrals, derivatives of the Boys kernel.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ints/boys.hpp"
+
+namespace mthfx::ints {
+
+/// Table of E(t; i, j) coefficients for one Cartesian direction and one
+/// primitive pair: indices i <= imax, j <= jmax, t <= i + j.
+class HermiteE {
+ public:
+  /// a, b: primitive exponents; ab_dist: A_x - B_x for this direction.
+  HermiteE(int imax, int jmax, double a, double b, double ab_dist);
+
+  double operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return table_[index(i, j, t)];
+  }
+
+ private:
+  std::size_t index(int i, int j, int t) const {
+    return (static_cast<std::size_t>(i) * static_cast<std::size_t>(jmax_ + 1) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(tmax_ + 1) +
+           static_cast<std::size_t>(t);
+  }
+  int imax_, jmax_, tmax_;
+  std::vector<double> table_;
+};
+
+/// Hermite Coulomb integral tensor R(t, u, v) for given order bound
+/// tuv_max = t + u + v, composite exponent alpha and distance vector PC.
+/// R(t,u,v) = (-1)^? derivative ladder over F_n(alpha * |PC|^2).
+class HermiteR {
+ public:
+  HermiteR(int tuv_max, double alpha, double pcx, double pcy, double pcz);
+
+  double operator()(int t, int u, int v) const {
+    return table_[index(t, u, v)];
+  }
+
+ private:
+  std::size_t index(int t, int u, int v) const {
+    const auto n = static_cast<std::size_t>(max_ + 1);
+    return (static_cast<std::size_t>(t) * n + static_cast<std::size_t>(u)) * n +
+           static_cast<std::size_t>(v);
+  }
+  int max_;
+  std::vector<double> table_;
+};
+
+}  // namespace mthfx::ints

@@ -1,0 +1,265 @@
+#include "ints/one_electron.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "ints/hermite.hpp"
+
+namespace mthfx::ints {
+
+using chem::BasisSet;
+using chem::cartesian_powers;
+using chem::Molecule;
+using chem::Shell;
+using chem::Vec3;
+using linalg::Matrix;
+
+namespace {
+
+// Per-primitive-pair Hermite E tables for the three directions.
+struct PairE {
+  HermiteE ex, ey, ez;
+  double p;     // a + b
+  Vec3 pcen;    // Gaussian product center
+};
+
+PairE make_pair_e(const Shell& a, const Shell& b, std::size_t pa,
+                  std::size_t pb, int extra = 0) {
+  const double ea = a.exponents()[pa];
+  const double eb = b.exponents()[pb];
+  const double p = ea + eb;
+  const Vec3& ca = a.center();
+  const Vec3& cb = b.center();
+  const Vec3 pcen = (1.0 / p) * (ea * ca + eb * cb);
+  return PairE{HermiteE(a.l(), b.l() + extra, ea, eb, ca[0] - cb[0]),
+               HermiteE(a.l(), b.l() + extra, ea, eb, ca[1] - cb[1]),
+               HermiteE(a.l(), b.l() + extra, ea, eb, ca[2] - cb[2]), p, pcen};
+}
+
+}  // namespace
+
+Matrix overlap_block(const Shell& a, const Shell& b) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  Matrix block(pa.size(), pb.size());
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const PairE e = make_pair_e(a, b, i, j);
+      const double pref = std::pow(std::numbers::pi / e.p, 1.5);
+      for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+        for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+          const double s = e.ex(pa[ca].x, pb[cb].x, 0) *
+                           e.ey(pa[ca].y, pb[cb].y, 0) *
+                           e.ez(pa[ca].z, pb[cb].z, 0) * pref;
+          block(ca, cb) += a.norm_coef(i, ca) * b.norm_coef(j, cb) * s;
+        }
+      }
+    }
+  }
+  return block;
+}
+
+Matrix overlap(const BasisSet& basis) {
+  const std::size_t n = basis.num_functions();
+  Matrix s(n, n);
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
+    for (std::size_t sb = sa; sb < basis.num_shells(); ++sb) {
+      const Matrix block = overlap_block(basis.shell(sa), basis.shell(sb));
+      const std::size_t oa = basis.first_function(sa);
+      const std::size_t ob = basis.first_function(sb);
+      for (std::size_t i = 0; i < block.rows(); ++i)
+        for (std::size_t j = 0; j < block.cols(); ++j) {
+          s(oa + i, ob + j) = block(i, j);
+          s(ob + j, oa + i) = block(i, j);
+        }
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// Kinetic-energy block via the 1-D overlap ladder:
+// T(i,j) = -2 b^2 S(i,j+2) + b(2j+1) S(i,j) - j(j-1)/2 S(i,j-2)
+// applied per direction with plain overlaps in the other two.
+Matrix kinetic_block(const Shell& a, const Shell& b) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  Matrix block(pa.size(), pb.size());
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const double eb = b.exponents()[j];
+      const PairE e = make_pair_e(a, b, i, j, /*extra=*/2);
+      const double pref = std::pow(std::numbers::pi / e.p, 1.5);
+
+      auto s1 = [&](const HermiteE& et, int ia, int jb) -> double {
+        if (jb < 0) return 0.0;
+        return et(ia, jb, 0);
+      };
+      auto t1 = [&](const HermiteE& et, int ia, int jb) -> double {
+        double v = -2.0 * eb * eb * s1(et, ia, jb + 2) +
+                   eb * (2 * jb + 1) * s1(et, ia, jb);
+        if (jb >= 2) v -= 0.5 * jb * (jb - 1) * s1(et, ia, jb - 2);
+        return v;
+      };
+
+      for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+        for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+          const int ix = pa[ca].x, iy = pa[ca].y, iz = pa[ca].z;
+          const int jx = pb[cb].x, jy = pb[cb].y, jz = pb[cb].z;
+          const double sx = s1(e.ex, ix, jx), sy = s1(e.ey, iy, jy),
+                       sz = s1(e.ez, iz, jz);
+          const double t = t1(e.ex, ix, jx) * sy * sz +
+                           sx * t1(e.ey, iy, jy) * sz +
+                           sx * sy * t1(e.ez, iz, jz);
+          block(ca, cb) += a.norm_coef(i, ca) * b.norm_coef(j, cb) * t * pref;
+        }
+      }
+    }
+  }
+  return block;
+}
+
+Matrix nuclear_block(const Shell& a, const Shell& b, const Molecule& mol) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  const int lsum = a.l() + b.l();
+  Matrix block(pa.size(), pb.size());
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const PairE e = make_pair_e(a, b, i, j);
+      const double pref = 2.0 * std::numbers::pi / e.p;
+      for (const chem::Atom& atom : mol.atoms()) {
+        const Vec3 pc = e.pcen - atom.pos;
+        const HermiteR r(lsum, e.p, pc[0], pc[1], pc[2]);
+        for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+          for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+            double v = 0.0;
+            for (int t = 0; t <= pa[ca].x + pb[cb].x; ++t)
+              for (int u = 0; u <= pa[ca].y + pb[cb].y; ++u)
+                for (int w = 0; w <= pa[ca].z + pb[cb].z; ++w)
+                  v += e.ex(pa[ca].x, pb[cb].x, t) *
+                       e.ey(pa[ca].y, pb[cb].y, u) *
+                       e.ez(pa[ca].z, pb[cb].z, w) * r(t, u, w);
+            block(ca, cb) += -atom.z * pref * v * a.norm_coef(i, ca) *
+                             b.norm_coef(j, cb);
+          }
+        }
+      }
+    }
+  }
+  return block;
+}
+
+Matrix assemble_symmetric(const BasisSet& basis,
+                          Matrix (*block_fn)(const Shell&, const Shell&)) {
+  const std::size_t n = basis.num_functions();
+  Matrix m(n, n);
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
+    for (std::size_t sb = sa; sb < basis.num_shells(); ++sb) {
+      const Matrix block = block_fn(basis.shell(sa), basis.shell(sb));
+      const std::size_t oa = basis.first_function(sa);
+      const std::size_t ob = basis.first_function(sb);
+      for (std::size_t i = 0; i < block.rows(); ++i)
+        for (std::size_t j = 0; j < block.cols(); ++j) {
+          m(oa + i, ob + j) = block(i, j);
+          m(ob + j, oa + i) = block(i, j);
+        }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matrix kinetic(const BasisSet& basis) {
+  return assemble_symmetric(basis, &kinetic_block);
+}
+
+namespace {
+
+// Dipole block via the moment shift x (x-B)^j = (x-B)^{j+1} + B (x-B)^j:
+// <a| x_d |b> = S(i, j+1) + B_d S(i, j) along direction d, with plain
+// overlaps in the other two directions. Needs jmax+1 in the E table.
+Matrix dipole_block(const Shell& a, const Shell& b, std::size_t d,
+                    const Vec3& origin) {
+  const auto pa = cartesian_powers(a.l());
+  const auto pb = cartesian_powers(b.l());
+  Matrix block(pa.size(), pb.size());
+  for (std::size_t i = 0; i < a.num_primitives(); ++i) {
+    for (std::size_t j = 0; j < b.num_primitives(); ++j) {
+      const PairE e = make_pair_e(a, b, i, j, /*extra=*/1);
+      const double pref = std::pow(std::numbers::pi / e.p, 1.5);
+      const double bshift = b.center()[d] - origin[d];
+
+      auto s1 = [&](const HermiteE& et, int ia, int jb) {
+        return et(ia, jb, 0);
+      };
+      const HermiteE* es[3] = {&e.ex, &e.ey, &e.ez};
+
+      for (std::size_t ca = 0; ca < pa.size(); ++ca) {
+        for (std::size_t cb = 0; cb < pb.size(); ++cb) {
+          const int ia3[3] = {pa[ca].x, pa[ca].y, pa[ca].z};
+          const int jb3[3] = {pb[cb].x, pb[cb].y, pb[cb].z};
+          double val = 1.0;
+          for (std::size_t dim = 0; dim < 3; ++dim) {
+            if (dim == d)
+              val *= s1(*es[dim], ia3[dim], jb3[dim] + 1) +
+                     bshift * s1(*es[dim], ia3[dim], jb3[dim]);
+            else
+              val *= s1(*es[dim], ia3[dim], jb3[dim]);
+          }
+          block(ca, cb) += a.norm_coef(i, ca) * b.norm_coef(j, cb) * val * pref;
+        }
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace
+
+Matrix dipole(const BasisSet& basis, std::size_t d, const Vec3& origin) {
+  const std::size_t n = basis.num_functions();
+  Matrix m(n, n);
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
+    for (std::size_t sb = sa; sb < basis.num_shells(); ++sb) {
+      const Matrix block =
+          dipole_block(basis.shell(sa), basis.shell(sb), d, origin);
+      const std::size_t oa = basis.first_function(sa);
+      const std::size_t ob = basis.first_function(sb);
+      for (std::size_t i = 0; i < block.rows(); ++i)
+        for (std::size_t j = 0; j < block.cols(); ++j) {
+          m(oa + i, ob + j) = block(i, j);
+          m(ob + j, oa + i) = block(i, j);
+        }
+    }
+  }
+  return m;
+}
+
+Matrix nuclear_attraction(const BasisSet& basis, const Molecule& mol) {
+  const std::size_t n = basis.num_functions();
+  Matrix m(n, n);
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
+    for (std::size_t sb = sa; sb < basis.num_shells(); ++sb) {
+      const Matrix block = nuclear_block(basis.shell(sa), basis.shell(sb), mol);
+      const std::size_t oa = basis.first_function(sa);
+      const std::size_t ob = basis.first_function(sb);
+      for (std::size_t i = 0; i < block.rows(); ++i)
+        for (std::size_t j = 0; j < block.cols(); ++j) {
+          m(oa + i, ob + j) = block(i, j);
+          m(ob + j, oa + i) = block(i, j);
+        }
+    }
+  }
+  return m;
+}
+
+Matrix core_hamiltonian(const BasisSet& basis, const Molecule& mol) {
+  Matrix h = kinetic(basis);
+  h += nuclear_attraction(basis, mol);
+  return h;
+}
+
+}  // namespace mthfx::ints

@@ -1,0 +1,30 @@
+#pragma once
+
+// One-electron integrals over a BasisSet: overlap S, kinetic T, nuclear
+// attraction V. All return symmetric nao × nao matrices.
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::ints {
+
+linalg::Matrix overlap(const chem::BasisSet& basis);
+linalg::Matrix kinetic(const chem::BasisSet& basis);
+linalg::Matrix nuclear_attraction(const chem::BasisSet& basis,
+                                  const chem::Molecule& mol);
+
+/// H_core = T + V.
+linalg::Matrix core_hamiltonian(const chem::BasisSet& basis,
+                                const chem::Molecule& mol);
+
+/// Shell-block overlap, used by tests and by the shell-pair machinery.
+/// Returns an (ncart_a x ncart_b) matrix for shells a, b.
+linalg::Matrix overlap_block(const chem::Shell& a, const chem::Shell& b);
+
+/// Electric-dipole integrals: component d of <mu| r_d |nu> (atomic
+/// units, origin at `origin`). d = 0, 1, 2 for x, y, z.
+linalg::Matrix dipole(const chem::BasisSet& basis, std::size_t d,
+                      const chem::Vec3& origin = {0, 0, 0});
+
+}  // namespace mthfx::ints

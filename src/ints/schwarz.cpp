@@ -1,0 +1,29 @@
+#include "ints/schwarz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ints/eri.hpp"
+
+namespace mthfx::ints {
+
+linalg::Matrix schwarz_bounds(const chem::BasisSet& basis) {
+  const std::size_t ns = basis.num_shells();
+  linalg::Matrix q(ns, ns);
+  for (std::size_t sa = 0; sa < ns; ++sa) {
+    for (std::size_t sb = sa; sb < ns; ++sb) {
+      const EriBlock block = eri_shell_quartet(
+          basis.shell(sa), basis.shell(sb), basis.shell(sa), basis.shell(sb));
+      double mx = 0.0;
+      for (std::size_t i = 0; i < block.na; ++i)
+        for (std::size_t j = 0; j < block.nb; ++j)
+          mx = std::max(mx, std::abs(block(i, j, i, j)));
+      const double bound = std::sqrt(mx);
+      q(sa, sb) = bound;
+      q(sb, sa) = bound;
+    }
+  }
+  return q;
+}
+
+}  // namespace mthfx::ints

@@ -1,0 +1,18 @@
+#pragma once
+
+// Schwarz (Cauchy–Schwarz) screening bounds:
+//   |(ab|cd)| <= sqrt((ab|ab)) * sqrt((cd|cd)).
+// The per-shell-pair bound table Q_ab = max over components of
+// sqrt((ab|ab)) is the first screening stage of the HFX build and of the
+// paper's "highly controllable" accuracy knob.
+
+#include "chem/basis.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::ints {
+
+/// Q(sa, sb) = max_{i in sa, j in sb} sqrt((ij|ij)), a symmetric
+/// (num_shells x num_shells) table.
+linalg::Matrix schwarz_bounds(const chem::BasisSet& basis);
+
+}  // namespace mthfx::ints

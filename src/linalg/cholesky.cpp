@@ -1,0 +1,76 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace mthfx::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) return std::nullopt;
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return l;
+}
+
+std::optional<Vector> cholesky_solve(const Matrix& a, const Vector& b) {
+  const auto lopt = cholesky(a);
+  if (!lopt || b.size() != a.rows()) return std::nullopt;
+  const Matrix& l = *lopt;
+  const std::size_t n = b.size();
+
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l(k, ii) * x[k];
+    x[ii] = v / l(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Vector> lu_solve(Matrix a, Vector b) {
+  if (a.rows() != a.cols() || b.size() != a.rows()) return std::nullopt;
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t piv = col;
+    for (std::size_t i = col + 1; i < n; ++i)
+      if (std::abs(a(i, col)) > std::abs(a(piv, col))) piv = i;
+    if (std::abs(a(piv, col)) < 1e-14) return std::nullopt;
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(piv, j));
+      std::swap(b[col], b[piv]);
+    }
+    for (std::size_t i = col + 1; i < n; ++i) {
+      const double f = a(i, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a(i, j) -= f * a(col, j);
+      b[i] -= f * b[col];
+    }
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) v -= a(ii, j) * x[j];
+    x[ii] = v / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace mthfx::linalg

@@ -1,0 +1,28 @@
+#pragma once
+
+// Cholesky factorization and dense linear solves.
+//
+// Used by the DIIS extrapolation (solving the B-matrix system) and by
+// tests that need a general SPD solve.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace mthfx::linalg {
+
+/// Lower-triangular L with A = L Lᵀ. Returns std::nullopt when `a` is not
+/// positive definite (a non-positive pivot is encountered).
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve A x = b for SPD A via Cholesky. Returns std::nullopt when the
+/// factorization fails.
+std::optional<Vector> cholesky_solve(const Matrix& a, const Vector& b);
+
+/// Solve a general square system A x = b with partially pivoted Gaussian
+/// elimination. Returns std::nullopt when A is singular to working
+/// precision. DIIS B-matrices are symmetric but often indefinite, so this
+/// is the solver DIIS actually uses.
+std::optional<Vector> lu_solve(Matrix a, Vector b);
+
+}  // namespace mthfx::linalg

@@ -1,0 +1,60 @@
+#include "linalg/diis.hpp"
+
+#include "linalg/cholesky.hpp"
+
+namespace mthfx::linalg {
+
+void Diis::reset() {
+  focks_.clear();
+  errors_.clear();
+  last_error_norm_ = 0.0;
+}
+
+Matrix Diis::extrapolate(const Matrix& fock, const Matrix& error) {
+  focks_.push_back(fock);
+  errors_.push_back(error);
+  if (focks_.size() > max_history_) {
+    focks_.pop_front();
+    errors_.pop_front();
+  }
+  last_error_norm_ = max_abs(error);
+
+  const std::size_t m = focks_.size();
+  if (m < 2) return fock;
+
+  // Augmented Pulay system:
+  //   [ B   -1 ] [ c ]   [ 0 ]
+  //   [ -1ᵀ  0 ] [ λ ] = [ -1 ],   B_ij = <e_i, e_j>.
+  Matrix b(m + 1, m + 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      const double v = frobenius_dot(errors_[i], errors_[j]);
+      b(i, j) = v;
+      b(j, i) = v;
+    }
+    b(i, m) = -1.0;
+    b(m, i) = -1.0;
+  }
+  Vector rhs(m + 1, 0.0);
+  rhs[m] = -1.0;
+
+  const auto sol = lu_solve(b, rhs);
+  if (!sol) {
+    // Singular B (e.g. two identical error vectors): drop the oldest pair
+    // and use the raw Fock this iteration.
+    focks_.pop_front();
+    errors_.pop_front();
+    return fock;
+  }
+
+  Matrix mixed(fock.rows(), fock.cols());
+  for (std::size_t i = 0; i < m; ++i) {
+    const double ci = (*sol)[i];
+    const auto fi = focks_[i].flat();
+    auto out = mixed.flat();
+    for (std::size_t k = 0; k < out.size(); ++k) out[k] += ci * fi[k];
+  }
+  return mixed;
+}
+
+}  // namespace mthfx::linalg

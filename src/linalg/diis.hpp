@@ -1,0 +1,40 @@
+#pragma once
+
+// DIIS (direct inversion in the iterative subspace; Pulay mixing).
+//
+// Accelerates SCF convergence by extrapolating the Fock matrix from a
+// short history of (F, error) pairs, where the error vector is the
+// commutator e = F P S − S P F expressed in the orthonormal basis.
+
+#include <cstddef>
+#include <deque>
+
+#include "linalg/matrix.hpp"
+
+namespace mthfx::linalg {
+
+class Diis {
+ public:
+  /// `max_history`: number of (F, e) pairs retained. 6–8 is typical.
+  explicit Diis(std::size_t max_history = 8) : max_history_(max_history) {}
+
+  /// Record a Fock/error pair and return the DIIS-extrapolated Fock
+  /// matrix. Falls back to returning `fock` unchanged while the history
+  /// holds fewer than two pairs or when the B-system is singular.
+  Matrix extrapolate(const Matrix& fock, const Matrix& error);
+
+  std::size_t history_size() const { return focks_.size(); }
+  void reset();
+
+  /// Largest |e_ij| of the most recent error matrix; the usual SCF
+  /// convergence measure.
+  double last_error_norm() const { return last_error_norm_; }
+
+ private:
+  std::size_t max_history_;
+  std::deque<Matrix> focks_;
+  std::deque<Matrix> errors_;
+  double last_error_norm_ = 0.0;
+};
+
+}  // namespace mthfx::linalg

@@ -1,0 +1,119 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mthfx::linalg {
+
+namespace {
+
+// Sum of squares of strict upper-triangle entries: the Jacobi convergence
+// measure ("off" norm).
+double off_norm2(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) s += a(i, j) * a(i, j);
+  return s;
+}
+
+}  // namespace
+
+EigenResult eigh(const Matrix& a_in, double tol, int max_sweeps) {
+  if (a_in.rows() != a_in.cols())
+    throw std::invalid_argument("eigh: matrix must be square");
+  const std::size_t n = a_in.rows();
+
+  Matrix a = a_in;
+  symmetrize(a);
+  Matrix v = Matrix::identity(n);
+
+  const double threshold2 = tol * tol * std::max(1.0, frobenius_dot(a, a));
+
+  int sweep = 0;
+  for (; sweep < max_sweeps && off_norm2(a) > threshold2; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Rutishauser's stable rotation parameters.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        a(p, p) = app - t * apq;
+        a(q, q) = aqq + t * apq;
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i != p && i != q) {
+            const double aip = a(i, p);
+            const double aiq = a(i, q);
+            a(i, p) = aip - s * (aiq + tau * aip);
+            a(p, i) = a(i, p);
+            a(i, q) = aiq + s * (aip - tau * aiq);
+            a(q, i) = a(i, q);
+          }
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = vip - s * (viq + tau * vip);
+          v(i, q) = viq + s * (vip - tau * viq);
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+  EigenResult r;
+  r.values.resize(n);
+  r.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    r.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) r.vectors(i, k) = v(i, order[k]);
+  }
+  r.sweeps = sweep;
+  return r;
+}
+
+Matrix inverse_sqrt(const Matrix& s, double lindep_tol) {
+  const EigenResult e = eigh(s);
+  const std::size_t n = s.rows();
+  Matrix x(n, n);
+  // X = U diag(1/sqrt(l)) Uᵀ, skipping near-null directions.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (e.values[k] < lindep_tol) continue;
+    const double w = 1.0 / std::sqrt(e.values[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double uikw = e.vectors(i, k) * w;
+      for (std::size_t j = 0; j < n; ++j) x(i, j) += uikw * e.vectors(j, k);
+    }
+  }
+  return x;
+}
+
+Matrix sqrt_sym(const Matrix& s) {
+  const EigenResult e = eigh(s);
+  const std::size_t n = s.rows();
+  Matrix x(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = std::sqrt(std::max(0.0, e.values[k]));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double uikw = e.vectors(i, k) * w;
+      for (std::size_t j = 0; j < n; ++j) x(i, j) += uikw * e.vectors(j, k);
+    }
+  }
+  return x;
+}
+
+}  // namespace mthfx::linalg

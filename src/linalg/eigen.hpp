@@ -1,0 +1,32 @@
+#pragma once
+
+// Symmetric eigensolver (cyclic Jacobi) and derived transforms.
+//
+// SCF needs the full eigen-decomposition of F' = S^{-1/2} F S^{-1/2}.
+// Basis dimensions in this reproduction stay in the low hundreds, where a
+// well-implemented Jacobi sweep is robust, embarrassingly simple to verify,
+// and has no external dependencies.
+
+#include "linalg/matrix.hpp"
+
+namespace mthfx::linalg {
+
+struct EigenResult {
+  Vector values;        ///< ascending eigenvalues
+  Matrix vectors;       ///< column i is the eigenvector for values[i]
+  int sweeps = 0;       ///< Jacobi sweeps used
+};
+
+/// Full eigen-decomposition of a symmetric matrix.
+/// Throws std::invalid_argument when `a` is not square.
+EigenResult eigh(const Matrix& a, double tol = 1e-12, int max_sweeps = 100);
+
+/// S^{-1/2} via eigen-decomposition (Löwdin symmetric orthogonalization).
+/// Eigenvalues below `lindep_tol` are projected out (canonical
+/// orthogonalization fallback for near-linear-dependent basis sets).
+Matrix inverse_sqrt(const Matrix& s, double lindep_tol = 1e-10);
+
+/// S^{+1/2} via eigen-decomposition.
+Matrix sqrt_sym(const Matrix& s);
+
+}  // namespace mthfx::linalg

@@ -1,0 +1,119 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mthfx::linalg {
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+namespace {
+// Block size tuned for L1-resident panels of doubles.
+constexpr std::size_t kBlock = 64;
+}  // namespace
+
+void gemm_acc(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t ii = 0; ii < m; ii += kBlock) {
+    const std::size_t iend = std::min(ii + kBlock, m);
+    for (std::size_t kk = 0; kk < k; kk += kBlock) {
+      const std::size_t kend = std::min(kk + kBlock, k);
+      for (std::size_t i = ii; i < iend; ++i) {
+        double* crow = c.data() + i * n;
+        const double* arow = a.data() + i * k;
+        for (std::size_t p = kk; p < kend; ++p) {
+          const double aip = alpha * arow[p];
+          const double* brow = b.data() + p * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm_acc(1.0, a, b, c);
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+double frobenius_dot(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double s = 0.0;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) s += fa[i] * fb[i];
+  return s;
+}
+
+double frobenius_norm(const Matrix& a) { return std::sqrt(frobenius_dot(a, a)); }
+
+double max_abs(const Matrix& a) {
+  double m = 0.0;
+  for (double v : a.flat()) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double trace(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) s += a(i, i);
+  return s;
+}
+
+double trace_product(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * b(j, i);
+  return s;
+}
+
+void symmetrize(Matrix& a) {
+  assert(a.rows() == a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+bool is_symmetric(const Matrix& a, double tol) {
+  if (a.rows() != a.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      if (std::abs(a(i, j) - a(j, i)) > tol) return false;
+  return true;
+}
+
+}  // namespace mthfx::linalg

@@ -1,0 +1,115 @@
+#pragma once
+
+// Dense row-major matrix/vector types used throughout mthfx.
+//
+// Quantum-chemistry working sets here are small-to-medium dense matrices
+// (basis dimension up to a few thousand), so a simple contiguous row-major
+// store with a blocked GEMM is sufficient and keeps the library
+// self-contained (no external BLAS/LAPACK dependency).
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mthfx::linalg {
+
+/// Dense column vector of doubles.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from an initializer-style flat row-major buffer.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> row(std::size_t i) {
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  std::span<double> flat() { return {data_.data(), data_.size()}; }
+  std::span<const double> flat() const { return {data_.data(), data_.size()}; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double s);
+Matrix operator*(double s, Matrix rhs);
+
+/// C = A * B (blocked row-major GEMM).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += alpha * A * B. The workhorse used by the SCF and DIIS code paths.
+void gemm_acc(double alpha, const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Transpose.
+Matrix transpose(const Matrix& a);
+
+/// Frobenius inner product tr(Aᵀ B).
+double frobenius_dot(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+/// Largest |a_ij|.
+double max_abs(const Matrix& a);
+
+/// tr(A).
+double trace(const Matrix& a);
+
+/// tr(A * B) without forming the product (A, B square, same size).
+double trace_product(const Matrix& a, const Matrix& b);
+
+/// Symmetrize in place: A <- (A + Aᵀ)/2.
+void symmetrize(Matrix& a);
+
+/// true when |a_ij - a_ji| <= tol for all i, j.
+bool is_symmetric(const Matrix& a, double tol = 1e-12);
+
+}  // namespace mthfx::linalg

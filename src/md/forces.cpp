@@ -1,0 +1,77 @@
+#include "md/forces.hpp"
+
+#include <stdexcept>
+
+#include "chem/basis.hpp"
+#include "scf/gradient.hpp"
+
+namespace mthfx::md {
+
+std::vector<chem::Vec3> PotentialSurface::forces(
+    const chem::Molecule& mol) const {
+  std::vector<chem::Vec3> f(mol.size(), chem::Vec3{0, 0, 0});
+  chem::Molecule work = mol;
+  for (std::size_t a = 0; a < mol.size(); ++a) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      chem::Vec3 p = mol.atom(a).pos;
+      p[d] += fd_step;
+      work.set_position(a, p);
+      const double ep = energy(work);
+      p[d] -= 2.0 * fd_step;
+      work.set_position(a, p);
+      const double em = energy(work);
+      work.set_position(a, mol.atom(a).pos);
+      f[a][d] = -(ep - em) / (2.0 * fd_step);
+    }
+  }
+  return f;
+}
+
+ScfPotential::ScfPotential(std::string basis_name, scf::KsOptions options)
+    : basis_name_(std::move(basis_name)), options_(std::move(options)) {}
+
+double ScfPotential::energy(const chem::Molecule& mol) const {
+  const auto basis = chem::BasisSet::build(mol, basis_name_);
+  const auto result = scf::rks(mol, basis, options_);
+  if (!result.scf.converged)
+    throw std::runtime_error("ScfPotential: SCF did not converge");
+  return result.scf.energy;
+}
+
+std::vector<chem::Vec3> ScfPotential::forces(const chem::Molecule& mol) const {
+  if (options_.functional != "hf") return PotentialSurface::forces(mol);
+  // Analytic RHF gradient: one converged SCF instead of 6N.
+  const auto basis = chem::BasisSet::build(mol, basis_name_);
+  const auto result = scf::rhf(mol, basis, options_.scf);
+  if (!result.converged)
+    throw std::runtime_error("ScfPotential: SCF did not converge");
+  const auto grad = scf::rhf_gradient(mol, basis, result);
+  std::vector<chem::Vec3> f(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) f[i] = -1.0 * grad[i];
+  return f;
+}
+
+double HarmonicBondPotential::energy(const chem::Molecule& mol) const {
+  double e = 0.0;
+  for (const Bond& b : bonds_) {
+    const double r = chem::distance(mol.atom(b.i).pos, mol.atom(b.j).pos);
+    e += 0.5 * b.k * (r - b.r0) * (r - b.r0);
+  }
+  return e;
+}
+
+std::vector<chem::Vec3> HarmonicBondPotential::forces(
+    const chem::Molecule& mol) const {
+  std::vector<chem::Vec3> f(mol.size(), chem::Vec3{0, 0, 0});
+  for (const Bond& b : bonds_) {
+    const chem::Vec3 d = mol.atom(b.i).pos - mol.atom(b.j).pos;
+    const double r = chem::norm(d);
+    if (r < 1e-12) continue;
+    const double mag = -b.k * (r - b.r0) / r;
+    f[b.i] = f[b.i] + mag * d;
+    f[b.j] = f[b.j] - mag * d;
+  }
+  return f;
+}
+
+}  // namespace mthfx::md

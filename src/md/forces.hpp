@@ -1,0 +1,67 @@
+#pragma once
+
+// Potential-energy surfaces for Born–Oppenheimer MD. The production
+// surface is an SCF (RHF or RKS/PBE0) energy; forces come from central
+// finite differences of the converged energy — adequate for the short
+// demonstration trajectories of experiment E5 (the paper's CPMD code uses
+// analytic gradients; the substitution is documented in DESIGN.md).
+
+#include <memory>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "scf/rks.hpp"
+
+namespace mthfx::md {
+
+class PotentialSurface {
+ public:
+  virtual ~PotentialSurface() = default;
+
+  /// Potential energy (Hartree) at the given geometry.
+  virtual double energy(const chem::Molecule& mol) const = 0;
+
+  /// Forces (-dE/dR, Hartree/Bohr). Default implementation: central
+  /// finite differences with step `fd_step` Bohr.
+  virtual std::vector<chem::Vec3> forces(const chem::Molecule& mol) const;
+
+  double fd_step = 1e-3;
+};
+
+/// SCF-backed surface: "hf" runs RHF-equivalent, "pbe"/"pbe0"/"lda" run
+/// RKS. Throws std::runtime_error if any SCF fails to converge.
+/// For the "hf" functional, forces use the analytic RHF gradient (one
+/// SCF per step); other functionals fall back to central differences.
+class ScfPotential : public PotentialSurface {
+ public:
+  ScfPotential(std::string basis_name, scf::KsOptions options);
+
+  double energy(const chem::Molecule& mol) const override;
+  std::vector<chem::Vec3> forces(const chem::Molecule& mol) const override;
+
+ private:
+  std::string basis_name_;
+  scf::KsOptions options_;
+};
+
+/// Analytic harmonic-bond surface for integrator tests: E = sum_b
+/// k/2 (r_b - r0_b)^2 over the listed atom pairs.
+class HarmonicBondPotential : public PotentialSurface {
+ public:
+  struct Bond {
+    std::size_t i = 0, j = 0;
+    double k = 1.0;   ///< Hartree / Bohr^2
+    double r0 = 1.0;  ///< Bohr
+  };
+
+  explicit HarmonicBondPotential(std::vector<Bond> bonds)
+      : bonds_(std::move(bonds)) {}
+
+  double energy(const chem::Molecule& mol) const override;
+  std::vector<chem::Vec3> forces(const chem::Molecule& mol) const override;
+
+ private:
+  std::vector<Bond> bonds_;
+};
+
+}  // namespace mthfx::md

@@ -1,0 +1,78 @@
+#include "md/integrator.hpp"
+
+#include <cmath>
+
+#include "chem/elements.hpp"
+#include "md/thermostat.hpp"
+
+namespace mthfx::md {
+
+double MdResult::max_energy_drift() const {
+  if (frames.empty()) return 0.0;
+  const double e0 = frames.front().total;
+  double drift = 0.0;
+  for (const MdFrame& f : frames)
+    drift = std::max(drift, std::abs(f.total - e0));
+  return drift;
+}
+
+MdResult run_bomd(const chem::Molecule& initial,
+                  const PotentialSurface& surface, const MdOptions& options,
+                  const std::function<void(const MdFrame&)>& on_frame) {
+  const double dt = options.timestep_fs / chem::kFsPerAtomicTime;
+  const std::size_t n = initial.size();
+
+  chem::Molecule mol = initial;
+  std::vector<chem::Vec3> v =
+      options.initial_temperature_k > 0.0
+          ? maxwell_boltzmann_velocities(mol, options.initial_temperature_k,
+                                         options.seed)
+          : std::vector<chem::Vec3>(n, chem::Vec3{0, 0, 0});
+
+  std::vector<double> inv_mass(n);
+  for (std::size_t i = 0; i < n; ++i)
+    inv_mass[i] = 1.0 / (chem::element(mol.atom(i).z).mass_amu *
+                         chem::kAmuToElectronMass);
+
+  MdResult result;
+  double potential = surface.energy(mol);
+  std::vector<chem::Vec3> f = surface.forces(mol);
+
+  auto record = [&](double time_fs) {
+    MdFrame frame;
+    frame.time_fs = time_fs;
+    frame.potential = potential;
+    frame.kinetic = kinetic_energy(mol, v);
+    frame.total = frame.potential + frame.kinetic;
+    frame.temperature_k = temperature(mol, v);
+    result.frames.push_back(frame);
+    if (on_frame) on_frame(frame);
+  };
+  record(0.0);
+
+  for (int step = 0; step < options.num_steps; ++step) {
+    // Velocity Verlet.
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = v[i] + (0.5 * dt * inv_mass[i]) * f[i];
+      mol.set_position(i, mol.atom(i).pos + dt * v[i]);
+    }
+    potential = surface.energy(mol);
+    f = surface.forces(mol);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = v[i] + (0.5 * dt * inv_mass[i]) * f[i];
+
+    if (options.target_temperature_k > 0.0) {
+      const double lambda = berendsen_lambda(
+          temperature(mol, v), options.target_temperature_k, dt,
+          options.berendsen_tau_fs / chem::kFsPerAtomicTime);
+      for (auto& vi : v) vi = lambda * vi;
+    }
+    record((step + 1) * options.timestep_fs);
+  }
+
+  result.final_geometry = mol;
+  result.final_velocities = v;
+  return result;
+}
+
+}  // namespace mthfx::md

@@ -1,0 +1,47 @@
+#pragma once
+
+// Velocity-Verlet Born–Oppenheimer MD driver with optional Berendsen
+// thermostat — the dynamics layer of the paper's PBE0 electrolyte runs
+// (experiment E5).
+
+#include <functional>
+#include <vector>
+
+#include "md/forces.hpp"
+
+namespace mthfx::md {
+
+struct MdOptions {
+  double timestep_fs = 0.5;
+  int num_steps = 10;
+  /// 0 disables the thermostat (NVE).
+  double target_temperature_k = 0.0;
+  double berendsen_tau_fs = 20.0;
+  /// Initial velocities: 0 => start at rest; otherwise Maxwell–Boltzmann.
+  double initial_temperature_k = 0.0;
+  unsigned seed = 1234;
+};
+
+struct MdFrame {
+  double time_fs = 0.0;
+  double potential = 0.0;    ///< Hartree
+  double kinetic = 0.0;      ///< Hartree
+  double total = 0.0;        ///< Hartree
+  double temperature_k = 0.0;
+};
+
+struct MdResult {
+  std::vector<MdFrame> frames;  ///< one per step, plus the initial frame
+  chem::Molecule final_geometry;
+  std::vector<chem::Vec3> final_velocities;
+
+  /// Max |E_total(t) - E_total(0)| over the trajectory (drift measure).
+  double max_energy_drift() const;
+};
+
+/// Run BOMD. The callback (if set) observes each completed frame.
+MdResult run_bomd(const chem::Molecule& initial,
+                  const PotentialSurface& surface, const MdOptions& options,
+                  const std::function<void(const MdFrame&)>& on_frame = {});
+
+}  // namespace mthfx::md

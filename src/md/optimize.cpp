@@ -1,0 +1,74 @@
+#include "md/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mthfx::md {
+
+namespace {
+
+double max_abs_force(const std::vector<chem::Vec3>& f) {
+  double m = 0.0;
+  for (const auto& fi : f)
+    for (std::size_t d = 0; d < 3; ++d) m = std::max(m, std::abs(fi[d]));
+  return m;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const chem::Molecule& initial,
+                        const PotentialSurface& surface,
+                        const OptimizeOptions& options) {
+  OptimizeResult result;
+  chem::Molecule mol = initial;
+  const std::size_t n = mol.size();
+
+  std::vector<chem::Vec3> f = surface.forces(mol);
+  std::vector<chem::Vec3> f_prev;
+  std::vector<chem::Vec3> dx_prev(n, chem::Vec3{0, 0, 0});
+  double step = options.initial_step;
+
+  for (int it = 0; it < options.max_steps; ++it) {
+    result.max_force = max_abs_force(f);
+    if (result.max_force < options.force_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Barzilai–Borwein step from the previous (dx, dg) pair:
+    // step = <dx, dx> / <dx, -df> (falls back to the current step when
+    // the curvature estimate is unusable).
+    if (!f_prev.empty()) {
+      double dxdx = 0.0, dxdg = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t d = 0; d < 3; ++d) {
+          const double dg = -(f[i][d] - f_prev[i][d]);  // gradient change
+          dxdx += dx_prev[i][d] * dx_prev[i][d];
+          dxdg += dx_prev[i][d] * dg;
+        }
+      if (dxdg > 1e-14) step = dxdx / dxdg;
+    }
+
+    // Displace along the forces with a per-coordinate trust radius.
+    for (std::size_t i = 0; i < n; ++i) {
+      chem::Vec3 dx{0, 0, 0};
+      for (std::size_t d = 0; d < 3; ++d) {
+        dx[d] = std::clamp(step * f[i][d], -options.max_displacement,
+                           options.max_displacement);
+      }
+      dx_prev[i] = dx;
+      mol.set_position(i, mol.atom(i).pos + dx);
+    }
+
+    f_prev = f;
+    f = surface.forces(mol);
+    result.energy_trace.push_back(surface.energy(mol));
+    ++result.steps;
+  }
+
+  result.energy = surface.energy(mol);
+  result.geometry = mol;
+  return result;
+}
+
+}  // namespace mthfx::md

@@ -1,0 +1,61 @@
+#include "md/thermostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "chem/elements.hpp"
+
+namespace mthfx::md {
+
+double kinetic_energy(const chem::Molecule& mol,
+                      const std::vector<chem::Vec3>& velocities) {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const double m =
+        chem::element(mol.atom(i).z).mass_amu * chem::kAmuToElectronMass;
+    ke += 0.5 * m * chem::dot(velocities[i], velocities[i]);
+  }
+  return ke;
+}
+
+double temperature(const chem::Molecule& mol,
+                   const std::vector<chem::Vec3>& velocities) {
+  const double dof = 3.0 * static_cast<double>(mol.size());
+  if (dof == 0.0) return 0.0;
+  return 2.0 * kinetic_energy(mol, velocities) /
+         (dof * chem::kBoltzmannHaPerK);
+}
+
+double berendsen_lambda(double current_t, double target_t, double dt,
+                        double tau) {
+  if (current_t <= 0.0) return 1.0;
+  const double l2 = 1.0 + dt / tau * (target_t / current_t - 1.0);
+  return std::clamp(std::sqrt(std::max(0.0, l2)), 0.8, 1.25);
+}
+
+std::vector<chem::Vec3> maxwell_boltzmann_velocities(const chem::Molecule& mol,
+                                                     double target_t,
+                                                     unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<chem::Vec3> v(mol.size());
+  chem::Vec3 p_total{0, 0, 0};
+  double m_total = 0.0;
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const double m =
+        chem::element(mol.atom(i).z).mass_amu * chem::kAmuToElectronMass;
+    const double sigma = std::sqrt(chem::kBoltzmannHaPerK * target_t / m);
+    v[i] = {sigma * gauss(rng), sigma * gauss(rng), sigma * gauss(rng)};
+    p_total = p_total + m * v[i];
+    m_total += m;
+  }
+  // Remove center-of-mass drift.
+  if (m_total > 0.0) {
+    const chem::Vec3 v_com = (1.0 / m_total) * p_total;
+    for (auto& vi : v) vi = vi - v_com;
+  }
+  return v;
+}
+
+}  // namespace mthfx::md

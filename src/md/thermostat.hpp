@@ -1,0 +1,31 @@
+#pragma once
+
+// Kinetic-energy bookkeeping and the Berendsen weak-coupling thermostat.
+
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace mthfx::md {
+
+/// Kinetic energy (Hartree) of velocities (Bohr / atomic time unit).
+double kinetic_energy(const chem::Molecule& mol,
+                      const std::vector<chem::Vec3>& velocities);
+
+/// Instantaneous temperature (Kelvin) from the equipartition theorem,
+/// 3N degrees of freedom.
+double temperature(const chem::Molecule& mol,
+                   const std::vector<chem::Vec3>& velocities);
+
+/// Berendsen velocity-scaling factor for one step:
+/// lambda = sqrt(1 + dt/tau (T0/T - 1)), clamped to [0.8, 1.25].
+double berendsen_lambda(double current_t, double target_t, double dt,
+                        double tau);
+
+/// Maxwell–Boltzmann velocities at `target_t` Kelvin (deterministic for a
+/// given seed), with the center-of-mass drift removed.
+std::vector<chem::Vec3> maxwell_boltzmann_velocities(const chem::Molecule& mol,
+                                                     double target_t,
+                                                     unsigned seed);
+
+}  // namespace mthfx::md

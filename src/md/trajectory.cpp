@@ -1,0 +1,73 @@
+#include "md/trajectory.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mthfx::md {
+
+void TrajectoryWriter::add_frame(const chem::Molecule& mol,
+                                 const MdFrame& frame) {
+  frames_.push_back({mol, frame});
+}
+
+std::string TrajectoryWriter::xyz() const {
+  std::string out;
+  for (const auto& s : frames_) {
+    std::ostringstream comment;
+    comment.precision(10);
+    comment << "t=" << s.frame.time_fs << " fs  E=" << s.frame.total
+            << " Ha  T=" << s.frame.temperature_k << " K";
+    out += s.mol.to_xyz(comment.str());
+  }
+  return out;
+}
+
+std::string TrajectoryWriter::energy_csv() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "time_fs,potential_ha,kinetic_ha,total_ha,temperature_k\n";
+  for (const auto& s : frames_)
+    out << s.frame.time_fs << ',' << s.frame.potential << ','
+        << s.frame.kinetic << ',' << s.frame.total << ','
+        << s.frame.temperature_k << '\n';
+  return out.str();
+}
+
+void TrajectoryWriter::write(const std::string& prefix) const {
+  std::ofstream xyz_file(prefix + ".xyz");
+  std::ofstream csv_file(prefix + ".csv");
+  if (!xyz_file || !csv_file)
+    throw std::runtime_error("TrajectoryWriter: cannot open output files");
+  xyz_file << xyz();
+  csv_file << energy_csv();
+}
+
+MdResult run_bomd_recorded(const chem::Molecule& initial,
+                           const PotentialSurface& surface,
+                           const MdOptions& options,
+                           TrajectoryWriter& writer) {
+  // The integrator callback reports frames but not geometries, so wrap
+  // the surface: its energy() sees every post-step geometry just before
+  // the frame is recorded.
+  chem::Molecule current = initial;
+  struct Observer : PotentialSurface {
+    const PotentialSurface* inner = nullptr;
+    chem::Molecule* slot = nullptr;
+    double energy(const chem::Molecule& m) const override {
+      *slot = m;
+      return inner->energy(m);
+    }
+    std::vector<chem::Vec3> forces(const chem::Molecule& m) const override {
+      return inner->forces(m);
+    }
+  } observer;
+  observer.inner = &surface;
+  observer.slot = &current;
+
+  return run_bomd(initial, observer, options, [&](const MdFrame& frame) {
+    writer.add_frame(current, frame);
+  });
+}
+
+}  // namespace mthfx::md

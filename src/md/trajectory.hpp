@@ -1,0 +1,45 @@
+#pragma once
+
+// Trajectory recording: multi-frame XYZ and a CSV energy log, the
+// artifacts an MD user keeps.
+
+#include <string>
+#include <vector>
+
+#include "chem/molecule.hpp"
+#include "md/integrator.hpp"
+
+namespace mthfx::md {
+
+class TrajectoryWriter {
+ public:
+  /// Append one geometry (energies in the XYZ comment line).
+  void add_frame(const chem::Molecule& mol, const MdFrame& frame);
+
+  std::size_t num_frames() const { return frames_.size(); }
+
+  /// Multi-frame XYZ text (concatenated standard XYZ blocks).
+  std::string xyz() const;
+
+  /// CSV: time_fs,potential,kinetic,total,temperature_k.
+  std::string energy_csv() const;
+
+  /// Write both files ("<prefix>.xyz", "<prefix>.csv"). Throws
+  /// std::runtime_error when a file cannot be opened.
+  void write(const std::string& prefix) const;
+
+ private:
+  struct Stored {
+    chem::Molecule mol;
+    MdFrame frame;
+  };
+  std::vector<Stored> frames_;
+};
+
+/// Convenience: run BOMD while recording every frame.
+MdResult run_bomd_recorded(const chem::Molecule& initial,
+                           const PotentialSurface& surface,
+                           const MdOptions& options,
+                           TrajectoryWriter& writer);
+
+}  // namespace mthfx::md

@@ -1,0 +1,101 @@
+#include "parallel/team.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace mthfx::parallel {
+
+Team::Team(std::size_t num_ranks) : num_ranks_(num_ranks) {
+  if (num_ranks_ == 0) throw std::invalid_argument("Team: zero ranks");
+  contrib_.resize(num_ranks_);
+  scalar_contrib_.resize(num_ranks_, 0.0);
+}
+
+void Team::barrier() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t gen = generation_;
+  if (++arrived_ == num_ranks_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+}
+
+void Team::run(const std::function<void(RankContext&)>& body) {
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks_);
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([&, r] {
+      RankContext ctx(*this, r);
+      try {
+        body(ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t RankContext::size() const { return team_.num_ranks_; }
+
+void RankContext::barrier() { team_.barrier(); }
+
+void RankContext::allreduce_sum(std::span<double> data) {
+  team_.contrib_[rank_] = data;
+  team_.barrier();
+  if (rank_ == 0) {
+    // Accumulate every other rank's buffer into rank 0's.
+    for (std::size_t r = 1; r < team_.num_ranks_; ++r) {
+      const auto src = team_.contrib_[r];
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += src[i];
+    }
+  }
+  team_.barrier();
+  if (rank_ != 0) {
+    const auto root = team_.contrib_[0];
+    std::copy(root.begin(), root.end(), data.begin());
+  }
+  team_.barrier();
+}
+
+double RankContext::allreduce_sum(double value) {
+  team_.scalar_contrib_[rank_] = value;
+  team_.barrier();
+  double total = 0.0;
+  for (std::size_t r = 0; r < team_.num_ranks_; ++r)
+    total += team_.scalar_contrib_[r];
+  team_.barrier();
+  return total;
+}
+
+double RankContext::allreduce_max(double value) {
+  team_.scalar_contrib_[rank_] = value;
+  team_.barrier();
+  double mx = team_.scalar_contrib_[0];
+  for (std::size_t r = 1; r < team_.num_ranks_; ++r)
+    mx = std::max(mx, team_.scalar_contrib_[r]);
+  team_.barrier();
+  return mx;
+}
+
+void RankContext::broadcast(std::span<double> data, std::size_t root) {
+  team_.contrib_[rank_] = data;
+  team_.barrier();
+  if (rank_ != root) {
+    const auto src = team_.contrib_[root];
+    std::copy(src.begin(), src.end(), data.begin());
+  }
+  team_.barrier();
+}
+
+}  // namespace mthfx::parallel

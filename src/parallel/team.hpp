@@ -1,0 +1,74 @@
+#pragma once
+
+// SPMD "team" abstraction: an MPI-like rank/collective interface executed
+// over threads of one process. The toolchain in this reproduction has no
+// MPI, so the Team provides the rank-decomposed style of the paper's
+// two-level (rank x thread) scheme; the BG/Q machine simulator models the
+// network cost of the same collectives at full-machine scale.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace mthfx::parallel {
+
+class Team;
+
+/// Per-rank handle passed to the SPMD body.
+class RankContext {
+ public:
+  RankContext(Team& team, std::size_t rank) : team_(team), rank_(rank) {}
+
+  std::size_t rank() const { return rank_; }
+  std::size_t size() const;
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// In-place sum-allreduce over all ranks of this team.
+  void allreduce_sum(std::span<double> data);
+  double allreduce_sum(double value);
+
+  /// Max-allreduce of a scalar.
+  double allreduce_max(double value);
+
+  /// Broadcast `data` from `root` to all ranks.
+  void broadcast(std::span<double> data, std::size_t root);
+
+ private:
+  Team& team_;
+  std::size_t rank_;
+};
+
+/// Fixed-size SPMD team. `run` launches one thread per rank and joins.
+class Team {
+ public:
+  explicit Team(std::size_t num_ranks);
+
+  std::size_t size() const { return num_ranks_; }
+
+  /// Execute body(ctx) on every rank concurrently; blocks until all done.
+  /// Exceptions thrown by any rank are rethrown (first one wins).
+  void run(const std::function<void(RankContext&)>& body);
+
+ private:
+  friend class RankContext;
+
+  void barrier();
+  // Collectives use a rendezvous buffer guarded by the barrier generation.
+  std::size_t num_ranks_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+
+  std::vector<std::span<double>> contrib_;
+  std::vector<double> scalar_contrib_;
+};
+
+}  // namespace mthfx::parallel

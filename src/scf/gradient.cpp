@@ -1,0 +1,129 @@
+#include "scf/gradient.hpp"
+
+#include <cmath>
+
+#include "ints/deriv.hpp"
+
+namespace mthfx::scf {
+
+using chem::Vec3;
+using linalg::Matrix;
+
+std::vector<Vec3> nuclear_repulsion_gradient(const chem::Molecule& mol) {
+  std::vector<Vec3> g(mol.size(), Vec3{0, 0, 0});
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    for (std::size_t j = 0; j < mol.size(); ++j) {
+      if (i == j) continue;
+      const Vec3 d = mol.atom(i).pos - mol.atom(j).pos;
+      const double r = chem::norm(d);
+      const double f = -static_cast<double>(mol.atom(i).z) *
+                       static_cast<double>(mol.atom(j).z) / (r * r * r);
+      g[i] = g[i] + f * d;
+    }
+  }
+  return g;
+}
+
+std::vector<Vec3> rhf_gradient(const chem::Molecule& mol,
+                               const chem::BasisSet& basis,
+                               const ScfResult& result) {
+  const std::size_t nao = basis.num_functions();
+  const auto nocc = static_cast<std::size_t>(mol.num_electrons() / 2);
+  const Matrix& p = result.density;
+
+  // Energy-weighted density W = 2 sum_occ eps_i c_i c_i^T.
+  Matrix w(nao, nao);
+  for (std::size_t mu = 0; mu < nao; ++mu)
+    for (std::size_t nu = 0; nu < nao; ++nu) {
+      double v = 0.0;
+      for (std::size_t o = 0; o < nocc; ++o)
+        v += result.orbital_energies[o] * result.coefficients(mu, o) *
+             result.coefficients(nu, o);
+      w(mu, nu) = 2.0 * v;
+    }
+
+  std::vector<Vec3> grad = nuclear_repulsion_gradient(mol);
+
+  // One-electron terms: P (dT + dV) and the Pulay term -W dS.
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
+    for (std::size_t sb = 0; sb < basis.num_shells(); ++sb) {
+      const auto& a = basis.shell(sa);
+      const auto& b = basis.shell(sb);
+      const std::size_t oa = basis.first_function(sa);
+      const std::size_t ob = basis.first_function(sb);
+
+      const auto ds = ints::overlap_gradient_block(a, b);
+      const auto dt = ints::kinetic_gradient_block(a, b);
+      for (std::size_t d = 0; d < 3; ++d) {
+        double acc_t = 0.0, acc_s = 0.0;
+        for (std::size_t i = 0; i < ds[d].rows(); ++i)
+          for (std::size_t j = 0; j < ds[d].cols(); ++j) {
+            acc_t += p(oa + i, ob + j) * dt[d](i, j);
+            acc_s += w(oa + i, ob + j) * ds[d](i, j);
+          }
+        // The blocks hold only the bra-center derivative. Because T, S,
+        // P and W are symmetric, the ket-derivative sum over all ordered
+        // pairs equals the bra-derivative sum, hence the factor 2.
+        grad[a.atom_index()][d] += 2.0 * (acc_t - acc_s);
+      }
+
+      const auto dv = ints::nuclear_gradient_blocks(a, b, mol);
+      for (std::size_t atom = 0; atom < mol.size(); ++atom)
+        for (std::size_t d = 0; d < 3; ++d) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < dv[atom][d].rows(); ++i)
+            for (std::size_t j = 0; j < dv[atom][d].cols(); ++j)
+              acc += p(oa + i, ob + j) * dv[atom][d](i, j);
+          grad[atom][d] += acc;
+        }
+    }
+  }
+
+  // Two-electron term: 1/2 sum Gamma d(mu nu|lam sig), Gamma = P P -
+  // 1/2 P P (exchange pattern). All shell quartets are visited without
+  // permutational folding — clarity over speed; the derivative centers
+  // A, B, C are explicit and D follows from translational invariance.
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
+    const auto& a = basis.shell(sa);
+    const std::size_t oa = basis.first_function(sa);
+    for (std::size_t sb = 0; sb < basis.num_shells(); ++sb) {
+      const auto& b = basis.shell(sb);
+      const std::size_t ob = basis.first_function(sb);
+      for (std::size_t sc = 0; sc < basis.num_shells(); ++sc) {
+        const auto& c = basis.shell(sc);
+        const std::size_t oc = basis.first_function(sc);
+        for (std::size_t sd = 0; sd < basis.num_shells(); ++sd) {
+          const auto& dsh = basis.shell(sd);
+          const std::size_t od = basis.first_function(sd);
+
+          const std::size_t centers[4] = {a.atom_index(), b.atom_index(),
+                                          c.atom_index(), dsh.atom_index()};
+          for (int center = 0; center < 3; ++center) {
+            const auto dblk = ints::eri_gradient_block(a, b, c, dsh, center);
+            std::size_t idx = 0;
+            for (std::size_t i = 0; i < a.num_functions(); ++i)
+              for (std::size_t j = 0; j < b.num_functions(); ++j)
+                for (std::size_t k = 0; k < c.num_functions(); ++k)
+                  for (std::size_t l = 0; l < dsh.num_functions(); ++l, ++idx) {
+                    const double gamma =
+                        p(oa + i, ob + j) * p(oc + k, od + l) -
+                        0.5 * p(oa + i, oc + k) * p(ob + j, od + l);
+                    if (gamma == 0.0) continue;
+                    for (std::size_t d = 0; d < 3; ++d) {
+                      const double contrib = 0.5 * gamma * dblk[d][idx];
+                      grad[centers[static_cast<std::size_t>(center)]][d] +=
+                          contrib;
+                      // Translational invariance: the D-center derivative
+                      // is minus the sum of A, B, C.
+                      grad[centers[3]][d] -= contrib;
+                    }
+                  }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace mthfx::scf

@@ -1,0 +1,27 @@
+#pragma once
+
+// Analytic RHF nuclear gradients (the force engine behind efficient
+// BOMD; the paper's CPMD substrate uses analytic forces throughout).
+//
+// dE/dX = P·dH + 1/2 Γ·dERI - W·dS + dVnn, with the energy-weighted
+// density W and the two-particle density Γ assembled from the converged
+// closed-shell SCF solution.
+
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "scf/rhf.hpp"
+
+namespace mthfx::scf {
+
+/// Gradient dE/dR per atom (Hartree/Bohr) at a converged RHF solution.
+/// The result must come from scf::rhf on the same molecule/basis.
+std::vector<chem::Vec3> rhf_gradient(const chem::Molecule& mol,
+                                     const chem::BasisSet& basis,
+                                     const ScfResult& result);
+
+/// Nuclear-repulsion part of the gradient (exposed for tests).
+std::vector<chem::Vec3> nuclear_repulsion_gradient(const chem::Molecule& mol);
+
+}  // namespace mthfx::scf

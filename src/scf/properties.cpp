@@ -1,0 +1,50 @@
+#include "scf/properties.hpp"
+
+#include <cmath>
+
+#include "ints/one_electron.hpp"
+
+namespace mthfx::scf {
+
+using linalg::Matrix;
+
+chem::Vec3 dipole_moment(const chem::Molecule& mol,
+                         const chem::BasisSet& basis, const Matrix& density) {
+  const chem::Vec3 com = mol.center_of_mass();
+  chem::Vec3 mu{0, 0, 0};
+  // Nuclear contribution.
+  for (const chem::Atom& a : mol.atoms())
+    mu = mu + static_cast<double>(a.z) * (a.pos - com);
+  // Electronic contribution: -tr(P D_d).
+  for (std::size_t d = 0; d < 3; ++d) {
+    const Matrix dints = ints::dipole(basis, d, com);
+    mu[d] -= linalg::trace_product(density, dints);
+  }
+  return mu;
+}
+
+double dipole_moment_debye(const chem::Molecule& mol,
+                           const chem::BasisSet& basis,
+                           const Matrix& density) {
+  return chem::norm(dipole_moment(mol, basis, density)) * kDebyePerAu;
+}
+
+std::vector<double> mulliken_charges(const chem::Molecule& mol,
+                                     const chem::BasisSet& basis,
+                                     const Matrix& density) {
+  const Matrix s = ints::overlap(basis);
+  const Matrix ps = linalg::matmul(density, s);
+
+  std::vector<double> charges(mol.size());
+  for (std::size_t i = 0; i < mol.size(); ++i)
+    charges[i] = static_cast<double>(mol.atom(i).z);
+  for (std::size_t sh = 0; sh < basis.num_shells(); ++sh) {
+    const std::size_t atom = basis.shell(sh).atom_index();
+    const std::size_t o = basis.first_function(sh);
+    for (std::size_t f = 0; f < basis.shell(sh).num_functions(); ++f)
+      charges[atom] -= ps(o + f, o + f);
+  }
+  return charges;
+}
+
+}  // namespace mthfx::scf

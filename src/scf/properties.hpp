@@ -1,0 +1,33 @@
+#pragma once
+
+// Molecular properties from a converged SCF density: dipole moments and
+// Mulliken population analysis — the observables the electrolyte
+// screening (experiment E6) reads off its solvents.
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::scf {
+
+/// Electric dipole vector (atomic units; multiply by 2.541746 for Debye)
+/// about the molecule's center of mass: nuclear part minus electronic
+/// expectation value over the density matrix.
+chem::Vec3 dipole_moment(const chem::Molecule& mol,
+                         const chem::BasisSet& basis,
+                         const linalg::Matrix& density);
+
+/// |dipole| in Debye.
+double dipole_moment_debye(const chem::Molecule& mol,
+                           const chem::BasisSet& basis,
+                           const linalg::Matrix& density);
+
+/// Mulliken partial charges: q_A = Z_A - sum_{mu in A} (P S)_{mu mu}.
+/// One entry per atom; entries sum to the molecular charge.
+std::vector<double> mulliken_charges(const chem::Molecule& mol,
+                                     const chem::BasisSet& basis,
+                                     const linalg::Matrix& density);
+
+inline constexpr double kDebyePerAu = 2.541746473;
+
+}  // namespace mthfx::scf

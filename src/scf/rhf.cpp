@@ -1,0 +1,124 @@
+#include "scf/rhf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ints/one_electron.hpp"
+#include "linalg/diis.hpp"
+#include "linalg/eigen.hpp"
+#include "scf/guess.hpp"
+
+namespace mthfx::scf {
+
+using linalg::Matrix;
+
+namespace {
+
+// DIIS error e = X^T (F P S - S P F) X — zero at self-consistency.
+Matrix diis_error(const Matrix& f, const Matrix& p, const Matrix& s,
+                  const Matrix& x) {
+  const Matrix fps = linalg::matmul(linalg::matmul(f, p), s);
+  const Matrix spf = linalg::transpose(fps);
+  return linalg::matmul(linalg::matmul(linalg::transpose(x), fps - spf), x);
+}
+
+}  // namespace
+
+ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
+              const ScfOptions& options) {
+  const int nelec = mol.num_electrons();
+  if (nelec % 2 != 0)
+    throw std::invalid_argument("rhf: closed-shell SCF needs even electrons");
+  const auto nocc = static_cast<std::size_t>(nelec / 2);
+
+  const Matrix s = ints::overlap(basis);
+  const Matrix x = linalg::inverse_sqrt(s);
+  const Matrix h = ints::core_hamiltonian(basis, mol);
+  const double enuc = mol.nuclear_repulsion();
+
+  hfx::FockBuilder builder(basis, options.hfx);
+
+  Matrix p = core_guess_density(basis, mol, x);
+  Matrix p_prev;     // density of the last *built* J/K
+  Matrix j, k;       // running Coulomb/exchange matrices
+  linalg::Diis diis;
+
+  ScfResult result;
+  result.nuclear_repulsion = enuc;
+  double e_prev = 0.0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ScfIterationLog log_entry;
+
+    const bool full_build = !options.incremental_fock || p_prev.empty() ||
+                            (iter % options.full_rebuild_every == 0);
+    if (full_build) {
+      auto jk = builder.coulomb_exchange(p);
+      j = std::move(jk.j);
+      k = std::move(jk.k);
+      log_entry.quartets_computed = jk.stats.screening.quartets_computed;
+    } else {
+      const Matrix dp = p - p_prev;
+      auto jk = builder.coulomb_exchange(dp);
+      j += jk.j;
+      k += jk.k;
+      log_entry.quartets_computed = jk.stats.screening.quartets_computed;
+    }
+    p_prev = p;
+
+    Matrix f = h + j - 0.5 * k;
+
+    // Energy from the matrices of this iteration's density.
+    const double e1 = linalg::trace_product(p, h);
+    const double ej = 0.5 * linalg::trace_product(p, j);
+    const double ek = -0.25 * linalg::trace_product(p, k);
+    const double energy = e1 + ej + ek + enuc;
+
+    const Matrix err = diis_error(f, p, s, x);
+    if (options.use_diis) f = diis.extrapolate(f, err);
+
+    log_entry.energy = energy;
+    log_entry.delta_e = energy - e_prev;
+    log_entry.diis_error = linalg::max_abs(err);
+    result.log.push_back(log_entry);
+
+    const bool e_converged =
+        iter > 0 && std::abs(energy - e_prev) < options.energy_tolerance;
+    const bool d_converged = log_entry.diis_error < options.diis_tolerance;
+    e_prev = energy;
+
+    if (e_converged && d_converged) {
+      result.converged = true;
+      result.energy = energy;
+      result.one_electron_energy = e1;
+      result.coulomb_energy = ej;
+      result.exchange_energy = ek;
+      result.iterations = iter + 1;
+      result.density = p;
+      // Final orbitals from the unextrapolated converged Fock.
+      const auto sol = solve_orbitals(h + j - 0.5 * k, x, nocc);
+      result.coefficients = sol.coefficients;
+      result.orbital_energies = sol.orbital_energies;
+      return result;
+    }
+
+    const auto sol = solve_orbitals(f, x, nocc);
+    p = sol.density;
+    result.coefficients = sol.coefficients;
+    result.orbital_energies = sol.orbital_energies;
+  }
+
+  result.converged = false;
+  result.energy = e_prev;
+  result.iterations = options.max_iterations;
+  result.density = p;
+  return result;
+}
+
+double homo_lumo_gap(const ScfResult& result, const chem::Molecule& mol) {
+  const auto nocc = static_cast<std::size_t>(mol.num_electrons() / 2);
+  if (nocc == 0 || nocc >= result.orbital_energies.size()) return 0.0;
+  return result.orbital_energies[nocc] - result.orbital_energies[nocc - 1];
+}
+
+}  // namespace mthfx::scf

@@ -1,0 +1,58 @@
+#pragma once
+
+// Restricted Hartree–Fock with DIIS and optional incremental Fock builds.
+//
+// The HFX kernel enters through hfx::FockBuilder; as the density settles,
+// the incremental (ΔP) build plus density screening makes late SCF
+// iterations progressively cheaper — one of the paper's efficiency levers.
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "hfx/fock_builder.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::scf {
+
+struct ScfOptions {
+  std::size_t max_iterations = 100;
+  double energy_tolerance = 1e-9;    ///< |dE| between iterations
+  double diis_tolerance = 1e-7;      ///< max |FPS - SPF| for convergence
+  bool use_diis = true;
+  bool incremental_fock = true;      ///< build J/K from ΔP when possible
+  std::size_t full_rebuild_every = 20;
+  hfx::HfxOptions hfx;               ///< screening/schedule of the JK builds
+};
+
+struct ScfIterationLog {
+  double energy = 0.0;
+  double delta_e = 0.0;
+  double diis_error = 0.0;
+  std::uint64_t quartets_computed = 0;
+};
+
+struct ScfResult {
+  bool converged = false;
+  double energy = 0.0;               ///< total (electronic + nuclear)
+  double nuclear_repulsion = 0.0;
+  double one_electron_energy = 0.0;
+  double coulomb_energy = 0.0;
+  double exchange_energy = 0.0;      ///< HFX part (scaled by hybrid weight)
+  std::size_t iterations = 0;
+  linalg::Matrix density;
+  linalg::Matrix coefficients;
+  linalg::Vector orbital_energies;
+  std::vector<ScfIterationLog> log;
+};
+
+/// Run closed-shell RHF. Throws std::invalid_argument for odd electron
+/// counts.
+ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
+              const ScfOptions& options = {});
+
+/// HOMO-LUMO gap in Hartree (0 when no virtual orbital exists).
+double homo_lumo_gap(const ScfResult& result, const chem::Molecule& mol);
+
+}  // namespace mthfx::scf

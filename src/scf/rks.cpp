@@ -1,0 +1,112 @@
+#include "scf/rks.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "dft/xc_integrator.hpp"
+#include "ints/one_electron.hpp"
+#include "linalg/diis.hpp"
+#include "linalg/eigen.hpp"
+#include "scf/guess.hpp"
+
+namespace mthfx::scf {
+
+using linalg::Matrix;
+
+KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
+             const KsOptions& options) {
+  const int nelec = mol.num_electrons();
+  if (nelec % 2 != 0)
+    throw std::invalid_argument("rks: closed-shell SCF needs even electrons");
+  const auto nocc = static_cast<std::size_t>(nelec / 2);
+
+  const dft::Functional functional = dft::make_functional(options.functional);
+  const double ax = functional.exact_exchange;
+  const bool semilocal = options.functional != "hf";
+
+  const Matrix s = ints::overlap(basis);
+  const Matrix x = linalg::inverse_sqrt(s);
+  const Matrix h = ints::core_hamiltonian(basis, mol);
+  const double enuc = mol.nuclear_repulsion();
+
+  hfx::FockBuilder builder(basis, options.scf.hfx);
+
+  // The grid is only needed for functionals with a semilocal part.
+  std::unique_ptr<dft::MolecularGrid> grid;
+  std::unique_ptr<dft::XcIntegrator> xc;
+  if (semilocal) {
+    grid = std::make_unique<dft::MolecularGrid>(mol, options.grid);
+    xc = std::make_unique<dft::XcIntegrator>(basis, *grid);
+  }
+
+  Matrix p = core_guess_density(basis, mol, x);
+  linalg::Diis diis;
+
+  KsResult result;
+  result.scf.nuclear_repulsion = enuc;
+  double e_prev = 0.0;
+
+  for (std::size_t iter = 0; iter < options.scf.max_iterations; ++iter) {
+    const auto jk = builder.coulomb_exchange(p);
+
+    dft::XcResult xres;
+    if (semilocal) xres = xc->integrate(functional, p);
+
+    Matrix f = h + jk.j;
+    if (ax != 0.0) f -= (0.5 * ax) * jk.k;
+    if (semilocal) f += xres.v;
+
+    const double e1 = linalg::trace_product(p, h);
+    const double ej = 0.5 * linalg::trace_product(p, jk.j);
+    const double ek = -0.25 * ax * linalg::trace_product(p, jk.k);
+    const double energy = e1 + ej + ek + xres.energy + enuc;
+
+    const Matrix fps = linalg::matmul(linalg::matmul(f, p), s);
+    const Matrix err = linalg::matmul(
+        linalg::matmul(linalg::transpose(x), fps - linalg::transpose(fps)), x);
+    if (options.scf.use_diis) f = diis.extrapolate(f, err);
+
+    ScfIterationLog log_entry;
+    log_entry.energy = energy;
+    log_entry.delta_e = energy - e_prev;
+    log_entry.diis_error = linalg::max_abs(err);
+    log_entry.quartets_computed = jk.stats.screening.quartets_computed;
+    result.scf.log.push_back(log_entry);
+
+    const bool e_ok =
+        iter > 0 && std::abs(energy - e_prev) < options.scf.energy_tolerance;
+    const bool d_ok = log_entry.diis_error < options.scf.diis_tolerance;
+    e_prev = energy;
+
+    if (e_ok && d_ok) {
+      result.scf.converged = true;
+      result.scf.energy = energy;
+      result.scf.one_electron_energy = e1;
+      result.scf.coulomb_energy = ej;
+      result.scf.exchange_energy = ek;
+      result.scf.iterations = iter + 1;
+      result.scf.density = p;
+      result.xc_energy = xres.energy;
+      result.exact_exchange_energy = ek;
+      result.integrated_density = xres.integrated_density;
+      const auto sol = solve_orbitals(f, x, nocc);
+      result.scf.coefficients = sol.coefficients;
+      result.scf.orbital_energies = sol.orbital_energies;
+      return result;
+    }
+
+    const auto sol = solve_orbitals(f, x, nocc);
+    p = sol.density;
+    result.scf.coefficients = sol.coefficients;
+    result.scf.orbital_energies = sol.orbital_energies;
+  }
+
+  result.scf.converged = false;
+  result.scf.energy = e_prev;
+  result.scf.iterations = options.scf.max_iterations;
+  result.scf.density = p;
+  return result;
+}
+
+}  // namespace mthfx::scf

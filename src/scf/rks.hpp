@@ -1,0 +1,30 @@
+#pragma once
+
+// Restricted Kohn–Sham SCF with hybrid-functional support. PBE0 runs the
+// same HFX machinery as RHF with a 0.25 exchange fraction — exactly how
+// the paper deploys the kernel inside DFT-based molecular dynamics.
+
+#include "dft/functionals.hpp"
+#include "dft/grid.hpp"
+#include "scf/rhf.hpp"
+
+namespace mthfx::scf {
+
+struct KsOptions {
+  ScfOptions scf;              ///< convergence / HFX settings
+  dft::GridOptions grid;       ///< Becke grid resolution
+  std::string functional = "pbe0";
+};
+
+struct KsResult {
+  ScfResult scf;               ///< energies, density, orbitals
+  double xc_energy = 0.0;
+  double exact_exchange_energy = 0.0;
+  double integrated_density = 0.0;  ///< grid check, should be N_electrons
+};
+
+/// Run closed-shell restricted Kohn–Sham ("hf" functional reduces to RHF).
+KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
+             const KsOptions& options = {});
+
+}  // namespace mthfx::scf

@@ -1,0 +1,170 @@
+#include "scf/uhf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ints/one_electron.hpp"
+#include "linalg/diis.hpp"
+#include "linalg/eigen.hpp"
+
+namespace mthfx::scf {
+
+using linalg::Matrix;
+
+namespace {
+
+struct SpinOrbitals {
+  Matrix c;
+  linalg::Vector eps;
+  Matrix p;  // C_occ C_occ^T, no factor 2
+};
+
+SpinOrbitals solve_spin(const Matrix& f, const Matrix& x, std::size_t nocc) {
+  const Matrix fprime =
+      linalg::matmul(linalg::matmul(linalg::transpose(x), f), x);
+  const auto eig = linalg::eigh(fprime);
+  SpinOrbitals out;
+  out.c = linalg::matmul(x, eig.vectors);
+  out.eps = eig.values;
+  const std::size_t n = out.c.rows();
+  out.p = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (std::size_t o = 0; o < nocc; ++o) v += out.c(i, o) * out.c(j, o);
+      out.p(i, j) = v;
+    }
+  return out;
+}
+
+// <S^2> = Sz(Sz+1) + N_b - sum_{i in a, j in b} |(C_a^T S C_b)_ij|^2.
+double s_squared_expectation(const Matrix& ca, const Matrix& cb,
+                             const Matrix& s, std::size_t na, std::size_t nb) {
+  const double sz = 0.5 * (static_cast<double>(na) - static_cast<double>(nb));
+  double overlap2 = 0.0;
+  const Matrix sab = linalg::matmul(linalg::matmul(linalg::transpose(ca), s), cb);
+  for (std::size_t i = 0; i < na; ++i)
+    for (std::size_t j = 0; j < nb; ++j) overlap2 += sab(i, j) * sab(i, j);
+  return sz * (sz + 1.0) + static_cast<double>(nb) - overlap2;
+}
+
+}  // namespace
+
+UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
+              int multiplicity, const UhfOptions& options) {
+  const int nelec = mol.num_electrons();
+  const int nopen = multiplicity - 1;
+  if (nopen < 0 || (nelec - nopen) % 2 != 0 || nelec < nopen)
+    throw std::invalid_argument(
+        "uhf: electron count inconsistent with multiplicity");
+  const auto nb = static_cast<std::size_t>((nelec - nopen) / 2);
+  const auto na = nb + static_cast<std::size_t>(nopen);
+
+  const Matrix s = ints::overlap(basis);
+  const Matrix x = linalg::inverse_sqrt(s);
+  const Matrix h = ints::core_hamiltonian(basis, mol);
+  const double enuc = mol.nuclear_repulsion();
+
+  hfx::FockBuilder builder(basis, options.hfx);
+
+  SpinOrbitals a = solve_spin(h, x, na);
+  SpinOrbitals b = solve_spin(h, x, nb);
+
+  if (options.break_symmetry && na < basis.num_functions()) {
+    // Rotate the alpha HOMO toward the LUMO and rebuild P_a.
+    const std::size_t homo = na - 1, lumo = na;
+    const double c = std::cos(0.25 * M_PI / 2.0), sn = std::sin(0.25 * M_PI / 2.0);
+    for (std::size_t i = 0; i < a.c.rows(); ++i) {
+      const double vh = a.c(i, homo), vl = a.c(i, lumo);
+      a.c(i, homo) = c * vh + sn * vl;
+      a.c(i, lumo) = -sn * vh + c * vl;
+    }
+    const std::size_t n = a.c.rows();
+    a.p = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double v = 0.0;
+        for (std::size_t o = 0; o < na; ++o) v += a.c(i, o) * a.c(j, o);
+        a.p(i, j) = v;
+      }
+  }
+
+  linalg::Diis diis_a, diis_b;
+  UhfResult result;
+  result.nuclear_repulsion = enuc;
+  double e_prev = 0.0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const auto jk_a = builder.coulomb_exchange(a.p);
+    const auto jk_b = builder.coulomb_exchange(b.p);
+    const Matrix j_total = jk_a.j + jk_b.j;
+
+    Matrix fa = h + j_total - jk_a.k;
+    Matrix fb = h + j_total - jk_b.k;
+
+    const Matrix pt = a.p + b.p;
+    const double energy = 0.5 * (linalg::trace_product(pt, h) +
+                                 linalg::trace_product(a.p, fa) +
+                                 linalg::trace_product(b.p, fb)) +
+                          enuc;
+
+    auto err_for = [&](const Matrix& f, const Matrix& p) {
+      const Matrix fps = linalg::matmul(linalg::matmul(f, p), s);
+      return linalg::matmul(
+          linalg::matmul(linalg::transpose(x), fps - linalg::transpose(fps)),
+          x);
+    };
+    const Matrix ea = err_for(fa, a.p);
+    const Matrix eb = err_for(fb, b.p);
+    if (options.use_diis) {
+      fa = diis_a.extrapolate(fa, ea);
+      fb = diis_b.extrapolate(fb, eb);
+    }
+
+    const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
+    const bool e_ok =
+        iter > 0 && std::abs(energy - e_prev) < options.energy_tolerance;
+    const bool d_ok = diis_err < options.diis_tolerance;
+    e_prev = energy;
+
+    if (e_ok && d_ok) {
+      result.converged = true;
+      result.energy = energy;
+      result.iterations = iter + 1;
+      result.density_alpha = a.p;
+      result.density_beta = b.p;
+      result.coefficients_alpha = a.c;
+      result.coefficients_beta = b.c;
+      result.orbital_energies_alpha = a.eps;
+      result.orbital_energies_beta = b.eps;
+      result.s_squared = s_squared_expectation(a.c, b.c, s, na, nb);
+      return result;
+    }
+
+    if (options.level_shift > 0.0) {
+      const Matrix spa = linalg::matmul(linalg::matmul(s, a.p), s);
+      const Matrix spb = linalg::matmul(linalg::matmul(s, b.p), s);
+      fa += options.level_shift * (s - spa);
+      fb += options.level_shift * (s - spb);
+    }
+    const Matrix pa_old = a.p;
+    const Matrix pb_old = b.p;
+    a = solve_spin(fa, x, na);
+    b = solve_spin(fb, x, nb);
+    if (options.density_damping > 0.0 && diis_err > options.damping_until) {
+      const double d = options.density_damping;
+      a.p = (1.0 - d) * a.p + d * pa_old;
+      b.p = (1.0 - d) * b.p + d * pb_old;
+    }
+  }
+
+  result.converged = false;
+  result.energy = e_prev;
+  result.iterations = options.max_iterations;
+  result.density_alpha = a.p;
+  result.density_beta = b.p;
+  result.s_squared = s_squared_expectation(a.c, b.c, s, na, nb);
+  return result;
+}
+
+}  // namespace mthfx::scf

@@ -1,0 +1,169 @@
+#include "scf/uks.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "dft/spin_functionals.hpp"
+#include "dft/xc_integrator.hpp"
+#include "ints/one_electron.hpp"
+#include "linalg/diis.hpp"
+#include "linalg/eigen.hpp"
+
+namespace mthfx::scf {
+
+using linalg::Matrix;
+
+namespace {
+
+struct SpinState {
+  Matrix c;
+  linalg::Vector eps;
+  Matrix p;
+};
+
+SpinState solve_channel(const Matrix& f, const Matrix& x, std::size_t nocc) {
+  const Matrix fprime =
+      linalg::matmul(linalg::matmul(linalg::transpose(x), f), x);
+  const auto eig = linalg::eigh(fprime);
+  SpinState out;
+  out.c = linalg::matmul(x, eig.vectors);
+  out.eps = eig.values;
+  const std::size_t n = out.c.rows();
+  out.p = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (std::size_t o = 0; o < nocc; ++o) v += out.c(i, o) * out.c(j, o);
+      out.p(i, j) = v;
+    }
+  return out;
+}
+
+}  // namespace
+
+UksResult uks(const chem::Molecule& mol, const chem::BasisSet& basis,
+              int multiplicity, const UksOptions& options) {
+  const int nelec = mol.num_electrons();
+  const int nopen = multiplicity - 1;
+  if (nopen < 0 || (nelec - nopen) % 2 != 0 || nelec < nopen)
+    throw std::invalid_argument(
+        "uks: electron count inconsistent with multiplicity");
+  const auto nb = static_cast<std::size_t>((nelec - nopen) / 2);
+  const auto na = nb + static_cast<std::size_t>(nopen);
+
+  const dft::SpinFunctional functional =
+      dft::make_spin_functional(options.functional);
+  const double ax = functional.exact_exchange;
+  const bool semilocal = options.functional != "hf";
+
+  const Matrix s = ints::overlap(basis);
+  const Matrix x = linalg::inverse_sqrt(s);
+  const Matrix h = ints::core_hamiltonian(basis, mol);
+  const double enuc = mol.nuclear_repulsion();
+
+  hfx::FockBuilder builder(basis, options.scf.hfx);
+
+  std::unique_ptr<dft::MolecularGrid> grid;
+  std::unique_ptr<dft::XcIntegrator> xc;
+  if (semilocal) {
+    grid = std::make_unique<dft::MolecularGrid>(mol, options.grid);
+    xc = std::make_unique<dft::XcIntegrator>(basis, *grid);
+  }
+
+  SpinState a = solve_channel(h, x, na);
+  SpinState b = solve_channel(h, x, nb);
+
+  linalg::Diis diis_a, diis_b;
+  UksResult result;
+  result.scf.nuclear_repulsion = enuc;
+  double e_prev = 0.0;
+
+  for (std::size_t iter = 0; iter < options.scf.max_iterations; ++iter) {
+    const auto jk_a = builder.coulomb_exchange(a.p);
+    const auto jk_b = builder.coulomb_exchange(b.p);
+    const Matrix j_total = jk_a.j + jk_b.j;
+
+    dft::XcSpinResult xres;
+    if (semilocal) xres = xc->integrate_spin(functional, a.p, b.p);
+
+    Matrix fa = h + j_total;
+    Matrix fb = h + j_total;
+    if (ax != 0.0) {
+      fa -= ax * jk_a.k;
+      fb -= ax * jk_b.k;
+    }
+    if (semilocal) {
+      fa += xres.v_alpha;
+      fb += xres.v_beta;
+    }
+
+    const Matrix pt = a.p + b.p;
+    const double e_core = linalg::trace_product(pt, h);
+    const double e_j = 0.5 * linalg::trace_product(pt, j_total);
+    const double e_k = -0.5 * ax * (linalg::trace_product(a.p, jk_a.k) +
+                                    linalg::trace_product(b.p, jk_b.k));
+    const double energy = e_core + e_j + e_k + xres.energy + enuc;
+
+    auto err_for = [&](const Matrix& f, const Matrix& p) {
+      const Matrix fps = linalg::matmul(linalg::matmul(f, p), s);
+      return linalg::matmul(
+          linalg::matmul(linalg::transpose(x), fps - linalg::transpose(fps)),
+          x);
+    };
+    const Matrix ea = err_for(fa, a.p);
+    const Matrix eb = err_for(fb, b.p);
+    if (options.scf.use_diis) {
+      fa = diis_a.extrapolate(fa, ea);
+      fb = diis_b.extrapolate(fb, eb);
+    }
+    const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
+
+    const bool e_ok = iter > 0 && std::abs(energy - e_prev) <
+                                      options.scf.energy_tolerance;
+    const bool d_ok = diis_err < options.scf.diis_tolerance;
+    e_prev = energy;
+
+    if (e_ok && d_ok) {
+      result.scf.converged = true;
+      result.scf.energy = energy;
+      result.scf.iterations = iter + 1;
+      result.scf.density_alpha = a.p;
+      result.scf.density_beta = b.p;
+      result.scf.coefficients_alpha = a.c;
+      result.scf.coefficients_beta = b.c;
+      result.scf.orbital_energies_alpha = a.eps;
+      result.scf.orbital_energies_beta = b.eps;
+      result.xc_energy = xres.energy;
+      result.exact_exchange_energy = e_k;
+      result.integrated_density = xres.integrated_density;
+      return result;
+    }
+
+    if (options.scf.level_shift > 0.0) {
+      const Matrix spa = linalg::matmul(linalg::matmul(s, a.p), s);
+      const Matrix spb = linalg::matmul(linalg::matmul(s, b.p), s);
+      fa += options.scf.level_shift * (s - spa);
+      fb += options.scf.level_shift * (s - spb);
+    }
+    const Matrix pa_old = a.p;
+    const Matrix pb_old = b.p;
+    a = solve_channel(fa, x, na);
+    b = solve_channel(fb, x, nb);
+    if (options.scf.density_damping > 0.0 &&
+        diis_err > options.scf.damping_until) {
+      const double d = options.scf.density_damping;
+      a.p = (1.0 - d) * a.p + d * pa_old;
+      b.p = (1.0 - d) * b.p + d * pb_old;
+    }
+  }
+
+  result.scf.converged = false;
+  result.scf.energy = e_prev;
+  result.scf.iterations = options.scf.max_iterations;
+  result.scf.density_alpha = a.p;
+  result.scf.density_beta = b.p;
+  return result;
+}
+
+}  // namespace mthfx::scf

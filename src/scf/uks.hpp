@@ -1,0 +1,30 @@
+#pragma once
+
+// Unrestricted Kohn–Sham SCF: spin-polarized LDA/PBE/PBE0 for the
+// open-shell Li/air species (neutral LiO2, superoxide radicals). The
+// hybrid path exercises the same HFX builder per spin channel.
+
+#include "dft/grid.hpp"
+#include "scf/uhf.hpp"
+
+namespace mthfx::scf {
+
+struct UksOptions {
+  UhfOptions scf;              ///< convergence / HFX / damping settings
+  dft::GridOptions grid;
+  std::string functional = "pbe0";
+};
+
+struct UksResult {
+  UhfResult scf;               ///< energies, spin densities, orbitals
+  double xc_energy = 0.0;
+  double exact_exchange_energy = 0.0;
+  double integrated_density = 0.0;
+};
+
+/// Run spin-polarized Kohn–Sham with `multiplicity` = 2S+1.
+/// ("hf" reduces to UHF.)
+UksResult uks(const chem::Molecule& mol, const chem::BasisSet& basis,
+              int multiplicity, const UksOptions& options = {});
+
+}  // namespace mthfx::scf

@@ -1,0 +1,102 @@
+#include "workload/geometries.hpp"
+
+#include <stdexcept>
+
+namespace mthfx::workload {
+
+using chem::Molecule;
+
+Molecule water() {
+  return Molecule::from_xyz(
+      "3\nwater (experimental geometry)\n"
+      "O 0.000000 0.000000 0.117300\n"
+      "H 0.000000 0.757200 -0.469200\n"
+      "H 0.000000 -0.757200 -0.469200\n");
+}
+
+Molecule propylene_carbonate() {
+  // Five-membered cyclic carbonate ring (O1-C2(=O3)-O4-C5-C6) with a
+  // methyl on C5. Ring on a pentagon of standard bond lengths; methyl
+  // and ring hydrogens at ~1.09 A.
+  return Molecule::from_xyz(
+      "13\npropylene carbonate C4H6O3\n"
+      "C 0.000000 1.190000 0.000000\n"   // C2 carbonyl carbon
+      "O 0.000000 2.390000 0.000000\n"   // O3 carbonyl oxygen
+      "O 1.132000 0.368000 0.000000\n"   // O4 ring oxygen
+      "O -1.132000 0.368000 0.000000\n"  // O1 ring oxygen
+      "C 0.699000 -0.963000 0.000000\n"  // C5 methine
+      "C -0.699000 -0.963000 0.000000\n" // C6 methylene
+      "C 1.550000 -2.150000 0.400000\n"  // C7 methyl carbon
+      "H 0.750000 -1.200000 -1.060000\n" // H on C5
+      "H -1.100000 -1.350000 0.950000\n" // H on C6
+      "H -1.100000 -1.350000 -0.950000\n"
+      "H 2.520000 -2.400000 0.100000\n"  // methyl H
+      "H 1.100000 -3.050000 0.550000\n"
+      "H 1.900000 -1.850000 1.350000\n");
+}
+
+Molecule dmso() {
+  return Molecule::from_xyz(
+      "10\ndimethyl sulfoxide C2H6OS\n"
+      "S 0.000000 0.000000 0.000000\n"
+      "O 0.000000 0.000000 1.500000\n"
+      "C 1.550000 0.000000 -0.910000\n"
+      "C -1.550000 0.000000 -0.910000\n"
+      "H 2.200000 0.850000 -0.700000\n"
+      "H 2.200000 -0.850000 -0.700000\n"
+      "H 1.300000 0.000000 -1.950000\n"
+      "H -2.200000 0.850000 -0.700000\n"
+      "H -2.200000 -0.850000 -0.700000\n"
+      "H -1.300000 0.000000 -1.950000\n");
+}
+
+Molecule lithium_peroxide() {
+  // Planar D2h rhombus: peroxide unit bridged by two lithiums.
+  return Molecule::from_xyz(
+      "4\nlithium peroxide Li2O2\n"
+      "O 0.775000 0.000000 0.000000\n"
+      "O -0.775000 0.000000 0.000000\n"
+      "Li 0.000000 1.550000 0.000000\n"
+      "Li 0.000000 -1.550000 0.000000\n");
+}
+
+Molecule lithium_superoxide_anion() {
+  // Side-on LiO2^- (singlet closed-shell model of the reactive
+  // superoxide species).
+  Molecule m = Molecule::from_xyz(
+      "3\nlithium superoxide anion LiO2-\n"
+      "Li 0.000000 0.000000 0.000000\n"
+      "O 1.700000 0.665000 0.000000\n"
+      "O 1.700000 -0.665000 0.000000\n");
+  m.set_charge(-1);
+  return m;
+}
+
+Molecule hydroxide() {
+  Molecule m = Molecule::from_xyz(
+      "2\nhydroxide\n"
+      "O 0.000000 0.000000 0.000000\n"
+      "H 0.000000 0.000000 0.960000\n");
+  m.set_charge(-1);
+  return m;
+}
+
+Molecule h2() {
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 1.4});
+  return m;
+}
+
+Molecule by_name(const std::string& name) {
+  if (name == "water") return water();
+  if (name == "pc") return propylene_carbonate();
+  if (name == "dmso") return dmso();
+  if (name == "li2o2") return lithium_peroxide();
+  if (name == "lio2-") return lithium_superoxide_anion();
+  if (name == "oh-") return hydroxide();
+  if (name == "h2") return h2();
+  throw std::invalid_argument("workload::by_name: unknown molecule " + name);
+}
+
+}  // namespace mthfx::workload

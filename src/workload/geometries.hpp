@@ -1,0 +1,41 @@
+#pragma once
+
+// Built-in molecular geometries for the Li/air electrolyte studies:
+// the species the paper's application section revolves around
+// (propylene carbonate and its degradation partners, the proposed
+// alternative solvent DMSO, lithium peroxide/superoxide) plus water for
+// calibration workloads. Geometries are chemically sensible built-up
+// structures (standard bond lengths/angles), adequate for benchmark
+// workloads and relative energetics; they are not re-optimized minima.
+
+#include "chem/molecule.hpp"
+
+namespace mthfx::workload {
+
+/// Water (experimental geometry).
+chem::Molecule water();
+
+/// Propylene carbonate, C4H6O3 — the electrolyte the paper shows degrading.
+chem::Molecule propylene_carbonate();
+
+/// Dimethyl sulfoxide, C2H6OS — an alternative solvent candidate.
+chem::Molecule dmso();
+
+/// Lithium peroxide Li2O2 (molecular model of the discharge product).
+chem::Molecule lithium_peroxide();
+
+/// Lithium superoxide LiO2 (the reactive intermediate), charge -1 overall
+/// singlet model (LiO2^-) so the closed-shell SCF applies.
+chem::Molecule lithium_superoxide_anion();
+
+/// Hydroxide ion OH- (simple nucleophile used in attack-path tests).
+chem::Molecule hydroxide();
+
+/// Molecular hydrogen at R = 1.4 a0.
+chem::Molecule h2();
+
+/// Lookup by name ("water", "pc", "dmso", "li2o2", "lio2-", "oh-", "h2").
+/// Throws std::invalid_argument for unknown names.
+chem::Molecule by_name(const std::string& name);
+
+}  // namespace mthfx::workload

@@ -1,0 +1,56 @@
+#include "workload/reaction_path.hpp"
+
+#include <stdexcept>
+
+namespace mthfx::workload {
+
+std::vector<chem::Molecule> linear_path(const chem::Molecule& reactant,
+                                        const chem::Molecule& product,
+                                        int num_images) {
+  if (num_images < 2)
+    throw std::invalid_argument("linear_path: need at least two images");
+  if (reactant.size() != product.size() ||
+      reactant.charge() != product.charge())
+    throw std::invalid_argument("linear_path: endpoint mismatch");
+  for (std::size_t i = 0; i < reactant.size(); ++i)
+    if (reactant.atom(i).z != product.atom(i).z)
+      throw std::invalid_argument("linear_path: atom order mismatch");
+
+  std::vector<chem::Molecule> path;
+  path.reserve(static_cast<std::size_t>(num_images));
+  for (int img = 0; img < num_images; ++img) {
+    const double lambda =
+        static_cast<double>(img) / static_cast<double>(num_images - 1);
+    chem::Molecule m = reactant;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const chem::Vec3 p = (1.0 - lambda) * reactant.atom(i).pos +
+                           lambda * product.atom(i).pos;
+      m.set_position(i, p);
+    }
+    path.push_back(std::move(m));
+  }
+  return path;
+}
+
+std::vector<chem::Molecule> approach_path(const chem::Molecule& substrate,
+                                          const chem::Molecule& attacker,
+                                          const chem::Vec3& far_offset,
+                                          const chem::Vec3& near_offset,
+                                          int num_images) {
+  if (num_images < 2)
+    throw std::invalid_argument("approach_path: need at least two images");
+  std::vector<chem::Molecule> path;
+  path.reserve(static_cast<std::size_t>(num_images));
+  for (int img = 0; img < num_images; ++img) {
+    const double lambda =
+        static_cast<double>(img) / static_cast<double>(num_images - 1);
+    chem::Molecule combined = substrate;
+    chem::Molecule moved = attacker;
+    moved.translate((1.0 - lambda) * far_offset + lambda * near_offset);
+    combined.append(moved);
+    path.push_back(std::move(combined));
+  }
+  return path;
+}
+
+}  // namespace mthfx::workload

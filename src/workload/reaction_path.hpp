@@ -1,0 +1,30 @@
+#pragma once
+
+// Linear-synchronous-transit reaction paths: interpolated geometries
+// between a reactant and a product arrangement, used to scan the
+// peroxide-attack energetics on propylene carbonate (experiment E7).
+
+#include <vector>
+
+#include "chem/molecule.hpp"
+
+namespace mthfx::workload {
+
+/// `num_images` geometries linearly interpolating atom positions from
+/// `reactant` (lambda = 0) to `product` (lambda = 1), endpoints included.
+/// The two molecules must have identical atom sequences (same Z order)
+/// and the same charge; throws std::invalid_argument otherwise.
+std::vector<chem::Molecule> linear_path(const chem::Molecule& reactant,
+                                        const chem::Molecule& product,
+                                        int num_images);
+
+/// A rigid-approach path: `attacker` moved from `far_offset` to
+/// `near_offset` (Bohr, applied to every attacker atom) toward the fixed
+/// `substrate`, producing num_images combined geometries.
+std::vector<chem::Molecule> approach_path(const chem::Molecule& substrate,
+                                          const chem::Molecule& attacker,
+                                          const chem::Vec3& far_offset,
+                                          const chem::Vec3& near_offset,
+                                          int num_images);
+
+}  // namespace mthfx::workload

@@ -1,0 +1,47 @@
+#include "workload/replicate.hpp"
+
+#include <cmath>
+
+namespace mthfx::workload {
+
+chem::Molecule replicate(const chem::Molecule& unit, const LatticeSpec& spec) {
+  chem::Molecule out;
+  for (int ix = 0; ix < spec.nx; ++ix)
+    for (int iy = 0; iy < spec.ny; ++iy)
+      for (int iz = 0; iz < spec.nz; ++iz) {
+        chem::Molecule copy = unit;
+        copy.translate({ix * spec.spacing_bohr, iy * spec.spacing_bohr,
+                        iz * spec.spacing_bohr});
+        out.append(copy);
+      }
+  return out;
+}
+
+LatticeSpec lattice_for_count(int count, double spacing_bohr) {
+  LatticeSpec spec;
+  spec.spacing_bohr = spacing_bohr;
+  int n = 1;
+  while (n * n * n < count) ++n;
+  spec.nx = n;
+  spec.ny = n;
+  spec.nz = (count + n * n - 1) / (n * n);
+  return spec;
+}
+
+chem::Molecule cluster_of(const chem::Molecule& unit, int count,
+                          double spacing_bohr) {
+  const LatticeSpec spec = lattice_for_count(count, spacing_bohr);
+  chem::Molecule out;
+  int placed = 0;
+  for (int ix = 0; ix < spec.nx && placed < count; ++ix)
+    for (int iy = 0; iy < spec.ny && placed < count; ++iy)
+      for (int iz = 0; iz < spec.nz && placed < count; ++iz, ++placed) {
+        chem::Molecule copy = unit;
+        copy.translate({ix * spacing_bohr, iy * spacing_bohr,
+                        iz * spacing_bohr});
+        out.append(copy);
+      }
+  return out;
+}
+
+}  // namespace mthfx::workload

@@ -1,0 +1,29 @@
+#pragma once
+
+// Condensed-phase-like cluster construction: replicate a solvent molecule
+// on a cubic lattice. The paper's scaling runs use condensed-phase boxes;
+// lattice replication reproduces the property that matters for the HFX
+// workload — quartet-task counts and screening survival growing with the
+// number of interacting molecule pairs.
+
+#include "chem/molecule.hpp"
+
+namespace mthfx::workload {
+
+struct LatticeSpec {
+  int nx = 1, ny = 1, nz = 1;
+  double spacing_bohr = 10.0;  ///< lattice constant
+};
+
+/// Replicate `unit` on an nx x ny x nz lattice.
+chem::Molecule replicate(const chem::Molecule& unit, const LatticeSpec& spec);
+
+/// Smallest cubic-ish lattice holding at least `count` copies.
+LatticeSpec lattice_for_count(int count, double spacing_bohr = 10.0);
+
+/// Exactly `count` copies of `unit`, placed on the first `count` sites of
+/// the covering lattice (row-major).
+chem::Molecule cluster_of(const chem::Molecule& unit, int count,
+                          double spacing_bohr = 10.0);
+
+}  // namespace mthfx::workload

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "app/driver.hpp"
+#include "app/input.hpp"
+#include "chem/elements.hpp"
+
+namespace app = mthfx::app;
+namespace chem = mthfx::chem;
+
+namespace {
+
+const char* kWaterInput = R"(
+# water single point
+method hf
+basis sto-3g
+task energy
+geometry angstrom
+O 0.0 0.0 0.1173
+H 0.0 0.7572 -0.4692
+H 0.0 -0.7572 -0.4692
+end
+)";
+
+}  // namespace
+
+TEST(Input, ParsesFullExample) {
+  const auto in = app::parse_input(kWaterInput);
+  EXPECT_EQ(in.method, "hf");
+  EXPECT_EQ(in.basis, "sto-3g");
+  EXPECT_EQ(in.task, app::Task::kEnergy);
+  EXPECT_EQ(in.molecule.size(), 3u);
+  EXPECT_EQ(in.molecule.atom(0).z, 8);
+  EXPECT_NEAR(in.molecule.atom(1).pos.y, 0.7572 * chem::kBohrPerAngstrom,
+              1e-10);
+}
+
+TEST(Input, BohrUnits) {
+  const auto in = app::parse_input(
+      "geometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n");
+  EXPECT_NEAR(in.molecule.atom(1).pos.z, 1.4, 1e-14);
+}
+
+TEST(Input, DefaultsApplied) {
+  const auto in = app::parse_input("geometry bohr\nHe 0 0 0\nend\n");
+  EXPECT_EQ(in.method, "hf");
+  EXPECT_EQ(in.charge, 0);
+  EXPECT_EQ(in.multiplicity, 1);
+  EXPECT_DOUBLE_EQ(in.eps_schwarz, 1e-10);
+}
+
+TEST(Input, ChargeAndMultiplicity) {
+  const auto in = app::parse_input(
+      "charge -1\nmultiplicity 1\ngeometry angstrom\nO 0 0 0\nH 0 0 0.96\n"
+      "end\n");
+  EXPECT_EQ(in.molecule.num_electrons(), 10);
+}
+
+TEST(Input, CommentsAndBlankLines) {
+  const auto in = app::parse_input(
+      "# leading comment\n\nmethod pbe0  # trailing\n\n"
+      "geometry bohr\nH 0 0 0  # atom\nH 0 0 1.4\nend\n");
+  EXPECT_EQ(in.method, "pbe0");
+  EXPECT_EQ(in.molecule.size(), 2u);
+}
+
+TEST(Input, Errors) {
+  EXPECT_THROW(app::parse_input("method\n"), std::runtime_error);
+  EXPECT_THROW(app::parse_input("frobnicate yes\n"), std::runtime_error);
+  EXPECT_THROW(app::parse_input("geometry parsec\nH 0 0 0\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input("geometry bohr\nXx 0 0 0\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input("geometry bohr\nH 0 0\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input("geometry bohr\nH 0 0 0\n"),  // no end
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input("method hf\n"),  // no geometry
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input(  // parity mismatch
+                   "multiplicity 2\ngeometry bohr\nHe 0 0 0\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input("task optimize\ngeometry bohr\nH 0 0 0\nH 0 "
+                                "0 1\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Driver, WaterHfEnergy) {
+  const auto in = app::parse_input(kWaterInput);
+  const auto r = app::run(in);
+  EXPECT_TRUE(r.ok);
+  EXPECT_NEAR(r.energy, -74.963, 1e-2);
+  EXPECT_NE(r.report.find("SCF(hf) energy"), std::string::npos);
+  EXPECT_NE(r.report.find("dipole moment"), std::string::npos);
+}
+
+TEST(Driver, GradientTask) {
+  const auto r = app::run(app::parse_input(
+      "method hf\ntask gradient\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"));
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.report.find("gradient (Ha/bohr)"), std::string::npos);
+}
+
+TEST(Driver, OpenShellAutoSelectsUks) {
+  const auto r = app::run(app::parse_input(
+      "method hf\nmultiplicity 2\ngeometry bohr\nLi 0 0 0\nend\n"));
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.report.find("UKS(hf)"), std::string::npos);
+  EXPECT_NEAR(r.energy, -7.3155, 1e-2);
+}
+
+TEST(Driver, MdTask) {
+  const auto r = app::run(app::parse_input(
+      "method hf\ntask md\nmd_steps 3\nmd_timestep_fs 0.15\n"
+      "geometry bohr\nH 0 0 0\nH 0 0 1.5\nend\n"));
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.report.find("BOMD"), std::string::npos);
+  EXPECT_NE(r.report.find("energy drift"), std::string::npos);
+}

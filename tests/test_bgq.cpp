@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bgq/collectives.hpp"
+#include "bgq/machine.hpp"
+#include "bgq/simulator.hpp"
+#include "bgq/torus.hpp"
+
+namespace bgq = mthfx::bgq;
+
+TEST(Machine, HeadlineScaleIs96Racks) {
+  const auto m = bgq::machine_for_racks(96);
+  EXPECT_EQ(m.num_nodes(), 98304);
+  EXPECT_EQ(m.num_threads(), 6291456);  // the paper's headline number
+}
+
+class RackCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(RackCounts, TorusVolumeMatchesNodeCount) {
+  const auto m = bgq::machine_for_racks(GetParam());
+  std::int64_t vol = 1;
+  for (int d : m.torus) vol *= d;
+  EXPECT_EQ(vol, m.num_nodes());
+  EXPECT_EQ(m.num_nodes(),
+            static_cast<std::int64_t>(GetParam()) * 1024);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RackCounts,
+                         ::testing::ValuesIn(bgq::supported_rack_counts()));
+
+TEST(Machine, RejectsUnsupportedRackCount) {
+  EXPECT_THROW(bgq::machine_for_racks(3), std::invalid_argument);
+  EXPECT_THROW(bgq::machine_for_racks(0), std::invalid_argument);
+}
+
+TEST(Torus, CoordIndexRoundTrip) {
+  const bgq::TorusShape shape{4, 4, 4, 8, 2};
+  for (std::int64_t i : {0L, 1L, 63L, 511L, 1023L}) {
+    const auto c = bgq::torus_coord(shape, i);
+    EXPECT_EQ(bgq::torus_index(shape, c), i);
+  }
+  EXPECT_THROW(bgq::torus_coord(shape, 1024), std::out_of_range);
+  EXPECT_THROW(bgq::torus_coord(shape, -1), std::out_of_range);
+}
+
+TEST(Torus, HopMetricUsesWraparound) {
+  const bgq::TorusShape shape{8, 4, 4, 4, 2};
+  bgq::TorusCoord a{{0, 0, 0, 0, 0}};
+  bgq::TorusCoord b{{7, 0, 0, 0, 0}};
+  EXPECT_EQ(bgq::torus_hops(shape, a, b), 1);  // wraps: 0 -> 7 is one hop
+  bgq::TorusCoord c{{4, 2, 2, 2, 1}};
+  EXPECT_EQ(bgq::torus_hops(shape, a, c), 4 + 2 + 2 + 2 + 1);
+}
+
+TEST(Torus, MetricProperties) {
+  const bgq::TorusShape shape{4, 4, 4, 8, 2};
+  const auto a = bgq::torus_coord(shape, 17);
+  const auto b = bgq::torus_coord(shape, 912);
+  const auto c = bgq::torus_coord(shape, 311);
+  EXPECT_EQ(bgq::torus_hops(shape, a, a), 0);
+  EXPECT_EQ(bgq::torus_hops(shape, a, b), bgq::torus_hops(shape, b, a));
+  EXPECT_LE(bgq::torus_hops(shape, a, c),
+            bgq::torus_hops(shape, a, b) + bgq::torus_hops(shape, b, c));
+  EXPECT_LE(bgq::torus_hops(shape, a, b), bgq::torus_diameter(shape));
+}
+
+TEST(Torus, BgqHasTenLinksPerNode) {
+  EXPECT_EQ(bgq::links_per_node({4, 4, 4, 8, 2}), 10);
+}
+
+TEST(Collectives, DistributedAssemblyBeatsReplicatedAtScale) {
+  const auto m = bgq::machine_for_racks(96);
+  const std::int64_t bytes = 8LL * 8000 * 8000;  // an 8000x8000 K matrix
+  const double dist = bgq::distributed_reduce_seconds(m, bytes);
+  const double repl = bgq::replicated_allreduce_seconds(m, bytes);
+  EXPECT_LT(dist, repl / 100.0);
+}
+
+TEST(Collectives, DistributedAssemblyShrinksWithMachine) {
+  // Per-node traffic is overlap*bytes/P: more nodes, less per node.
+  const std::int64_t bytes = 8LL * 4000 * 4000;
+  const double d1 =
+      bgq::distributed_reduce_seconds(bgq::machine_for_racks(1), bytes);
+  const double d96 =
+      bgq::distributed_reduce_seconds(bgq::machine_for_racks(96), bytes);
+  EXPECT_LT(d96, d1);
+}
+
+TEST(Collectives, ReplicatedAllreduceIsBandwidthBound) {
+  // Payload term dominates and is scale-independent; doubling bytes
+  // roughly doubles the cost.
+  const auto m = bgq::machine_for_racks(8);
+  const double t1 = bgq::replicated_allreduce_seconds(m, 1 << 24);
+  const double t2 = bgq::replicated_allreduce_seconds(m, 1 << 25);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(Collectives, TreeCostGrowsSlowlyWithMachine) {
+  const std::int64_t bytes = 8 * 500 * 500;
+  const double t1 = bgq::tree_allreduce_seconds(bgq::machine_for_racks(1), bytes);
+  const double t96 =
+      bgq::tree_allreduce_seconds(bgq::machine_for_racks(96), bytes);
+  EXPECT_LT(t96, 3.0 * t1);  // latency-only growth (diameter), not O(P)
+}
+
+TEST(Collectives, BroadcastCheaperThanAllreduce) {
+  const auto m = bgq::machine_for_racks(8);
+  EXPECT_LT(bgq::tree_broadcast_seconds(m, 1 << 20),
+            bgq::tree_allreduce_seconds(m, 1 << 20));
+}
+
+TEST(Simulator, EmpiricalDistributionStats) {
+  bgq::EmpiricalCostDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  std::uint64_t rng = 12345;
+  for (int i = 0; i < 100; ++i) {
+    const double s = d.sample(rng);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 4.0);
+  }
+  EXPECT_THROW(bgq::EmpiricalCostDistribution({}), std::invalid_argument);
+}
+
+TEST(Simulator, FromRecordsFallsBackToEstimates) {
+  std::vector<mthfx::hfx::TaskCostRecord> recs{
+      {0, 100.0, 1e-4}, {1, 200.0, 0.0}, {2, 50.0, 5e-5}};
+  const auto d = bgq::EmpiricalCostDistribution::from_records(recs);
+  EXPECT_EQ(d.support_size(), 3u);
+  EXPECT_GT(d.mean(), 0.0);
+}
+
+namespace {
+
+bgq::EmpiricalCostDistribution uniform_costs() {
+  std::vector<double> c;
+  for (int i = 0; i < 1000; ++i) c.push_back(1e-4 * (1.0 + 0.2 * (i % 10)));
+  return bgq::EmpiricalCostDistribution(std::move(c));
+}
+
+}  // namespace
+
+TEST(Simulator, DynamicSchemeScalesNearLinearly) {
+  const auto costs = uniform_costs();
+  bgq::SimWorkload w;
+  w.num_tasks = 40'000'000;  // plenty of tasks per thread at both scales
+  w.reduction_bytes = 8 * 600 * 600;
+
+  const auto r1 = bgq::simulate_step(bgq::machine_for_racks(1), w, costs);
+  const auto r8 = bgq::simulate_step(bgq::machine_for_racks(8), w, costs);
+  const double eff = bgq::parallel_efficiency(r1, r8);
+  EXPECT_GT(eff, 0.85);
+  EXPECT_LT(eff, 1.1);
+}
+
+TEST(Simulator, StaticSchemeSuffersUnderHeavyTail) {
+  // Heavy-tailed task costs: dynamic bag absorbs them, static cannot.
+  std::vector<double> c;
+  for (int i = 0; i < 10000; ++i) c.push_back(i % 100 == 0 ? 5e-2 : 1e-4);
+  const bgq::EmpiricalCostDistribution costs(std::move(c));
+
+  bgq::SimWorkload w;
+  w.num_tasks = 3'000'000;
+  w.reduction_bytes = 8 * 600 * 600;
+  const auto machine = bgq::machine_for_racks(4);
+
+  bgq::SimOptions dyn;
+  dyn.scheme = bgq::SimScheme::kDynamicHierarchical;
+  bgq::SimOptions stat;
+  stat.scheme = bgq::SimScheme::kStaticBlockCyclic;
+
+  const auto rd = bgq::simulate_step(machine, w, costs, dyn);
+  const auto rs = bgq::simulate_step(machine, w, costs, stat);
+  EXPECT_LT(rd.makespan_seconds, rs.makespan_seconds);
+  EXPECT_GT(rs.imbalance, rd.imbalance);
+}
+
+TEST(Simulator, MakespanBoundedBelowByMeanWork) {
+  const auto costs = uniform_costs();
+  bgq::SimWorkload w;
+  w.num_tasks = 1'000'000;
+  w.reduction_bytes = 8 * 300 * 300;
+  const auto machine = bgq::machine_for_racks(2);
+  const auto r = bgq::simulate_step(machine, w, costs);
+  const double total_work =
+      costs.mean() * static_cast<double>(w.num_tasks);
+  const double lower =
+      total_work / static_cast<double>(machine.num_threads());
+  EXPECT_GE(r.makespan_seconds, lower * 0.99);
+}
+
+TEST(Simulator, FewTasksCapSpeedup) {
+  // When tasks << threads, extra racks cannot help: makespan is bounded
+  // by the per-task cost.
+  const auto costs = uniform_costs();
+  bgq::SimWorkload w;
+  w.num_tasks = 1000;
+  w.reduction_bytes = 8 * 100 * 100;
+  const auto r16 = bgq::simulate_step(bgq::machine_for_racks(16), w, costs);
+  const auto r96 = bgq::simulate_step(bgq::machine_for_racks(96), w, costs);
+  EXPECT_LT(bgq::parallel_efficiency(r16, r96), 0.5);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  const auto costs = uniform_costs();
+  bgq::SimWorkload w;
+  w.num_tasks = 100000;
+  w.reduction_bytes = 1 << 20;
+  const auto machine = bgq::machine_for_racks(1);
+  const auto r1 = bgq::simulate_step(machine, w, costs);
+  const auto r2 = bgq::simulate_step(machine, w, costs);
+  EXPECT_DOUBLE_EQ(r1.makespan_seconds, r2.makespan_seconds);
+}

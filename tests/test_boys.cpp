@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ints/boys.hpp"
+
+namespace ints = mthfx::ints;
+
+namespace {
+
+// Reference via adaptive Simpson on F_m(T) = ∫₀¹ t^{2m} e^{-T t²} dt.
+double boys_quadrature(int m, double t) {
+  const int n = 20000;  // fine uniform Simpson grid
+  const double h = 1.0 / n;
+  auto f = [&](double x) { return std::pow(x, 2 * m) * std::exp(-t * x * x); };
+  double s = f(0.0) + f(1.0);
+  for (int i = 1; i < n; ++i) s += (i % 2 ? 4.0 : 2.0) * f(i * h);
+  return s * h / 3.0;
+}
+
+}  // namespace
+
+TEST(Boys, ZeroArgumentClosedForm) {
+  std::vector<double> out(6);
+  ints::boys(5, 0.0, out);
+  for (int m = 0; m <= 5; ++m)
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(m)], 1.0 / (2 * m + 1));
+}
+
+TEST(Boys, F0MatchesErfForm) {
+  // F_0(T) = sqrt(pi/T)/2 * erf(sqrt(T)), valid at any T > 0.
+  for (double t : {0.1, 0.5, 1.0, 5.0, 20.0, 40.0, 100.0}) {
+    const double ref = 0.5 * std::sqrt(M_PI / t) * std::erf(std::sqrt(t));
+    EXPECT_NEAR(ints::boys_single(0, t), ref, 1e-13) << "T=" << t;
+  }
+}
+
+class BoysVsQuadrature
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BoysVsQuadrature, MatchesNumericalIntegral) {
+  const auto [m, t] = GetParam();
+  EXPECT_NEAR(ints::boys_single(m, t), boys_quadrature(m, t), 1e-11)
+      << "m=" << m << " T=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoysVsQuadrature,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 5, 8),
+                       ::testing::Values(1e-8, 1e-3, 0.3, 1.0, 3.0, 10.0, 30.0,
+                                         35.9, 36.1, 50.0, 200.0)));
+
+TEST(Boys, DownwardRecursionConsistency) {
+  // The defining recursion F_{m+1} = [(2m+1) F_m - e^{-T}] / (2T) must hold
+  // across the small/large-T implementation switch.
+  for (double t : {0.5, 5.0, 20.0, 35.0, 37.0, 80.0}) {
+    std::vector<double> f(8);
+    ints::boys(7, t, f);
+    for (int m = 0; m < 7; ++m) {
+      const double rhs =
+          ((2 * m + 1) * f[static_cast<std::size_t>(m)] - std::exp(-t)) /
+          (2.0 * t);
+      EXPECT_NEAR(f[static_cast<std::size_t>(m + 1)], rhs, 1e-12 * f[0])
+          << "m=" << m << " T=" << t;
+    }
+  }
+}
+
+TEST(Boys, MonotoneDecreasingInM) {
+  for (double t : {0.0, 1.0, 10.0, 100.0}) {
+    std::vector<double> f(10);
+    ints::boys(9, t, f);
+    for (int m = 0; m < 9; ++m)
+      EXPECT_GT(f[static_cast<std::size_t>(m)],
+                f[static_cast<std::size_t>(m + 1)]);
+  }
+}
+
+TEST(Boys, AsymptoticLargeT) {
+  // F_m(T) -> (2m-1)!! / (2T)^m * sqrt(pi/T)/2 as T -> inf.
+  const double t = 500.0;
+  double dfact = 1.0;
+  for (int m = 0; m <= 4; ++m) {
+    const double ref = dfact / std::pow(2.0 * t, m) * 0.5 * std::sqrt(M_PI / t);
+    EXPECT_NEAR(ints::boys_single(m, t) / ref, 1.0, 1e-10);
+    dfact *= (2 * m + 1);
+  }
+}

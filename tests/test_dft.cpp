@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "dft/functionals.hpp"
+#include "dft/grid.hpp"
+#include "dft/lebedev.hpp"
+#include "dft/xc_integrator.hpp"
+#include "scf/guess.hpp"
+#include "ints/one_electron.hpp"
+#include "linalg/eigen.hpp"
+
+namespace chem = mthfx::chem;
+namespace dft = mthfx::dft;
+namespace la = mthfx::linalg;
+
+class LebedevOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(LebedevOrders, WeightsSumToOne) {
+  const auto g = dft::lebedev_grid(GetParam());
+  EXPECT_EQ(static_cast<int>(g.size()), GetParam());
+  double w = 0.0;
+  for (const auto& p : g) w += p.weight;
+  EXPECT_NEAR(w, 1.0, 1e-13);
+}
+
+TEST_P(LebedevOrders, PointsOnUnitSphere) {
+  for (const auto& p : dft::lebedev_grid(GetParam()))
+    EXPECT_NEAR(p.x * p.x + p.y * p.y + p.z * p.z, 1.0, 1e-13);
+}
+
+TEST_P(LebedevOrders, IntegratesLowHarmonicsExactly) {
+  // ∫ Y dΩ / 4π: 1 -> 1, x -> 0, x^2 -> 1/3, xy -> 0, x^4+y^4+z^4 -> 3/5.
+  const auto g = dft::lebedev_grid(GetParam());
+  double one = 0, xm = 0, x2 = 0, xy = 0, quart = 0;
+  for (const auto& p : g) {
+    one += p.weight;
+    xm += p.weight * p.x;
+    x2 += p.weight * p.x * p.x;
+    xy += p.weight * p.x * p.y;
+    quart += p.weight * (std::pow(p.x, 4) + std::pow(p.y, 4) + std::pow(p.z, 4));
+  }
+  EXPECT_NEAR(one, 1.0, 1e-13);
+  EXPECT_NEAR(xm, 0.0, 1e-13);
+  EXPECT_NEAR(x2, 1.0 / 3.0, 1e-13);
+  EXPECT_NEAR(xy, 0.0, 1e-13);
+  if (GetParam() >= 14) EXPECT_NEAR(quart, 3.0 / 5.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, LebedevOrders,
+                         ::testing::ValuesIn(dft::kLebedevOrders));
+
+TEST(Lebedev, RejectsUnsupportedOrder) {
+  EXPECT_THROW(dft::lebedev_grid(17), std::invalid_argument);
+}
+
+TEST(Lebedev, AtLeastSelectsNextOrder) {
+  EXPECT_EQ(dft::lebedev_grid_at_least(7).size(), 14u);
+  EXPECT_EQ(dft::lebedev_grid_at_least(999).size(), 50u);
+}
+
+TEST(Grid, BeckeWeightsPartitionUnity) {
+  chem::Molecule m;
+  m.add_atom(8, {0, 0, 0});
+  m.add_atom(1, {0, 0, 1.8});
+  m.add_atom(3, {0, 2.5, 0});
+  for (const chem::Vec3 p :
+       {chem::Vec3{0.3, 0.3, 0.3}, chem::Vec3{0, 0, 1.0},
+        chem::Vec3{-1, 2, 0.5}}) {
+    double sum = 0.0;
+    for (std::size_t a = 0; a < m.size(); ++a)
+      sum += dft::becke_weight(m, a, p);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Grid, IntegratesSingleGaussian) {
+  // ∫ exp(-a r^2) = (pi/a)^{3/2}.
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  dft::GridOptions opts;
+  opts.radial_points = 60;
+  dft::MolecularGrid grid(m, opts);
+  const double a = 0.8;
+  const double val = grid.integrate([&](const chem::Vec3& p) {
+    return std::exp(-a * chem::dot(p, p));
+  });
+  EXPECT_NEAR(val, std::pow(std::numbers::pi / a, 1.5), 1e-6);
+}
+
+TEST(Grid, IntegratesOffCenterGaussianOnMultiAtomGrid) {
+  chem::Molecule m;
+  m.add_atom(8, {0, 0, 0});
+  m.add_atom(1, {0, 0, 1.8});
+  dft::GridOptions opts;
+  opts.radial_points = 60;
+  opts.angular_points = 50;
+  dft::MolecularGrid grid(m, opts);
+  const chem::Vec3 c{0.0, 0.4, 0.9};
+  const double a = 1.3;
+  const double val = grid.integrate([&](const chem::Vec3& p) {
+    const chem::Vec3 d = p - c;
+    return std::exp(-a * chem::dot(d, d));
+  });
+  // Becke-grid relative accuracy at this resolution is ~1e-4.
+  EXPECT_NEAR(val, std::pow(std::numbers::pi / a, 1.5), 1e-3);
+}
+
+TEST(Functionals, LdaExchangeClosedForm) {
+  // e_x(rho) = -(3/4)(3/pi)^{1/3} rho^{4/3}.
+  const double rho = 0.7;
+  const double cx = 0.75 * std::cbrt(3.0 / std::numbers::pi);
+  EXPECT_NEAR(dft::lda_exchange_energy_density(rho, 0.0),
+              -cx * std::pow(rho, 4.0 / 3.0), 1e-14);
+  EXPECT_DOUBLE_EQ(dft::lda_exchange_energy_density(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dft::lda_exchange_energy_density(-1.0, 0.0), 0.0);
+}
+
+TEST(Functionals, PbeExchangeReducesToLdaAtZeroGradient) {
+  for (double rho : {0.01, 0.3, 1.5, 10.0})
+    EXPECT_NEAR(dft::pbe_exchange_energy_density(rho, 0.0),
+                dft::lda_exchange_energy_density(rho, 0.0), 1e-13);
+}
+
+TEST(Functionals, PbeExchangeEnhancementBounded) {
+  // Fx is bounded by 1 + kappa = 1.804 (the Lieb-Oxford-motivated bound).
+  const double rho = 0.5;
+  const double lda = dft::lda_exchange_energy_density(rho, 0.0);
+  for (double sigma : {0.0, 0.1, 10.0, 1e4, 1e8}) {
+    const double fx = dft::pbe_exchange_energy_density(rho, sigma) / lda;
+    EXPECT_GE(fx, 1.0 - 1e-12);
+    EXPECT_LE(fx, 1.804 + 1e-12);
+  }
+}
+
+TEST(Functionals, PbeCorrelationReducesToPw92AtZeroGradient) {
+  for (double rho : {0.05, 0.4, 2.0})
+    EXPECT_NEAR(dft::pbe_correlation_energy_density(rho, 0.0),
+                dft::pw92_correlation_energy_density(rho, 0.0), 1e-12);
+}
+
+TEST(Functionals, CorrelationIsNegative) {
+  for (double rho : {0.01, 0.1, 1.0, 5.0}) {
+    EXPECT_LT(dft::pw92_correlation_energy_density(rho, 0.0), 0.0);
+    EXPECT_LT(dft::pbe_correlation_energy_density(rho, 0.5), 0.0);
+  }
+}
+
+TEST(Functionals, LargeGradientSuppressesPbeCorrelation) {
+  const double rho = 0.3;
+  const double c0 = dft::pbe_correlation_energy_density(rho, 0.0);
+  const double cbig = dft::pbe_correlation_energy_density(rho, 1e6);
+  // H -> -eps_c as t -> inf, so rho(eps_c + H) -> 0^-.
+  EXPECT_GT(cbig, c0);
+  EXPECT_NEAR(cbig, 0.0, 1e-3);
+}
+
+TEST(Functionals, RegistryComposition) {
+  const auto pbe0 = dft::make_functional("pbe0");
+  EXPECT_DOUBLE_EQ(pbe0.exact_exchange, 0.25);
+  EXPECT_TRUE(pbe0.needs_gradient);
+  const double rho = 0.6, sigma = 0.2;
+  EXPECT_NEAR(pbe0.energy_density(rho, sigma),
+              0.75 * dft::pbe_exchange_energy_density(rho, sigma) +
+                  dft::pbe_correlation_energy_density(rho, sigma),
+              1e-14);
+  EXPECT_DOUBLE_EQ(dft::make_functional("hf").energy_density(1.0, 1.0), 0.0);
+  EXPECT_THROW(dft::make_functional("b3lyp?"), std::invalid_argument);
+}
+
+TEST(XcIntegrator, RecoversElectronCount) {
+  const auto m = chem::Molecule::from_xyz(
+      "3\nwater\nO 0.0 0.0 0.1173\nH 0.0 0.7572 -0.4692\nH 0.0 -0.7572 "
+      "-0.4692\n");
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix p = mthfx::scf::core_guess_density(basis, m, x);
+
+  dft::GridOptions gopts;
+  gopts.radial_points = 50;
+  gopts.angular_points = 50;
+  dft::MolecularGrid grid(m, gopts);
+  dft::XcIntegrator xc(basis, grid);
+  EXPECT_NEAR(xc.integrate_density(p), 10.0, 5e-3);
+}
+
+TEST(XcIntegrator, LdaExchangeOfGaussianDensityClosedForm) {
+  // A single normalized s-Gaussian phi, density P=2 |phi><phi| (2 e-):
+  // rho = 2 phi^2 = 2 N^2 exp(-2 a r^2),
+  // E_x = -Cx ∫ rho^{4/3} = -Cx (2 N^2)^{4/3} (pi / (8a/3))^{3/2}.
+  chem::Molecule m;
+  m.add_atom(2, {0, 0, 0});
+  chem::BasisSet basis;
+  const double a = 1.1;
+  basis.add_shell(chem::Shell(0, 0, {0, 0, 0}, {a}, {1.0}));
+  la::Matrix p(1, 1, {2.0});
+
+  dft::GridOptions gopts;
+  gopts.radial_points = 70;
+  gopts.angular_points = 26;
+  dft::MolecularGrid grid(m, gopts);
+  dft::XcIntegrator xc(basis, grid);
+
+  dft::Functional slater{"x", dft::lda_exchange_energy_density, 0.0, false};
+  const auto res = xc.integrate(slater, p);
+
+  const double n2 = std::pow(chem::primitive_norm(a, 0, 0, 0), 2);
+  const double cx = 0.75 * std::cbrt(3.0 / std::numbers::pi);
+  const double eref = -cx * std::pow(2.0 * n2, 4.0 / 3.0) *
+                      std::pow(std::numbers::pi / (8.0 * a / 3.0), 1.5);
+  EXPECT_NEAR(res.energy, eref, 1e-6);
+  EXPECT_NEAR(res.integrated_density, 2.0, 1e-6);
+}
+
+TEST(XcIntegrator, PotentialMatchesEnergyDerivative) {
+  // dE/dP_{mu nu} = V_{mu nu} (+ V_{nu mu} off-diagonal): check by finite
+  // differences on a random symmetric perturbation of the density.
+  const auto m = chem::Molecule::from_xyz(
+      "3\nwater\nO 0.0 0.0 0.1173\nH 0.0 0.7572 -0.4692\nH 0.0 -0.7572 "
+      "-0.4692\n");
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix p = mthfx::scf::core_guess_density(basis, m, x);
+
+  dft::GridOptions gopts;
+  gopts.radial_points = 30;
+  gopts.angular_points = 26;
+  dft::MolecularGrid grid(m, gopts);
+  dft::XcIntegrator xc(basis, grid);
+  const auto f = dft::make_functional("pbe");
+
+  const auto base = xc.integrate(f, p);
+  const double h = 1e-5;
+  for (auto [mu, nu] : {std::pair<std::size_t, std::size_t>{0, 0},
+                        {1, 3},
+                        {2, 2}}) {
+    la::Matrix pp = p;
+    pp(mu, nu) += h;
+    if (mu != nu) pp(nu, mu) += h;
+    const auto plus = xc.integrate(f, pp);
+    la::Matrix pm = p;
+    pm(mu, nu) -= h;
+    if (mu != nu) pm(nu, mu) -= h;
+    const auto minus = xc.integrate(f, pm);
+    const double fd = (plus.energy - minus.energy) / (2.0 * h);
+    const double analytic =
+        mu == nu ? base.v(mu, mu) : base.v(mu, nu) + base.v(nu, mu);
+    EXPECT_NEAR(fd, analytic, 5e-6) << mu << "," << nu;
+  }
+}

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "ints/eri.hpp"
+#include "ints/schwarz.hpp"
+
+namespace chem = mthfx::chem;
+namespace ints = mthfx::ints;
+
+namespace {
+
+chem::Molecule h2_molecule(double r_bohr = 1.4) {
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, r_bohr});
+  return m;
+}
+
+}  // namespace
+
+// Szabo–Ostlund H2/STO-3G ERI reference values (chemists' notation).
+TEST(Eri, H2Sto3gReferenceValues) {
+  const auto m = h2_molecule();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto t = ints::eri_tensor(basis);
+  const std::size_t n = basis.num_functions();
+  auto at = [&](std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    return t[((i * n + j) * n + k) * n + l];
+  };
+  EXPECT_NEAR(at(0, 0, 0, 0), 0.7746, 2e-4);
+  EXPECT_NEAR(at(0, 0, 1, 1), 0.5697, 2e-4);
+  EXPECT_NEAR(at(1, 0, 0, 0), 0.4441, 2e-4);
+  EXPECT_NEAR(at(1, 0, 1, 0), 0.2970, 2e-4);
+}
+
+TEST(Eri, EightFoldPermutationalSymmetry) {
+  const auto m = chem::Molecule::from_xyz(
+      "3\nwater\nO 0.0 0.0 0.1173\nH 0.0 0.7572 -0.4692\nH 0.0 -0.7572 "
+      "-0.4692\n");
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto t = ints::eri_tensor(basis);
+  const std::size_t n = basis.num_functions();
+  auto at = [&](std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    return t[((i * n + j) * n + k) * n + l];
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t l = 0; l <= k; ++l) {
+          const double v = at(i, j, k, l);
+          EXPECT_NEAR(at(j, i, k, l), v, 1e-11);
+          EXPECT_NEAR(at(i, j, l, k), v, 1e-11);
+          EXPECT_NEAR(at(k, l, i, j), v, 1e-11);
+          EXPECT_NEAR(at(l, k, j, i), v, 1e-11);
+        }
+}
+
+TEST(Eri, DiagonalElementsArePositive) {
+  // (ij|ij) >= 0: it is a Coulomb self-repulsion.
+  const auto m = h2_molecule(1.2);
+  const auto basis = chem::BasisSet::build(m, "6-31g");
+  const auto t = ints::eri_tensor(basis);
+  const std::size_t n = basis.num_functions();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_GE(t[((i * n + j) * n + i) * n + j], -1e-12);
+}
+
+TEST(Eri, SchwarzInequalityHolds) {
+  const auto m = chem::Molecule::from_xyz(
+      "3\nwater\nO 0.0 0.0 0.1173\nH 0.0 0.7572 -0.4692\nH 0.0 -0.7572 "
+      "-0.4692\n");
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto q = ints::schwarz_bounds(basis);
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa)
+    for (std::size_t sb = 0; sb < basis.num_shells(); ++sb)
+      for (std::size_t sc = 0; sc < basis.num_shells(); ++sc)
+        for (std::size_t sd = 0; sd < basis.num_shells(); ++sd) {
+          const auto block =
+              ints::eri_shell_quartet(basis.shell(sa), basis.shell(sb),
+                                      basis.shell(sc), basis.shell(sd));
+          double mx = 0.0;
+          for (double v : block.values) mx = std::max(mx, std::abs(v));
+          EXPECT_LE(mx, q(sa, sb) * q(sc, sd) + 1e-12)
+              << sa << sb << sc << sd;
+        }
+}
+
+TEST(Eri, LongRangeDecaysAsOneOverR) {
+  // Two well-separated s functions: (aa|bb) -> 1/R (point charges).
+  for (double r : {10.0, 15.0, 20.0}) {
+    const auto m = h2_molecule(r);
+    const auto basis = chem::BasisSet::build(m, "sto-3g");
+    const auto block = ints::eri_shell_quartet(basis.shell(0), basis.shell(0),
+                                               basis.shell(1), basis.shell(1));
+    EXPECT_NEAR(block(0, 0, 0, 0), 1.0 / r, 2e-4) << "R=" << r;
+  }
+}
+
+TEST(Eri, TranslationInvariance) {
+  auto m1 = h2_molecule();
+  auto m2 = h2_molecule();
+  m2.translate({1.0, 2.0, -0.5});
+  const auto b1 = chem::BasisSet::build(m1, "sto-3g");
+  const auto b2 = chem::BasisSet::build(m2, "sto-3g");
+  const auto t1 = ints::eri_tensor(b1);
+  const auto t2 = ints::eri_tensor(b2);
+  for (std::size_t i = 0; i < t1.size(); ++i)
+    EXPECT_NEAR(t1[i], t2[i], 1e-11);
+}
+
+TEST(Eri, PShellQuartetsSymmetricUnderAxisRelabeling) {
+  // A single O atom: (px px|px px) = (py py|py py) = (pz pz|pz pz).
+  chem::Molecule m;
+  m.add_atom(8, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto& p = basis.shell(2);  // 2p shell
+  const auto block = ints::eri_shell_quartet(p, p, p, p);
+  EXPECT_NEAR(block(0, 0, 0, 0), block(1, 1, 1, 1), 1e-12);
+  EXPECT_NEAR(block(0, 0, 0, 0), block(2, 2, 2, 2), 1e-12);
+}
+
+TEST(Eri, DShellBlockShape) {
+  chem::Molecule m;
+  m.add_atom(6, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "6-31g*");
+  const auto& d = basis.shells().back();
+  ASSERT_EQ(d.l(), 2);
+  const auto& s = basis.shell(0);
+  const auto block = ints::eri_shell_quartet(d, s, d, s);
+  EXPECT_EQ(block.na, 6u);
+  EXPECT_EQ(block.nc, 6u);
+  EXPECT_EQ(block.values.size(), 36u);
+  // (d_i s | d_i s) diagonal positive.
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_GT(block(i, 0, i, 0), 0.0);
+}

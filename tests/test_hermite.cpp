@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ints/boys.hpp"
+#include "ints/hermite.hpp"
+
+namespace ints = mthfx::ints;
+
+namespace {
+
+// Hermite Gaussian Lambda_t(x; p, P) = (d/dP)^t exp(-p (x-P)^2),
+// evaluated by explicit differentiation up to t = 4.
+double hermite_gaussian(int t, double x, double p, double pcen) {
+  const double u = x - pcen;
+  const double g = std::exp(-p * u * u);
+  switch (t) {
+    case 0: return g;
+    case 1: return 2.0 * p * u * g;
+    case 2: return (4.0 * p * p * u * u - 2.0 * p) * g;
+    case 3: return (8.0 * p * p * p * u * u * u - 12.0 * p * p * u) * g;
+    case 4:
+      return (16.0 * std::pow(p, 4) * std::pow(u, 4) -
+              48.0 * std::pow(p, 3) * u * u + 12.0 * p * p) *
+             g;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+class HermiteExpansion
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(HermiteExpansion, ReproducesGaussianProductPointwise) {
+  // x_A^i x_B^j exp(-a x_A^2) exp(-b x_B^2) =
+  //   sum_t E(i,j,t) Lambda_t(x; p, P)  — checked at sample points.
+  const auto [i, j, abdist] = GetParam();
+  const double a = 1.3, b = 0.7;
+  const double ax = 0.0, bx = ax - abdist;
+  const double p = a + b;
+  const double pcen = (a * ax + b * bx) / p;
+
+  const ints::HermiteE e(i, j, a, b, ax - bx);
+  for (double x : {-1.5, -0.3, 0.0, 0.4, 1.1, 2.5}) {
+    const double lhs = std::pow(x - ax, i) * std::pow(x - bx, j) *
+                       std::exp(-a * (x - ax) * (x - ax)) *
+                       std::exp(-b * (x - bx) * (x - bx));
+    double rhs = 0.0;
+    for (int t = 0; t <= i + j; ++t)
+      rhs += e(i, j, t) * hermite_gaussian(t, x, p, pcen);
+    EXPECT_NEAR(lhs, rhs, 1e-12) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Powers, HermiteExpansion,
+    ::testing::Combine(::testing::Values(0, 1, 2), ::testing::Values(0, 1, 2),
+                       ::testing::Values(0.0, 0.8, 2.0)));
+
+TEST(HermiteE, OutOfRangeIndicesAreZero) {
+  const ints::HermiteE e(2, 2, 1.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(e(1, 1, 3), 0.0);   // t > i + j
+  EXPECT_DOUBLE_EQ(e(2, 2, -1), 0.0);  // negative t (via guarded access)
+}
+
+TEST(HermiteE, SameCenterBaseCaseIsOne) {
+  // E(0,0,0) = exp(-mu * 0) = 1 for coincident centers.
+  const ints::HermiteE e(1, 1, 0.8, 1.9, 0.0);
+  EXPECT_DOUBLE_EQ(e(0, 0, 0), 1.0);
+}
+
+TEST(HermiteR, BaseSliceMatchesBoysLadder) {
+  // R(t,0,0) at PC = (x,0,0) relates to 1-D derivatives of F; check the
+  // first two orders against analytic forms:
+  // R(0,0,0) = F_0(p x^2); R(1,0,0) = dF_0/dx = -2 p x F_1(p x^2).
+  const double p = 1.7, x = 0.65;
+  const ints::HermiteR r(2, p, x, 0.0, 0.0);
+  EXPECT_NEAR(r(0, 0, 0), ints::boys_single(0, p * x * x), 1e-13);
+  EXPECT_NEAR(r(1, 0, 0), -2.0 * p * x * ints::boys_single(1, p * x * x),
+              1e-12);
+}
+
+TEST(HermiteR, SecondDerivativeMatchesFiniteDifference) {
+  // R(2,0,0) = d^2/dx^2 R(0,0,0) — finite-difference the base slice.
+  const double p = 0.9, x = 0.8, h = 1e-4;
+  const ints::HermiteR r(2, p, x, 0.0, 0.0);
+  const ints::HermiteR rp(2, p, x + h, 0.0, 0.0);
+  const ints::HermiteR rm(2, p, x - h, 0.0, 0.0);
+  const double fd = (rp(0, 0, 0) - 2.0 * r(0, 0, 0) + rm(0, 0, 0)) / (h * h);
+  EXPECT_NEAR(r(2, 0, 0), fd, 1e-5);
+}
+
+TEST(HermiteR, MixedDerivativeMatchesFiniteDifference) {
+  // R(1,1,0) = d^2/dx dy R(0,0,0).
+  const double p = 1.2, x = 0.5, y = -0.7, h = 1e-4;
+  const ints::HermiteR r(2, p, x, y, 0.0);
+  const ints::HermiteR rpp(2, p, x + h, y + h, 0.0);
+  const ints::HermiteR rpm(2, p, x + h, y - h, 0.0);
+  const ints::HermiteR rmp(2, p, x - h, y + h, 0.0);
+  const ints::HermiteR rmm(2, p, x - h, y - h, 0.0);
+  const double fd = (rpp(0, 0, 0) - rpm(0, 0, 0) - rmp(0, 0, 0) +
+                     rmm(0, 0, 0)) /
+                    (4.0 * h * h);
+  EXPECT_NEAR(r(1, 1, 0), fd, 1e-5);
+}
+
+TEST(HermiteR, AxisPermutationSymmetry) {
+  // Swapping PC components permutes the tensor indices.
+  const double p = 1.1;
+  const ints::HermiteR rxy(3, p, 0.4, 0.9, 0.0);
+  const ints::HermiteR ryx(3, p, 0.9, 0.4, 0.0);
+  EXPECT_NEAR(rxy(2, 1, 0), ryx(1, 2, 0), 1e-13);
+  EXPECT_NEAR(rxy(0, 3, 0), ryx(3, 0, 0), 1e-13);
+}
+
+TEST(HermiteR, ZeroDistanceOddOrdersVanish) {
+  const ints::HermiteR r(3, 2.0, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(r(1, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(0, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(1, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(r(3, 0, 0), 0.0);
+  // Even orders finite.
+  EXPECT_LT(r(2, 0, 0), 0.0);  // -2p F_1(0) < 0
+}

@@ -1,0 +1,166 @@
+// Cross-module integration tests: the full pipeline from workload
+// geometry through basis construction, SCF, HFX statistics, and machine
+// simulation — the paths the examples and benches exercise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bgq/simulator.hpp"
+#include "chem/basis.hpp"
+#include "hfx/fock_builder.hpp"
+#include "ints/one_electron.hpp"
+#include "linalg/eigen.hpp"
+#include "scf/guess.hpp"
+#include "scf/rhf.hpp"
+#include "workload/geometries.hpp"
+#include "workload/replicate.hpp"
+
+namespace chem = mthfx::chem;
+namespace hfx = mthfx::hfx;
+namespace la = mthfx::linalg;
+namespace scf = mthfx::scf;
+namespace bgq = mthfx::bgq;
+namespace wl = mthfx::workload;
+
+TEST(Integration, ConvergedRhfDensityIsIdempotent) {
+  // Closed-shell SCF density obeys P S P = 2 P.
+  const auto mol = wl::water();
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  const auto r = scf::rhf(mol, basis);
+  ASSERT_TRUE(r.converged);
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix psp =
+      la::matmul(la::matmul(r.density, s), r.density);
+  EXPECT_LT(la::max_abs(psp - 2.0 * r.density), 1e-5);
+}
+
+TEST(Integration, VirialRatioNearTwo) {
+  // At (near-)equilibrium, -V/T ~ 2 for RHF.
+  const auto mol = wl::water();
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  const auto r = scf::rhf(mol, basis);
+  ASSERT_TRUE(r.converged);
+  const la::Matrix t = mthfx::ints::kinetic(basis);
+  const double kinetic = la::trace_product(r.density, t);
+  const double potential = r.energy - kinetic;
+  EXPECT_NEAR(-potential / kinetic, 2.0, 0.1);
+}
+
+TEST(Integration, RhfEnergyIndependentOfScheduler) {
+  const auto mol = wl::water();
+  const auto basis = chem::BasisSet::build(mol, "6-31g");
+  double reference = 0.0;
+  for (auto sched :
+       {hfx::HfxSchedule::kDynamicBag, hfx::HfxSchedule::kStaticBlock,
+        hfx::HfxSchedule::kWorkStealing}) {
+    scf::ScfOptions opts;
+    opts.hfx.schedule = sched;
+    opts.hfx.num_threads = 3;
+    const auto r = scf::rhf(mol, basis, opts);
+    ASSERT_TRUE(r.converged);
+    if (reference == 0.0)
+      reference = r.energy;
+    else
+      EXPECT_NEAR(r.energy, reference, 1e-8);
+  }
+}
+
+TEST(Integration, ScreeningStatsAreConserved) {
+  const auto cluster = wl::cluster_of(wl::water(), 4, 8.0);
+  const auto basis = chem::BasisSet::build(cluster, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix p = scf::core_guess_density(basis, cluster, x);
+
+  hfx::HfxOptions opts;
+  opts.eps_schwarz = 1e-7;
+  const auto r = hfx::FockBuilder(basis, opts).exchange(p);
+  const auto& sc = r.stats.screening;
+  EXPECT_EQ(sc.quartets_considered,
+            sc.quartets_computed + sc.quartets_schwarz_screened +
+                sc.quartets_density_screened);
+  // Considered = all canonical pair-quartets of the pruned pair list.
+  const std::size_t np = r.stats.num_pairs;
+  EXPECT_EQ(sc.quartets_considered, np * (np + 1) / 2);
+}
+
+TEST(Integration, ExchangeEnergyNegativeForPhysicalDensity) {
+  const auto mol = wl::dmso();
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix p = scf::core_guess_density(basis, mol, x);
+  const auto r = hfx::FockBuilder(basis).coulomb_exchange(p);
+  EXPECT_GT(la::trace_product(p, r.j), 0.0);   // Coulomb repulsive
+  EXPECT_GT(la::trace_product(p, r.k), 0.0);   // K contraction positive
+}
+
+TEST(Integration, MeasuredTaskCostsFeedSimulator) {
+  // The full quickstart path: host measurement -> distribution ->
+  // machine projection, with sane outputs end to end.
+  const auto mol = wl::water();
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix p = scf::core_guess_density(basis, mol, x);
+
+  hfx::HfxOptions opts;
+  opts.record_task_costs = true;
+  const auto r = hfx::FockBuilder(basis, opts).exchange(p);
+  ASSERT_FALSE(r.stats.task_costs.empty());
+
+  const auto dist =
+      bgq::EmpiricalCostDistribution::from_records(r.stats.task_costs);
+  EXPECT_GT(dist.mean(), 0.0);
+
+  bgq::SimWorkload w;
+  w.num_tasks = 5'000'000;
+  w.reduction_bytes = 8 * 1000 * 1000;
+  const auto sim = bgq::simulate_step(bgq::machine_for_racks(4), w, dist);
+  EXPECT_GT(sim.makespan_seconds, 0.0);
+  EXPECT_GE(sim.imbalance, 1.0);
+  EXPECT_EQ(sim.threads, 4 * 1024 * 64);
+}
+
+TEST(Integration, ChargedSpeciesScfConverges) {
+  // The Li/air workloads include anions; they must be SCF-stable.
+  for (const char* name : {"oh-", "lio2-"}) {
+    const auto mol = wl::by_name(name);
+    const auto basis = chem::BasisSet::build(mol, "sto-3g");
+    scf::ScfOptions opts;
+    opts.max_iterations = 200;
+    const auto r = scf::rhf(mol, basis, opts);
+    EXPECT_TRUE(r.converged) << name;
+    EXPECT_LT(r.energy, 0.0) << name;
+  }
+}
+
+TEST(Integration, ClusterEnergyIsSizeExtensiveForSeparatedCopies) {
+  // Two water molecules 20 bohr apart: E(dimer) ~ 2 E(monomer).
+  const auto unit = wl::water();
+  const auto dimer = wl::cluster_of(unit, 2, 20.0);
+  const auto b1 = chem::BasisSet::build(unit, "sto-3g");
+  const auto b2 = chem::BasisSet::build(dimer, "sto-3g");
+  const auto r1 = scf::rhf(unit, b1);
+  const auto r2 = scf::rhf(dimer, b2);
+  ASSERT_TRUE(r1.converged && r2.converged);
+  EXPECT_NEAR(r2.energy, 2.0 * r1.energy, 2e-4);
+}
+
+TEST(Integration, TaskGranularityDoesNotChangeExchange) {
+  const auto mol = wl::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix p = scf::core_guess_density(basis, mol, x);
+
+  hfx::HfxOptions coarse;
+  coarse.target_task_cost = 1e12;
+  hfx::HfxOptions fine;
+  fine.target_task_cost = 100.0;
+  const auto kc = hfx::FockBuilder(basis, coarse).exchange(p);
+  const auto kf = hfx::FockBuilder(basis, fine).exchange(p);
+  EXPECT_LT(la::max_abs(kc.k - kf.k), 1e-12);
+  EXPECT_GT(kf.stats.num_tasks, kc.stats.num_tasks);
+}

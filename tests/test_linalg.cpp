@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/diis.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace la = mthfx::linalg;
+
+namespace {
+
+la::Matrix random_symmetric(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = dist(rng);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+la::Matrix random_spd(std::size_t n, unsigned seed) {
+  la::Matrix a = random_symmetric(n, seed);
+  la::Matrix spd = la::matmul(la::transpose(a), a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+}  // namespace
+
+TEST(Matrix, BasicArithmetic) {
+  la::Matrix a(2, 2, {1, 2, 3, 4});
+  la::Matrix b(2, 2, {5, 6, 7, 8});
+  la::Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 6);
+  EXPECT_DOUBLE_EQ(c(1, 1), 12);
+  c -= a;
+  EXPECT_EQ(c, b);
+  c = 2.0 * a;
+  EXPECT_DOUBLE_EQ(c(1, 0), 6);
+}
+
+TEST(Matrix, MatmulMatchesHandComputation) {
+  la::Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  la::Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  la::Matrix c = la::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, MatmulAssociatesWithIdentity) {
+  const la::Matrix a = random_symmetric(17, 3);
+  const la::Matrix i = la::Matrix::identity(17);
+  EXPECT_LT(la::max_abs(la::matmul(a, i) - a), 1e-14);
+  EXPECT_LT(la::max_abs(la::matmul(i, a) - a), 1e-14);
+}
+
+TEST(Matrix, BlockedGemmMatchesNaiveOnLargerSizes) {
+  // Exercise the kBlock tiling boundary (block size 64).
+  const std::size_t m = 70, k = 65, n = 67;
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  la::Matrix a(m, k), b(k, n);
+  for (double& v : a.flat()) v = dist(rng);
+  for (double& v : b.flat()) v = dist(rng);
+  const la::Matrix c = la::matmul(a, b);
+  la::Matrix ref(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0;
+      for (std::size_t p = 0; p < k; ++p) s += a(i, p) * b(p, j);
+      ref(i, j) = s;
+    }
+  EXPECT_LT(la::max_abs(c - ref), 1e-12);
+}
+
+TEST(Matrix, TraceAndTraceProduct) {
+  const la::Matrix a = random_symmetric(9, 5);
+  const la::Matrix b = random_symmetric(9, 6);
+  EXPECT_NEAR(la::trace_product(a, b), la::trace(la::matmul(a, b)), 1e-12);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  la::Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const auto r = la::eigh(a);
+  EXPECT_NEAR(r.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  la::Matrix a(2, 2, {2, 1, 1, 2});
+  const auto r = la::eigh(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  const la::Matrix a = random_symmetric(20, 42);
+  const auto r = la::eigh(a);
+  // A = V diag(w) V^T
+  la::Matrix lam(20, 20);
+  for (std::size_t i = 0; i < 20; ++i) lam(i, i) = r.values[i];
+  const la::Matrix rec =
+      la::matmul(la::matmul(r.vectors, lam), la::transpose(r.vectors));
+  EXPECT_LT(la::max_abs(rec - a), 1e-9);
+}
+
+TEST(Eigen, VectorsAreOrthonormal) {
+  const la::Matrix a = random_symmetric(15, 7);
+  const auto r = la::eigh(a);
+  const la::Matrix vtv = la::matmul(la::transpose(r.vectors), r.vectors);
+  EXPECT_LT(la::max_abs(vtv - la::Matrix::identity(15)), 1e-10);
+}
+
+TEST(Eigen, ThrowsOnNonSquare) {
+  la::Matrix a(2, 3);
+  EXPECT_THROW(la::eigh(a), std::invalid_argument);
+}
+
+TEST(Eigen, InverseSqrtOrthogonalizes) {
+  const la::Matrix s = random_spd(12, 9);
+  const la::Matrix x = la::inverse_sqrt(s);
+  const la::Matrix xtsx = la::matmul(la::matmul(x, s), x);
+  EXPECT_LT(la::max_abs(xtsx - la::Matrix::identity(12)), 1e-9);
+}
+
+TEST(Eigen, SqrtSymSquaresBack) {
+  const la::Matrix s = random_spd(10, 13);
+  const la::Matrix h = la::sqrt_sym(s);
+  EXPECT_LT(la::max_abs(la::matmul(h, h) - s), 1e-9);
+}
+
+TEST(Cholesky, FactorizesSpd) {
+  const la::Matrix a = random_spd(14, 21);
+  const auto l = la::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_LT(la::max_abs(la::matmul(*l, la::transpose(*l)) - a), 1e-9);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  la::Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_FALSE(la::cholesky(a).has_value());
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const la::Matrix a = random_spd(8, 2);
+  la::Vector x_true(8);
+  for (std::size_t i = 0; i < 8; ++i) x_true[i] = static_cast<double>(i) - 3.5;
+  la::Vector b(8, 0.0);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) b[i] += a(i, j) * x_true[j];
+  const auto x = la::cholesky_solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-9);
+}
+
+TEST(LuSolve, SolvesIndefiniteSymmetricSystem) {
+  la::Matrix a(3, 3, {0, 1, 2, 1, 0, 3, 2, 3, 0});
+  la::Vector x_true{1, -2, 0.5};
+  la::Vector b(3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) b[i] += a(i, j) * x_true[j];
+  const auto x = la::lu_solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-12);
+}
+
+TEST(LuSolve, DetectsSingular) {
+  la::Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_FALSE(la::lu_solve(a, {1, 1}).has_value());
+}
+
+TEST(Diis, PassthroughWithShortHistory) {
+  la::Diis diis;
+  la::Matrix f(2, 2, {1, 0, 0, 1});
+  la::Matrix e(2, 2, {0.1, 0, 0, -0.1});
+  const la::Matrix out = diis.extrapolate(f, e);
+  EXPECT_EQ(out, f);
+  EXPECT_NEAR(diis.last_error_norm(), 0.1, 1e-15);
+}
+
+TEST(Diis, ExactExtrapolationForLinearProblem) {
+  // If errors are linear in the Focks, DIIS finds the zero-error mix.
+  // e1 = +E, e2 = -E  =>  c = (1/2, 1/2) and mixed F = (F1+F2)/2.
+  la::Diis diis;
+  la::Matrix f1(2, 2, {1, 0, 0, 1});
+  la::Matrix f2(2, 2, {3, 0, 0, 3});
+  la::Matrix e1(2, 2, {0.2, 0, 0, 0.2});
+  la::Matrix e2(2, 2, {-0.2, 0, 0, -0.2});
+  diis.extrapolate(f1, e1);
+  const la::Matrix out = diis.extrapolate(f2, e2);
+  EXPECT_NEAR(out(0, 0), 2.0, 1e-10);
+  EXPECT_NEAR(out(1, 1), 2.0, 1e-10);
+}
+
+TEST(Diis, HistoryIsBounded) {
+  la::Diis diis(3);
+  la::Matrix f(1, 1, {1.0});
+  for (int i = 0; i < 10; ++i) {
+    la::Matrix e(1, 1, {1.0 / (i + 1)});
+    diis.extrapolate(f, e);
+  }
+  EXPECT_LE(diis.history_size(), 3u);
+}
+
+class SymmetrizeParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymmetrizeParam, SymmetrizeMakesSymmetric) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  la::Matrix a(GetParam(), GetParam());
+  for (double& v : a.flat()) v = dist(rng);
+  la::symmetrize(a);
+  EXPECT_TRUE(la::is_symmetric(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetrizeParam,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "ints/one_electron.hpp"
+
+namespace chem = mthfx::chem;
+namespace ints = mthfx::ints;
+namespace la = mthfx::linalg;
+
+namespace {
+
+chem::Molecule h2_molecule(double r_bohr = 1.4) {
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, r_bohr});
+  return m;
+}
+
+chem::Molecule water_sz() {
+  // Szabo–Ostlund-style water geometry (Å), close to experiment.
+  return chem::Molecule::from_xyz(
+      "3\nwater\nO 0.000000 0.000000 0.117300\n"
+      "H 0.000000 0.757200 -0.469200\n"
+      "H 0.000000 -0.757200 -0.469200\n");
+}
+
+}  // namespace
+
+// Reference values from Szabo & Ostlund, "Modern Quantum Chemistry",
+// H2/STO-3G at R = 1.4 a0 (Sec. 3.5.2).
+TEST(OneElectron, H2Sto3gOverlap) {
+  const auto m = h2_molecule();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix s = ints::overlap(basis);
+  EXPECT_NEAR(s(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(s(1, 1), 1.0, 1e-10);
+  EXPECT_NEAR(s(0, 1), 0.6593, 2e-4);
+  EXPECT_TRUE(la::is_symmetric(s, 1e-12));
+}
+
+TEST(OneElectron, H2Sto3gKinetic) {
+  const auto m = h2_molecule();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix t = ints::kinetic(basis);
+  EXPECT_NEAR(t(0, 0), 0.7600, 2e-4);
+  EXPECT_NEAR(t(0, 1), 0.2365, 2e-4);
+}
+
+TEST(OneElectron, H2Sto3gNuclearAttraction) {
+  const auto m = h2_molecule();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix v = ints::nuclear_attraction(basis, m);
+  // V_11 = -1.2266 (own nucleus) + -0.6538 (other nucleus) = -1.8804.
+  EXPECT_NEAR(v(0, 0), -1.8804, 5e-4);
+  // V_12 = 2 * (-0.5974) = -1.1948.
+  EXPECT_NEAR(v(0, 1), -1.1948, 5e-4);
+}
+
+TEST(OneElectron, OverlapDiagonalIsOneForAllBases) {
+  for (const char* name : {"sto-3g", "6-31g", "6-31g*"}) {
+    const auto m = water_sz();
+    const auto basis = chem::BasisSet::build(m, name);
+    const la::Matrix s = ints::overlap(basis);
+    for (std::size_t i = 0; i < s.rows(); ++i)
+      EXPECT_NEAR(s(i, i), 1.0, 1e-9) << name << " AO " << i;
+  }
+}
+
+TEST(OneElectron, KineticIsPositiveDefiniteDiagonal) {
+  const auto m = water_sz();
+  const auto basis = chem::BasisSet::build(m, "6-31g");
+  const la::Matrix t = ints::kinetic(basis);
+  EXPECT_TRUE(la::is_symmetric(t, 1e-10));
+  for (std::size_t i = 0; i < t.rows(); ++i) EXPECT_GT(t(i, i), 0.0);
+}
+
+TEST(OneElectron, NuclearAttractionIsNegativeDiagonal) {
+  const auto m = water_sz();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix v = ints::nuclear_attraction(basis, m);
+  EXPECT_TRUE(la::is_symmetric(v, 1e-10));
+  for (std::size_t i = 0; i < v.rows(); ++i) EXPECT_LT(v(i, i), 0.0);
+}
+
+TEST(OneElectron, KineticMatchesHermiteIdentityForPShells) {
+  // Sanity on the d/p machinery: for a single p shell on one atom the
+  // kinetic diagonal equals a^2<r^2 ...> closed form; we instead check
+  // the virial-like identity T_ii > 0 and symmetry across components.
+  chem::Molecule m;
+  m.add_atom(8, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix t = ints::kinetic(basis);
+  // px, py, pz diagonal kinetic energies identical by symmetry.
+  const std::size_t p0 = 2;  // shells: 1s(0), 2s(1), 2p(2,3,4)
+  EXPECT_NEAR(t(p0, p0), t(p0 + 1, p0 + 1), 1e-12);
+  EXPECT_NEAR(t(p0, p0), t(p0 + 2, p0 + 2), 1e-12);
+}
+
+TEST(OneElectron, TranslationInvarianceOfOverlapAndKinetic) {
+  auto m1 = water_sz();
+  auto m2 = water_sz();
+  m2.translate({3.0, -1.0, 2.5});
+  const auto b1 = chem::BasisSet::build(m1, "sto-3g");
+  const auto b2 = chem::BasisSet::build(m2, "sto-3g");
+  EXPECT_LT(la::max_abs(ints::overlap(b1) - ints::overlap(b2)), 1e-11);
+  EXPECT_LT(la::max_abs(ints::kinetic(b1) - ints::kinetic(b2)), 1e-11);
+  EXPECT_LT(la::max_abs(ints::nuclear_attraction(b1, m1) -
+                        ints::nuclear_attraction(b2, m2)),
+            1e-10);
+}
+
+TEST(OneElectron, SeparatedAtomsHaveVanishingOverlap) {
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 40.0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix s = ints::overlap(basis);
+  EXPECT_LT(std::abs(s(0, 1)), 1e-12);
+}
+
+TEST(OneElectron, CoreHamiltonianIsSum) {
+  const auto m = water_sz();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix h = ints::core_hamiltonian(basis, m);
+  const la::Matrix sum = ints::kinetic(basis) + ints::nuclear_attraction(basis, m);
+  EXPECT_LT(la::max_abs(h - sum), 1e-14);
+}
+
+TEST(OneElectron, DShellOverlapBlockIsNormalized) {
+  chem::Molecule m;
+  m.add_atom(6, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "6-31g*");
+  const la::Matrix s = ints::overlap(basis);
+  // All 6 Cartesian d diagonal entries equal 1 after normalization.
+  for (std::size_t i = s.rows() - 6; i < s.rows(); ++i)
+    EXPECT_NEAR(s(i, i), 1.0, 1e-10);
+}

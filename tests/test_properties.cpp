@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chem/basis.hpp"
+#include "chem/elements.hpp"
+#include "ints/one_electron.hpp"
+#include "scf/properties.hpp"
+#include "scf/rhf.hpp"
+#include "workload/geometries.hpp"
+
+namespace chem = mthfx::chem;
+namespace la = mthfx::linalg;
+namespace scf = mthfx::scf;
+namespace wl = mthfx::workload;
+
+TEST(DipoleIntegrals, SingleGaussianCenteredAtOrigin) {
+  // <s| x |s> = 0 by symmetry for an origin-centered s function.
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  for (std::size_t d = 0; d < 3; ++d)
+    EXPECT_NEAR(mthfx::ints::dipole(basis, d)(0, 0), 0.0, 1e-14);
+}
+
+TEST(DipoleIntegrals, ShiftedCenterGivesCenterCoordinate) {
+  // <s| x |s> = X_center for a normalized s function at X_center.
+  chem::Molecule m;
+  m.add_atom(1, {1.5, -0.7, 2.2});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  EXPECT_NEAR(mthfx::ints::dipole(basis, 0)(0, 0), 1.5, 1e-10);
+  EXPECT_NEAR(mthfx::ints::dipole(basis, 1)(0, 0), -0.7, 1e-10);
+  EXPECT_NEAR(mthfx::ints::dipole(basis, 2)(0, 0), 2.2, 1e-10);
+}
+
+TEST(DipoleIntegrals, OriginShiftIsOverlapTimesShift) {
+  // D(origin O) = D(0) - O_d * S elementwise.
+  const auto m = wl::water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix s = mthfx::ints::overlap(basis);
+  const chem::Vec3 o{0.3, -1.1, 0.8};
+  for (std::size_t d = 0; d < 3; ++d) {
+    const la::Matrix d0 = mthfx::ints::dipole(basis, d);
+    const la::Matrix dshift = mthfx::ints::dipole(basis, d, o);
+    const la::Matrix expected = d0 - o[d] * s;
+    EXPECT_LT(la::max_abs(dshift - expected), 1e-11) << d;
+  }
+}
+
+TEST(DipoleIntegrals, SpBlockMatchesParity) {
+  // <s| z |p_z> on one center is nonzero; <s| z |p_x> vanishes.
+  chem::Molecule m;
+  m.add_atom(8, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  // AO order: 1s, 2s, px, py, pz.
+  const la::Matrix dz = mthfx::ints::dipole(basis, 2);
+  EXPECT_GT(std::abs(dz(1, 4)), 0.05);   // 2s-pz coupling
+  EXPECT_NEAR(dz(1, 2), 0.0, 1e-12);     // 2s-px
+  EXPECT_NEAR(dz(1, 3), 0.0, 1e-12);     // 2s-py
+}
+
+TEST(Properties, WaterDipoleMatchesPublishedSto3gValue) {
+  // RHF/STO-3G water dipole is ~1.7 D at the experimental geometry.
+  const auto m = wl::water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::rhf(m, basis);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(scf::dipole_moment_debye(m, basis, r.density), 1.71, 0.1);
+}
+
+TEST(Properties, DipoleDirectionPointsFromNegativeToPositive) {
+  // Water's dipole lies along the C2 axis (z here), toward the hydrogens
+  // on the negative-z side... sign: O carries negative charge at +z, so
+  // the dipole's z component is negative (physics convention: + -> -).
+  const auto m = wl::water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::rhf(m, basis);
+  const chem::Vec3 mu = scf::dipole_moment(m, basis, r.density);
+  EXPECT_NEAR(mu[0], 0.0, 1e-6);
+  EXPECT_NEAR(mu[1], 0.0, 1e-6);
+  EXPECT_GT(std::abs(mu[2]), 0.3);
+}
+
+TEST(Properties, HomonuclearDiatomicHasNoDipole) {
+  const auto m = wl::h2();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::rhf(m, basis);
+  EXPECT_NEAR(scf::dipole_moment_debye(m, basis, r.density), 0.0, 1e-8);
+}
+
+TEST(Properties, PcIsMorePolarThanNonpolarReference) {
+  // Propylene carbonate is a strongly polar solvent (exp. ~4.9 D); our
+  // minimal-basis value must at least clearly exceed water's.
+  const auto m = wl::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  scf::ScfOptions opts;
+  opts.hfx.eps_schwarz = 1e-9;
+  const auto r = scf::rhf(m, basis, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(scf::dipole_moment_debye(m, basis, r.density), 2.0);
+}
+
+TEST(Properties, MullikenChargesSumToMolecularCharge) {
+  for (const char* name : {"water", "pc", "oh-"}) {
+    const auto m = wl::by_name(name);
+    const auto basis = chem::BasisSet::build(m, "sto-3g");
+    scf::ScfOptions opts;
+    opts.hfx.eps_schwarz = 1e-9;
+    const auto r = scf::rhf(m, basis, opts);
+    ASSERT_TRUE(r.converged) << name;
+    const auto q = scf::mulliken_charges(m, basis, r.density);
+    const double total = std::accumulate(q.begin(), q.end(), 0.0);
+    EXPECT_NEAR(total, m.charge(), 1e-8) << name;
+  }
+}
+
+TEST(Properties, WaterMullikenSigns) {
+  const auto m = wl::water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::rhf(m, basis);
+  const auto q = scf::mulliken_charges(m, basis, r.density);
+  EXPECT_LT(q[0], -0.1);  // O negative
+  EXPECT_GT(q[1], 0.05);  // H positive
+  EXPECT_NEAR(q[1], q[2], 1e-9);  // symmetric hydrogens
+}

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "ints/one_electron.hpp"
+#include "scf/rhf.hpp"
+#include "scf/uhf.hpp"
+#include "workload/geometries.hpp"
+
+namespace chem = mthfx::chem;
+namespace scf = mthfx::scf;
+namespace wl = mthfx::workload;
+
+TEST(Uhf, HydrogenAtomMatchesPublishedSto3g) {
+  // H atom UHF/STO-3G: E = -0.46658 Ha (= RHF of one electron in the
+  // contracted 1s: <1s|h|1s> with the STO-3G expansion).
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::uhf(m, basis, 2);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -0.466582, 1e-5);
+  EXPECT_NEAR(r.s_squared, 0.75, 1e-10);  // pure doublet
+}
+
+TEST(Uhf, ClosedShellReducesToRhf) {
+  const auto m = wl::h2();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto u = scf::uhf(m, basis, 1);
+  const auto r = scf::rhf(m, basis);
+  ASSERT_TRUE(u.converged && r.converged);
+  EXPECT_NEAR(u.energy, r.energy, 1e-7);
+  EXPECT_NEAR(u.s_squared, 0.0, 1e-8);
+}
+
+TEST(Uhf, RejectsInconsistentMultiplicity) {
+  const auto m = wl::h2();  // 2 electrons
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  EXPECT_THROW(scf::uhf(m, basis, 2), std::invalid_argument);  // S=1/2 w/ 2e
+  EXPECT_THROW(scf::uhf(m, basis, 0), std::invalid_argument);
+  EXPECT_THROW(scf::uhf(m, basis, 5), std::invalid_argument);
+}
+
+TEST(Uhf, StretchedH2BreaksSymmetryTowardAtomLimit) {
+  // At R = 6 a0, spin-broken UHF lands near 2 E(H) = -0.93316 Ha while
+  // spin-restricted solutions sit far above.
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 6.0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+
+  scf::UhfOptions broken;
+  broken.break_symmetry = true;
+  const auto ub = scf::uhf(m, basis, 1, broken);
+  ASSERT_TRUE(ub.converged);
+  // Two neutral H atoms: the +1/R nuclear term is screened by the
+  // electron-nuclear attraction, so E -> 2 E(H) = -0.93316.
+  EXPECT_NEAR(ub.energy, 2.0 * -0.466582, 5e-3);
+  // Strong spin contamination signals the broken-symmetry solution.
+  EXPECT_GT(ub.s_squared, 0.5);
+
+  const auto r = scf::rhf(m, basis);
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.energy, ub.energy + 0.05);
+}
+
+TEST(Uhf, TripletH2HasTwoAlphaElectrons) {
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 2.0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::uhf(m, basis, 3);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.s_squared, 2.0, 0.05);  // S=1: S(S+1)=2
+  // Triplet sigma_u^* occupation is repulsive: higher than singlet at
+  // this distance.
+  const auto s = scf::uhf(m, basis, 1);
+  EXPECT_GT(r.energy, s.energy);
+}
+
+TEST(Uhf, LithiumAtomDoublet) {
+  chem::Molecule m;
+  m.add_atom(3, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::uhf(m, basis, 2);
+  ASSERT_TRUE(r.converged);
+  // Li/STO-3G ROHF is about -7.3155 Ha; UHF within a few mHa.
+  EXPECT_NEAR(r.energy, -7.3155, 5e-3);
+  EXPECT_NEAR(r.s_squared, 0.75, 1e-3);
+}
+
+TEST(Uhf, NeutralLithiumSuperoxideDoubletConverges) {
+  // The real open-shell species of the Li/air mechanism.
+  auto m = wl::lithium_superoxide_anion();
+  m.set_charge(0);  // neutral LiO2: 19 electrons, doublet
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  scf::UhfOptions opts;
+  opts.max_iterations = 300;
+  const auto r = scf::uhf(m, basis, 2, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.energy, -150.0);
+  EXPECT_GT(r.s_squared, 0.74);  // at least the pure-doublet value
+}
+
+TEST(Uhf, SpinDensityIntegratesToUnpairedCount) {
+  chem::Molecule m;
+  m.add_atom(3, {0, 0, 0});
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto r = scf::uhf(m, basis, 2);
+  ASSERT_TRUE(r.converged);
+  const auto s = mthfx::ints::overlap(basis);
+  // tr(P_spin S) = N_a - N_b = 1.
+  EXPECT_NEAR(mthfx::linalg::trace_product(r.spin_density(), s), 1.0, 1e-8);
+  // tr(P_total S) = N_elec = 3.
+  EXPECT_NEAR(mthfx::linalg::trace_product(r.total_density(), s), 3.0, 1e-8);
+}

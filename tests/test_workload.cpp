@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/elements.hpp"
+#include "scf/rhf.hpp"
+#include "workload/geometries.hpp"
+#include "workload/reaction_path.hpp"
+#include "workload/replicate.hpp"
+
+namespace chem = mthfx::chem;
+namespace wl = mthfx::workload;
+
+TEST(Geometries, CompositionsAreCorrect) {
+  EXPECT_EQ(wl::water().size(), 3u);
+  EXPECT_EQ(wl::propylene_carbonate().size(), 13u);  // C4H6O3
+  EXPECT_EQ(wl::dmso().size(), 10u);                 // C2H6OS
+  EXPECT_EQ(wl::lithium_peroxide().size(), 4u);
+  EXPECT_EQ(wl::lithium_superoxide_anion().charge(), -1);
+  EXPECT_EQ(wl::hydroxide().num_electrons(), 10);
+}
+
+TEST(Geometries, AllSpeciesAreClosedShell) {
+  for (const char* name : {"water", "pc", "dmso", "li2o2", "lio2-", "oh-",
+                           "h2"})
+    EXPECT_EQ(wl::by_name(name).num_electrons() % 2, 0) << name;
+}
+
+TEST(Geometries, ByNameRejectsUnknown) {
+  EXPECT_THROW(wl::by_name("benzene"), std::invalid_argument);
+}
+
+TEST(Geometries, NoAtomClashes) {
+  // Every interatomic distance above 0.8 A (sanity for hand-built
+  // geometries).
+  for (const char* name : {"water", "pc", "dmso", "li2o2", "lio2-"}) {
+    const auto m = wl::by_name(name);
+    for (std::size_t i = 0; i < m.size(); ++i)
+      for (std::size_t j = i + 1; j < m.size(); ++j)
+        EXPECT_GT(chem::distance(m.atom(i).pos, m.atom(j).pos),
+                  0.8 * chem::kBohrPerAngstrom)
+            << name << " atoms " << i << "," << j;
+  }
+}
+
+TEST(Geometries, BondedNeighborsAreChemical) {
+  // Each atom in PC has at least one neighbor within 1.8 A.
+  const auto m = wl::propylene_carbonate();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    double nearest = 1e9;
+    for (std::size_t j = 0; j < m.size(); ++j)
+      if (i != j)
+        nearest =
+            std::min(nearest, chem::distance(m.atom(i).pos, m.atom(j).pos));
+    EXPECT_LT(nearest, 1.8 * chem::kBohrPerAngstrom) << "atom " << i;
+  }
+}
+
+TEST(Geometries, PcScfConverges) {
+  // The central application molecule must be SCF-stable in STO-3G.
+  const auto m = wl::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  mthfx::scf::ScfOptions opts;
+  opts.hfx.eps_schwarz = 1e-9;
+  const auto r = mthfx::scf::rhf(m, basis, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.energy, -350.0);  // 54 electrons: deep total energy
+  EXPECT_GT(r.energy, -400.0);
+}
+
+TEST(Replicate, CountsAndCharges) {
+  const auto unit = wl::water();
+  const auto cluster = wl::replicate(unit, {2, 2, 2, 12.0});
+  EXPECT_EQ(cluster.size(), 8 * 3u);
+  EXPECT_EQ(cluster.num_electrons(), 80);
+}
+
+TEST(Replicate, SpacingIsRespected) {
+  const auto unit = wl::water();
+  const auto cluster = wl::replicate(unit, {2, 1, 1, 15.0});
+  // Same atom of the two copies is exactly one lattice vector apart.
+  EXPECT_NEAR(chem::distance(cluster.atom(0).pos, cluster.atom(3).pos), 15.0,
+              1e-12);
+}
+
+TEST(Replicate, LatticeForCountCoversRequest) {
+  for (int count : {1, 2, 7, 8, 9, 27, 50, 100}) {
+    const auto spec = wl::lattice_for_count(count);
+    EXPECT_GE(spec.nx * spec.ny * spec.nz, count) << count;
+    // Not absurdly oversized.
+    EXPECT_LE(spec.nx * spec.ny * spec.nz, 2 * count + 8) << count;
+  }
+}
+
+TEST(ReactionPath, LinearEndpointsExact) {
+  auto a = wl::h2();
+  auto b = wl::h2();
+  b.set_position(1, {0, 0, 2.8});
+  const auto path = wl::linear_path(a, b, 5);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_NEAR(path.front().atom(1).pos[2], 1.4, 1e-14);
+  EXPECT_NEAR(path.back().atom(1).pos[2], 2.8, 1e-14);
+  EXPECT_NEAR(path[2].atom(1).pos[2], 2.1, 1e-14);  // midpoint
+}
+
+TEST(ReactionPath, RejectsMismatchedEndpoints) {
+  EXPECT_THROW(wl::linear_path(wl::h2(), wl::water(), 4),
+               std::invalid_argument);
+  EXPECT_THROW(wl::linear_path(wl::h2(), wl::h2(), 1), std::invalid_argument);
+}
+
+TEST(ReactionPath, ApproachPathMovesAttackerOnly) {
+  const auto sub = wl::water();
+  const auto att = wl::hydroxide();
+  const auto path =
+      wl::approach_path(sub, att, {0, 0, 12.0}, {0, 0, 5.0}, 4);
+  ASSERT_EQ(path.size(), 4u);
+  for (const auto& img : path) {
+    EXPECT_EQ(img.size(), sub.size() + att.size());
+    EXPECT_EQ(img.charge(), -1);
+    // Substrate atoms fixed.
+    for (std::size_t i = 0; i < sub.size(); ++i)
+      EXPECT_EQ(img.atom(i).pos, sub.atom(i).pos);
+  }
+  // Attacker O moves from +12 to +5 in z.
+  EXPECT_NEAR(path.front().atom(sub.size()).pos[2], 12.0, 1e-12);
+  EXPECT_NEAR(path.back().atom(sub.size()).pos[2], 5.0, 1e-12);
+}
