@@ -15,6 +15,8 @@
 
 #include "bench_common.hpp"
 #include "hfx/schedulers.hpp"
+#include "obs/registry.hpp"
+#include "obs/stopwatch.hpp"
 
 namespace {
 
@@ -37,7 +39,17 @@ void spin_for(double seconds) {
   }
 }
 
-void host_ablation_table() {
+const char* schedule_name(hfx::HfxSchedule sched) {
+  switch (sched) {
+    case hfx::HfxSchedule::kDynamicBag: return "dynamic_bag";
+    case hfx::HfxSchedule::kStaticBlock: return "static_block";
+    case hfx::HfxSchedule::kStaticCyclic: return "static_cyclic";
+    case hfx::HfxSchedule::kWorkStealing: return "work_stealing";
+  }
+  return "unknown";
+}
+
+obs::Json host_ablation_table() {
   bench::print_header(
       "A1a: host executor, makespan vs. task-cost spread (4 threads, 2000 "
       "tasks)");
@@ -48,23 +60,33 @@ void host_ablation_table() {
   std::printf("%-10s %-14s %-14s %-14s %-14s\n", "spread", "dynamic/s",
               "static/s", "cyclic/s", "stealing/s");
   bench::print_rule();
+  obs::Json rows = obs::Json::array();
   for (double spread : {0.0, 0.5, 1.0, 2.0}) {
     const auto costs = synthetic_costs(2000, spread, 99);
     std::printf("%-10.1f", spread);
+    obs::Json row = obs::Json::object();
+    row["spread"] = spread;
     for (auto sched :
          {hfx::HfxSchedule::kDynamicBag, hfx::HfxSchedule::kStaticBlock,
           hfx::HfxSchedule::kStaticCyclic, hfx::HfxSchedule::kWorkStealing}) {
-      const auto t0 = std::chrono::steady_clock::now();
+      obs::Registry registry(4);
+      obs::Stopwatch watch;
       hfx::execute_tasks(costs.size(), 4, sched,
                          [&](std::size_t i, std::size_t) {
                            spin_for(costs[i]);
-                         });
-      const auto t1 = std::chrono::steady_clock::now();
-      std::printf(" %-13.4f",
-                  std::chrono::duration<double>(t1 - t0).count());
+                         },
+                         &registry);
+      const double secs = watch.seconds();
+      std::printf(" %-13.4f", secs);
+      obs::Json cell = obs::Json::object();
+      cell["seconds"] = secs;
+      cell["metrics"] = registry.to_json();
+      row[schedule_name(sched)] = std::move(cell);
     }
+    rows.push_back(std::move(row));
     std::printf("\n");
   }
+  return rows;
 }
 
 // Real quartet-task costs are not i.i.d. along the task list: heavy
@@ -72,13 +94,14 @@ void host_ablation_table() {
 // static distribution inherits that correlation as per-thread imbalance,
 // while the dynamic bag is immune. Modeled with a two-state Markov cost
 // sequence (persistence rho), executed exactly at node granularity.
-void machine_ablation_table() {
+obs::Json machine_ablation_table() {
   bench::print_header(
       "A1b: scheduling under correlated task costs (96 racks, 20M tasks, "
       "reduction excluded)");
   std::printf("%-14s %-16s %-16s %-8s\n", "persistence", "dynamic/s",
               "static-block/s", "ratio");
   bench::print_rule();
+  obs::Json rows = obs::Json::array();
 
   const auto machine = bgq::machine_for_racks(96);
   const std::int64_t nodes = machine.num_nodes();
@@ -129,10 +152,17 @@ void machine_ablation_table() {
 
     std::printf("%-14.5f %-16.4f %-16.4f %-8.2f\n", rho, dyn_time, stat_time,
                 stat_time / dyn_time);
+    obs::Json row = obs::Json::object();
+    row["persistence"] = rho;
+    row["dynamic_seconds"] = dyn_time;
+    row["static_block_seconds"] = stat_time;
+    row["ratio"] = stat_time / dyn_time;
+    rows.push_back(std::move(row));
   }
   std::printf(
       "\nuncorrelated costs average out even statically; the long heavy "
       "runs of real quartet lists are what the dynamic bag absorbs.\n");
+  return rows;
 }
 
 void BM_ExecuteTasksOverhead(benchmark::State& state) {
@@ -154,8 +184,11 @@ BENCHMARK(BM_ExecuteTasksOverhead)
 }  // namespace
 
 int main(int argc, char** argv) {
-  host_ablation_table();
-  machine_ablation_table();
+  obs::Json record = obs::Json::object();
+  record["bench"] = "a1_scheduler_ablation";
+  record["host_ablation"] = host_ablation_table();
+  record["machine_ablation"] = machine_ablation_table();
+  bench::write_bench_json("a1_scheduler_ablation", record);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

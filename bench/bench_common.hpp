@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -15,11 +17,35 @@
 #include "hfx/fock_builder.hpp"
 #include "linalg/eigen.hpp"
 #include "ints/one_electron.hpp"
+#include "obs/json.hpp"
 #include "scf/guess.hpp"
 #include "workload/geometries.hpp"
 #include "workload/replicate.hpp"
 
 namespace mthfx::bench {
+
+/// Directory for machine-readable bench records; override with
+/// MTHFX_BENCH_JSON_DIR (default: working directory).
+inline std::string bench_json_dir() {
+  const char* dir = std::getenv("MTHFX_BENCH_JSON_DIR");
+  return (dir && *dir) ? dir : ".";
+}
+
+/// Write one bench's structured record to BENCH_<name>.json. Every
+/// experiment bench emits its tables through this alongside the printed
+/// version, so scaling claims can be checked by tooling instead of by
+/// scraping stdout (schema: docs/observability.md).
+inline void write_bench_json(const std::string& name,
+                             const obs::Json& payload) {
+  const std::string path = bench_json_dir() + "/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[json] cannot write %s\n", path.c_str());
+    return;
+  }
+  out << payload.dump(2) << "\n";
+  std::printf("[json] wrote %s\n", path.c_str());
+}
 
 /// A host HFX run with per-task timings, used to calibrate the machine
 /// simulator.

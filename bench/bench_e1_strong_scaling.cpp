@@ -21,7 +21,7 @@ const bench::HostCalibration& calibration() {
   return cal;
 }
 
-void host_strong_scaling_table() {
+obs::Json host_strong_scaling_table() {
   bench::print_header(
       "E1a: host strong scaling of the real HFX kernel (2 PC molecules)");
   std::printf("%-10s %-14s %-10s %-12s\n", "threads", "time/s", "speedup",
@@ -35,6 +35,7 @@ void host_strong_scaling_table() {
   const auto x = linalg::inverse_sqrt(s);
   const auto p = scf::core_guess_density(basis, cluster, x);
 
+  obs::Json rows = obs::Json::array();
   double t1 = 0.0;
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   for (std::size_t nt = 1; nt <= hw; nt *= 2) {
@@ -48,10 +49,17 @@ void host_strong_scaling_table() {
     std::printf("%-10zu %-14.4f %-10.2f %-12.3f\n", nt,
                 result.stats.wall_seconds, speedup,
                 speedup / static_cast<double>(nt));
+    obs::Json row = obs::Json::object();
+    row["threads"] = nt;
+    row["speedup"] = speedup;
+    row["efficiency"] = speedup / static_cast<double>(nt);
+    row["stats"] = hfx::to_json(result.stats);
+    rows.push_back(std::move(row));
   }
+  return rows;
 }
 
-void machine_strong_scaling_table() {
+obs::Json machine_strong_scaling_table() {
   bench::print_header(
       "E1b: BG/Q strong scaling, 512-PC condensed-phase workload "
       "(simulated machine, measured task costs)");
@@ -65,6 +73,10 @@ void machine_strong_scaling_table() {
               "threads", "time/s", "speedup", "efficiency");
   bench::print_rule();
 
+  obs::Json table = obs::Json::object();
+  table["num_tasks"] = w.num_tasks;
+  table["mean_task_cost_seconds"] = dist.mean();
+  obs::Json rows = obs::Json::array();
   bgq::SimResult base;
   for (int racks : bgq::supported_rack_counts()) {
     const auto machine = bgq::machine_for_racks(racks);
@@ -76,10 +88,18 @@ void machine_strong_scaling_table() {
                 static_cast<long long>(machine.num_nodes()),
                 static_cast<long long>(machine.num_threads()),
                 r.makespan_seconds, speedup, eff);
+    obs::Json row = bgq::to_json(r);
+    row["racks"] = racks;
+    row["nodes"] = machine.num_nodes();
+    row["speedup"] = speedup;
+    row["efficiency"] = eff;
+    rows.push_back(std::move(row));
   }
+  table["rows"] = std::move(rows);
   std::printf(
       "\npaper claim: near-perfect parallel efficiency at 6,291,456 "
       "threads (96 racks).\n");
+  return table;
 }
 
 void BM_HostExchangeBuild(benchmark::State& state) {
@@ -103,8 +123,11 @@ BENCHMARK(BM_HostExchangeBuild)->Arg(1)->Arg(2)->Arg(4)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
-  host_strong_scaling_table();
-  machine_strong_scaling_table();
+  obs::Json record = obs::Json::object();
+  record["bench"] = "e1_strong_scaling";
+  record["host_strong_scaling"] = host_strong_scaling_table();
+  record["machine_strong_scaling"] = machine_strong_scaling_table();
+  bench::write_bench_json("e1_strong_scaling", record);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

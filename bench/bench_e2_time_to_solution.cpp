@@ -12,7 +12,7 @@ namespace {
 
 using namespace mthfx;
 
-void time_to_solution_table() {
+obs::Json time_to_solution_table() {
   bench::print_header(
       "E2: time to solution, dynamic-bag scheme vs. directly comparable "
       "static scheme (64-PC workload)");
@@ -24,6 +24,7 @@ void time_to_solution_table() {
   std::printf("%-7s %-12s %-14s %-14s %-8s\n", "racks", "threads",
               "this work/s", "baseline/s", "ratio");
   bench::print_rule();
+  obs::Json rows = obs::Json::array();
   for (int racks : bgq::supported_rack_counts()) {
     const auto machine = bgq::machine_for_racks(racks);
     bgq::SimOptions dyn;
@@ -36,6 +37,12 @@ void time_to_solution_table() {
                 static_cast<long long>(machine.num_threads()),
                 rd.makespan_seconds, rs.makespan_seconds,
                 rs.makespan_seconds / rd.makespan_seconds);
+    obs::Json row = obs::Json::object();
+    row["racks"] = racks;
+    row["dynamic"] = bgq::to_json(rd);
+    row["static_baseline"] = bgq::to_json(rs);
+    row["ratio"] = rs.makespan_seconds / rd.makespan_seconds;
+    rows.push_back(std::move(row));
   }
   std::printf(
       "\npaper claim: improvement 'can surpass a 10-fold decrease in "
@@ -43,6 +50,7 @@ void time_to_solution_table() {
       "replicated baseline needs gigabytes per MPI rank and does not fit "
       "a BG/Q node at all — the comparison above uses the largest "
       "baseline-feasible system.\n");
+  return rows;
 }
 
 // Host-level companion: dynamic vs. static on the real kernel.
@@ -69,7 +77,10 @@ BENCHMARK(BM_HostScheme)
 }  // namespace
 
 int main(int argc, char** argv) {
-  time_to_solution_table();
+  obs::Json record = obs::Json::object();
+  record["bench"] = "e2_time_to_solution";
+  record["time_to_solution"] = time_to_solution_table();
+  bench::write_bench_json("e2_time_to_solution", record);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

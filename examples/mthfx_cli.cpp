@@ -2,23 +2,115 @@
 // a simple input file (format documented in src/app/input.hpp).
 //
 //   ./build/examples/mthfx_cli water.in
+//   ./build/examples/mthfx_cli --trace water.in          # phase table
+//   ./build/examples/mthfx_cli --trace=run.json water.in # full span JSON
+//
+// With --trace, a per-phase timing summary (scf.* / jk.* spans from the
+// global trace) is printed after the report; --trace=<file> additionally
+// writes the complete span tree as JSON (schema: docs/observability.md).
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "app/driver.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+void print_phase_table(const mthfx::obs::Trace& trace) {
+  struct Row {
+    std::string name;
+    double seconds = 0.0;
+    double first_start = 0.0;
+    std::uint64_t count = 0;
+    std::uint32_t depth = 0;
+  };
+  // Aggregate by name; remember the shallowest depth (for indentation)
+  // and the earliest start (so parents sort above their children).
+  std::map<std::string, Row> by_name;
+  for (const auto& span : trace.spans()) {
+    auto& row = by_name[span.name];
+    if (row.count == 0) {
+      row.name = span.name;
+      row.first_start = span.start_seconds;
+      row.depth = span.depth;
+    } else {
+      row.first_start = std::min(row.first_start, span.start_seconds);
+      row.depth = std::min(row.depth, span.depth);
+    }
+    row.seconds += span.duration_seconds;
+    row.count += 1;
+  }
+  std::vector<Row> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.first_start < b.first_start;
+  });
+  std::printf("\nphase timings (wall seconds, aggregated over spans):\n");
+  std::printf("%-24s %10s %8s %12s\n", "phase", "total/s", "count",
+              "mean/ms");
+  for (const auto& row : rows) {
+    const std::string label = std::string(2 * row.depth, ' ') + row.name;
+    std::printf("%-24s %10.4f %8llu %12.3f\n", label.c_str(), row.seconds,
+                static_cast<unsigned long long>(row.count),
+                1e3 * row.seconds / static_cast<double>(row.count));
+  }
+  if (trace.dropped() > 0)
+    std::printf("[trace] %llu spans dropped (buffer full)\n",
+                static_cast<unsigned long long>(trace.dropped()));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
+  bool trace = false;
+  std::string trace_file;
+  const char* input_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace") == 0) {
+      trace = true;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace = true;
+      trace_file = arg + 8;
+    } else if (!input_path) {
+      input_path = arg;
+    } else {
+      input_path = nullptr;
+      break;
+    }
+  }
+  if (!input_path) {
     std::fprintf(stderr,
-                 "usage: %s <input-file>\n"
+                 "usage: %s [--trace[=file.json]] <input-file>\n"
                  "input format: see src/app/input.hpp\n",
                  argv[0]);
     return 2;
   }
   try {
-    const auto input = mthfx::app::parse_input_file(argv[1]);
+    const auto input = mthfx::app::parse_input_file(input_path);
     const auto result = mthfx::app::run(input);
     std::fputs(result.report.c_str(), stdout);
+    if (trace) {
+      const auto& tr = mthfx::obs::global_trace();
+      print_phase_table(tr);
+      if (!trace_file.empty()) {
+        std::ofstream out(trace_file);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n",
+                       trace_file.c_str());
+          return 2;
+        }
+        out << tr.to_json().dump(2) << "\n";
+        std::printf("[trace] wrote %s\n", trace_file.c_str());
+      }
+    }
     return result.ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

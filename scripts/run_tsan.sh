@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build the threading/scheduler tests under ThreadSanitizer and run them.
+#
+# Covers the concurrency-sensitive surface: the thread pool, the
+# work-stealing scheduler (both steal paths and their stats counters),
+# the obs registry's lock-free per-thread slots, and the HFX scheduler
+# exactness tests. A data race anywhere in that stack fails this script.
+#
+# Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+"$BUILD_DIR"/tests/test_parallel
+"$BUILD_DIR"/tests/test_obs
+# Scheduler-facing subset of test_hfx: exactly-once execution under
+# contention plus steal-stat consistency, without the integral-heavy
+# numerics (slow under TSan and thread-free anyway).
+"$BUILD_DIR"/tests/test_hfx --gtest_filter='SchedulerExactness*:Schedulers.*:AllSchedules/*'
+
+echo "TSan pass clean."

@@ -19,6 +19,16 @@ std::string strip_comment(const std::string& line) {
   return pos == std::string::npos ? line : line.substr(0, pos);
 }
 
+// A line must be fully consumed once its grammar is satisfied; leftover
+// tokens are almost always a typo (e.g. a fourth coordinate, two values
+// for one keyword) and silently ignoring them hides the mistake.
+void reject_trailing(std::istringstream& line, int lineno,
+                     const std::string& context) {
+  std::string extra;
+  if (line >> extra)
+    fail(lineno, "unexpected trailing token '" + extra + "' after " + context);
+}
+
 }  // namespace
 
 Input parse_input(const std::string& text) {
@@ -39,6 +49,7 @@ Input parse_input(const std::string& text) {
 
     if (in_geometry) {
       if (key == "end") {
+        reject_trailing(line, lineno, "'end'");
         in_geometry = false;
         continue;
       }
@@ -47,6 +58,7 @@ Input parse_input(const std::string& text) {
       double xc = 0, yc = 0, zc = 0;
       if (!(line >> xc >> yc >> zc))
         fail(lineno, "expected three coordinates after element symbol");
+      reject_trailing(line, lineno, "atom coordinates");
       mol.add_atom(*z, {xc * unit_scale, yc * unit_scale, zc * unit_scale});
       continue;
     }
@@ -60,6 +72,7 @@ Input parse_input(const std::string& text) {
         unit_scale = 1.0;
       else
         fail(lineno, "geometry unit must be 'angstrom' or 'bohr'");
+      reject_trailing(line, lineno, "geometry unit");
       in_geometry = true;
       saw_geometry = true;
       continue;
@@ -67,6 +80,7 @@ Input parse_input(const std::string& text) {
 
     std::string value;
     if (!(line >> value)) fail(lineno, "keyword '" + key + "' needs a value");
+    reject_trailing(line, lineno, "value for keyword '" + key + "'");
 
     if (key == "method") {
       input.method = value;

@@ -213,6 +213,20 @@ SimResult simulate_step(const MachineConfig& machine,
   return result;
 }
 
+obs::Json to_json(const SimResult& result) {
+  obs::Json out = obs::Json::object();
+  out["threads"] = result.threads;
+  out["makespan_seconds"] = result.makespan_seconds;
+  out["compute_seconds"] = result.compute_seconds;
+  out["mean_compute_seconds"] = result.mean_compute_seconds;
+  out["comm_seconds"] = result.comm_seconds;
+  out["comm_fraction"] = result.makespan_seconds > 0.0
+                             ? result.comm_seconds / result.makespan_seconds
+                             : 0.0;
+  out["imbalance"] = result.imbalance;
+  return out;
+}
+
 double parallel_efficiency(const SimResult& base, const SimResult& scaled) {
   const double work_base =
       base.makespan_seconds * static_cast<double>(base.threads);

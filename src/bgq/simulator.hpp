@@ -20,6 +20,7 @@
 
 #include "bgq/machine.hpp"
 #include "hfx/fock_builder.hpp"
+#include "obs/json.hpp"
 
 namespace mthfx::bgq {
 
@@ -75,5 +76,9 @@ SimResult simulate_step(const MachineConfig& machine,
 /// Strong-scaling parallel efficiency of `scaled` against `base`:
 /// (T_base * N_base) / (T_scaled * N_scaled).
 double parallel_efficiency(const SimResult& base, const SimResult& scaled);
+
+/// Modeled comm-vs-compute decomposition of one simulated step as a JSON
+/// record (the shape consumed by the BENCH_*.json emitters).
+obs::Json to_json(const SimResult& result);
 
 }  // namespace mthfx::bgq

@@ -1,11 +1,14 @@
 #include "hfx/fock_builder.hpp"
 
+#include <algorithm>
 #include <array>
-#include <chrono>
+#include <cmath>
 
 #include "hfx/schedulers.hpp"
 #include "ints/eri.hpp"
 #include "ints/schwarz.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace mthfx::hfx {
 
@@ -25,7 +28,8 @@ namespace {
 void digest_quartet(const BasisSet& basis, std::uint32_t sa, std::uint32_t sb,
                     std::uint32_t sc, std::uint32_t sd,
                     const ints::EriBlock& block, const Matrix& density,
-                    Matrix* j_acc, Matrix& k_acc, bool braket_same) {
+                    Matrix* j_acc, Matrix& k_acc, bool braket_same,
+                    double eps_contribution) {
   const std::size_t oa = basis.first_function(sa);
   const std::size_t ob = basis.first_function(sb);
   const std::size_t oc = basis.first_function(sc);
@@ -47,7 +51,7 @@ void digest_quartet(const BasisSet& basis, std::uint32_t sa, std::uint32_t sb,
           if (cd_same && k < l) continue;
           if (braket_same && ij < klbase + l) continue;
           const double v = block(ia, ib, ic, id);
-          if (std::abs(v) < 1e-16) continue;
+          if (std::abs(v) < eps_contribution) continue;
 
           const bool e1 = (i == jj);
           const bool e2 = (k == l);
@@ -83,6 +87,38 @@ void digest_quartet(const BasisSet& basis, std::uint32_t sa, std::uint32_t sb,
 
 }  // namespace
 
+double HfxStats::imbalance() const {
+  double mx = 0.0, total = 0.0;
+  for (const double s : thread_busy_seconds) {
+    mx = std::max(mx, s);
+    total += s;
+  }
+  if (total <= 0.0 || thread_busy_seconds.empty()) return 1.0;
+  const double mean = total / static_cast<double>(thread_busy_seconds.size());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+
+obs::Json to_json(const HfxStats& stats) {
+  obs::Json out = obs::Json::object();
+  out["num_pairs"] = stats.num_pairs;
+  out["num_pairs_unscreened"] = stats.num_pairs_unscreened;
+  out["num_tasks"] = stats.num_tasks;
+  out["wall_seconds"] = stats.wall_seconds;
+  out["reduce_seconds"] = stats.reduce_seconds;
+  out["imbalance"] = stats.imbalance();
+  obs::Json screening = obs::Json::object();
+  screening["considered"] = stats.screening.quartets_considered;
+  screening["schwarz_screened"] = stats.screening.quartets_schwarz_screened;
+  screening["density_screened"] = stats.screening.quartets_density_screened;
+  screening["computed"] = stats.screening.quartets_computed;
+  out["screening"] = std::move(screening);
+  obs::Json busy = obs::Json::array();
+  for (const double s : stats.thread_busy_seconds) busy.push_back(s);
+  out["thread_busy_seconds"] = std::move(busy);
+  out["metrics"] = stats.metrics;
+  return out;
+}
+
 FockBuilder::FockBuilder(const BasisSet& basis, HfxOptions options)
     : basis_(basis),
       options_(options),
@@ -103,8 +139,17 @@ JkResult FockBuilder::coulomb_exchange(const Matrix& density) const {
 }
 
 JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
+  obs::Trace::Scope build_span(obs::global_trace(), "jk.build");
   const std::size_t nao = basis_.num_functions();
   const std::size_t nthreads = resolve_thread_count(options_.num_threads);
+  const double eps_contribution = options_.contribution_cutoff();
+
+  obs::Registry registry(nthreads);
+  const obs::Timer busy_timer = registry.timer("hfx.task_seconds");
+  const obs::Counter c_considered = registry.counter("hfx.quartets_considered");
+  const obs::Counter c_schwarz = registry.counter("hfx.quartets_schwarz_screened");
+  const obs::Counter c_density = registry.counter("hfx.quartets_density_screened");
+  const obs::Counter c_computed = registry.counter("hfx.quartets_computed");
 
   const Matrix block_max = options_.density_screening
                                ? shell_block_max_density(basis_, density)
@@ -118,26 +163,25 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
   result.stats.num_pairs = pairs_.size();
   result.stats.num_pairs_unscreened = pairs_.unscreened_count();
   result.stats.num_tasks = tasks_.size();
-  result.stats.thread_busy_seconds.assign(nthreads, 0.0);
   if (options_.record_task_costs)
     result.stats.task_costs.assign(tasks_.size(), TaskCostRecord{});
-
-  std::vector<ScreeningStats> screen_private(nthreads);
 
   auto run_task = [&](std::size_t task_index, std::size_t tid) {
     const QuartetTask& task = tasks_[task_index];
     const ShellPair& bra = pairs_[task.bra];
-    ScreeningStats& stats = screen_private[tid];
     Matrix& k_acc = k_private[tid];
     Matrix* j_acc = want_coulomb ? &j_private[tid] : nullptr;
 
-    const auto t0 = std::chrono::steady_clock::now();
+    // Screening tallies accumulate locally and flush once per task so
+    // the inner quartet loop performs no atomic traffic.
+    std::uint64_t considered = 0, schwarz = 0, density_scr = 0, computed = 0;
+    const obs::Stopwatch watch;
     for (std::uint32_t kk = task.ket_begin; kk < task.ket_end; ++kk) {
       const ShellPair& ket = pairs_[kk];
-      ++stats.quartets_considered;
+      ++considered;
       const double qq = bra.q * ket.q;
       if (qq < options_.eps_schwarz) {
-        ++stats.quartets_schwarz_screened;
+        ++schwarz;
         continue;
       }
       if (options_.density_screening) {
@@ -151,43 +195,64 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
                                                          bra.sb, ket.sa,
                                                          ket.sb);
         if (qq * pmax < options_.eps_schwarz) {
-          ++stats.quartets_density_screened;
+          ++density_scr;
           continue;
         }
       }
-      ++stats.quartets_computed;
+      ++computed;
       thread_local ints::EriBlock block;
       ints::eri_shell_quartet(pair_hermites_[task.bra], pair_hermites_[kk],
                               block);
       digest_quartet(basis_, bra.sa, bra.sb, ket.sa, ket.sb, block, density,
-                     j_acc, k_acc, /*braket_same=*/kk == task.bra);
+                     j_acc, k_acc, /*braket_same=*/kk == task.bra,
+                     eps_contribution);
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
-    result.stats.thread_busy_seconds[tid] += secs;
+    const double secs = watch.seconds();
+    busy_timer.add_seconds(tid, secs);
+    c_considered.add(tid, considered);
+    c_schwarz.add(tid, schwarz);
+    c_density.add(tid, density_scr);
+    c_computed.add(tid, computed);
     if (options_.record_task_costs)
       result.stats.task_costs[task_index] = {
           static_cast<std::uint32_t>(task_index), task.est_cost, secs};
   };
 
-  const auto wall0 = std::chrono::steady_clock::now();
-  execute_tasks(tasks_.size(), nthreads, options_.schedule, run_task);
-  const auto wall1 = std::chrono::steady_clock::now();
-  result.stats.wall_seconds =
-      std::chrono::duration<double>(wall1 - wall0).count();
-
-  for (const auto& s : screen_private) result.stats.screening += s;
+  {
+    obs::Trace::Scope task_span(obs::global_trace(), "jk.tasks");
+    obs::ScopedTimer wall(registry.timer("hfx.wall_seconds"), 0);
+    execute_tasks(tasks_.size(), nthreads, options_.schedule, run_task,
+                  &registry);
+  }
 
   // Reduce the thread-private accumulators (modeled as a torus tree
   // reduction by the bgq simulator at scale).
-  result.k = Matrix(nao, nao);
-  for (const Matrix& kp : k_private) result.k += kp;
-  linalg::symmetrize(result.k);
-  if (want_coulomb) {
-    result.j = Matrix(nao, nao);
-    for (const Matrix& jp : j_private) result.j += jp;
-    linalg::symmetrize(result.j);
+  {
+    obs::Trace::Scope reduce_span(obs::global_trace(), "jk.reduce");
+    obs::ScopedTimer reduce(registry.timer("hfx.reduce_seconds"), 0);
+    result.k = Matrix(nao, nao);
+    for (const Matrix& kp : k_private) result.k += kp;
+    linalg::symmetrize(result.k);
+    if (want_coulomb) {
+      result.j = Matrix(nao, nao);
+      for (const Matrix& jp : j_private) result.j += jp;
+      linalg::symmetrize(result.j);
+    }
   }
+
+  result.stats.screening.quartets_considered =
+      registry.counter_total("hfx.quartets_considered");
+  result.stats.screening.quartets_schwarz_screened =
+      registry.counter_total("hfx.quartets_schwarz_screened");
+  result.stats.screening.quartets_density_screened =
+      registry.counter_total("hfx.quartets_density_screened");
+  result.stats.screening.quartets_computed =
+      registry.counter_total("hfx.quartets_computed");
+  result.stats.wall_seconds = registry.timer_seconds("hfx.wall_seconds");
+  result.stats.reduce_seconds = registry.timer_seconds("hfx.reduce_seconds");
+  result.stats.thread_busy_seconds =
+      registry.timer_per_thread("hfx.task_seconds");
+  result.stats.metrics = registry.to_json();
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "hfx/shell_pairs.hpp"
 #include "hfx/tasks.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/json.hpp"
 
 namespace mthfx::hfx {
 
@@ -31,11 +32,24 @@ enum class HfxSchedule {
 
 struct HfxOptions {
   double eps_schwarz = 1e-10;     ///< integral-neglect threshold
+  /// Per-element magnitude cutoff inside the digestion kernel: computed
+  /// integrals below this skip the J/K updates. 0 derives it from the
+  /// screening threshold (eps_schwarz * kContributionCutoffScale), so
+  /// tightening eps_schwarz tightens the whole accuracy chain.
+  double eps_contribution = 0.0;
   bool density_screening = true;  ///< stage-two |P|-weighted screening
   HfxSchedule schedule = HfxSchedule::kDynamicBag;
   std::size_t num_threads = 0;    ///< 0 selects hardware concurrency
   double target_task_cost = 0.0;  ///< 0 selects a heuristic granularity
   bool record_task_costs = false; ///< collect per-task timings (for bgq sim)
+
+  /// Derived default for eps_contribution: 1e-6 * eps_schwarz reproduces
+  /// the historical 1e-16 cutoff at the default eps_schwarz of 1e-10.
+  static constexpr double kContributionCutoffScale = 1e-6;
+  double contribution_cutoff() const {
+    return eps_contribution > 0.0 ? eps_contribution
+                                  : eps_schwarz * kContributionCutoffScale;
+  }
 };
 
 struct TaskCostRecord {
@@ -50,9 +64,18 @@ struct HfxStats {
   std::size_t num_pairs_unscreened = 0;
   std::size_t num_tasks = 0;
   double wall_seconds = 0.0;
+  double reduce_seconds = 0.0;               ///< thread-private K/J reduction
   std::vector<double> thread_busy_seconds;   ///< per-thread kernel time
   std::vector<TaskCostRecord> task_costs;    ///< filled if record_task_costs
+  obs::Json metrics;  ///< full registry snapshot (counters + timers)
+
+  /// Busiest / mean thread busy time (1.0 when idle or single-threaded).
+  double imbalance() const;
 };
+
+/// Machine-readable record of one build (screening, timing, imbalance,
+/// scheduler metrics) for the BENCH_*.json emitters.
+obs::Json to_json(const HfxStats& stats);
 
 struct ExchangeResult {
   linalg::Matrix k;  ///< K_{mu nu} = sum_{lam sig} P_{lam sig} (mu lam|nu sig)

@@ -1,38 +1,51 @@
 #include "hfx/schedulers.hpp"
 
-#include <thread>
-
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_stealing.hpp"
 
 namespace mthfx::hfx {
 
 std::size_t resolve_thread_count(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  // Single policy shared with ThreadPool so the HFX layer can never size
+  // per-thread buffers against a different count than the pool runs.
+  return parallel::resolve_thread_count(requested);
 }
 
 void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
                    HfxSchedule schedule,
-                   const std::function<void(std::size_t, std::size_t)>& body) {
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   obs::Registry* registry) {
   parallel::ThreadPool pool(num_threads);
+  pool.set_registry(registry);
+
+  obs::Counter tasks_executed;
+  std::function<void(std::size_t, std::size_t)> counted;
+  if (registry) {
+    tasks_executed = registry->counter("sched.tasks_executed");
+    counted = [&](std::size_t i, std::size_t tid) {
+      tasks_executed.add(tid);
+      body(i, tid);
+    };
+  }
+  const auto& run = registry ? counted : body;
+
   switch (schedule) {
     case HfxSchedule::kDynamicBag:
-      pool.parallel_for(0, num_tasks, body, parallel::Schedule::kDynamic);
+      pool.parallel_for(0, num_tasks, run, parallel::Schedule::kDynamic);
       break;
     case HfxSchedule::kStaticBlock:
-      pool.parallel_for(0, num_tasks, body, parallel::Schedule::kStatic);
+      pool.parallel_for(0, num_tasks, run, parallel::Schedule::kStatic);
       break;
     case HfxSchedule::kStaticCyclic:
-      pool.parallel_for(0, num_tasks, body, parallel::Schedule::kStaticCyclic);
+      pool.parallel_for(0, num_tasks, run, parallel::Schedule::kStaticCyclic);
       break;
     case HfxSchedule::kWorkStealing: {
-      parallel::WorkStealingScheduler ws(num_threads);
+      parallel::WorkStealingScheduler ws(pool.num_threads());
       ws.seed(num_tasks);
       pool.parallel_region([&](std::size_t tid) {
-        while (auto task = ws.next(tid)) body(*task, tid);
+        while (auto task = ws.next(tid)) run(*task, tid);
       });
+      if (registry) ws.record(*registry);
       break;
     }
   }

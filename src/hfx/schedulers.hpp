@@ -8,16 +8,22 @@
 #include <functional>
 
 #include "hfx/fock_builder.hpp"
+#include "obs/registry.hpp"
 
 namespace mthfx::hfx {
 
-/// 0 -> hardware concurrency.
+/// 0 -> hardware concurrency (delegates to parallel::resolve_thread_count
+/// so HFX and ThreadPool always agree).
 std::size_t resolve_thread_count(std::size_t requested);
 
 /// Run body(task_index, thread_id) for every task under the policy.
-/// Blocks until all tasks are complete.
+/// Blocks until all tasks are complete. With a registry, records
+/// "sched.tasks_executed" per thread, pool occupancy timers, and (for
+/// work stealing) the ws.* steal counters; the registry must have slots
+/// for resolve_thread_count(num_threads) threads.
 void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
                    HfxSchedule schedule,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   obs::Registry* registry = nullptr);
 
 }  // namespace mthfx::hfx

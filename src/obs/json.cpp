@@ -1,0 +1,135 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mthfx::obs {
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, v] : object_)
+    if (k == key) return v;
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  array_.push_back(std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray: return array_.size();
+    case Kind::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kDouble: write_double(out, double_); break;
+    case Kind::kString: write_escaped(out, string_); break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        if (indent >= 0) newline_indent(out, indent, depth + 1);
+        write_escaped(out, object_[i].first);
+        out += indent >= 0 ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      if (indent >= 0) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace mthfx::obs

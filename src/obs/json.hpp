@@ -1,0 +1,87 @@
+#pragma once
+
+// Minimal JSON value used by the observability layer to emit
+// machine-readable bench/trace records (BENCH_*.json). Objects preserve
+// insertion order so emitted records diff cleanly across runs. This is an
+// emitter, not a parser — benches and tools only ever write.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mthfx::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(long v) : kind_(Kind::kInt), int_(v) {}
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned long v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object access; inserts a null member if absent. A null value
+  /// silently becomes an object so `j["a"]["b"] = 1` works.
+  Json& operator[](const std::string& key);
+
+  /// Appends to an array (a null value becomes an array).
+  void push_back(Json v);
+
+  /// Object member lookup (nullptr when absent or not an object).
+  const Json* find(std::string_view key) const;
+
+  std::size_t size() const;
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return int_; }
+  double as_double() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return array_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  /// Serialize; `indent` < 0 emits one line, otherwise pretty-prints with
+  /// that many spaces per level. Non-finite numbers emit as null.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace mthfx::obs

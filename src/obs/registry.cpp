@@ -1,0 +1,109 @@
+#include "obs/registry.hpp"
+
+#include <stdexcept>
+
+namespace mthfx::obs {
+
+Registry::Registry(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {}
+
+detail::Slot* Registry::register_entry(std::string_view name, bool is_timer) {
+  std::lock_guard lock(mutex_);
+  for (Entry& e : entries_)
+    if (e.name == name) return e.slots.get();
+  Entry& e = entries_.emplace_back();
+  e.name = std::string(name);
+  e.is_timer = is_timer;
+  e.slots = std::make_unique<detail::Slot[]>(num_threads_);
+  return e.slots.get();
+}
+
+Counter Registry::counter(std::string_view name) {
+  return Counter(register_entry(name, /*is_timer=*/false));
+}
+
+Timer Registry::timer(std::string_view name) {
+  return Timer(register_entry(name, /*is_timer=*/true));
+}
+
+const Registry::Entry* Registry::find(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  for (const Entry& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::uint64_t Registry::counter_total(std::string_view name) const {
+  const Entry* e = find(name);
+  if (!e) return 0;
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < num_threads_; ++t)
+    total += e->slots[t].count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Registry::timer_seconds(std::string_view name) const {
+  const Entry* e = find(name);
+  if (!e) return 0.0;
+  double total = 0.0;
+  for (std::size_t t = 0; t < num_threads_; ++t)
+    total += e->slots[t].seconds.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Registry::timer_count(std::string_view name) const {
+  return counter_total(name);
+}
+
+std::vector<std::uint64_t> Registry::counter_per_thread(
+    std::string_view name) const {
+  std::vector<std::uint64_t> out(num_threads_, 0);
+  const Entry* e = find(name);
+  if (!e) return out;
+  for (std::size_t t = 0; t < num_threads_; ++t)
+    out[t] = e->slots[t].count.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<double> Registry::timer_per_thread(std::string_view name) const {
+  std::vector<double> out(num_threads_, 0.0);
+  const Entry* e = find(name);
+  if (!e) return out;
+  for (std::size_t t = 0; t < num_threads_; ++t)
+    out[t] = e->slots[t].seconds.load(std::memory_order_relaxed);
+  return out;
+}
+
+Json Registry::to_json() const {
+  Json counters = Json::object();
+  Json timers = Json::object();
+  std::lock_guard lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (!e.is_timer) {
+      std::uint64_t total = 0;
+      for (std::size_t t = 0; t < num_threads_; ++t)
+        total += e.slots[t].count.load(std::memory_order_relaxed);
+      counters[e.name] = total;
+    } else {
+      double secs = 0.0;
+      std::uint64_t count = 0;
+      Json per_thread = Json::array();
+      for (std::size_t t = 0; t < num_threads_; ++t) {
+        const double s = e.slots[t].seconds.load(std::memory_order_relaxed);
+        secs += s;
+        count += e.slots[t].count.load(std::memory_order_relaxed);
+        per_thread.push_back(s);
+      }
+      Json& entry = timers[e.name];
+      entry["seconds"] = secs;
+      entry["count"] = count;
+      entry["per_thread_seconds"] = std::move(per_thread);
+    }
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["timers"] = std::move(timers);
+  return out;
+}
+
+}  // namespace mthfx::obs

@@ -1,0 +1,136 @@
+#pragma once
+
+// Registry of named metrics with lock-free per-thread slots.
+//
+// Registration (by name) takes a mutex and is expected to happen before a
+// parallel region; the hot-path `add` calls are a single relaxed atomic
+// on a cache-line-padded slot owned by the calling thread, so recording
+// never serializes workers and stays clean under TSan. Aggregation walks
+// the slots at (or after) join.
+//
+// Counters accumulate integer event counts; timers accumulate seconds
+// (plus an invocation count). `ScopedTimer` is the RAII front end used by
+// the HFX builder for per-task busy time.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/stopwatch.hpp"
+
+namespace mthfx::obs {
+
+namespace detail {
+
+/// One thread's accumulator, padded to avoid false sharing. Relaxed
+/// atomics: each slot is written by exactly one thread; readers tolerate
+/// (and the API documents) stale mid-run snapshots.
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> seconds{0.0};
+};
+
+}  // namespace detail
+
+/// Lightweight handle to a registered counter. Copyable; valid for the
+/// lifetime of the owning Registry. A default-constructed handle drops
+/// all updates, so instrumentation can be optional at zero branch cost
+/// to callers.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::size_t thread_id, std::uint64_t delta = 1) const noexcept {
+    if (!slots_) return;
+    slots_[thread_id].count.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::Slot* slots) : slots_(slots) {}
+  detail::Slot* slots_ = nullptr;
+};
+
+/// Handle to a registered timer; accumulates seconds and a sample count.
+class Timer {
+ public:
+  Timer() = default;
+
+  void add_seconds(std::size_t thread_id, double seconds) const noexcept {
+    if (!slots_) return;
+    detail::Slot& slot = slots_[thread_id];
+    slot.seconds.store(slot.seconds.load(std::memory_order_relaxed) + seconds,
+                       std::memory_order_relaxed);
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  explicit Timer(detail::Slot* slots) : slots_(slots) {}
+  detail::Slot* slots_ = nullptr;
+};
+
+/// Times its own lifetime into `timer` on behalf of `thread_id`.
+class ScopedTimer {
+ public:
+  ScopedTimer(Timer timer, std::size_t thread_id)
+      : timer_(timer), thread_id_(thread_id) {}
+  ~ScopedTimer() { timer_.add_seconds(thread_id_, watch_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer timer_;
+  std::size_t thread_id_;
+  Stopwatch watch_;
+};
+
+class Registry {
+ public:
+  /// Slots are sized for thread ids in [0, num_threads).
+  explicit Registry(std::size_t num_threads);
+
+  /// Register (or look up) a metric by name. Idempotent; a name keeps its
+  /// first-registered kind.
+  Counter counter(std::string_view name);
+  Timer timer(std::string_view name);
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Aggregated views (sum over thread slots). Unknown names read as 0.
+  std::uint64_t counter_total(std::string_view name) const;
+  double timer_seconds(std::string_view name) const;
+  std::uint64_t timer_count(std::string_view name) const;
+  std::vector<std::uint64_t> counter_per_thread(std::string_view name) const;
+  std::vector<double> timer_per_thread(std::string_view name) const;
+
+  /// {"counters": {name: total}, "timers": {name: {seconds, count,
+  /// per_thread_seconds}}} — the shape documented in
+  /// docs/observability.md.
+  Json to_json() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    bool is_timer = false;
+    std::unique_ptr<detail::Slot[]> slots;
+  };
+
+  detail::Slot* register_entry(std::string_view name, bool is_timer);
+  const Entry* find(std::string_view name) const;
+
+  std::size_t num_threads_;
+  mutable std::mutex mutex_;
+  // deque: stable Entry addresses across registrations, so handles taken
+  // earlier stay valid while new metrics are added.
+  std::deque<Entry> entries_;
+};
+
+}  // namespace mthfx::obs

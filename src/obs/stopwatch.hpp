@@ -1,0 +1,30 @@
+#pragma once
+
+// The one place in the codebase that touches the wall clock for
+// instrumentation. Everything above (fock builder, SCF drivers, benches)
+// measures through Stopwatch / ScopedTimer / Trace so the clock source
+// and the aggregation policy stay in a single layer.
+
+#include <chrono>
+
+namespace mthfx::obs {
+
+/// Monotonic stopwatch, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mthfx::obs

@@ -5,10 +5,14 @@
 
 namespace mthfx::parallel {
 
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  std::size_t n = num_threads == 0
-                      ? std::max(1u, std::thread::hardware_concurrency())
-                      : num_threads;
+  const std::size_t n = resolve_thread_count(num_threads);
   workers_.reserve(n - 1);
   for (std::size_t t = 1; t < n; ++t)
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -44,14 +48,34 @@ void ThreadPool::worker_loop(std::size_t thread_id) {
   }
 }
 
+void ThreadPool::set_registry(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry) {
+    region_timer_ = registry->timer("pool.thread_seconds");
+    region_counter_ = registry->counter("pool.regions");
+  } else {
+    region_timer_ = obs::Timer();
+    region_counter_ = obs::Counter();
+  }
+}
+
 void ThreadPool::parallel_region(const std::function<void(std::size_t)>& fn) {
   const std::size_t n = num_threads();
+  std::function<void(std::size_t)> instrumented;
+  if (registry_) {
+    region_counter_.add(0);
+    instrumented = [this, &fn](std::size_t tid) {
+      obs::ScopedTimer timer(region_timer_, tid);
+      fn(tid);
+    };
+  }
+  const auto& run = registry_ ? instrumented : fn;
   if (n == 1) {
-    fn(0);
+    run(0);
     return;
   }
   auto job = std::make_shared<Job>();
-  job->per_thread = fn;
+  job->per_thread = run;
   job->remaining.store(n - 1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
@@ -59,7 +83,7 @@ void ThreadPool::parallel_region(const std::function<void(std::size_t)>& fn) {
     ++epoch_;
   }
   cv_start_.notify_all();
-  fn(0);  // calling thread participates as thread 0
+  run(0);  // calling thread participates as thread 0
   std::unique_lock lock(mutex_);
   cv_done_.wait(lock, [&] {
     return job->remaining.load(std::memory_order_acquire) == 0;

@@ -15,7 +15,16 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace mthfx::parallel {
+
+/// The one thread-count policy for the whole stack: 0 requests hardware
+/// concurrency (never less than 1). ThreadPool and the HFX layer both
+/// resolve through this, so per-thread buffers (k_private,
+/// thread_busy_seconds, registry slots) can never be sized against a
+/// different count than the pool actually runs.
+std::size_t resolve_thread_count(std::size_t requested);
 
 enum class Schedule {
   kDynamic,      ///< atomic chunk counter — self-balancing task bag
@@ -33,6 +42,13 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Attach a metrics registry (sized for >= num_threads() slots): each
+  /// parallel_region then records per-thread occupancy into the
+  /// "pool.thread_seconds" timer and counts "pool.regions". Pass nullptr
+  /// to detach. The registry must outlive the attachment; swap only
+  /// between regions.
+  void set_registry(obs::Registry* registry);
 
   /// Run body(i, thread_id) for i in [begin, end) across the pool
   /// (the calling thread participates as thread 0). Blocks until done.
@@ -53,6 +69,9 @@ class ThreadPool {
   void worker_loop(std::size_t thread_id);
 
   std::vector<std::thread> workers_;
+  obs::Registry* registry_ = nullptr;
+  obs::Timer region_timer_;
+  obs::Counter region_counter_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -45,14 +45,29 @@ void WorkStealingScheduler::seed(std::size_t num_tasks) {
     deques_[i % deques_.size()].push(i);
 }
 
+std::optional<std::uint64_t> WorkStealingScheduler::try_steal(
+    std::size_t thread_id, std::size_t victim) {
+  StealStats& stats = per_thread_stats_[thread_id];
+  ++stats.steals_attempted;
+  auto stolen = deques_[victim].steal_half();
+  if (stolen.empty()) return std::nullopt;
+  ++stats.steals_successful;
+  stats.tasks_migrated += stolen.size();
+  const std::uint64_t mine = stolen.front();
+  for (std::size_t i = 1; i < stolen.size(); ++i)
+    deques_[thread_id].push(stolen[i]);
+  return mine;
+}
+
 std::optional<std::uint64_t> WorkStealingScheduler::next(
     std::size_t thread_id) {
   if (auto t = deques_[thread_id].pop()) return t;
 
   // Steal: try random victims, then a deterministic sweep so termination
-  // detection is exact (all deques observed empty).
+  // detection is exact (all deques observed empty). Both paths go through
+  // try_steal so the attempted/successful/migrated counters stay
+  // consistent regardless of which path served the steal.
   auto& rng = rng_state_[thread_id];
-  auto& stats = per_thread_stats_[thread_id];
   const std::size_t n = deques_.size();
   for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
     rng ^= rng << 13;
@@ -60,25 +75,11 @@ std::optional<std::uint64_t> WorkStealingScheduler::next(
     rng ^= rng << 5;
     const std::size_t victim = rng % n;
     if (victim == thread_id) continue;
-    ++stats.steals_attempted;
-    auto stolen = deques_[victim].steal_half();
-    if (stolen.empty()) continue;
-    ++stats.steals_successful;
-    stats.tasks_migrated += stolen.size();
-    const std::uint64_t mine = stolen.front();
-    for (std::size_t i = 1; i < stolen.size(); ++i)
-      deques_[thread_id].push(stolen[i]);
-    return mine;
+    if (auto t = try_steal(thread_id, victim)) return t;
   }
   for (std::size_t victim = 0; victim < n; ++victim) {
     if (victim == thread_id) continue;
-    auto stolen = deques_[victim].steal_half();
-    if (stolen.empty()) continue;
-    per_thread_stats_[thread_id].tasks_migrated += stolen.size();
-    const std::uint64_t mine = stolen.front();
-    for (std::size_t i = 1; i < stolen.size(); ++i)
-      deques_[thread_id].push(stolen[i]);
-    return mine;
+    if (auto t = try_steal(thread_id, victim)) return t;
   }
   return std::nullopt;
 }
@@ -91,6 +92,13 @@ StealStats WorkStealingScheduler::stats() const {
     total.tasks_migrated += s.tasks_migrated;
   }
   return total;
+}
+
+void WorkStealingScheduler::record(obs::Registry& registry) const {
+  const StealStats total = stats();
+  registry.counter("ws.steals_attempted").add(0, total.steals_attempted);
+  registry.counter("ws.steals_successful").add(0, total.steals_successful);
+  registry.counter("ws.tasks_migrated").add(0, total.tasks_migrated);
 }
 
 }  // namespace mthfx::parallel

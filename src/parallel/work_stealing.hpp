@@ -17,6 +17,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace mthfx::parallel {
 
 /// Owner pushes/pops at the bottom; thieves steal from the top.
@@ -55,7 +57,18 @@ class WorkStealingScheduler {
 
   StealStats stats() const;
 
+  /// One thread's counters (valid after that thread has quiesced).
+  const StealStats& stats(std::size_t thread_id) const {
+    return per_thread_stats_[thread_id];
+  }
+
+  /// Record the aggregated steal statistics as `ws.*` counters.
+  void record(obs::Registry& registry) const;
+
  private:
+  std::optional<std::uint64_t> try_steal(std::size_t thread_id,
+                                         std::size_t victim);
+
   std::vector<TaskDeque> deques_;
   std::vector<std::uint32_t> rng_state_;
   std::vector<StealStats> per_thread_stats_;

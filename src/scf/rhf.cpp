@@ -6,11 +6,30 @@
 #include "ints/one_electron.hpp"
 #include "linalg/diis.hpp"
 #include "linalg/eigen.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "scf/guess.hpp"
 
 namespace mthfx::scf {
 
 using linalg::Matrix;
+
+obs::Json scf_log_to_json(const std::vector<ScfIterationLog>& log) {
+  obs::Json rows = obs::Json::array();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const ScfIterationLog& e = log[i];
+    obs::Json row = obs::Json::object();
+    row["iteration"] = i + 1;
+    row["energy"] = e.energy;
+    row["delta_e"] = e.delta_e;
+    row["diis_error"] = e.diis_error;
+    row["quartets_computed"] = e.quartets_computed;
+    row["seconds"] = e.seconds;
+    row["jk_seconds"] = e.jk_seconds;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
 
 namespace {
 
@@ -26,6 +45,7 @@ Matrix diis_error(const Matrix& f, const Matrix& p, const Matrix& s,
 
 ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
               const ScfOptions& options) {
+  const obs::Trace::Scope scf_span(obs::global_trace(), "scf.rhf");
   const int nelec = mol.num_electrons();
   if (nelec % 2 != 0)
     throw std::invalid_argument("rhf: closed-shell SCF needs even electrons");
@@ -48,6 +68,8 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
   double e_prev = 0.0;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
+    const obs::Stopwatch iter_watch;
     ScfIterationLog log_entry;
 
     const bool full_build = !options.incremental_fock || p_prev.empty() ||
@@ -57,12 +79,14 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
       j = std::move(jk.j);
       k = std::move(jk.k);
       log_entry.quartets_computed = jk.stats.screening.quartets_computed;
+      log_entry.jk_seconds = jk.stats.wall_seconds;
     } else {
       const Matrix dp = p - p_prev;
       auto jk = builder.coulomb_exchange(dp);
       j += jk.j;
       k += jk.k;
       log_entry.quartets_computed = jk.stats.screening.quartets_computed;
+      log_entry.jk_seconds = jk.stats.wall_seconds;
     }
     p_prev = p;
 
@@ -80,6 +104,7 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
     log_entry.energy = energy;
     log_entry.delta_e = energy - e_prev;
     log_entry.diis_error = linalg::max_abs(err);
+    log_entry.seconds = iter_watch.seconds();
     result.log.push_back(log_entry);
 
     const bool e_converged =

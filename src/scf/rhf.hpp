@@ -31,7 +31,13 @@ struct ScfIterationLog {
   double delta_e = 0.0;
   double diis_error = 0.0;
   std::uint64_t quartets_computed = 0;
+  double seconds = 0.0;     ///< iteration wall time (build through DIIS)
+  double jk_seconds = 0.0;  ///< J/K build wall time within the iteration
 };
+
+/// Per-iteration convergence/timing rows as a JSON array — the
+/// machine-readable companion to the SCF convergence table.
+obs::Json scf_log_to_json(const std::vector<ScfIterationLog>& log);
 
 struct ScfResult {
   bool converged = false;

@@ -8,6 +8,8 @@
 #include "ints/one_electron.hpp"
 #include "linalg/diis.hpp"
 #include "linalg/eigen.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 #include "scf/guess.hpp"
 
 namespace mthfx::scf {
@@ -16,6 +18,7 @@ using linalg::Matrix;
 
 KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
              const KsOptions& options) {
+  const obs::Trace::Scope scf_span(obs::global_trace(), "scf.rks");
   const int nelec = mol.num_electrons();
   if (nelec % 2 != 0)
     throw std::invalid_argument("rks: closed-shell SCF needs even electrons");
@@ -48,6 +51,8 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
   double e_prev = 0.0;
 
   for (std::size_t iter = 0; iter < options.scf.max_iterations; ++iter) {
+    const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
+    const obs::Stopwatch iter_watch;
     const auto jk = builder.coulomb_exchange(p);
 
     dft::XcResult xres;
@@ -72,6 +77,8 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
     log_entry.delta_e = energy - e_prev;
     log_entry.diis_error = linalg::max_abs(err);
     log_entry.quartets_computed = jk.stats.screening.quartets_computed;
+    log_entry.jk_seconds = jk.stats.wall_seconds;
+    log_entry.seconds = iter_watch.seconds();
     result.scf.log.push_back(log_entry);
 
     const bool e_ok =

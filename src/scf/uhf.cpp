@@ -6,6 +6,8 @@
 #include "ints/one_electron.hpp"
 #include "linalg/diis.hpp"
 #include "linalg/eigen.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
 
 namespace mthfx::scf {
 
@@ -52,6 +54,7 @@ double s_squared_expectation(const Matrix& ca, const Matrix& cb,
 
 UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
               int multiplicity, const UhfOptions& options) {
+  const obs::Trace::Scope scf_span(obs::global_trace(), "scf.uhf");
   const int nelec = mol.num_electrons();
   const int nopen = multiplicity - 1;
   if (nopen < 0 || (nelec - nopen) % 2 != 0 || nelec < nopen)
@@ -95,6 +98,8 @@ UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
   double e_prev = 0.0;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
+    const obs::Stopwatch iter_watch;
     const auto jk_a = builder.coulomb_exchange(a.p);
     const auto jk_b = builder.coulomb_exchange(b.p);
     const Matrix j_total = jk_a.j + jk_b.j;
@@ -122,6 +127,18 @@ UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
     }
 
     const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
+
+    ScfIterationLog log_entry;
+    log_entry.energy = energy;
+    log_entry.delta_e = energy - e_prev;
+    log_entry.diis_error = diis_err;
+    log_entry.quartets_computed = jk_a.stats.screening.quartets_computed +
+                                  jk_b.stats.screening.quartets_computed;
+    log_entry.jk_seconds =
+        jk_a.stats.wall_seconds + jk_b.stats.wall_seconds;
+    log_entry.seconds = iter_watch.seconds();
+    result.log.push_back(log_entry);
+
     const bool e_ok =
         iter > 0 && std::abs(energy - e_prev) < options.energy_tolerance;
     const bool d_ok = diis_err < options.diis_tolerance;

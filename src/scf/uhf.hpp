@@ -41,6 +41,9 @@ struct UhfResult {
   linalg::Vector orbital_energies_beta;
   linalg::Matrix coefficients_alpha;
   linalg::Matrix coefficients_beta;
+  /// Per-iteration energy/ΔE/DIIS-error/timing rows (same shape as RHF;
+  /// quartets_computed sums both spin-channel builds).
+  std::vector<ScfIterationLog> log;
 
   linalg::Matrix total_density() const {
     return density_alpha + density_beta;

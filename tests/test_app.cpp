@@ -84,6 +84,46 @@ TEST(Input, Errors) {
                std::runtime_error);
 }
 
+TEST(Input, RejectsTrailingTokens) {
+  // Two values for one keyword.
+  EXPECT_THROW(app::parse_input(
+                   "method hf pbe0\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"),
+               std::runtime_error);
+  // Junk after the geometry unit.
+  EXPECT_THROW(
+      app::parse_input("geometry bohr extra\nH 0 0 0\nH 0 0 1.4\nend\n"),
+      std::runtime_error);
+  // A fourth coordinate on an atom line.
+  EXPECT_THROW(
+      app::parse_input("geometry bohr\nH 0 0 0 0\nH 0 0 1.4\nend\n"),
+      std::runtime_error);
+  // Junk after 'end'.
+  EXPECT_THROW(
+      app::parse_input("geometry bohr\nH 0 0 0\nH 0 0 1.4\nend geometry\n"),
+      std::runtime_error);
+}
+
+TEST(Input, TrailingTokenErrorsNameTheLine) {
+  try {
+    app::parse_input("method hf\ngeometry bohr\nH 0 0 0 junk\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("junk"), std::string::npos) << msg;
+  }
+}
+
+TEST(Input, TrailingCommentsStillAccepted) {
+  // Comments are stripped before tokenization, so they are not trailing
+  // junk.
+  const auto in = app::parse_input(
+      "method hf  # method comment\ngeometry bohr  # unit comment\n"
+      "H 0 0 0  # atom comment\nH 0 0 1.4\nend  # end comment\n");
+  EXPECT_EQ(in.method, "hf");
+  EXPECT_EQ(in.molecule.size(), 2u);
+}
+
 TEST(Driver, WaterHfEnergy) {
   const auto in = app::parse_input(kWaterInput);
   const auto r = app::run(in);

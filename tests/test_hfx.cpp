@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "chem/basis.hpp"
@@ -280,4 +282,81 @@ TEST(Schedulers, ExecuteTasksRunsAll) {
                        [&](std::size_t i, std::size_t) { hits[i]++; });
     for (auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
+}
+
+class SchedulerExactness
+    : public ::testing::TestWithParam<hfx::HfxSchedule> {};
+
+// Exactly-once execution under contention: wildly uneven task costs make
+// threads race for the remaining work (and, for kWorkStealing, force both
+// the random-victim and fallback steal paths). Every index must still be
+// visited exactly once, and the instrumented task count must agree.
+TEST_P(SchedulerExactness, EveryTaskExecutedExactlyOnceUnderContention) {
+  constexpr std::size_t ntasks = 4000, nthreads = 4;
+  std::vector<std::atomic<int>> hits(ntasks);
+  mthfx::obs::Registry registry(nthreads);
+  hfx::execute_tasks(
+      ntasks, nthreads, GetParam(),
+      [&](std::size_t i, std::size_t tid) {
+        // 1-in-16 tasks is ~200x heavier; heavy tasks cluster in runs so
+        // static partitions are imbalanced and dynamic ones contend.
+        if ((i / 16) % 16 == 0)
+          for (volatile int spin = 0; spin < 2000; ++spin) {
+          }
+        ASSERT_LT(tid, nthreads);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      &registry);
+  for (std::size_t i = 0; i < ntasks; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+  EXPECT_EQ(registry.counter_total("sched.tasks_executed"), ntasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, SchedulerExactness,
+    ::testing::Values(hfx::HfxSchedule::kDynamicBag,
+                      hfx::HfxSchedule::kStaticBlock,
+                      hfx::HfxSchedule::kStaticCyclic,
+                      hfx::HfxSchedule::kWorkStealing));
+
+TEST(HfxOptions, ContributionCutoffDerivesFromEpsSchwarz) {
+  hfx::HfxOptions opts;
+  // Default eps_schwarz = 1e-10 must reproduce the historical 1e-16
+  // digestion cutoff.
+  EXPECT_DOUBLE_EQ(opts.contribution_cutoff(), 1e-16);
+
+  // The chain is monotone: tightening eps_schwarz tightens the cutoff.
+  hfx::HfxOptions tight;
+  tight.eps_schwarz = 1e-14;
+  EXPECT_DOUBLE_EQ(tight.contribution_cutoff(), 1e-20);
+  EXPECT_LT(tight.contribution_cutoff(), opts.contribution_cutoff());
+
+  // An explicit eps_contribution overrides the derivation.
+  hfx::HfxOptions manual;
+  manual.eps_schwarz = 1e-4;
+  manual.eps_contribution = 1e-30;
+  EXPECT_DOUBLE_EQ(manual.contribution_cutoff(), 1e-30);
+}
+
+TEST(FockBuilder, TighterEpsSchwarzMonotonicallyReducesExchangeError) {
+  // Regression for the screening-threshold chain (Schwarz, density, and
+  // the derived contribution cutoff all keyed off eps_schwarz): the
+  // K-matrix error against the dense O(N^4) reference must not grow as
+  // eps_schwarz tightens, and must become negligible at tight settings.
+  const auto m = water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix p = random_density(basis.num_functions(), 37);
+  const auto [jref, kref] = reference_jk(basis, p);
+
+  double last_err = std::numeric_limits<double>::infinity();
+  for (double eps : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12}) {
+    hfx::HfxOptions opts;
+    opts.eps_schwarz = eps;
+    const auto k = hfx::FockBuilder(basis, opts).exchange(p).k;
+    const double err = la::max_abs(k - kref);
+    // Allow a sliver of slack for error cancellation between thresholds.
+    EXPECT_LE(err, last_err * 1.05 + 1e-14) << "eps " << eps;
+    last_err = std::min(last_err, err);
+  }
+  EXPECT_LT(last_err, 1e-10);
 }

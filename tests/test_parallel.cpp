@@ -3,13 +3,33 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "parallel/team.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_stealing.hpp"
 
+namespace obs = mthfx::obs;
 namespace par = mthfx::parallel;
+
+TEST(ResolveThreadCount, ExplicitRequestIsHonored) {
+  EXPECT_EQ(par::resolve_thread_count(1), 1u);
+  EXPECT_EQ(par::resolve_thread_count(7), 7u);
+}
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  const std::size_t resolved = par::resolve_thread_count(0);
+  EXPECT_GE(resolved, 1u);
+  if (std::thread::hardware_concurrency() > 0)
+    EXPECT_EQ(resolved, std::thread::hardware_concurrency());
+}
+
+TEST(ResolveThreadCount, PoolCtorUsesSamePolicy) {
+  par::ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), par::resolve_thread_count(0));
+}
 
 TEST(ThreadPool, SingleThreadExecutesAll) {
   par::ThreadPool pool(1);
@@ -72,6 +92,34 @@ TEST(ThreadPool, ReusableAcrossManyInvocations) {
   EXPECT_EQ(total.load(), 5000u);
 }
 
+TEST(ThreadPool, ParallelRegionReusableAcrossManyInvocations) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(4);
+  for (int round = 0; round < 50; ++round)
+    pool.parallel_region([&](std::size_t tid) { counts[tid].fetch_add(1); });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 50);
+}
+
+TEST(ThreadPool, RegistryInstrumentsRegions) {
+  par::ThreadPool pool(3);
+  obs::Registry reg(3);
+  pool.set_registry(&reg);
+  pool.parallel_region([](std::size_t) {});
+  pool.parallel_region([](std::size_t) {});
+  EXPECT_EQ(reg.counter_total("pool.regions"), 2u);
+  // Every thread (including the calling thread as tid 0) is timed once
+  // per region.
+  EXPECT_EQ(reg.timer_count("pool.thread_seconds"), 6u);
+  const auto per_thread = reg.timer_per_thread("pool.thread_seconds");
+  ASSERT_EQ(per_thread.size(), 3u);
+  for (double s : per_thread) EXPECT_GE(s, 0.0);
+
+  // Detaching must stop recording without crashing later regions.
+  pool.set_registry(nullptr);
+  pool.parallel_region([](std::size_t) {});
+  EXPECT_EQ(reg.counter_total("pool.regions"), 2u);
+}
+
 TEST(WorkStealing, AllTasksExecutedOnce) {
   constexpr std::size_t nthreads = 4, ntasks = 10000;
   par::WorkStealingScheduler ws(nthreads);
@@ -104,6 +152,84 @@ TEST(WorkStealing, StealsHappenUnderImbalance) {
   });
   EXPECT_EQ(done.load(), 4000u);
   EXPECT_GT(ws.stats().steals_successful, 0u);
+}
+
+// Counter invariants must hold on BOTH steal paths (random victims and
+// the deterministic fallback sweep): a successful steal is always also an
+// attempted one, and tasks can only migrate through a successful steal.
+// The regression here was the sweep path bumping tasks_migrated without
+// counting its attempt.
+TEST(WorkStealing, StealStatsAreConsistentUnderContention) {
+  constexpr std::size_t nthreads = 4, ntasks = 8000;
+  par::WorkStealingScheduler ws(nthreads);
+  ws.seed(ntasks);
+  par::ThreadPool pool(nthreads);
+  std::atomic<std::size_t> done{0};
+  pool.parallel_region([&](std::size_t tid) {
+    while (auto t = ws.next(tid)) {
+      // Uneven task costs force repeated stealing near the end of the
+      // run, where the fallback sweep is most likely to serve steals.
+      if (*t % nthreads == 0)
+        for (volatile int spin = 0; spin < 500; ++spin) {
+        }
+      done.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(done.load(), ntasks);
+
+  const auto total = ws.stats();
+  EXPECT_LE(total.steals_successful, total.steals_attempted);
+  if (total.tasks_migrated > 0) EXPECT_GT(total.steals_successful, 0u);
+  EXPECT_GE(total.tasks_migrated, total.steals_successful);
+
+  // The same invariants per thread, and the aggregate must equal the sum.
+  par::StealStats sum;
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    const auto& s = ws.stats(t);
+    EXPECT_LE(s.steals_successful, s.steals_attempted) << "thread " << t;
+    if (s.tasks_migrated > 0)
+      EXPECT_GT(s.steals_successful, 0u) << "thread " << t;
+    sum.steals_attempted += s.steals_attempted;
+    sum.steals_successful += s.steals_successful;
+    sum.tasks_migrated += s.tasks_migrated;
+  }
+  EXPECT_EQ(sum.steals_attempted, total.steals_attempted);
+  EXPECT_EQ(sum.steals_successful, total.steals_successful);
+  EXPECT_EQ(sum.tasks_migrated, total.tasks_migrated);
+}
+
+// The fallback sweep alone (single consumer pulling from deques it never
+// owns work in) must count its attempts.
+TEST(WorkStealing, FallbackSweepCountsAttempts) {
+  par::WorkStealingScheduler ws(3);
+  ws.seed(9);  // round-robin: every deque holds three tasks
+  // Thread 2 drains everything serially; after its own three tasks every
+  // further task arrives via a steal, and exhausting the system requires
+  // sweep attempts that must all be counted.
+  std::size_t got = 0;
+  while (ws.next(2)) ++got;
+  EXPECT_EQ(got, 9u);
+  const auto& s = ws.stats(2);
+  EXPECT_GT(s.steals_attempted, 0u);
+  EXPECT_GT(s.steals_successful, 0u);
+  EXPECT_EQ(s.tasks_migrated, 6u);  // three from each victim deque
+  EXPECT_LE(s.steals_successful, s.steals_attempted);
+}
+
+TEST(WorkStealing, RecordExportsAggregateCounters) {
+  par::WorkStealingScheduler ws(2);
+  ws.seed(20);
+  std::size_t got = 0;
+  while (ws.next(0)) ++got;
+  EXPECT_EQ(got, 20u);
+  obs::Registry reg(2);
+  ws.record(reg);
+  const auto total = ws.stats();
+  EXPECT_EQ(reg.counter_total("ws.steals_attempted"),
+            total.steals_attempted);
+  EXPECT_EQ(reg.counter_total("ws.steals_successful"),
+            total.steals_successful);
+  EXPECT_EQ(reg.counter_total("ws.tasks_migrated"), total.tasks_migrated);
 }
 
 TEST(TaskDeque, LifoOwnerFifoThief) {
