@@ -4,10 +4,18 @@
 //   ./build/examples/mthfx_cli water.in
 //   ./build/examples/mthfx_cli --trace water.in          # phase table
 //   ./build/examples/mthfx_cli --trace=run.json water.in # full span JSON
+//   ./build/examples/mthfx_cli --checkpoint=run.ckpt water.in
+//   ./build/examples/mthfx_cli --restore=run.ckpt water.in
 //
 // With --trace, a per-phase timing summary (scf.* / jk.* spans from the
 // global trace) is printed after the report; --trace=<file> additionally
 // writes the complete span tree as JSON (schema: docs/observability.md).
+//
+// --checkpoint=<file> saves SCF (or MD, for task md) state to <file>
+// after every iteration/step; --restore=<file> resumes from such a file
+// (format and determinism guarantees: docs/resilience.md). Fault
+// injection is configured per input deck (`fault_spec`) or via the
+// MTHFX_FAULT_SPEC environment variable.
 
 #include <algorithm>
 #include <cstdio>
@@ -71,6 +79,8 @@ void print_phase_table(const mthfx::obs::Trace& trace) {
 int main(int argc, char** argv) {
   bool trace = false;
   std::string trace_file;
+  std::string checkpoint_file;
+  std::string restore_file;
   const char* input_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -79,6 +89,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       trace = true;
       trace_file = arg + 8;
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      checkpoint_file = arg + 13;
+    } else if (std::strncmp(arg, "--restore=", 10) == 0) {
+      restore_file = arg + 10;
     } else if (!input_path) {
       input_path = arg;
     } else {
@@ -88,13 +102,16 @@ int main(int argc, char** argv) {
   }
   if (!input_path) {
     std::fprintf(stderr,
-                 "usage: %s [--trace[=file.json]] <input-file>\n"
+                 "usage: %s [--trace[=file.json]] [--checkpoint=file]"
+                 " [--restore=file] <input-file>\n"
                  "input format: see src/app/input.hpp\n",
                  argv[0]);
     return 2;
   }
   try {
-    const auto input = mthfx::app::parse_input_file(input_path);
+    auto input = mthfx::app::parse_input_file(input_path);
+    input.checkpoint_path = checkpoint_file;
+    input.restore_path = restore_file;
     const auto result = mthfx::app::run(input);
     std::fputs(result.report.c_str(), stdout);
     if (trace) {

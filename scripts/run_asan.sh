@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the memory-sensitive tests under AddressSanitizer and run them.
+#
+# Covers the surfaces that juggle raw buffers and exception-driven
+# unwinding: the fault-injection/retry/checkpoint suite (tasks throw
+# mid-kernel and must not leak or double-free scratch), the scheduler
+# and thread-pool stack, and the JSON parser the checkpoint files go
+# through. A heap error anywhere in that stack fails this script.
+#
+# Usage: scripts/run_asan.sh [build-dir]   (default: build-asan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=address
+cmake --build "$BUILD_DIR" -j --target test_fault test_parallel test_obs test_hfx
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
+
+"$BUILD_DIR"/tests/test_fault
+"$BUILD_DIR"/tests/test_parallel
+"$BUILD_DIR"/tests/test_obs
+# Scheduler-facing subset of test_hfx (the integral-heavy numerics are
+# slow under ASan and exercised by the plain build anyway).
+"$BUILD_DIR"/tests/test_hfx --gtest_filter='SchedulerExactness*:Schedulers.*:AllSchedules/*'
+
+echo "ASan pass clean."

@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx
+cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx test_fault
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -24,5 +24,8 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # contention plus steal-stat consistency, without the integral-heavy
 # numerics (slow under TSan and thread-free anyway).
 "$BUILD_DIR"/tests/test_hfx --gtest_filter='SchedulerExactness*:Schedulers.*:AllSchedules/*'
+# Retry/exactly-once-commit paths of the fault suite: concurrent task
+# failure, requeue, and attempt accounting across every schedule.
+"$BUILD_DIR"/tests/test_fault --gtest_filter='AllSchedules/*:Schedulers.*'
 
 echo "TSan pass clean."

@@ -1,10 +1,14 @@
 #include "app/driver.hpp"
 
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "chem/basis.hpp"
 #include "chem/elements.hpp"
+#include "fault/checkpoint.hpp"
 #include "md/integrator.hpp"
 #include "scf/gradient.hpp"
 #include "scf/properties.hpp"
@@ -42,9 +46,58 @@ RunResult run(const Input& input) {
   print_geometry(out, mol);
   out << "basis " << input.basis << ": " << basis.num_functions()
       << " AOs in " << basis.num_shells() << " shells\n";
-  out << "method " << input.method << ", task ";
-
   const bool open_shell = wants_unrestricted(input);
+
+  // Resilience wiring: restore point, checkpoint sinks, fault injection.
+  std::shared_ptr<const fault::ScfCheckpoint> scf_resume;
+  std::shared_ptr<const fault::MdCheckpoint> md_resume;
+  if (!input.restore_path.empty()) {
+    const obs::Json ckpt_json =
+        fault::load_checkpoint_json(input.restore_path);
+    const std::string kind = fault::checkpoint_kind(ckpt_json);
+    if (kind == "scf") {
+      if (input.task == Task::kMd)
+        throw std::runtime_error(
+            "restore: SCF checkpoint cannot resume an md task");
+      scf_resume = std::make_shared<fault::ScfCheckpoint>(
+          fault::scf_checkpoint_from_json(ckpt_json));
+      out << "restoring SCF state from " << input.restore_path
+          << " (iteration " << scf_resume->iteration << ")\n";
+    } else if (kind == "md") {
+      if (input.task != Task::kMd)
+        throw std::runtime_error(
+            "restore: MD checkpoint requires task md");
+      md_resume = std::make_shared<fault::MdCheckpoint>(
+          fault::md_checkpoint_from_json(ckpt_json));
+      out << "restoring MD state from " << input.restore_path << " (frame "
+          << md_resume->frame_index << ")\n";
+    } else {
+      throw std::runtime_error("restore: unrecognized checkpoint kind in " +
+                               input.restore_path);
+    }
+  }
+  std::function<void(const fault::ScfCheckpoint&)> scf_sink;
+  std::function<void(const fault::MdCheckpoint&)> md_sink;
+  if (!input.checkpoint_path.empty()) {
+    if (input.task == Task::kMd)
+      md_sink = [path = input.checkpoint_path](const fault::MdCheckpoint& c) {
+        fault::save_checkpoint(path, c);
+      };
+    else
+      scf_sink = [path = input.checkpoint_path](
+                     const fault::ScfCheckpoint& c) {
+        fault::save_checkpoint(path, c);
+      };
+  }
+  if (input.fault.enabled()) {
+    input.fault.validate();
+    out << "fault injection: fail=" << input.fault.fail_rate
+        << " stall=" << input.fault.stall_rate
+        << " corrupt=" << input.fault.corrupt_rate
+        << " seed=" << input.fault.seed
+        << " retries=" << input.fault.max_retries << "\n";
+  }
+  out << "method " << input.method << ", task ";
 
   if (input.task == Task::kEnergy || input.task == Task::kGradient) {
     out << (input.task == Task::kEnergy ? "energy" : "gradient") << "\n\n";
@@ -53,6 +106,10 @@ RunResult run(const Input& input) {
       scf::UksOptions opts;
       opts.functional = input.method;
       opts.scf.hfx.eps_schwarz = input.eps_schwarz;
+      opts.scf.hfx.fault = input.fault;
+      opts.scf.hfx.validate_tasks = input.fault.enabled();
+      opts.scf.resume = scf_resume;
+      opts.scf.checkpoint_sink = scf_sink;
       opts.grid.radial_points = input.grid_radial;
       opts.grid.angular_points = input.grid_angular;
       const auto r = scf::uks(mol, basis, input.multiplicity, opts);
@@ -71,6 +128,10 @@ RunResult run(const Input& input) {
       scf::KsOptions opts;
       opts.functional = input.method;
       opts.scf.hfx.eps_schwarz = input.eps_schwarz;
+      opts.scf.hfx.fault = input.fault;
+      opts.scf.hfx.validate_tasks = input.fault.enabled();
+      opts.scf.resume = scf_resume;
+      opts.scf.checkpoint_sink = scf_sink;
       opts.grid.radial_points = input.grid_radial;
       opts.grid.angular_points = input.grid_angular;
       const auto r = scf::rks(mol, basis, opts);
@@ -92,6 +153,8 @@ RunResult run(const Input& input) {
           // Re-run through the RHF driver to get orbital data.
           scf::ScfOptions rhf_opts;
           rhf_opts.hfx.eps_schwarz = input.eps_schwarz;
+          rhf_opts.hfx.fault = input.fault;
+          rhf_opts.hfx.validate_tasks = input.fault.enabled();
           const auto hf = scf::rhf(mol, basis, rhf_opts);
           const auto g = scf::rhf_gradient(mol, basis, hf);
           out << "  gradient (Ha/bohr):\n";
@@ -112,6 +175,8 @@ RunResult run(const Input& input) {
     scf::KsOptions ks;
     ks.functional = input.method;
     ks.scf.hfx.eps_schwarz = input.eps_schwarz;
+    ks.scf.hfx.fault = input.fault;
+    ks.scf.hfx.validate_tasks = input.fault.enabled();
     ks.grid.radial_points = input.grid_radial;
     ks.grid.angular_points = input.grid_angular;
     md::ScfPotential surface(input.basis, ks);
@@ -121,6 +186,8 @@ RunResult run(const Input& input) {
     opts.num_steps = input.md_steps;
     opts.target_temperature_k = input.md_temperature_k;
     opts.initial_temperature_k = input.md_temperature_k;
+    opts.resume = md_resume;
+    opts.checkpoint_sink = md_sink;
 
     out << "BOMD: " << opts.num_steps << " steps of " << opts.timestep_fs
         << " fs on the " << input.method << " surface\n";

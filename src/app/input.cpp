@@ -121,6 +121,12 @@ Input parse_input(const std::string& text) {
       input.grid_radial = std::stoi(value);
     } else if (key == "grid_angular") {
       input.grid_angular = std::stoi(value);
+    } else if (key == "fault_spec") {
+      try {
+        input.fault = fault::parse_fault_spec(value);
+      } catch (const std::invalid_argument& e) {
+        fail(lineno, e.what());
+      }
     } else {
       fail(lineno, "unknown keyword '" + key + "'");
     }
@@ -132,6 +138,11 @@ Input parse_input(const std::string& text) {
 
   mol.set_charge(input.charge);
   input.molecule = mol;
+
+  // The environment wins over the input file, so a failure-injection
+  // sweep can reuse one input deck unmodified.
+  const fault::FaultOptions env_fault = fault::fault_options_from_env();
+  if (env_fault.enabled()) input.fault = env_fault;
 
   // Consistency: electron count vs. multiplicity parity.
   const int nelec = mol.num_electrons();

@@ -15,6 +15,7 @@
 //   md_temperature_k 300
 //   grid_radial 40
 //   grid_angular 38
+//   fault_spec fail=0.01,seed=42   # seeded fault injection (optional)
 //   geometry angstrom      # or: geometry bohr
 //   O 0.0 0.0 0.1173
 //   H 0.0 0.7572 -0.4692
@@ -26,6 +27,7 @@
 #include <string>
 
 #include "chem/molecule.hpp"
+#include "fault/injector.hpp"
 
 namespace mthfx::app {
 
@@ -45,6 +47,12 @@ struct Input {
   double md_temperature_k = 0.0;
   int grid_radial = 40;
   int grid_angular = 38;
+  /// Fault injection for resilience testing: from the `fault_spec`
+  /// keyword, overridden by the MTHFX_FAULT_SPEC environment variable.
+  fault::FaultOptions fault;
+  /// Set by the CLI (--checkpoint= / --restore=), not the input file.
+  std::string checkpoint_path;
+  std::string restore_path;
   chem::Molecule molecule;
 };
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "bgq/collectives.hpp"
 
@@ -16,6 +18,40 @@ std::uint64_t xorshift64(std::uint64_t& s) {
   s ^= s >> 7;
   s ^= s << 17;
   return s;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double hash_uniform01(std::uint64_t x) {
+  return static_cast<double>(splitmix64(x) >> 11) * 0x1.0p-53;
+}
+
+// Per-node fate, a pure function of (seed, node) so both schemes see
+// the same fault pattern.
+struct NodeFault {
+  bool dead = false;
+  double death_fraction = 1.0;  ///< fraction of its step work done at death
+  double rate_factor = 1.0;     ///< service-time multiplier (straggler)
+};
+
+NodeFault draw_node_fault(const SimOptions& o, std::int64_t node) {
+  NodeFault nf;
+  if (o.node_failure_rate <= 0.0 && o.straggler_rate <= 0.0) return nf;
+  const std::uint64_t base =
+      splitmix64(o.seed ^ (0xfa01700dull + static_cast<std::uint64_t>(node)));
+  const double u = hash_uniform01(base);
+  if (u < o.node_failure_rate) {
+    nf.dead = true;
+    nf.death_fraction = hash_uniform01(base + 1);
+  } else if (u < o.node_failure_rate + o.straggler_rate) {
+    nf.rate_factor = std::max(1.0, o.straggler_slowdown);
+  }
+  return nf;
 }
 
 // Event-count cap: beyond this, chunks are aggregated so machine-scale
@@ -57,6 +93,10 @@ EmpiricalCostDistribution::EmpiricalCostDistribution(std::vector<double> costs)
 
 EmpiricalCostDistribution EmpiricalCostDistribution::from_records(
     const std::vector<hfx::TaskCostRecord>& records) {
+  if (records.empty())
+    throw std::invalid_argument(
+        "EmpiricalCostDistribution: no task cost records (was "
+        "HfxOptions::record_task_costs enabled?)");
   // Timer resolution on fast tasks can yield zero wall seconds; rescale
   // est_cost into the measured time scale for those.
   double total_secs = 0.0, total_est = 0.0;
@@ -105,11 +145,34 @@ SimResult simulate_step(const MachineConfig& machine,
     const double fetch = work_fetch_seconds(
         machine, std::min<std::int64_t>(nodes, num_chunks));
 
-    // Min-heap of node available-times (only nodes that receive work).
+    // Min-heap of (available-time, node) pairs (only nodes that receive
+    // work). Per-node fault draws are shared with the static scheme.
     const std::int64_t active =
         std::min<std::int64_t>(nodes, std::max<std::int64_t>(1, num_chunks));
-    std::priority_queue<double, std::vector<double>, std::greater<>> heap;
-    for (std::int64_t n = 0; n < active; ++n) heap.push(0.0);
+    std::vector<NodeFault> fate(static_cast<std::size_t>(active));
+    bool any_alive = false;
+    for (std::int64_t n = 0; n < active; ++n) {
+      fate[static_cast<std::size_t>(n)] = draw_node_fault(options, n);
+      any_alive = any_alive || !fate[static_cast<std::size_t>(n)].dead;
+    }
+    if (!any_alive) fate[0] = NodeFault{};  // keep the step finishable
+    // A failed node dies after completing `death_fraction` of the
+    // *expected* per-node share of the step.
+    const double t_est = costs.mean() * static_cast<double>(workload.num_tasks) /
+                         (node_rate * static_cast<double>(active));
+    std::vector<double> death_time(static_cast<std::size_t>(active));
+    for (std::int64_t n = 0; n < active; ++n) {
+      const auto& nf = fate[static_cast<std::size_t>(n)];
+      death_time[static_cast<std::size_t>(n)] =
+          nf.dead ? nf.death_fraction * t_est
+                  : std::numeric_limits<double>::infinity();
+      if (nf.dead) ++result.failed_nodes;
+      if (nf.rate_factor > 1.0) ++result.straggler_nodes;
+    }
+
+    using Slot = std::pair<double, std::int64_t>;
+    std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+    for (std::int64_t n = 0; n < active; ++n) heap.push({0.0, n});
 
     double busy_total = 0.0;
     double makespan = 0.0;
@@ -123,16 +186,38 @@ SimResult simulate_step(const MachineConfig& machine,
       // sharing: the chunk drains at node rate (long tasks overlap other
       // work; the one-task-per-thread floor is applied once, globally,
       // below as the tail correction).
-      const double service =
+      const double base_service =
           bc.sum / node_rate + fetch +
           static_cast<double>(in_chunk) * machine.atomic_fetch /
               static_cast<double>(kThreadsPerNode);
-      const double start = heap.top();
-      heap.pop();
-      const double finish = start + service;
-      heap.push(finish);
-      busy_total += service;
-      makespan = std::max(makespan, finish);
+      // The bag naturally re-dispatches: if the earliest node is dead
+      // (or dies mid-chunk), the chunk goes to the next survivor. Dead
+      // nodes are popped and never re-queued, so this terminates. The
+      // detection delay rides on the re-dispatched chunk only — the rest
+      // of the machine keeps draining the bag meanwhile.
+      double penalty = 0.0;
+      for (;;) {
+        const auto [start, node] = heap.top();
+        heap.pop();
+        const auto ni = static_cast<std::size_t>(node);
+        if (start >= death_time[ni]) continue;  // died while idle
+        const double service =
+            base_service * fate[ni].rate_factor + penalty;
+        const double finish = start + service;
+        if (finish > death_time[ni]) {
+          // Node dies mid-chunk: the partial work is lost and the chunk
+          // is re-fetched by a survivor after detection.
+          result.lost_compute_seconds += death_time[ni] - start;
+          result.recovery_seconds += options.failure_detection_seconds;
+          penalty = options.failure_detection_seconds;
+          makespan = std::max(makespan, death_time[ni]);
+          continue;
+        }
+        heap.push({finish, node});
+        busy_total += service;
+        makespan = std::max(makespan, finish);
+        break;
+      }
     }
     result.compute_seconds = makespan;
     result.mean_compute_seconds =
@@ -165,10 +250,36 @@ SimResult simulate_step(const MachineConfig& machine,
             c % static_cast<std::int64_t>(load.size()))] +=
             sample_block(costs, rng, in_chunk).sum / machine.thread_rate;
       }
+      // Apply node faults: a straggler node's threads run slower; a dead
+      // node's block has no other taker, so after `death_fraction` of it
+      // is wasted the whole block is redone from scratch — the step
+      // stalls behind the worst such thread.
+      const std::int64_t hosted_nodes =
+          (static_cast<std::int64_t>(load.size()) + kThreadsPerNode - 1) /
+          kThreadsPerNode;
+      std::vector<NodeFault> fate(static_cast<std::size_t>(hosted_nodes));
+      for (std::int64_t n = 0; n < hosted_nodes; ++n) {
+        fate[static_cast<std::size_t>(n)] = draw_node_fault(options, n);
+        const auto& nf = fate[static_cast<std::size_t>(n)];
+        if (nf.dead) {
+          ++result.failed_nodes;
+          result.recovery_seconds += options.failure_detection_seconds;
+        }
+        if (nf.rate_factor > 1.0) ++result.straggler_nodes;
+      }
       double mx = 0.0, total = 0.0;
-      for (double l : load) {
-        mx = std::max(mx, l);
-        total += l;
+      for (std::size_t t = 0; t < load.size(); ++t) {
+        const auto& nf =
+            fate[t / static_cast<std::size_t>(kThreadsPerNode)];
+        const double slowed = load[t] * nf.rate_factor;
+        double completion = slowed;
+        if (nf.dead) {
+          const double lost = nf.death_fraction * slowed;
+          result.lost_compute_seconds += lost;
+          completion = lost + options.failure_detection_seconds + load[t];
+        }
+        mx = std::max(mx, completion);
+        total += load[t];
       }
       result.compute_seconds = mx;
       result.mean_compute_seconds = total / static_cast<double>(threads);
@@ -196,8 +307,43 @@ SimResult simulate_step(const MachineConfig& machine,
       const double evt =
           load_mean +
           load_std * std::sqrt(2.0 * std::log(static_cast<double>(threads)));
-      result.compute_seconds =
+      double compute =
           std::max(evt, load_mean + mx_task) / machine.thread_rate;
+
+      // Fault corrections via the same extreme-value form, restricted to
+      // the affected node populations.
+      double f_worst = 0.0;
+      for (std::int64_t n = 0; n < nodes; ++n) {
+        const NodeFault nf = draw_node_fault(options, n);
+        if (nf.dead) {
+          ++result.failed_nodes;
+          result.recovery_seconds += options.failure_detection_seconds;
+          result.lost_compute_seconds +=
+              nf.death_fraction * load_mean *
+              static_cast<double>(kThreadsPerNode) / machine.thread_rate;
+          f_worst = std::max(f_worst, nf.death_fraction);
+        }
+        if (nf.rate_factor > 1.0) ++result.straggler_nodes;
+      }
+      const auto evt_over = [&](std::int64_t n_threads) {
+        return load_mean +
+               load_std * std::sqrt(2.0 * std::log(std::max(
+                              2.0, static_cast<double>(n_threads))));
+      };
+      if (result.straggler_nodes > 0) {
+        const double slow = std::max(1.0, options.straggler_slowdown);
+        compute = std::max(
+            compute, slow * evt_over(result.straggler_nodes * kThreadsPerNode) /
+                         machine.thread_rate);
+      }
+      if (result.failed_nodes > 0) {
+        const double block =
+            evt_over(result.failed_nodes * kThreadsPerNode) /
+            machine.thread_rate;
+        compute = std::max(compute, (f_worst + 1.0) * block +
+                                        options.failure_detection_seconds);
+      }
+      result.compute_seconds = compute;
       result.mean_compute_seconds = load_mean / machine.thread_rate;
     }
 
@@ -224,6 +370,10 @@ obs::Json to_json(const SimResult& result) {
                              ? result.comm_seconds / result.makespan_seconds
                              : 0.0;
   out["imbalance"] = result.imbalance;
+  out["failed_nodes"] = result.failed_nodes;
+  out["straggler_nodes"] = result.straggler_nodes;
+  out["lost_compute_seconds"] = result.lost_compute_seconds;
+  out["recovery_seconds"] = result.recovery_seconds;
   return out;
 }
 

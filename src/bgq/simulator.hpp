@@ -56,6 +56,20 @@ struct SimOptions {
   SimScheme scheme = SimScheme::kDynamicHierarchical;
   std::int64_t tasks_per_fetch = 16;  ///< chunk size for the distributed bag
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  // Failure model. Each node independently draws its fate from
+  // (seed, node id) — the *same* draws for both schemes, so a
+  // dynamic-vs-static comparison sees identical fault patterns. A failed
+  // node completes a deterministic fraction of its work and dies; a
+  // straggler runs `straggler_slowdown`x slower for the whole step. The
+  // dynamic scheme redistributes a dead node's in-flight chunk to the
+  // earliest-available survivor; the static scheme has no rebalancing,
+  // so the dead node's block is redone from scratch after detection and
+  // the whole step stalls behind it.
+  double node_failure_rate = 0.0;   ///< P(node dies mid-step)
+  double straggler_rate = 0.0;      ///< P(node is a straggler)
+  double straggler_slowdown = 4.0;  ///< service-time multiplier
+  double failure_detection_seconds = 0.01;  ///< per-failure recovery cost
 };
 
 struct SimResult {
@@ -65,6 +79,10 @@ struct SimResult {
   double comm_seconds = 0.0;         ///< reduction + work-fetch overhead
   double imbalance = 1.0;            ///< compute / mean_compute
   std::int64_t threads = 0;
+  std::int64_t failed_nodes = 0;     ///< nodes that died mid-step
+  std::int64_t straggler_nodes = 0;  ///< nodes running degraded
+  double lost_compute_seconds = 0.0; ///< work discarded at node deaths
+  double recovery_seconds = 0.0;     ///< detection + re-dispatch overhead
 };
 
 /// Simulate one exchange-build step.

@@ -38,6 +38,7 @@ double distance(const Vec3& a, const Vec3& b);
 struct Atom {
   int z = 0;          ///< atomic number
   Vec3 pos{0, 0, 0};  ///< position in Bohr
+  friend bool operator==(const Atom&, const Atom&) = default;
 };
 
 class Molecule {
@@ -77,6 +78,10 @@ class Molecule {
 
   /// Serialize to XYZ-format text (coordinates in Ångström).
   std::string to_xyz(const std::string& comment = "") const;
+
+  /// Exact (bitwise-coordinate) equality — used by checkpoint round-trip
+  /// verification, not geometric comparison.
+  friend bool operator==(const Molecule&, const Molecule&) = default;
 
  private:
   std::vector<Atom> atoms_;

@@ -1,0 +1,205 @@
+#include "fault/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mthfx::fault {
+
+namespace {
+
+obs::Json matrix_to_json(const linalg::Matrix& m) {
+  obs::Json j = obs::Json::object();
+  j["rows"] = m.rows();
+  j["cols"] = m.cols();
+  obs::Json data = obs::Json::array();
+  for (const double v : m.flat()) data.push_back(v);
+  j["data"] = std::move(data);
+  return j;
+}
+
+const obs::Json& require(const obs::Json& j, const char* key) {
+  const obs::Json* member = j.find(key);
+  if (!member)
+    throw std::invalid_argument(std::string("checkpoint: missing '") + key +
+                                "'");
+  return *member;
+}
+
+linalg::Matrix matrix_from_json(const obs::Json& j) {
+  const auto rows = static_cast<std::size_t>(require(j, "rows").as_int());
+  const auto cols = static_cast<std::size_t>(require(j, "cols").as_int());
+  const obs::Json& data = require(j, "data");
+  if (data.size() != rows * cols)
+    throw std::invalid_argument("checkpoint: matrix data size mismatch");
+  std::vector<double> flat;
+  flat.reserve(data.size());
+  for (const obs::Json& v : data.items()) flat.push_back(v.as_double());
+  return linalg::Matrix(rows, cols, std::move(flat));
+}
+
+obs::Json matrices_to_json(const std::vector<linalg::Matrix>& ms) {
+  obs::Json arr = obs::Json::array();
+  for (const auto& m : ms) arr.push_back(matrix_to_json(m));
+  return arr;
+}
+
+std::vector<linalg::Matrix> matrices_from_json(const obs::Json& j) {
+  std::vector<linalg::Matrix> out;
+  out.reserve(j.size());
+  for (const obs::Json& m : j.items()) out.push_back(matrix_from_json(m));
+  return out;
+}
+
+obs::Json molecule_to_json(const chem::Molecule& mol) {
+  obs::Json j = obs::Json::object();
+  j["charge"] = mol.charge();
+  obs::Json atoms = obs::Json::array();
+  for (const auto& atom : mol.atoms()) {
+    obs::Json a = obs::Json::object();
+    a["z"] = atom.z;
+    obs::Json pos = obs::Json::array();
+    pos.push_back(atom.pos.x);
+    pos.push_back(atom.pos.y);
+    pos.push_back(atom.pos.z);
+    a["pos"] = std::move(pos);
+    atoms.push_back(std::move(a));
+  }
+  j["atoms"] = std::move(atoms);
+  return j;
+}
+
+chem::Molecule molecule_from_json(const obs::Json& j) {
+  chem::Molecule mol;
+  mol.set_charge(static_cast<int>(require(j, "charge").as_int()));
+  for (const obs::Json& a : require(j, "atoms").items()) {
+    const obs::Json& pos = require(a, "pos");
+    if (pos.size() != 3)
+      throw std::invalid_argument("checkpoint: atom position must have 3 "
+                                  "components");
+    mol.add_atom(static_cast<int>(require(a, "z").as_int()),
+                 {pos.items()[0].as_double(), pos.items()[1].as_double(),
+                  pos.items()[2].as_double()});
+  }
+  return mol;
+}
+
+void write_file(const std::string& path, const obs::Json& j) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("checkpoint: cannot open '" + path +
+                             "' for writing");
+  out << j.dump(2) << "\n";
+  out.flush();
+  if (!out)
+    throw std::runtime_error("checkpoint: write to '" + path + "' failed");
+}
+
+}  // namespace
+
+obs::Json to_json(const ScfCheckpoint& ckpt) {
+  obs::Json j = obs::Json::object();
+  j["kind"] = "scf";
+  j["method"] = ckpt.method;
+  j["iteration"] = ckpt.iteration;
+  j["energy"] = ckpt.energy;
+  j["density"] = matrix_to_json(ckpt.density);
+  j["density_beta"] = matrix_to_json(ckpt.density_beta);
+  j["density_prev"] = matrix_to_json(ckpt.density_prev);
+  j["j"] = matrix_to_json(ckpt.j);
+  j["k"] = matrix_to_json(ckpt.k);
+  j["diis_focks"] = matrices_to_json(ckpt.diis_focks);
+  j["diis_errors"] = matrices_to_json(ckpt.diis_errors);
+  j["diis_focks_beta"] = matrices_to_json(ckpt.diis_focks_beta);
+  j["diis_errors_beta"] = matrices_to_json(ckpt.diis_errors_beta);
+  return j;
+}
+
+obs::Json to_json(const MdCheckpoint& ckpt) {
+  obs::Json j = obs::Json::object();
+  j["kind"] = "md";
+  j["frame_index"] = ckpt.frame_index;
+  j["time_fs"] = ckpt.time_fs;
+  j["geometry"] = molecule_to_json(ckpt.geometry);
+  obs::Json vels = obs::Json::array();
+  for (const auto& v : ckpt.velocities) {
+    obs::Json vec = obs::Json::array();
+    vec.push_back(v.x);
+    vec.push_back(v.y);
+    vec.push_back(v.z);
+    vels.push_back(std::move(vec));
+  }
+  j["velocities"] = std::move(vels);
+  j["initial_total_energy"] = ckpt.initial_total_energy;
+  return j;
+}
+
+ScfCheckpoint scf_checkpoint_from_json(const obs::Json& j) {
+  if (checkpoint_kind(j) != "scf")
+    throw std::invalid_argument("checkpoint: not an SCF checkpoint");
+  ScfCheckpoint ckpt;
+  ckpt.method = require(j, "method").as_string();
+  ckpt.iteration = static_cast<std::size_t>(require(j, "iteration").as_int());
+  ckpt.energy = require(j, "energy").as_double();
+  ckpt.density = matrix_from_json(require(j, "density"));
+  ckpt.density_beta = matrix_from_json(require(j, "density_beta"));
+  ckpt.density_prev = matrix_from_json(require(j, "density_prev"));
+  ckpt.j = matrix_from_json(require(j, "j"));
+  ckpt.k = matrix_from_json(require(j, "k"));
+  ckpt.diis_focks = matrices_from_json(require(j, "diis_focks"));
+  ckpt.diis_errors = matrices_from_json(require(j, "diis_errors"));
+  ckpt.diis_focks_beta = matrices_from_json(require(j, "diis_focks_beta"));
+  ckpt.diis_errors_beta = matrices_from_json(require(j, "diis_errors_beta"));
+  if (ckpt.diis_focks.size() != ckpt.diis_errors.size() ||
+      ckpt.diis_focks_beta.size() != ckpt.diis_errors_beta.size())
+    throw std::invalid_argument(
+        "checkpoint: DIIS fock/error history size mismatch");
+  return ckpt;
+}
+
+MdCheckpoint md_checkpoint_from_json(const obs::Json& j) {
+  if (checkpoint_kind(j) != "md")
+    throw std::invalid_argument("checkpoint: not an MD checkpoint");
+  MdCheckpoint ckpt;
+  ckpt.frame_index =
+      static_cast<std::size_t>(require(j, "frame_index").as_int());
+  ckpt.time_fs = require(j, "time_fs").as_double();
+  ckpt.geometry = molecule_from_json(require(j, "geometry"));
+  for (const obs::Json& v : require(j, "velocities").items()) {
+    if (v.size() != 3)
+      throw std::invalid_argument("checkpoint: velocity must have 3 "
+                                  "components");
+    ckpt.velocities.push_back({v.items()[0].as_double(),
+                               v.items()[1].as_double(),
+                               v.items()[2].as_double()});
+  }
+  if (ckpt.velocities.size() != ckpt.geometry.size())
+    throw std::invalid_argument(
+        "checkpoint: velocity count does not match atom count");
+  ckpt.initial_total_energy = require(j, "initial_total_energy").as_double();
+  return ckpt;
+}
+
+void save_checkpoint(const std::string& path, const ScfCheckpoint& ckpt) {
+  write_file(path, to_json(ckpt));
+}
+
+void save_checkpoint(const std::string& path, const MdCheckpoint& ckpt) {
+  write_file(path, to_json(ckpt));
+}
+
+obs::Json load_checkpoint_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return obs::Json::parse(buf.str());
+}
+
+std::string checkpoint_kind(const obs::Json& j) {
+  const obs::Json* kind = j.find("kind");
+  return kind ? kind->as_string() : std::string();
+}
+
+}  // namespace mthfx::fault

@@ -1,0 +1,156 @@
+#include "fault/injector.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace mthfx::fault {
+
+namespace {
+
+// splitmix64: well-mixed stateless hash, the standard choice for turning
+// a counter into an independent-looking stream.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t bits) {
+  // 53 high-quality mantissa bits -> [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+void FaultOptions::validate() const {
+  auto check01 = [](double v, const char* name) {
+    if (!(v >= 0.0 && v <= 1.0))
+      throw std::invalid_argument(std::string("FaultOptions: ") + name +
+                                  " must be in [0, 1]");
+  };
+  check01(fail_rate, "fail_rate");
+  check01(stall_rate, "stall_rate");
+  check01(corrupt_rate, "corrupt_rate");
+  if (fail_rate + stall_rate + corrupt_rate > 1.0)
+    throw std::invalid_argument(
+        "FaultOptions: combined fault rates exceed 1");
+  if (stall_seconds < 0.0)
+    throw std::invalid_argument("FaultOptions: stall_seconds must be >= 0");
+}
+
+InjectedFault::InjectedFault(std::uint64_t site_in, std::uint32_t attempt_in)
+    : std::runtime_error("injected fault at site " + std::to_string(site_in) +
+                         " attempt " + std::to_string(attempt_in)),
+      site(site_in),
+      attempt(attempt_in) {}
+
+Injector::Injector(FaultOptions options) : options_(options) {
+  options_.validate();
+}
+
+FaultKind Injector::decide(std::uint64_t site, std::uint32_t attempt) const {
+  if (!options_.enabled()) return FaultKind::kNone;
+  std::uint64_t h = splitmix64(options_.seed);
+  h = splitmix64(h ^ site);
+  h = splitmix64(h ^ attempt);
+  const double u = uniform01(h);
+  if (u < options_.fail_rate) return FaultKind::kFail;
+  if (u < options_.fail_rate + options_.stall_rate) return FaultKind::kStall;
+  if (u < options_.fail_rate + options_.stall_rate + options_.corrupt_rate)
+    return FaultKind::kCorrupt;
+  return FaultKind::kNone;
+}
+
+FaultKind Injector::sample(std::uint64_t site, std::uint32_t attempt) {
+  const FaultKind kind = decide(site, attempt);
+  switch (kind) {
+    case FaultKind::kNone: break;
+    case FaultKind::kFail:
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::kStall:
+      stalls_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.stall_seconds));
+      break;
+    case FaultKind::kCorrupt:
+      corruptions_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return kind;
+}
+
+bool Injector::apply(std::uint64_t site, std::uint32_t attempt) {
+  const FaultKind kind = sample(site, attempt);
+  if (kind == FaultKind::kFail) throw InjectedFault(site, attempt);
+  return kind == FaultKind::kCorrupt;
+}
+
+void Injector::reset_stats() {
+  failures_.store(0, std::memory_order_relaxed);
+  stalls_.store(0, std::memory_order_relaxed);
+  corruptions_.store(0, std::memory_order_relaxed);
+}
+
+FaultOptions parse_fault_spec(std::string_view spec) {
+  FaultOptions options;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view pair = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument("fault spec: expected key=value, got '" +
+                                  std::string(pair) + "'");
+    const std::string_view key = pair.substr(0, eq);
+    const std::string value(pair.substr(eq + 1));
+    char* parse_end = nullptr;
+    const double num = std::strtod(value.c_str(), &parse_end);
+    if (value.empty() || parse_end != value.c_str() + value.size())
+      throw std::invalid_argument("fault spec: bad value for '" +
+                                  std::string(key) + "': '" + value + "'");
+    if (key == "fail") {
+      options.fail_rate = num;
+    } else if (key == "stall") {
+      options.stall_rate = num;
+    } else if (key == "corrupt") {
+      options.corrupt_rate = num;
+    } else if (key == "stall_ms") {
+      options.stall_seconds = num * 1e-3;
+    } else if (key == "seed") {
+      options.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "retries") {
+      if (num < 0.0)
+        throw std::invalid_argument("fault spec: retries must be >= 0");
+      options.max_retries = static_cast<std::size_t>(num);
+    } else {
+      throw std::invalid_argument("fault spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  options.validate();
+  return options;
+}
+
+FaultOptions fault_options_from_env() {
+  const char* spec = std::getenv("MTHFX_FAULT_SPEC");
+  if (!spec || !*spec) return FaultOptions{};
+  return parse_fault_spec(spec);
+}
+
+}  // namespace mthfx::fault

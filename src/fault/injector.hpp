@@ -1,0 +1,107 @@
+#pragma once
+
+// Seeded fault injection for resilience testing. An Injector is a
+// deterministic per-site fault source: given a site id (e.g. a quartet
+// task index) and an attempt number it decides — via a stateless hash of
+// (seed, site, attempt) — whether that execution fails (throws), stalls
+// (straggler sleep), or corrupts its output (NaN poisoning). Because the
+// decision is a pure function, a failure run replays identically under
+// the same seed, and a retried attempt sees a fresh, independent draw.
+//
+// Configure programmatically via FaultOptions or through the
+// MTHFX_FAULT_SPEC environment variable, a comma-separated key=value
+// spec (grammar in docs/resilience.md):
+//
+//   MTHFX_FAULT_SPEC="fail=0.01,corrupt=0.005,stall=0.001,stall_ms=2,seed=42,retries=4"
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mthfx::fault {
+
+enum class FaultKind : std::uint8_t { kNone = 0, kFail, kStall, kCorrupt };
+
+const char* to_string(FaultKind kind);
+
+struct FaultOptions {
+  double fail_rate = 0.0;     ///< P(task throws InjectedFault)
+  double stall_rate = 0.0;    ///< P(task sleeps stall_seconds first)
+  double corrupt_rate = 0.0;  ///< P(task output is NaN-poisoned)
+  double stall_seconds = 1e-3;
+  std::uint64_t seed = 0x6d746866'78ULL;  // "mthfx"
+  std::size_t max_retries = 3;            ///< retry budget per task
+
+  bool enabled() const {
+    return fail_rate > 0.0 || stall_rate > 0.0 || corrupt_rate > 0.0;
+  }
+  /// Throws std::invalid_argument if any rate is outside [0, 1] or the
+  /// combined rate exceeds 1.
+  void validate() const;
+};
+
+/// The exception thrown by injected kFail faults (and nothing else), so
+/// tests can distinguish injected failures from genuine errors.
+struct InjectedFault : std::runtime_error {
+  InjectedFault(std::uint64_t site, std::uint32_t attempt);
+  std::uint64_t site;
+  std::uint32_t attempt;
+};
+
+class Injector {
+ public:
+  explicit Injector(FaultOptions options);
+
+  const FaultOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled(); }
+
+  /// Pure decision: which fault (if any) hits `site` on `attempt`.
+  /// Thread-safe, no state mutation.
+  FaultKind decide(std::uint64_t site, std::uint32_t attempt) const;
+
+  /// decide() plus statistics accounting. kStall sleeps here; kFail and
+  /// kCorrupt are returned for the caller to act on (throw / poison) so
+  /// the injector stays agnostic of the task's data.
+  FaultKind sample(std::uint64_t site, std::uint32_t attempt);
+
+  /// Throws InjectedFault when decide() says kFail; applies the stall
+  /// when it says kStall; returns true when the caller must poison its
+  /// output (kCorrupt). Convenience wrapper over sample().
+  bool apply(std::uint64_t site, std::uint32_t attempt);
+
+  std::uint64_t injected() const {
+    return failures() + stalls() + corruptions();
+  }
+  std::uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t corruptions() const {
+    return corruptions_.load(std::memory_order_relaxed);
+  }
+  void reset_stats();
+
+ private:
+  FaultOptions options_;
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+};
+
+/// Parses the MTHFX_FAULT_SPEC grammar:
+///   spec    := pair ("," pair)*  |  ""          (empty spec = disabled)
+///   pair    := key "=" value
+///   key     := fail | stall | corrupt | stall_ms | seed | retries
+/// Unknown keys, malformed values, and out-of-range rates throw
+/// std::invalid_argument.
+FaultOptions parse_fault_spec(std::string_view spec);
+
+/// FaultOptions from the MTHFX_FAULT_SPEC environment variable, or
+/// all-zero (disabled) defaults when unset/empty.
+FaultOptions fault_options_from_env();
+
+}  // namespace mthfx::fault

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
 
 #include "hfx/schedulers.hpp"
 #include "ints/eri.hpp"
@@ -85,6 +88,12 @@ void digest_quartet(const BasisSet& basis, std::uint32_t sa, std::uint32_t sb,
   }
 }
 
+bool all_finite(const Matrix& m) {
+  for (const double v : m.flat())
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
 }  // namespace
 
 double HfxStats::imbalance() const {
@@ -112,6 +121,14 @@ obs::Json to_json(const HfxStats& stats) {
   screening["density_screened"] = stats.screening.quartets_density_screened;
   screening["computed"] = stats.screening.quartets_computed;
   out["screening"] = std::move(screening);
+  obs::Json fault = obs::Json::object();
+  fault["injected"] = stats.fault.injected;
+  fault["injected_failures"] = stats.fault.injected_failures;
+  fault["injected_stalls"] = stats.fault.injected_stalls;
+  fault["injected_corruptions"] = stats.fault.injected_corruptions;
+  fault["retries"] = stats.fault.retries;
+  fault["permanent_failures"] = stats.fault.permanent_failures;
+  out["fault"] = std::move(fault);
   obs::Json busy = obs::Json::array();
   for (const double s : stats.thread_busy_seconds) busy.push_back(s);
   out["thread_busy_seconds"] = std::move(busy);
@@ -127,6 +144,7 @@ FockBuilder::FockBuilder(const BasisSet& basis, HfxOptions options)
   pair_hermites_.reserve(pairs_.size());
   for (const ShellPair& pr : pairs_.pairs())
     pair_hermites_.emplace_back(basis_.shell(pr.sa), basis_.shell(pr.sb));
+  if (options_.fault.enabled()) injector_.emplace(options_.fault);
 }
 
 ExchangeResult FockBuilder::exchange(const Matrix& density) const {
@@ -159,6 +177,27 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
   std::vector<Matrix> j_private;
   if (want_coulomb) j_private.assign(nthreads, Matrix(nao, nao));
 
+  // Transactional commit: tasks digest into a scratch matrix that is
+  // validated and added to the per-thread accumulator only on success, so
+  // a retried (thrown or poisoned) task never double-commits or leaks a
+  // partial/corrupt contribution.
+  const bool transactional = options_.validate_tasks;
+  std::vector<Matrix> k_scratch, j_scratch;
+  if (transactional) {
+    k_scratch.assign(nthreads, Matrix(nao, nao));
+    if (want_coulomb) j_scratch.assign(nthreads, Matrix(nao, nao));
+  }
+
+  // Per-task attempt counters give each retry a fresh, independent fault
+  // draw; the epoch salts sites so every build in an SCF sequence sees a
+  // different (seed-reproducible) fault pattern.
+  const std::uint64_t epoch =
+      build_epoch_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<std::atomic<std::uint32_t>[]> attempt_counts;
+  if (injector_)
+    attempt_counts =
+        std::make_unique<std::atomic<std::uint32_t>[]>(tasks_.size());
+
   JkResult result;
   result.stats.num_pairs = pairs_.size();
   result.stats.num_pairs_unscreened = pairs_.unscreened_count();
@@ -167,10 +206,26 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
     result.stats.task_costs.assign(tasks_.size(), TaskCostRecord{});
 
   auto run_task = [&](std::size_t task_index, std::size_t tid) {
+    bool poison = false;
+    if (injector_) {
+      const std::uint32_t attempt =
+          attempt_counts[task_index].fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t site =
+          (epoch << 40) | static_cast<std::uint64_t>(task_index);
+      // Throws InjectedFault on kFail, sleeps on kStall, returns true on
+      // kCorrupt (poison applied to the digested output below).
+      poison = injector_->apply(site, attempt);
+    }
     const QuartetTask& task = tasks_[task_index];
     const ShellPair& bra = pairs_[task.bra];
-    Matrix& k_acc = k_private[tid];
-    Matrix* j_acc = want_coulomb ? &j_private[tid] : nullptr;
+    Matrix& k_acc = transactional ? k_scratch[tid] : k_private[tid];
+    Matrix* j_acc =
+        want_coulomb ? (transactional ? &j_scratch[tid] : &j_private[tid])
+                     : nullptr;
+    if (transactional) {
+      k_acc.fill(0.0);
+      if (j_acc) j_acc->fill(0.0);
+    }
 
     // Screening tallies accumulate locally and flush once per task so
     // the inner quartet loop performs no atomic traffic.
@@ -207,6 +262,20 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
                      j_acc, k_acc, /*braket_same=*/kk == task.bra,
                      eps_contribution);
     }
+    // A kCorrupt fault models silent data corruption in the task's
+    // output. With validation on, the isfinite sweep catches it and the
+    // retry path heals it; with validation off it lands in K, which is
+    // exactly the hazard validate_tasks exists to close.
+    if (poison) k_acc(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    if (transactional) {
+      if (!all_finite(k_acc) || (j_acc && !all_finite(*j_acc)))
+        throw std::runtime_error("hfx: non-finite task output (task " +
+                                 std::to_string(task_index) + ")");
+      k_private[tid] += k_acc;
+      if (j_acc) j_private[tid] += *j_acc;
+    }
+    // Tallies, timing, and cost records flush only on this success path;
+    // a throw above leaves them untouched so retries never double-count.
     const double secs = watch.seconds();
     busy_timer.add_seconds(tid, secs);
     c_considered.add(tid, considered);
@@ -218,11 +287,16 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
           static_cast<std::uint32_t>(task_index), task.est_cost, secs};
   };
 
+  const std::uint64_t pre_failures = injector_ ? injector_->failures() : 0;
+  const std::uint64_t pre_stalls = injector_ ? injector_->stalls() : 0;
+  const std::uint64_t pre_corruptions =
+      injector_ ? injector_->corruptions() : 0;
   {
     obs::Trace::Scope task_span(obs::global_trace(), "jk.tasks");
     obs::ScopedTimer wall(registry.timer("hfx.wall_seconds"), 0);
     execute_tasks(tasks_.size(), nthreads, options_.schedule, run_task,
-                  &registry);
+                  &registry,
+                  RetryOptions{.max_retries = options_.fault.max_retries});
   }
 
   // Reduce the thread-private accumulators (modeled as a torus tree
@@ -252,6 +326,19 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
   result.stats.reduce_seconds = registry.timer_seconds("hfx.reduce_seconds");
   result.stats.thread_busy_seconds =
       registry.timer_per_thread("hfx.task_seconds");
+  result.stats.fault.retries = registry.counter_total("fault.retries");
+  result.stats.fault.permanent_failures =
+      registry.counter_total("fault.permanent_failures");
+  if (injector_) {
+    result.stats.fault.injected_failures = injector_->failures() - pre_failures;
+    result.stats.fault.injected_stalls = injector_->stalls() - pre_stalls;
+    result.stats.fault.injected_corruptions =
+        injector_->corruptions() - pre_corruptions;
+    result.stats.fault.injected = result.stats.fault.injected_failures +
+                                  result.stats.fault.injected_stalls +
+                                  result.stats.fault.injected_corruptions;
+    registry.counter("fault.injected").add(0, result.stats.fault.injected);
+  }
   result.stats.metrics = registry.to_json();
   return result;
 }

@@ -7,10 +7,13 @@
 // accumulators are reduced at the end ("replication-free" on the real
 // machine; the BG/Q simulator models that reduction at scale).
 
+#include <atomic>
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "chem/basis.hpp"
+#include "fault/injector.hpp"
 #include "ints/eri.hpp"
 #include "hfx/screening.hpp"
 #include "hfx/shell_pairs.hpp"
@@ -43,6 +46,16 @@ struct HfxOptions {
   double target_task_cost = 0.0;  ///< 0 selects a heuristic granularity
   bool record_task_costs = false; ///< collect per-task timings (for bgq sim)
 
+  /// Seeded fault injection (off by default: all rates zero). max_retries
+  /// also bounds retries of *genuine* task failures, with or without
+  /// injection.
+  fault::FaultOptions fault;
+  /// Transactional task commit: digest into a per-thread scratch matrix,
+  /// sweep it with std::isfinite, and add it to the accumulator only when
+  /// clean — a poisoned (NaN/Inf) task throws and is retried instead of
+  /// corrupting K. Costs one extra nao^2 zero+add per task.
+  bool validate_tasks = false;
+
   /// Derived default for eps_contribution: 1e-6 * eps_schwarz reproduces
   /// the historical 1e-16 cutoff at the default eps_schwarz of 1e-10.
   static constexpr double kContributionCutoffScale = 1e-6;
@@ -58,8 +71,20 @@ struct TaskCostRecord {
   double seconds = 0.0;
 };
 
+/// What the resilience layer did during one build (all zero on a clean,
+/// injection-free run).
+struct FaultStats {
+  std::uint64_t injected = 0;             ///< faults of any kind injected
+  std::uint64_t injected_failures = 0;    ///< tasks made to throw
+  std::uint64_t injected_stalls = 0;      ///< tasks made to sleep
+  std::uint64_t injected_corruptions = 0; ///< tasks NaN-poisoned
+  std::uint64_t retries = 0;              ///< re-executions after a failure
+  std::uint64_t permanent_failures = 0;   ///< retry budget exhausted
+};
+
 struct HfxStats {
   ScreeningStats screening;
+  FaultStats fault;
   std::size_t num_pairs = 0;
   std::size_t num_pairs_unscreened = 0;
   std::size_t num_tasks = 0;
@@ -116,6 +141,11 @@ class FockBuilder {
   /// Precomputed Hermite expansions, aligned with pairs_ — computed once
   /// and amortized over every quartet the pair participates in.
   std::vector<ints::ShellPairHermite> pair_hermites_;
+  /// Fault-injection state (engaged only when options_.fault has nonzero
+  /// rates). The epoch salts fault sites so each build of an SCF sequence
+  /// draws an independent — but still seed-deterministic — fault pattern.
+  mutable std::optional<fault::Injector> injector_;
+  mutable std::atomic<std::uint64_t> build_epoch_{0};
 };
 
 }  // namespace mthfx::hfx

@@ -6,6 +6,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "hfx/fock_builder.hpp"
 #include "obs/registry.hpp"
@@ -16,14 +19,43 @@ namespace mthfx::hfx {
 /// so HFX and ThreadPool always agree).
 std::size_t resolve_thread_count(std::size_t requested);
 
+/// Failure policy for execute_tasks. A task whose body throws is caught
+/// (never a std::terminate in a pool worker), retried up to max_retries
+/// additional attempts, and only counted in "sched.tasks_executed" once
+/// it succeeds — so a body that commits results as its last action gets
+/// exactly-once commit for free.
+struct RetryOptions {
+  std::size_t max_retries = 0;    ///< extra attempts after the first
+  double backoff_seconds = 0.0;   ///< sleep backoff_seconds * attempt
+};
+
+/// Raised by execute_tasks (on the calling thread, after the parallel
+/// region has drained) when one or more tasks exhausted their retry
+/// budget. Never a hang, never a silently missing contribution.
+struct TaskFailure : std::runtime_error {
+  struct Failed {
+    std::size_t task = 0;
+    std::size_t attempts = 0;
+    std::string error;
+  };
+  explicit TaskFailure(std::vector<Failed> failed_tasks);
+  std::vector<Failed> failures;
+};
+
 /// Run body(task_index, thread_id) for every task under the policy.
 /// Blocks until all tasks are complete. With a registry, records
-/// "sched.tasks_executed" per thread, pool occupancy timers, and (for
-/// work stealing) the ws.* steal counters; the registry must have slots
-/// for resolve_thread_count(num_threads) threads.
+/// "sched.tasks_executed" per thread (successful commits only), pool
+/// occupancy timers, "fault.retries" / "fault.permanent_failures" on the
+/// failure path, and (for work stealing) the ws.* steal counters; the
+/// registry must have slots for resolve_thread_count(num_threads)
+/// threads. A throwing task is retried per `retry`; under kWorkStealing
+/// the failed task is re-queued through the scheduler, under the
+/// parallel_for policies it is retried in place. Exhausted budgets
+/// surface as TaskFailure.
 void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
                    HfxSchedule schedule,
                    const std::function<void(std::size_t, std::size_t)>& body,
-                   obs::Registry* registry = nullptr);
+                   obs::Registry* registry = nullptr,
+                   const RetryOptions& retry = {});
 
 }  // namespace mthfx::hfx

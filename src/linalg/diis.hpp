@@ -26,6 +26,20 @@ class Diis {
   std::size_t history_size() const { return focks_.size(); }
   void reset();
 
+  /// Checkpoint access: the retained (F, e) pairs, oldest first.
+  const std::deque<Matrix>& fock_history() const { return focks_; }
+  const std::deque<Matrix>& error_history() const { return errors_; }
+
+  /// Restart from a serialized history (oldest first); keeps at most the
+  /// newest max_history pairs. Sizes must match.
+  void restore_history(const std::vector<Matrix>& focks,
+                       const std::vector<Matrix>& errors) {
+    focks_.assign(focks.begin(), focks.end());
+    errors_.assign(errors.begin(), errors.end());
+    while (focks_.size() > max_history_) focks_.pop_front();
+    while (errors_.size() > max_history_) errors_.pop_front();
+  }
+
   /// Largest |e_ij| of the most recent error matrix; the usual SCF
   /// convergence measure.
   double last_error_norm() const { return last_error_norm_; }

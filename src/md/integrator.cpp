@@ -1,6 +1,7 @@
 #include "md/integrator.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "chem/elements.hpp"
 #include "md/thermostat.hpp"
@@ -23,11 +24,22 @@ MdResult run_bomd(const chem::Molecule& initial,
   const std::size_t n = initial.size();
 
   chem::Molecule mol = initial;
-  std::vector<chem::Vec3> v =
-      options.initial_temperature_k > 0.0
-          ? maxwell_boltzmann_velocities(mol, options.initial_temperature_k,
-                                         options.seed)
-          : std::vector<chem::Vec3>(n, chem::Vec3{0, 0, 0});
+  std::vector<chem::Vec3> v;
+  int start_step = 0;
+  if (options.resume) {
+    const fault::MdCheckpoint& ckpt = *options.resume;
+    if (ckpt.geometry.size() != n)
+      throw std::invalid_argument(
+          "run_bomd: checkpoint atom count does not match system");
+    mol = ckpt.geometry;
+    v = ckpt.velocities;
+    start_step = static_cast<int>(ckpt.frame_index);
+  } else {
+    v = options.initial_temperature_k > 0.0
+            ? maxwell_boltzmann_velocities(mol, options.initial_temperature_k,
+                                           options.seed)
+            : std::vector<chem::Vec3>(n, chem::Vec3{0, 0, 0});
+  }
 
   std::vector<double> inv_mass(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -48,9 +60,28 @@ MdResult run_bomd(const chem::Molecule& initial,
     result.frames.push_back(frame);
     if (on_frame) on_frame(frame);
   };
-  record(0.0);
+  // On resume this frame reproduces the checkpointed state, so the
+  // resumed trajectory's frames line up with the tail of the
+  // uninterrupted one.
+  record(start_step * options.timestep_fs);
+  const double initial_total = options.resume
+                                   ? options.resume->initial_total_energy
+                                   : result.frames.front().total;
 
-  for (int step = 0; step < options.num_steps; ++step) {
+  auto checkpoint = [&](int completed_step) {
+    if (!options.checkpoint_sink || options.checkpoint_every <= 0 ||
+        completed_step % options.checkpoint_every != 0)
+      return;
+    fault::MdCheckpoint ckpt;
+    ckpt.frame_index = static_cast<std::size_t>(completed_step);
+    ckpt.time_fs = completed_step * options.timestep_fs;
+    ckpt.geometry = mol;
+    ckpt.velocities = v;
+    ckpt.initial_total_energy = initial_total;
+    options.checkpoint_sink(ckpt);
+  };
+
+  for (int step = start_step; step < options.num_steps; ++step) {
     // Velocity Verlet.
     for (std::size_t i = 0; i < n; ++i) {
       v[i] = v[i] + (0.5 * dt * inv_mass[i]) * f[i];
@@ -68,6 +99,7 @@ MdResult run_bomd(const chem::Molecule& initial,
       for (auto& vi : v) vi = lambda * vi;
     }
     record((step + 1) * options.timestep_fs);
+    checkpoint(step + 1);
   }
 
   result.final_geometry = mol;

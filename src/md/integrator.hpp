@@ -5,21 +5,33 @@
 // (experiment E5).
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "fault/checkpoint.hpp"
 #include "md/forces.hpp"
 
 namespace mthfx::md {
 
 struct MdOptions {
   double timestep_fs = 0.5;
-  int num_steps = 10;
+  int num_steps = 10;  ///< total trajectory length, including resumed part
   /// 0 disables the thermostat (NVE).
   double target_temperature_k = 0.0;
   double berendsen_tau_fs = 20.0;
   /// Initial velocities: 0 => start at rest; otherwise Maxwell–Boltzmann.
   double initial_temperature_k = 0.0;
   unsigned seed = 1234;
+
+  /// Resume from a checkpoint: positions/velocities replace the initial
+  /// conditions and integration continues at step `frame_index` (the
+  /// trajectory still ends at num_steps). The integrator is
+  /// deterministic given that state, so a resumed run retraces the
+  /// uninterrupted trajectory bit-for-bit.
+  std::shared_ptr<const fault::MdCheckpoint> resume;
+  /// Called with the post-step state every `checkpoint_every` steps.
+  std::function<void(const fault::MdCheckpoint&)> checkpoint_sink;
+  int checkpoint_every = 1;
 };
 
 struct MdFrame {

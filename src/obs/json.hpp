@@ -2,8 +2,9 @@
 
 // Minimal JSON value used by the observability layer to emit
 // machine-readable bench/trace records (BENCH_*.json). Objects preserve
-// insertion order so emitted records diff cleanly across runs. This is an
-// emitter, not a parser — benches and tools only ever write.
+// insertion order so emitted records diff cleanly across runs. `parse`
+// reads the same dialect back (used by fault/checkpoint restart files);
+// doubles round-trip bit-for-bit through dump/parse.
 
 #include <cstdint>
 #include <string>
@@ -71,6 +72,12 @@ class Json {
   /// Serialize; `indent` < 0 emits one line, otherwise pretty-prints with
   /// that many spaces per level. Non-finite numbers emit as null.
   std::string dump(int indent = -1) const;
+
+  /// Parse a JSON document. Numbers without '.', 'e', or 'E' become
+  /// kInt; all others kDouble (read with strtod, so doubles emitted by
+  /// dump() round-trip exactly). Throws std::invalid_argument on
+  /// malformed input or trailing garbage.
+  static Json parse(std::string_view text);
 
  private:
   void write(std::string& out, int indent, int depth) const;

@@ -1,0 +1,108 @@
+#include "scf/recovery.hpp"
+
+#include <cmath>
+
+namespace mthfx::scf {
+
+const char* to_string(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::kNone: return "none";
+    case RecoveryStage::kDiisReset: return "diis_reset";
+    case RecoveryStage::kDamping: return "damping";
+    case RecoveryStage::kLevelShift: return "level_shift";
+  }
+  return "?";
+}
+
+obs::Json to_json(const ScfDiagnostics& diagnostics) {
+  obs::Json out = obs::Json::object();
+  out["finite"] = diagnostics.finite;
+  out["final_stage"] = to_string(diagnostics.final_stage);
+  obs::Json events = obs::Json::array();
+  for (const RecoveryEvent& e : diagnostics.recovery_events) {
+    obs::Json row = obs::Json::object();
+    row["iteration"] = e.iteration;
+    row["stage"] = to_string(e.stage);
+    row["reason"] = e.reason;
+    events.push_back(std::move(row));
+  }
+  out["recovery_events"] = std::move(events);
+  out["failure_reason"] = diagnostics.failure_reason;
+  return out;
+}
+
+RecoveryLadder::RecoveryLadder(RecoveryOptions options) : options_(options) {}
+
+void RecoveryLadder::escalate(std::size_t iteration,
+                              const std::string& reason) {
+  if (stage_ == RecoveryStage::kLevelShift) return;  // already at the top
+  stage_ = static_cast<RecoveryStage>(static_cast<std::uint8_t>(stage_) + 1);
+  if (stage_ >= RecoveryStage::kDiisReset) pending_diis_reset_ = true;
+  events_.push_back({iteration, stage_, reason});
+  last_escalation_ = iteration;
+  has_escalated_ = true;
+  // A fresh stage gets a fresh view of the error trend.
+  has_diis_error_ = false;
+  flip_count_ = 0;
+}
+
+RecoveryStage RecoveryLadder::observe(std::size_t iteration, double energy,
+                                      double delta_e, double diis_error) {
+  if (!options_.enabled) return RecoveryStage::kNone;
+  const std::size_t events_before = events_.size();
+
+  const bool finite = std::isfinite(energy) && std::isfinite(diis_error);
+  if (!finite) {
+    saw_non_finite_ = true;
+    if (stage_ == RecoveryStage::kLevelShift) {
+      // Top of the ladder and still producing NaN — unrecoverable.
+      exhausted_ = true;
+      return RecoveryStage::kNone;
+    }
+    // Non-finite is unambiguous; escalate immediately, no patience.
+    escalate(iteration, "non-finite energy or DIIS error");
+    return events_.size() > events_before ? stage_ : RecoveryStage::kNone;
+  }
+
+  if (iteration < options_.min_iterations) return RecoveryStage::kNone;
+  const bool patient =
+      !has_escalated_ || iteration >= last_escalation_ + options_.patience;
+
+  // DIIS error blow-up: error grew orders of magnitude past its best.
+  if (has_diis_error_) {
+    if (diis_error > options_.diis_growth * best_diis_error_ && patient) {
+      escalate(iteration, "DIIS error grew past " +
+                              std::to_string(options_.diis_growth) +
+                              "x its best value");
+    }
+    best_diis_error_ = std::min(best_diis_error_, diis_error);
+  } else {
+    best_diis_error_ = diis_error;
+    has_diis_error_ = true;
+  }
+
+  // Energy oscillation: sustained ΔE sign flips of non-trivial size.
+  if (std::abs(delta_e) > options_.oscillation_floor &&
+      std::abs(prev_delta_e_) > options_.oscillation_floor &&
+      delta_e * prev_delta_e_ < 0.0) {
+    ++flip_count_;
+  } else {
+    flip_count_ = 0;
+  }
+  prev_delta_e_ = delta_e;
+  if (flip_count_ >= options_.oscillation_flips && patient) {
+    escalate(iteration, "energy oscillating (" +
+                            std::to_string(flip_count_) +
+                            " consecutive sign flips)");
+  }
+
+  return events_.size() > events_before ? stage_ : RecoveryStage::kNone;
+}
+
+bool RecoveryLadder::consume_diis_reset() {
+  const bool fire = pending_diis_reset_;
+  pending_diis_reset_ = false;
+  return fire;
+}
+
+}  // namespace mthfx::scf

@@ -26,6 +26,8 @@ obs::Json scf_log_to_json(const std::vector<ScfIterationLog>& log) {
     row["quartets_computed"] = e.quartets_computed;
     row["seconds"] = e.seconds;
     row["jk_seconds"] = e.jk_seconds;
+    row["recovery_stage"] =
+        to_string(static_cast<RecoveryStage>(e.recovery_stage));
     rows.push_back(std::move(row));
   }
   return rows;
@@ -39,6 +41,10 @@ Matrix diis_error(const Matrix& f, const Matrix& p, const Matrix& s,
   const Matrix fps = linalg::matmul(linalg::matmul(f, p), s);
   const Matrix spf = linalg::transpose(fps);
   return linalg::matmul(linalg::matmul(linalg::transpose(x), fps - spf), x);
+}
+
+std::vector<Matrix> history_copy(const std::deque<Matrix>& history) {
+  return {history.begin(), history.end()};
 }
 
 }  // namespace
@@ -62,12 +68,32 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
   Matrix p_prev;     // density of the last *built* J/K
   Matrix j, k;       // running Coulomb/exchange matrices
   linalg::Diis diis;
+  RecoveryLadder ladder(options.recovery);
 
   ScfResult result;
   result.nuclear_repulsion = enuc;
   double e_prev = 0.0;
+  std::size_t start_iter = 0;
 
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+  if (options.resume) {
+    const fault::ScfCheckpoint& ckpt = *options.resume;
+    if (ckpt.method != "rhf")
+      throw std::invalid_argument("rhf: checkpoint is for method '" +
+                                  ckpt.method + "'");
+    start_iter = ckpt.iteration;
+    p = ckpt.density;
+    p_prev = ckpt.density_prev;
+    j = ckpt.j;
+    k = ckpt.k;
+    e_prev = ckpt.energy;
+    diis.restore_history(ckpt.diis_focks, ckpt.diis_errors);
+  }
+
+  Matrix last_good_p = p;  // restart point after a non-finite iterate
+  double last_e1 = 0.0, last_ej = 0.0, last_ek = 0.0;
+  std::size_t completed = start_iter;
+
+  for (std::size_t iter = start_iter; iter < options.max_iterations; ++iter) {
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     ScfIterationLog log_entry;
@@ -99,17 +125,46 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
     const double energy = e1 + ej + ek + enuc;
 
     const Matrix err = diis_error(f, p, s, x);
-    if (options.use_diis) f = diis.extrapolate(f, err);
+    const double diis_err_norm = linalg::max_abs(err);
+    const double delta_e = energy - e_prev;
+    const bool finite =
+        std::isfinite(energy) && std::isfinite(diis_err_norm);
+
+    ladder.observe(iter, energy, delta_e, diis_err_norm);
+    if (ladder.consume_diis_reset()) diis.reset();
+    // A non-finite pair would poison the DIIS history; keep it out.
+    if (options.use_diis && finite) f = diis.extrapolate(f, err);
 
     log_entry.energy = energy;
-    log_entry.delta_e = energy - e_prev;
-    log_entry.diis_error = linalg::max_abs(err);
+    log_entry.delta_e = delta_e;
+    log_entry.diis_error = diis_err_norm;
+    log_entry.recovery_stage =
+        static_cast<std::uint32_t>(ladder.stage());
     log_entry.seconds = iter_watch.seconds();
     result.log.push_back(log_entry);
+    completed = iter + 1;
+
+    if (!finite) {
+      result.diagnostics.finite = false;
+      if (ladder.exhausted()) {
+        result.diagnostics.failure_reason =
+            "non-finite energy with recovery ladder exhausted";
+        break;
+      }
+      // Restart from the last healthy density with the newly escalated
+      // mitigation engaged; drop incremental state (J/K are tainted).
+      p = last_good_p;
+      p_prev = Matrix();
+      continue;
+    }
+    last_good_p = p;
+    last_e1 = e1;
+    last_ej = ej;
+    last_ek = ek;
 
     const bool e_converged =
         iter > 0 && std::abs(energy - e_prev) < options.energy_tolerance;
-    const bool d_converged = log_entry.diis_error < options.diis_tolerance;
+    const bool d_converged = diis_err_norm < options.diis_tolerance;
     e_prev = energy;
 
     if (e_converged && d_converged) {
@@ -120,6 +175,8 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
       result.exchange_energy = ek;
       result.iterations = iter + 1;
       result.density = p;
+      result.diagnostics.final_stage = ladder.stage();
+      result.diagnostics.recovery_events = ladder.events();
       // Final orbitals from the unextrapolated converged Fock.
       const auto sol = solve_orbitals(h + j - 0.5 * k, x, nocc);
       result.coefficients = sol.coefficients;
@@ -127,16 +184,46 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
       return result;
     }
 
+    // Recovery mitigations shape the step to the next density: a level
+    // shift pushes virtuals up before the orbital solve, damping mixes
+    // the previous density into the new one.
+    const double shift = ladder.level_shift();
+    if (shift > 0.0) {
+      const Matrix sps = linalg::matmul(linalg::matmul(s, p), s);
+      f += shift * (s - sps);
+    }
     const auto sol = solve_orbitals(f, x, nocc);
-    p = sol.density;
+    const double damping = ladder.damping();
+    p = damping > 0.0 ? (1.0 - damping) * sol.density + damping * p
+                      : sol.density;
     result.coefficients = sol.coefficients;
     result.orbital_energies = sol.orbital_energies;
+
+    if (options.checkpoint_sink && options.checkpoint_every > 0 &&
+        (iter + 1) % options.checkpoint_every == 0) {
+      fault::ScfCheckpoint ckpt;
+      ckpt.method = "rhf";
+      ckpt.iteration = iter + 1;
+      ckpt.energy = e_prev;
+      ckpt.density = p;
+      ckpt.density_prev = p_prev;
+      ckpt.j = j;
+      ckpt.k = k;
+      ckpt.diis_focks = history_copy(diis.fock_history());
+      ckpt.diis_errors = history_copy(diis.error_history());
+      options.checkpoint_sink(ckpt);
+    }
   }
 
   result.converged = false;
   result.energy = e_prev;
-  result.iterations = options.max_iterations;
+  result.one_electron_energy = last_e1;
+  result.coulomb_energy = last_ej;
+  result.exchange_energy = last_ek;
+  result.iterations = completed;
   result.density = p;
+  result.diagnostics.final_stage = ladder.stage();
+  result.diagnostics.recovery_events = ladder.events();
   return result;
 }
 

@@ -7,12 +7,16 @@
 // iterations progressively cheaper — one of the paper's efficiency levers.
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
+#include "fault/checkpoint.hpp"
 #include "hfx/fock_builder.hpp"
 #include "linalg/matrix.hpp"
+#include "scf/recovery.hpp"
 
 namespace mthfx::scf {
 
@@ -24,6 +28,16 @@ struct ScfOptions {
   bool incremental_fock = true;      ///< build J/K from ΔP when possible
   std::size_t full_rebuild_every = 20;
   hfx::HfxOptions hfx;               ///< screening/schedule of the JK builds
+  RecoveryOptions recovery;          ///< divergence detection / escalation
+
+  /// Resume mid-solve from a checkpoint (see docs/resilience.md). With a
+  /// deterministic build (single thread or static schedule) the resumed
+  /// run reproduces the uninterrupted run's energies bit-for-bit.
+  std::shared_ptr<const fault::ScfCheckpoint> resume;
+  /// Called with the end-of-iteration state every `checkpoint_every`
+  /// iterations (callers persist it via fault::save_checkpoint).
+  std::function<void(const fault::ScfCheckpoint&)> checkpoint_sink;
+  std::size_t checkpoint_every = 1;
 };
 
 struct ScfIterationLog {
@@ -33,6 +47,9 @@ struct ScfIterationLog {
   std::uint64_t quartets_computed = 0;
   double seconds = 0.0;     ///< iteration wall time (build through DIIS)
   double jk_seconds = 0.0;  ///< J/K build wall time within the iteration
+  /// Recovery ladder stage active during this iteration
+  /// (static_cast of scf::RecoveryStage).
+  std::uint32_t recovery_stage = 0;
 };
 
 /// Per-iteration convergence/timing rows as a JSON array — the
@@ -51,6 +68,9 @@ struct ScfResult {
   linalg::Matrix coefficients;
   linalg::Vector orbital_energies;
   std::vector<ScfIterationLog> log;
+  /// What the recovery ladder saw and did; failure_reason is set when the
+  /// solve was abandoned (e.g. non-finite at the top of the ladder).
+  ScfDiagnostics diagnostics;
 };
 
 /// Run closed-shell RHF. Throws std::invalid_argument for odd electron

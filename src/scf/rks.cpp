@@ -45,12 +45,31 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
 
   Matrix p = core_guess_density(basis, mol, x);
   linalg::Diis diis;
+  RecoveryLadder ladder(options.scf.recovery);
 
   KsResult result;
   result.scf.nuclear_repulsion = enuc;
   double e_prev = 0.0;
+  std::size_t start_iter = 0;
 
-  for (std::size_t iter = 0; iter < options.scf.max_iterations; ++iter) {
+  if (options.scf.resume) {
+    const fault::ScfCheckpoint& ckpt = *options.scf.resume;
+    if (ckpt.method != "rks")
+      throw std::invalid_argument("rks: checkpoint is for method '" +
+                                  ckpt.method + "'");
+    start_iter = ckpt.iteration;
+    p = ckpt.density;
+    e_prev = ckpt.energy;
+    diis.restore_history(ckpt.diis_focks, ckpt.diis_errors);
+  }
+
+  Matrix last_good_p = p;
+  double last_e1 = 0.0, last_ej = 0.0, last_ek = 0.0;
+  double last_exc = 0.0, last_ndens = 0.0;
+  std::size_t completed = start_iter;
+
+  for (std::size_t iter = start_iter; iter < options.scf.max_iterations;
+       ++iter) {
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     const auto jk = builder.coulomb_exchange(p);
@@ -70,20 +89,46 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
     const Matrix fps = linalg::matmul(linalg::matmul(f, p), s);
     const Matrix err = linalg::matmul(
         linalg::matmul(linalg::transpose(x), fps - linalg::transpose(fps)), x);
-    if (options.scf.use_diis) f = diis.extrapolate(f, err);
+    const double diis_err_norm = linalg::max_abs(err);
+    const double delta_e = energy - e_prev;
+    const bool finite =
+        std::isfinite(energy) && std::isfinite(diis_err_norm);
+
+    ladder.observe(iter, energy, delta_e, diis_err_norm);
+    if (ladder.consume_diis_reset()) diis.reset();
+    if (options.scf.use_diis && finite) f = diis.extrapolate(f, err);
 
     ScfIterationLog log_entry;
     log_entry.energy = energy;
-    log_entry.delta_e = energy - e_prev;
-    log_entry.diis_error = linalg::max_abs(err);
+    log_entry.delta_e = delta_e;
+    log_entry.diis_error = diis_err_norm;
     log_entry.quartets_computed = jk.stats.screening.quartets_computed;
     log_entry.jk_seconds = jk.stats.wall_seconds;
     log_entry.seconds = iter_watch.seconds();
+    log_entry.recovery_stage = static_cast<std::uint32_t>(ladder.stage());
     result.scf.log.push_back(log_entry);
+    completed = iter + 1;
+
+    if (!finite) {
+      result.scf.diagnostics.finite = false;
+      if (ladder.exhausted()) {
+        result.scf.diagnostics.failure_reason =
+            "non-finite energy with recovery ladder exhausted";
+        break;
+      }
+      p = last_good_p;
+      continue;
+    }
+    last_good_p = p;
+    last_e1 = e1;
+    last_ej = ej;
+    last_ek = ek;
+    last_exc = xres.energy;
+    last_ndens = xres.integrated_density;
 
     const bool e_ok =
         iter > 0 && std::abs(energy - e_prev) < options.scf.energy_tolerance;
-    const bool d_ok = log_entry.diis_error < options.scf.diis_tolerance;
+    const bool d_ok = diis_err_norm < options.scf.diis_tolerance;
     e_prev = energy;
 
     if (e_ok && d_ok) {
@@ -94,6 +139,8 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
       result.scf.exchange_energy = ek;
       result.scf.iterations = iter + 1;
       result.scf.density = p;
+      result.scf.diagnostics.final_stage = ladder.stage();
+      result.scf.diagnostics.recovery_events = ladder.events();
       result.xc_energy = xres.energy;
       result.exact_exchange_energy = ek;
       result.integrated_density = xres.integrated_density;
@@ -103,16 +150,45 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
       return result;
     }
 
+    const double shift = ladder.level_shift();
+    if (shift > 0.0) {
+      const Matrix sps = linalg::matmul(linalg::matmul(s, p), s);
+      f += shift * (s - sps);
+    }
     const auto sol = solve_orbitals(f, x, nocc);
-    p = sol.density;
+    const double damping = ladder.damping();
+    p = damping > 0.0 ? (1.0 - damping) * sol.density + damping * p
+                      : sol.density;
     result.scf.coefficients = sol.coefficients;
     result.scf.orbital_energies = sol.orbital_energies;
+
+    if (options.scf.checkpoint_sink && options.scf.checkpoint_every > 0 &&
+        (iter + 1) % options.scf.checkpoint_every == 0) {
+      fault::ScfCheckpoint ckpt;
+      ckpt.method = "rks";
+      ckpt.iteration = iter + 1;
+      ckpt.energy = e_prev;
+      ckpt.density = p;
+      ckpt.diis_focks = std::vector<Matrix>(diis.fock_history().begin(),
+                                            diis.fock_history().end());
+      ckpt.diis_errors = std::vector<Matrix>(diis.error_history().begin(),
+                                             diis.error_history().end());
+      options.scf.checkpoint_sink(ckpt);
+    }
   }
 
   result.scf.converged = false;
   result.scf.energy = e_prev;
-  result.scf.iterations = options.scf.max_iterations;
+  result.scf.one_electron_energy = last_e1;
+  result.scf.coulomb_energy = last_ej;
+  result.scf.exchange_energy = last_ek;
+  result.scf.iterations = completed;
   result.scf.density = p;
+  result.scf.diagnostics.final_stage = ladder.stage();
+  result.scf.diagnostics.recovery_events = ladder.events();
+  result.xc_energy = last_exc;
+  result.exact_exchange_energy = last_ek;
+  result.integrated_density = last_ndens;
   return result;
 }
 

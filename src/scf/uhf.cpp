@@ -93,11 +93,30 @@ UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
   }
 
   linalg::Diis diis_a, diis_b;
+  RecoveryLadder ladder(options.recovery);
   UhfResult result;
   result.nuclear_repulsion = enuc;
   double e_prev = 0.0;
+  std::size_t start_iter = 0;
 
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+  if (options.resume) {
+    const fault::ScfCheckpoint& ckpt = *options.resume;
+    if (ckpt.method != "uhf")
+      throw std::invalid_argument("uhf: checkpoint is for method '" +
+                                  ckpt.method + "'");
+    start_iter = ckpt.iteration;
+    a.p = ckpt.density;
+    b.p = ckpt.density_beta;
+    e_prev = ckpt.energy;
+    diis_a.restore_history(ckpt.diis_focks, ckpt.diis_errors);
+    diis_b.restore_history(ckpt.diis_focks_beta, ckpt.diis_errors_beta);
+  }
+
+  Matrix last_good_pa = a.p, last_good_pb = b.p;
+  std::size_t completed = start_iter;
+
+  for (std::size_t iter = start_iter; iter < options.max_iterations;
+       ++iter) {
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     const auto jk_a = builder.coulomb_exchange(a.p);
@@ -121,23 +140,46 @@ UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
     };
     const Matrix ea = err_for(fa, a.p);
     const Matrix eb = err_for(fb, b.p);
-    if (options.use_diis) {
+    const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
+    const double delta_e = energy - e_prev;
+    const bool finite = std::isfinite(energy) && std::isfinite(diis_err);
+
+    ladder.observe(iter, energy, delta_e, diis_err);
+    if (ladder.consume_diis_reset()) {
+      diis_a.reset();
+      diis_b.reset();
+    }
+    if (options.use_diis && finite) {
       fa = diis_a.extrapolate(fa, ea);
       fb = diis_b.extrapolate(fb, eb);
     }
 
-    const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
-
     ScfIterationLog log_entry;
     log_entry.energy = energy;
-    log_entry.delta_e = energy - e_prev;
+    log_entry.delta_e = delta_e;
     log_entry.diis_error = diis_err;
     log_entry.quartets_computed = jk_a.stats.screening.quartets_computed +
                                   jk_b.stats.screening.quartets_computed;
     log_entry.jk_seconds =
         jk_a.stats.wall_seconds + jk_b.stats.wall_seconds;
     log_entry.seconds = iter_watch.seconds();
+    log_entry.recovery_stage = static_cast<std::uint32_t>(ladder.stage());
     result.log.push_back(log_entry);
+    completed = iter + 1;
+
+    if (!finite) {
+      result.diagnostics.finite = false;
+      if (ladder.exhausted()) {
+        result.diagnostics.failure_reason =
+            "non-finite energy with recovery ladder exhausted";
+        break;
+      }
+      a.p = last_good_pa;
+      b.p = last_good_pb;
+      continue;
+    }
+    last_good_pa = a.p;
+    last_good_pb = b.p;
 
     const bool e_ok =
         iter > 0 && std::abs(energy - e_prev) < options.energy_tolerance;
@@ -155,32 +197,65 @@ UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
       result.orbital_energies_alpha = a.eps;
       result.orbital_energies_beta = b.eps;
       result.s_squared = s_squared_expectation(a.c, b.c, s, na, nb);
+      result.diagnostics.final_stage = ladder.stage();
+      result.diagnostics.recovery_events = ladder.events();
       return result;
     }
 
-    if (options.level_shift > 0.0) {
+    // The recovery ladder composes with the user-configured mitigations:
+    // whichever is stronger wins.
+    const double shift = std::max(options.level_shift, ladder.level_shift());
+    if (shift > 0.0) {
       const Matrix spa = linalg::matmul(linalg::matmul(s, a.p), s);
       const Matrix spb = linalg::matmul(linalg::matmul(s, b.p), s);
-      fa += options.level_shift * (s - spa);
-      fb += options.level_shift * (s - spb);
+      fa += shift * (s - spa);
+      fb += shift * (s - spb);
     }
     const Matrix pa_old = a.p;
     const Matrix pb_old = b.p;
     a = solve_spin(fa, x, na);
     b = solve_spin(fb, x, nb);
-    if (options.density_damping > 0.0 && diis_err > options.damping_until) {
-      const double d = options.density_damping;
+    const double configured_damping =
+        options.density_damping > 0.0 && diis_err > options.damping_until
+            ? options.density_damping
+            : 0.0;
+    const double d = std::max(configured_damping, ladder.damping());
+    if (d > 0.0) {
       a.p = (1.0 - d) * a.p + d * pa_old;
       b.p = (1.0 - d) * b.p + d * pb_old;
+    }
+
+    if (options.checkpoint_sink && options.checkpoint_every > 0 &&
+        (iter + 1) % options.checkpoint_every == 0) {
+      fault::ScfCheckpoint ckpt;
+      ckpt.method = "uhf";
+      ckpt.iteration = iter + 1;
+      ckpt.energy = e_prev;
+      ckpt.density = a.p;
+      ckpt.density_beta = b.p;
+      const auto copy = [](const auto& history) {
+        return std::vector<Matrix>(history.begin(), history.end());
+      };
+      ckpt.diis_focks = copy(diis_a.fock_history());
+      ckpt.diis_errors = copy(diis_a.error_history());
+      ckpt.diis_focks_beta = copy(diis_b.fock_history());
+      ckpt.diis_errors_beta = copy(diis_b.error_history());
+      options.checkpoint_sink(ckpt);
     }
   }
 
   result.converged = false;
   result.energy = e_prev;
-  result.iterations = options.max_iterations;
+  result.iterations = completed;
   result.density_alpha = a.p;
   result.density_beta = b.p;
+  result.coefficients_alpha = a.c;
+  result.coefficients_beta = b.c;
+  result.orbital_energies_alpha = a.eps;
+  result.orbital_energies_beta = b.eps;
   result.s_squared = s_squared_expectation(a.c, b.c, s, na, nb);
+  result.diagnostics.final_stage = ladder.stage();
+  result.diagnostics.recovery_events = ladder.events();
   return result;
 }
 

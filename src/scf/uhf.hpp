@@ -26,6 +26,14 @@ struct UhfOptions {
   /// near-degenerate open shells. 0 disables.
   double level_shift = 0.0;
   hfx::HfxOptions hfx;
+  RecoveryOptions recovery;  ///< divergence detection / escalation
+
+  /// Resume from a "uhf" checkpoint (densities, energy, DIIS history;
+  /// see docs/resilience.md for what is and is not restored).
+  std::shared_ptr<const fault::ScfCheckpoint> resume;
+  /// Called with end-of-iteration state every `checkpoint_every` cycles.
+  std::function<void(const fault::ScfCheckpoint&)> checkpoint_sink;
+  std::size_t checkpoint_every = 1;
 };
 
 struct UhfResult {
@@ -44,6 +52,7 @@ struct UhfResult {
   /// Per-iteration energy/ΔE/DIIS-error/timing rows (same shape as RHF;
   /// quartets_computed sums both spin-channel builds).
   std::vector<ScfIterationLog> log;
+  ScfDiagnostics diagnostics;  ///< recovery-ladder post-mortem
 
   linalg::Matrix total_density() const {
     return density_alpha + density_beta;

@@ -78,11 +78,31 @@ UksResult uks(const chem::Molecule& mol, const chem::BasisSet& basis,
   SpinState b = solve_channel(h, x, nb);
 
   linalg::Diis diis_a, diis_b;
+  RecoveryLadder ladder(options.scf.recovery);
   UksResult result;
   result.scf.nuclear_repulsion = enuc;
   double e_prev = 0.0;
+  std::size_t start_iter = 0;
 
-  for (std::size_t iter = 0; iter < options.scf.max_iterations; ++iter) {
+  if (options.scf.resume) {
+    const fault::ScfCheckpoint& ckpt = *options.scf.resume;
+    if (ckpt.method != "uks")
+      throw std::invalid_argument("uks: checkpoint is for method '" +
+                                  ckpt.method + "'");
+    start_iter = ckpt.iteration;
+    a.p = ckpt.density;
+    b.p = ckpt.density_beta;
+    e_prev = ckpt.energy;
+    diis_a.restore_history(ckpt.diis_focks, ckpt.diis_errors);
+    diis_b.restore_history(ckpt.diis_focks_beta, ckpt.diis_errors_beta);
+  }
+
+  Matrix last_good_pa = a.p, last_good_pb = b.p;
+  double last_ek = 0.0, last_exc = 0.0, last_ndens = 0.0;
+  std::size_t completed = start_iter;
+
+  for (std::size_t iter = start_iter; iter < options.scf.max_iterations;
+       ++iter) {
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     const auto jk_a = builder.coulomb_exchange(a.p);
@@ -118,22 +138,49 @@ UksResult uks(const chem::Molecule& mol, const chem::BasisSet& basis,
     };
     const Matrix ea = err_for(fa, a.p);
     const Matrix eb = err_for(fb, b.p);
-    if (options.scf.use_diis) {
+    const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
+    const double delta_e = energy - e_prev;
+    const bool finite = std::isfinite(energy) && std::isfinite(diis_err);
+
+    ladder.observe(iter, energy, delta_e, diis_err);
+    if (ladder.consume_diis_reset()) {
+      diis_a.reset();
+      diis_b.reset();
+    }
+    if (options.scf.use_diis && finite) {
       fa = diis_a.extrapolate(fa, ea);
       fb = diis_b.extrapolate(fb, eb);
     }
-    const double diis_err = std::max(linalg::max_abs(ea), linalg::max_abs(eb));
 
     ScfIterationLog log_entry;
     log_entry.energy = energy;
-    log_entry.delta_e = energy - e_prev;
+    log_entry.delta_e = delta_e;
     log_entry.diis_error = diis_err;
     log_entry.quartets_computed = jk_a.stats.screening.quartets_computed +
                                   jk_b.stats.screening.quartets_computed;
     log_entry.jk_seconds =
         jk_a.stats.wall_seconds + jk_b.stats.wall_seconds;
     log_entry.seconds = iter_watch.seconds();
+    log_entry.recovery_stage = static_cast<std::uint32_t>(ladder.stage());
     result.scf.log.push_back(log_entry);
+    completed = iter + 1;
+
+    if (!finite) {
+      result.scf.diagnostics.finite = false;
+      if (ladder.exhausted()) {
+        result.scf.diagnostics.failure_reason =
+            "non-finite energy with recovery ladder exhausted";
+        break;
+      }
+      a.p = last_good_pa;
+      b.p = last_good_pb;
+      continue;
+    }
+    last_good_pa = a.p;
+    last_good_pb = b.p;
+    last_ek = e_k;
+    last_exc = xres.energy;
+    last_ndens = xres.integrated_density;
 
     const bool e_ok = iter > 0 && std::abs(energy - e_prev) <
                                       options.scf.energy_tolerance;
@@ -153,32 +200,67 @@ UksResult uks(const chem::Molecule& mol, const chem::BasisSet& basis,
       result.xc_energy = xres.energy;
       result.exact_exchange_energy = e_k;
       result.integrated_density = xres.integrated_density;
+      result.scf.diagnostics.final_stage = ladder.stage();
+      result.scf.diagnostics.recovery_events = ladder.events();
       return result;
     }
 
-    if (options.scf.level_shift > 0.0) {
+    const double shift =
+        std::max(options.scf.level_shift, ladder.level_shift());
+    if (shift > 0.0) {
       const Matrix spa = linalg::matmul(linalg::matmul(s, a.p), s);
       const Matrix spb = linalg::matmul(linalg::matmul(s, b.p), s);
-      fa += options.scf.level_shift * (s - spa);
-      fb += options.scf.level_shift * (s - spb);
+      fa += shift * (s - spa);
+      fb += shift * (s - spb);
     }
     const Matrix pa_old = a.p;
     const Matrix pb_old = b.p;
     a = solve_channel(fa, x, na);
     b = solve_channel(fb, x, nb);
-    if (options.scf.density_damping > 0.0 &&
-        diis_err > options.scf.damping_until) {
-      const double d = options.scf.density_damping;
+    const double configured_damping =
+        options.scf.density_damping > 0.0 &&
+                diis_err > options.scf.damping_until
+            ? options.scf.density_damping
+            : 0.0;
+    const double d = std::max(configured_damping, ladder.damping());
+    if (d > 0.0) {
       a.p = (1.0 - d) * a.p + d * pa_old;
       b.p = (1.0 - d) * b.p + d * pb_old;
+    }
+
+    if (options.scf.checkpoint_sink && options.scf.checkpoint_every > 0 &&
+        (iter + 1) % options.scf.checkpoint_every == 0) {
+      fault::ScfCheckpoint ckpt;
+      ckpt.method = "uks";
+      ckpt.iteration = iter + 1;
+      ckpt.energy = e_prev;
+      ckpt.density = a.p;
+      ckpt.density_beta = b.p;
+      const auto copy = [](const auto& history) {
+        return std::vector<Matrix>(history.begin(), history.end());
+      };
+      ckpt.diis_focks = copy(diis_a.fock_history());
+      ckpt.diis_errors = copy(diis_a.error_history());
+      ckpt.diis_focks_beta = copy(diis_b.fock_history());
+      ckpt.diis_errors_beta = copy(diis_b.error_history());
+      options.scf.checkpoint_sink(ckpt);
     }
   }
 
   result.scf.converged = false;
   result.scf.energy = e_prev;
-  result.scf.iterations = options.scf.max_iterations;
+  result.scf.iterations = completed;
   result.scf.density_alpha = a.p;
   result.scf.density_beta = b.p;
+  result.scf.coefficients_alpha = a.c;
+  result.scf.coefficients_beta = b.c;
+  result.scf.orbital_energies_alpha = a.eps;
+  result.scf.orbital_energies_beta = b.eps;
+  result.xc_energy = last_exc;
+  result.exact_exchange_energy = last_ek;
+  result.integrated_density = last_ndens;
+  result.scf.diagnostics.final_stage = ladder.stage();
+  result.scf.diagnostics.recovery_events = ladder.events();
   return result;
 }
 

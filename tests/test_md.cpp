@@ -266,3 +266,7 @@ TEST(Trajectory, GeometriesEvolveAcrossFrames) {
   EXPECT_NE(xyz.substr(0, 200), xyz.substr(xyz.size() - 200));
   (void)first_end;
 }
+
+TEST(Integrator, MaxEnergyDriftOfEmptyResultIsZero) {
+  EXPECT_EQ(md::MdResult{}.max_energy_drift(), 0.0);
+}

@@ -268,3 +268,49 @@ TEST(Stopwatch, MeasuresNonNegativeAndResets) {
   w.reset();
   EXPECT_GE(w.seconds(), 0.0);
 }
+
+TEST(JsonParse, RoundTripsDumpedDocument) {
+  obs::Json j = obs::Json::object();
+  j["name"] = "scf";
+  j["iteration"] = 17;
+  j["converged"] = true;
+  j["nothing"] = obs::Json();
+  j["energy"] = -76.02676218742871;
+  j["tiny"] = 4.9406564584124654e-324;  // denormal min
+  j["big"] = 1.7976931348623157e308;
+  obs::Json arr = obs::Json::array();
+  arr.push_back(1);
+  arr.push_back(0.1);
+  arr.push_back("x\n\"y\"\t\\z");
+  j["list"] = arr;
+
+  const obs::Json back = obs::Json::parse(j.dump());
+  EXPECT_EQ(back.find("name")->as_string(), "scf");
+  EXPECT_EQ(back.find("iteration")->as_int(), 17);
+  EXPECT_EQ(back.find("iteration")->kind(), obs::Json::Kind::kInt);
+  EXPECT_TRUE(back.find("converged")->as_bool());
+  EXPECT_TRUE(back.find("nothing")->is_null());
+  // Bit-exact double round-trip (the checkpoint/restart contract).
+  EXPECT_EQ(back.find("energy")->as_double(), -76.02676218742871);
+  EXPECT_EQ(back.find("tiny")->as_double(), 4.9406564584124654e-324);
+  EXPECT_EQ(back.find("big")->as_double(), 1.7976931348623157e308);
+  EXPECT_EQ(back.find("energy")->kind(), obs::Json::Kind::kDouble);
+  const auto& list = back.find("list")->items();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].as_int(), 1);
+  EXPECT_EQ(list[1].as_double(), 0.1);
+  EXPECT_EQ(list[2].as_string(), "x\n\"y\"\t\\z");
+
+  // The indented form parses to the same document too.
+  EXPECT_EQ(obs::Json::parse(j.dump(2)).dump(), j.dump());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(obs::Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(obs::Json::parse("{\"a\":}"), std::invalid_argument);
+  EXPECT_THROW(obs::Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(obs::Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(obs::Json::parse("{} trailing"), std::invalid_argument);
+}

@@ -110,6 +110,21 @@ TEST(Rhf, EnergyComponentsAreConsistent) {
   EXPECT_LT(r.exchange_energy, 0.0);
 }
 
+TEST(Rhf, NonConvergedResultStillPopulatesEnergyComponents) {
+  const auto m = water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  scf::ScfOptions opts;
+  opts.max_iterations = 1;  // force converged=false
+  const auto r = scf::rhf(m, basis, opts);
+  ASSERT_FALSE(r.converged);
+  EXPECT_NEAR(r.energy,
+              r.one_electron_energy + r.coulomb_energy + r.exchange_energy +
+                  r.nuclear_repulsion,
+              1e-10);
+  EXPECT_LT(r.one_electron_energy, 0.0);
+  EXPECT_GT(r.coulomb_energy, 0.0);
+}
+
 TEST(Rhf, SplitValenceLowersEnergyVariationally) {
   const auto m = water();
   const auto e_min = scf::rhf(m, chem::BasisSet::build(m, "sto-3g"));
