@@ -15,7 +15,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=address
-cmake --build "$BUILD_DIR" -j --target test_fault test_parallel test_obs test_hfx
+cmake --build "$BUILD_DIR" -j --target test_fault test_parallel test_obs \
+  test_hfx test_property_hfx
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 
@@ -25,5 +26,10 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 # Scheduler-facing subset of test_hfx (the integral-heavy numerics are
 # slow under ASan and exercised by the plain build anyway).
 "$BUILD_DIR"/tests/test_hfx --gtest_filter='SchedulerExactness*:Schedulers.*:AllSchedules/*'
+# Small-iteration property subset: random shapes drive allocation-heavy
+# paths (tensor buffers, shrinker copies) through ASan without the full
+# 50-case budget.
+MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_property_hfx \
+  --gtest_filter='PropertyHarness.*:PropertyHfx.JkHermitianAndTraceIdentities:PropertyHfx.SerialReduceMatchesDirectSum'
 
 echo "ASan pass clean."

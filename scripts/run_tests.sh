@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tiered test runner — one entry point for every ctest label.
+#
+#   scripts/run_tests.sh [tier]  [build-dir]
+#
+# Tiers:
+#   tier1    (default) fast example-based suites — the PR gate
+#   fault    fault-injection / recovery / checkpoint suite
+#   property seeded property/differential suites at MTHFX_PROPERTY_ITERS
+#            (default 50) iterations
+#   nightly  the property executables at high iteration count
+#            (MTHFX_PROPERTY_NIGHTLY_ITERS, default 400)
+#   all      everything except nightly (what a bare `ctest` runs)
+#
+# Reproducing a property failure: the failing test prints a line like
+#   MTHFX_PROPERTY_SEED=<seed> ctest --test-dir build -R '<name>' ...
+# which replays exactly that generated case (see docs/validation.md).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIER="${1:-tier1}"
+BUILD_DIR="${2:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+case "$TIER" in
+  tier1|fault|property)
+    ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
+    ;;
+  nightly)
+    # Nightly tests are registered under the "nightly" ctest
+    # configuration so they never run by accident.
+    ctest --test-dir "$BUILD_DIR" -C nightly -L nightly --output-on-failure
+    ;;
+  all)
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+    ;;
+  *)
+    echo "unknown tier: $TIER (want tier1|fault|property|nightly|all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "run_tests.sh: tier '$TIER' clean."

@@ -14,7 +14,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx test_fault
+cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx \
+  test_fault test_differential
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -27,5 +28,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # Retry/exactly-once-commit paths of the fault suite: concurrent task
 # failure, requeue, and attempt accounting across every schedule.
 "$BUILD_DIR"/tests/test_fault --gtest_filter='AllSchedules/*:Schedulers.*'
+# Small-iteration differential subset: randomized schedule x thread-count
+# builds race the bag/steal protocols on fresh task shapes each case.
+MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_differential \
+  --gtest_filter='Differential.ThreadCountIsInvisibleAcrossSchedules:Differential.ScreenedBuildMatchesBruteForceAcrossSchedules'
 
 echo "TSan pass clean."

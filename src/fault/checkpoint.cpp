@@ -108,6 +108,7 @@ obs::Json to_json(const ScfCheckpoint& ckpt) {
   j["density_prev"] = matrix_to_json(ckpt.density_prev);
   j["j"] = matrix_to_json(ckpt.j);
   j["k"] = matrix_to_json(ckpt.k);
+  j["force_full_builds"] = ckpt.force_full_builds;
   j["diis_focks"] = matrices_to_json(ckpt.diis_focks);
   j["diis_errors"] = matrices_to_json(ckpt.diis_errors);
   j["diis_focks_beta"] = matrices_to_json(ckpt.diis_focks_beta);
@@ -146,6 +147,10 @@ ScfCheckpoint scf_checkpoint_from_json(const obs::Json& j) {
   ckpt.density_prev = matrix_from_json(require(j, "density_prev"));
   ckpt.j = matrix_from_json(require(j, "j"));
   ckpt.k = matrix_from_json(require(j, "k"));
+  // Optional for compatibility with checkpoints written before the
+  // near-convergence full-build switch existed.
+  if (const obs::Json* ff = j.find("force_full_builds"))
+    ckpt.force_full_builds = ff->as_bool();
   ckpt.diis_focks = matrices_from_json(require(j, "diis_focks"));
   ckpt.diis_errors = matrices_from_json(require(j, "diis_errors"));
   ckpt.diis_focks_beta = matrices_from_json(require(j, "diis_focks_beta"));

@@ -29,6 +29,10 @@ struct ScfCheckpoint {
   linalg::Matrix density_prev;
   linalg::Matrix j;
   linalg::Matrix k;
+  /// RHF's near-convergence switch to full builds (see rhf.cpp); must
+  /// survive a restart or the resumed run re-enters incremental mode and
+  /// diverges bit-wise from the uninterrupted one.
+  bool force_full_builds = false;
   // DIIS history (parallel vectors of Fock and error matrices); the
   // *_beta lists carry the second spin channel for uhf/uks.
   std::vector<linalg::Matrix> diis_focks;

@@ -188,7 +188,7 @@ void eri_shell_quartet(const ShellPairHermite& bra,
       // Primitive-combination cutoff: the Hermite expansions carry the
       // exp(-mu R^2) pair factors, so this bound removes combinations of
       // tight/distant primitives that cannot reach double precision.
-      if (pref * bp.max_abs_e * kp.max_abs_e < 1e-18) continue;
+      if (pref * bp.max_abs_e * kp.max_abs_e < kEriPrimitiveCutoff) continue;
       const double alpha = p * q / (p + q);
       const Vec3 pq = bp.center - kp.center;
       const double* r = tls_r.build(lab + lcd, alpha, pq.x, pq.y, pq.z);

@@ -16,6 +16,14 @@
 
 namespace mthfx::ints {
 
+/// Primitive-combination truncation threshold of the ERI kernel: a
+/// primitive quartet whose prefactor-weighted Hermite bound falls below
+/// this is skipped. Anything the kernel reports is therefore only
+/// accurate to ~(number of primitive combinations) x this value, and
+/// consumers that build *bounds* from computed integrals (Schwarz) must
+/// allow for that noise floor or they will under-bound.
+inline constexpr double kEriPrimitiveCutoff = 1e-18;
+
 /// Flattened (na x nb x nc x nd) block of (ab|cd) integrals in chemists'
 /// notation, index ((i*nb + j)*nc + k)*nd + l.
 struct EriBlock {

@@ -18,7 +18,20 @@ linalg::Matrix schwarz_bounds(const chem::BasisSet& basis) {
       for (std::size_t i = 0; i < block.na; ++i)
         for (std::size_t j = 0; j < block.nb; ++j)
           mx = std::max(mx, std::abs(block(i, j, i, j)));
-      const double bound = std::sqrt(mx);
+      // Floor sub-noise diagonals at the kernel's truncation scale: for a
+      // distant pair the computed (ab|ab) underflows to exactly 0 through
+      // the primitive cutoff while cross integrals against the pair still
+      // compute at ~1e-16, so a bare sqrt would (a) violate the Schwarz
+      // inequality for computed integrals and (b) drop the pair at *any*
+      // eps — eps -> 0 would never recover the unscreened result. Each of
+      // the (nprim_a*nprim_b)^2 primitive combinations of (ab|ab) may
+      // have been truncated by up to the cutoff; only diagonals below
+      // that noise scale are floored, so healthy pairs keep the exact
+      // sqrt(max (ab|ab)) bound.
+      const double npp = static_cast<double>(
+          basis.shell(sa).num_primitives() * basis.shell(sb).num_primitives());
+      const double noise = npp * npp * kEriPrimitiveCutoff;
+      const double bound = mx < noise ? std::sqrt(mx + noise) : std::sqrt(mx);
       q(sa, sb) = bound;
       q(sb, sa) = bound;
     }

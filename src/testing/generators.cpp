@@ -1,0 +1,162 @@
+#include "testing/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mthfx::testing {
+
+using chem::Molecule;
+using chem::Vec3;
+using linalg::Matrix;
+
+Molecule random_molecule(Rng& rng, const MoleculeSpec& spec) {
+  if (spec.elements.empty() || spec.min_atoms == 0 ||
+      spec.max_atoms < spec.min_atoms)
+    throw std::invalid_argument("random_molecule: bad MoleculeSpec");
+  const std::size_t natoms =
+      spec.min_atoms + rng.index(spec.max_atoms - spec.min_atoms + 1);
+  Molecule mol;
+  for (std::size_t i = 0; i < natoms; ++i) {
+    const int z = spec.elements[rng.index(spec.elements.size())];
+    // Rejection-sample a position far enough from every placed atom. The
+    // attempt cap keeps generation total even for absurd specs; on
+    // exhaustion the last candidate is accepted (still a valid molecule,
+    // just a close contact).
+    Vec3 pos{};
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      pos = {rng.uniform(0.0, spec.box), rng.uniform(0.0, spec.box),
+             rng.uniform(0.0, spec.box)};
+      bool ok = true;
+      for (const auto& a : mol.atoms())
+        if (distance(a.pos, pos) < spec.min_separation) {
+          ok = false;
+          break;
+        }
+      if (ok) break;
+    }
+    mol.add_atom(z, pos);
+  }
+  if (spec.even_electrons && mol.num_electrons() % 2 != 0)
+    mol.set_charge(mol.charge() + (rng.bernoulli(0.5) ? 1 : -1));
+  return mol;
+}
+
+Molecule jittered(Rng& rng, const Molecule& mol, double max_jitter) {
+  Molecule out = mol;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Vec3& p = out.atom(i).pos;
+    out.set_position(i, {p.x + rng.uniform(-max_jitter, max_jitter),
+                         p.y + rng.uniform(-max_jitter, max_jitter),
+                         p.z + rng.uniform(-max_jitter, max_jitter)});
+  }
+  return out;
+}
+
+Matrix random_rotation(Rng& rng) {
+  // Uniform unit quaternion (Marsaglia) -> rotation matrix.
+  double q0, q1, q2, q3;
+  for (;;) {
+    const double x1 = rng.uniform(-1.0, 1.0), y1 = rng.uniform(-1.0, 1.0);
+    const double s1 = x1 * x1 + y1 * y1;
+    if (s1 >= 1.0) continue;
+    const double x2 = rng.uniform(-1.0, 1.0), y2 = rng.uniform(-1.0, 1.0);
+    const double s2 = x2 * x2 + y2 * y2;
+    if (s2 >= 1.0) continue;
+    const double scale = std::sqrt((1.0 - s1) / s2);
+    q0 = x1;
+    q1 = y1;
+    q2 = x2 * scale;
+    q3 = y2 * scale;
+    break;
+  }
+  Matrix r(3, 3);
+  r(0, 0) = 1 - 2 * (q2 * q2 + q3 * q3);
+  r(0, 1) = 2 * (q1 * q2 - q0 * q3);
+  r(0, 2) = 2 * (q1 * q3 + q0 * q2);
+  r(1, 0) = 2 * (q1 * q2 + q0 * q3);
+  r(1, 1) = 1 - 2 * (q1 * q1 + q3 * q3);
+  r(1, 2) = 2 * (q2 * q3 - q0 * q1);
+  r(2, 0) = 2 * (q1 * q3 - q0 * q2);
+  r(2, 1) = 2 * (q2 * q3 + q0 * q1);
+  r(2, 2) = 1 - 2 * (q1 * q1 + q2 * q2);
+  return r;
+}
+
+Molecule rotated(const Molecule& mol, const Matrix& rot) {
+  Molecule out = mol;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Vec3& p = out.atom(i).pos;
+    out.set_position(i, {rot(0, 0) * p.x + rot(0, 1) * p.y + rot(0, 2) * p.z,
+                         rot(1, 0) * p.x + rot(1, 1) * p.y + rot(1, 2) * p.z,
+                         rot(2, 0) * p.x + rot(2, 1) * p.y + rot(2, 2) * p.z});
+  }
+  return out;
+}
+
+Molecule randomly_translated(Rng& rng, const Molecule& mol, double max_shift) {
+  Molecule out = mol;
+  out.translate({rng.uniform(-max_shift, max_shift),
+                 rng.uniform(-max_shift, max_shift),
+                 rng.uniform(-max_shift, max_shift)});
+  return out;
+}
+
+std::string random_basis_name(Rng& rng, const Molecule& mol) {
+  // 6-31g here covers H, Li, C, N, O; everything tabulated has sto-3g.
+  bool split_valence_ok = true;
+  for (const auto& a : mol.atoms())
+    if (a.z != 1 && a.z != 3 && (a.z < 6 || a.z > 8)) {
+      split_valence_ok = false;
+      break;
+    }
+  if (split_valence_ok && rng.bernoulli(0.25)) return "6-31g";
+  return "sto-3g";
+}
+
+Matrix random_symmetric_density(Rng& rng, std::size_t n, double scale) {
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-scale, scale);
+      p(i, j) = v;
+      p(j, i) = v;
+    }
+  for (std::size_t i = 0; i < n; ++i) p(i, i) += 1.0;
+  return p;
+}
+
+const std::vector<hfx::HfxSchedule>& all_schedules() {
+  static const std::vector<hfx::HfxSchedule> schedules = {
+      hfx::HfxSchedule::kDynamicBag, hfx::HfxSchedule::kStaticBlock,
+      hfx::HfxSchedule::kStaticCyclic, hfx::HfxSchedule::kWorkStealing};
+  return schedules;
+}
+
+hfx::HfxOptions random_hfx_options(Rng& rng) {
+  hfx::HfxOptions opts;
+  opts.eps_schwarz = std::pow(10.0, rng.uniform(-12.0, -6.0));
+  opts.density_screening = rng.bernoulli(0.5);
+  opts.schedule = all_schedules()[rng.index(all_schedules().size())];
+  opts.num_threads = static_cast<std::size_t>(1) << rng.index(4);  // 1,2,4,8
+  if (rng.bernoulli(0.3)) opts.target_task_cost = rng.uniform(1.0, 1e4);
+  return opts;
+}
+
+scf::ScfOptions random_scf_options(Rng& rng) {
+  scf::ScfOptions opts;
+  opts.energy_tolerance = 1e-10;
+  opts.diis_tolerance = 1e-8;
+  opts.max_iterations = 200;
+  opts.incremental_fock = rng.bernoulli(0.5);
+  opts.full_rebuild_every = static_cast<std::size_t>(rng.uniform_int(3, 30));
+  opts.hfx.eps_schwarz = 1e-12;
+  // Single-threaded static execution keeps the floating-point reduction
+  // order fixed, so equivalent configs must agree to tight tolerances.
+  opts.hfx.num_threads = 1;
+  opts.hfx.schedule = rng.bernoulli(0.5) ? hfx::HfxSchedule::kStaticBlock
+                                         : hfx::HfxSchedule::kDynamicBag;
+  opts.hfx.density_screening = rng.bernoulli(0.5);
+  return opts;
+}
+
+}  // namespace mthfx::testing

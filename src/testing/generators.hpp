@@ -1,0 +1,79 @@
+#pragma once
+
+// Seeded generators for random test inputs: molecules, geometric
+// transforms, basis assignments, density matrices and HFX/SCF
+// configurations. Everything is driven by testing::Rng only, so a case
+// is fully reproducible from its 64-bit seed.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "hfx/fock_builder.hpp"
+#include "linalg/matrix.hpp"
+#include "scf/rhf.hpp"
+#include "testing/rng.hpp"
+
+namespace mthfx::testing {
+
+/// Knobs for random_molecule. Defaults give small Li/air-flavored
+/// clusters (H/Li/O, H-weighted) that every shipped basis covers and the
+/// dense O(N^4) oracles can afford.
+struct MoleculeSpec {
+  std::size_t min_atoms = 2;
+  std::size_t max_atoms = 4;
+  /// Element pool, sampled uniformly (repeat an entry to weight it).
+  std::vector<int> elements = {1, 1, 1, 3, 8};
+  double min_separation = 1.8;  ///< Bohr, keeps integrals well-conditioned
+  double box = 7.0;             ///< Bohr edge of the placement cube
+  bool even_electrons = false;  ///< adjust charge so RHF applies
+};
+
+/// Random geometry drawn from `spec`: atoms placed uniformly in a cube,
+/// rejection-sampled to respect min_separation.
+chem::Molecule random_molecule(Rng& rng, const MoleculeSpec& spec = {});
+
+/// A jittered copy of a known-good geometry (every coordinate perturbed
+/// by up to +-max_jitter Bohr) — random enough to explore, tame enough
+/// that SCF still converges.
+chem::Molecule jittered(Rng& rng, const chem::Molecule& mol,
+                        double max_jitter = 0.08);
+
+/// Random proper rotation matrix (3x3, det +1), uniform over SO(3).
+linalg::Matrix random_rotation(Rng& rng);
+
+/// Copy of `mol` with every position mapped through the 3x3 matrix `rot`.
+chem::Molecule rotated(const chem::Molecule& mol, const linalg::Matrix& rot);
+
+/// Copy of `mol` translated by a random shift of magnitude up to
+/// `max_shift` Bohr per axis.
+chem::Molecule randomly_translated(Rng& rng, const chem::Molecule& mol,
+                                   double max_shift = 5.0);
+
+/// Basis name the molecule's elements are all covered by. Prefers the
+/// smaller sto-3g (cheap oracles) but mixes in 6-31g when every element
+/// supports it.
+std::string random_basis_name(Rng& rng, const chem::Molecule& mol);
+
+/// Random symmetric "density-like" matrix: uniform entries in
+/// [-scale, scale], symmetrized, plus a unit diagonal shift.
+linalg::Matrix random_symmetric_density(Rng& rng, std::size_t n,
+                                        double scale = 0.5);
+
+/// Random HfxOptions: eps_schwarz log-uniform in [1e-12, 1e-6], any
+/// schedule, 1-8 threads, density screening on/off, occasionally an
+/// explicit target_task_cost.
+hfx::HfxOptions random_hfx_options(Rng& rng);
+
+/// Random ScfOptions varying the redundant degrees of freedom
+/// (incremental vs full Fock builds, rebuild period, DIIS history use,
+/// schedule) while holding convergence thresholds tight, so any two
+/// draws must agree on the converged energy.
+scf::ScfOptions random_scf_options(Rng& rng);
+
+/// All four schedules, for exhaustive sweeps.
+const std::vector<hfx::HfxSchedule>& all_schedules();
+
+}  // namespace mthfx::testing

@@ -1,0 +1,133 @@
+#include "testing/oracles.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "ints/eri.hpp"
+
+namespace mthfx::testing {
+
+using chem::BasisSet;
+using linalg::Matrix;
+
+std::vector<double> naive_eri_tensor(const BasisSet& basis) {
+  const std::size_t n = basis.num_functions();
+  const std::size_t ns = basis.num_shells();
+  std::vector<double> tensor(n * n * n * n, 0.0);
+  for (std::size_t sa = 0; sa < ns; ++sa)
+    for (std::size_t sb = 0; sb < ns; ++sb)
+      for (std::size_t sc = 0; sc < ns; ++sc)
+        for (std::size_t sd = 0; sd < ns; ++sd) {
+          const ints::EriBlock block = ints::eri_shell_quartet(
+              basis.shell(sa), basis.shell(sb), basis.shell(sc),
+              basis.shell(sd));
+          const std::size_t oa = basis.first_function(sa);
+          const std::size_t ob = basis.first_function(sb);
+          const std::size_t oc = basis.first_function(sc);
+          const std::size_t od = basis.first_function(sd);
+          for (std::size_t i = 0; i < block.na; ++i)
+            for (std::size_t j = 0; j < block.nb; ++j)
+              for (std::size_t k = 0; k < block.nc; ++k)
+                for (std::size_t l = 0; l < block.nd; ++l)
+                  tensor[(((oa + i) * n + (ob + j)) * n + (oc + k)) * n +
+                         (od + l)] = block(i, j, k, l);
+        }
+  return tensor;
+}
+
+DenseJk contract_jk(const BasisSet& basis, const std::vector<double>& tensor,
+                    const Matrix& density) {
+  const std::size_t n = basis.num_functions();
+  if (tensor.size() != n * n * n * n)
+    throw std::invalid_argument("contract_jk: tensor/basis size mismatch");
+  DenseJk out{Matrix(n, n), Matrix(n, n)};
+  for (std::size_t mu = 0; mu < n; ++mu)
+    for (std::size_t nu = 0; nu < n; ++nu)
+      for (std::size_t lam = 0; lam < n; ++lam)
+        for (std::size_t sig = 0; sig < n; ++sig) {
+          const double p = density(lam, sig);
+          out.j(mu, nu) += p * tensor[((mu * n + nu) * n + lam) * n + sig];
+          out.k(mu, nu) += p * tensor[((mu * n + lam) * n + nu) * n + sig];
+        }
+  return out;
+}
+
+DenseJk dense_jk_reference(const BasisSet& basis, const Matrix& density) {
+  return contract_jk(basis, naive_eri_tensor(basis), density);
+}
+
+DenseJk orbit_jk_reference(const BasisSet& basis,
+                           const std::vector<double>& tensor,
+                           const Matrix& density) {
+  const std::size_t n = basis.num_functions();
+  if (tensor.size() != n * n * n * n)
+    throw std::invalid_argument("orbit_jk_reference: size mismatch");
+  DenseJk out{Matrix(n, n), Matrix(n, n)};
+  using Quad = std::array<std::size_t, 4>;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j)
+      for (std::size_t k = 0; k <= i; ++k)
+        for (std::size_t l = 0; l <= k; ++l) {
+          // Canonical quartet: i >= j, k >= l, pair(ij) >= pair(kl).
+          if (i * (i + 1) / 2 + j < k * (k + 1) / 2 + l) continue;
+          const double v = tensor[((i * n + j) * n + k) * n + l];
+          // Enumerate the full 8-member permutational orbit and apply
+          // the plain update once per *distinct* member.
+          const Quad orbit[8] = {{i, j, k, l}, {j, i, k, l}, {i, j, l, k},
+                                 {j, i, l, k}, {k, l, i, j}, {l, k, i, j},
+                                 {k, l, j, i}, {l, k, j, i}};
+          Quad seen[8];
+          std::size_t nseen = 0;
+          for (const Quad& q : orbit) {
+            bool dup = false;
+            for (std::size_t s = 0; s < nseen; ++s)
+              if (seen[s] == q) {
+                dup = true;
+                break;
+              }
+            if (dup) continue;
+            seen[nseen++] = q;
+            const auto [a, b, c, d] = q;
+            out.j(a, b) += density(c, d) * v;
+            out.k(a, c) += density(b, d) * v;
+          }
+        }
+  return out;
+}
+
+Matrix serial_reduce(const std::vector<Matrix>& parts) {
+  if (parts.empty()) return Matrix();
+  Matrix sum(parts.front().rows(), parts.front().cols());
+  for (const Matrix& p : parts) sum += p;
+  return sum;
+}
+
+double coulomb_energy_from_tensor(const BasisSet& basis,
+                                  const std::vector<double>& tensor,
+                                  const Matrix& density) {
+  const std::size_t n = basis.num_functions();
+  double e = 0.0;
+  for (std::size_t mu = 0; mu < n; ++mu)
+    for (std::size_t nu = 0; nu < n; ++nu)
+      for (std::size_t lam = 0; lam < n; ++lam)
+        for (std::size_t sig = 0; sig < n; ++sig)
+          e += density(mu, nu) * density(lam, sig) *
+               tensor[((mu * n + nu) * n + lam) * n + sig];
+  return 0.5 * e;
+}
+
+double exchange_energy_from_tensor(const BasisSet& basis,
+                                   const std::vector<double>& tensor,
+                                   const Matrix& density) {
+  const std::size_t n = basis.num_functions();
+  double e = 0.0;
+  for (std::size_t mu = 0; mu < n; ++mu)
+    for (std::size_t nu = 0; nu < n; ++nu)
+      for (std::size_t lam = 0; lam < n; ++lam)
+        for (std::size_t sig = 0; sig < n; ++sig)
+          e += density(mu, nu) * density(lam, sig) *
+               tensor[((mu * n + lam) * n + nu) * n + sig];
+  return 0.5 * e;
+}
+
+}  // namespace mthfx::testing

@@ -1,0 +1,79 @@
+#include "testing/property.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+#include <string>
+
+namespace mthfx::testing {
+
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 0);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::size_t property_iterations(std::size_t fallback) {
+  if (const auto v = env_u64("MTHFX_PROPERTY_ITERS"))
+    return static_cast<std::size_t>(*v);
+  return fallback;
+}
+
+std::uint64_t iteration_seed(std::uint64_t base_seed, std::size_t iteration) {
+  // SplitMix64 finalizer over base+iteration: well-spread, stateless.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL *
+                                    (static_cast<std::uint64_t>(iteration) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string repro_command(const std::string& name, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "MTHFX_PROPERTY_SEED=" << seed
+     << " ctest --test-dir build -R '" << name << "' --output-on-failure";
+  return os.str();
+}
+
+std::optional<PropertyFailure> run_property(const std::string& name,
+                                            std::size_t iterations,
+                                            const Property& property) {
+  const auto replay_seed = env_u64("MTHFX_PROPERTY_SEED");
+
+  auto run_case = [&](std::uint64_t seed,
+                      std::size_t index) -> std::optional<PropertyFailure> {
+    Rng rng(seed);
+    std::string message;
+    try {
+      message = property(rng, index);
+    } catch (const std::exception& e) {
+      message = std::string("exception: ") + e.what();
+    } catch (...) {
+      message = "unknown exception";
+    }
+    if (message.empty()) return std::nullopt;
+    PropertyFailure failure;
+    failure.property = name;
+    failure.seed = seed;
+    failure.iteration = index;
+    failure.message = std::move(message);
+    failure.repro = repro_command(name, seed);
+    return failure;
+  };
+
+  if (replay_seed) return run_case(*replay_seed, 0);
+
+  for (std::size_t i = 0; i < iterations; ++i)
+    if (auto failure = run_case(iteration_seed(kDefaultBaseSeed, i), i))
+      return failure;
+  return std::nullopt;
+}
+
+}  // namespace mthfx::testing

@@ -1,0 +1,65 @@
+#pragma once
+
+// Seeded property-test runner. Each property runs `iterations` cases;
+// case i gets an Rng forked deterministically from the base seed, so the
+// whole suite's verdict is a pure function of (code, seed, iterations).
+//
+// Environment knobs (read once per call, no global state):
+//   MTHFX_PROPERTY_ITERS — iteration count override (tiers: quick CI
+//     runs set it low, nightly sets it high; default 50).
+//   MTHFX_PROPERTY_SEED  — replay exactly one case: the runner executes
+//     only the iteration whose derived seed matches, which is what the
+//     printed repro line sets.
+//
+// The runner is gtest-agnostic (this is src/, not tests/); the gtest
+// glue macro lives in tests/support/property_gtest.hpp.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "testing/rng.hpp"
+
+namespace mthfx::testing {
+
+/// Default iteration count when MTHFX_PROPERTY_ITERS is unset.
+inline constexpr std::size_t kDefaultPropertyIters = 50;
+
+/// Base seed when MTHFX_PROPERTY_SEED is unset. Arbitrary but fixed:
+/// CI verdicts must be reproducible, not freshly random.
+inline constexpr std::uint64_t kDefaultBaseSeed = 0x6d746866782d7062ULL;
+
+/// Iteration count from MTHFX_PROPERTY_ITERS, else `fallback`.
+std::size_t property_iterations(std::size_t fallback = kDefaultPropertyIters);
+
+/// One failing case, with everything needed to replay it.
+struct PropertyFailure {
+  std::string property;     ///< the name passed to run_property
+  std::uint64_t seed = 0;   ///< derived seed of the failing iteration
+  std::size_t iteration = 0;
+  std::string message;      ///< property's own description of the failure
+  std::string repro;        ///< one-line shell command replaying this case
+};
+
+/// A property receives the iteration's Rng and its index, and returns an
+/// empty string on success or a failure description. Throwing counts as
+/// a failure with the exception text as the message.
+using Property = std::function<std::string(Rng& rng, std::size_t iteration)>;
+
+/// Run `property` for `iterations` seeded cases (first failure stops the
+/// run). `name` should match the gtest filter for the calling test so
+/// the repro line re-runs the right thing. Honors MTHFX_PROPERTY_SEED by
+/// running only the matching case.
+std::optional<PropertyFailure> run_property(const std::string& name,
+                                            std::size_t iterations,
+                                            const Property& property);
+
+/// The derived per-iteration seed (exposed so tests can assert
+/// determinism and tools can precompute replay commands).
+std::uint64_t iteration_seed(std::uint64_t base_seed, std::size_t iteration);
+
+/// "MTHFX_PROPERTY_SEED=<seed> ctest -R <name> ..." one-liner.
+std::string repro_command(const std::string& name, std::uint64_t seed);
+
+}  // namespace mthfx::testing

@@ -1,0 +1,94 @@
+#include "testing/shrink.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "chem/elements.hpp"
+
+namespace mthfx::testing {
+
+using chem::Molecule;
+
+namespace {
+
+bool fails_safely(const FailingPredicate& fails, const Molecule& mol,
+                  const std::string& basis, std::size_t& evaluations) {
+  ++evaluations;
+  try {
+    return fails(mol, basis);
+  } catch (...) {
+    return false;  // invalid shrunk case: not a failure witness
+  }
+}
+
+Molecule without_atom(const Molecule& mol, std::size_t drop) {
+  Molecule out;
+  out.set_charge(mol.charge());
+  for (std::size_t i = 0; i < mol.size(); ++i)
+    if (i != drop) out.add_atom(mol.atom(i).z, mol.atom(i).pos);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_failing_case(const Molecule& molecule,
+                                 const std::string& basis,
+                                 const FailingPredicate& fails,
+                                 std::size_t max_evaluations) {
+  static const std::vector<std::string> ladder = {"6-31g*", "6-31g", "sto-3g"};
+  ShrinkResult res;
+  res.molecule = molecule;
+  res.basis = basis;
+  bool progressed = true;
+  while (progressed && res.evaluations < max_evaluations) {
+    progressed = false;
+    // Try dropping each atom (keep at least one).
+    for (std::size_t i = 0;
+         res.molecule.size() > 1 && i < res.molecule.size() &&
+         res.evaluations < max_evaluations;
+         ++i) {
+      const Molecule candidate = without_atom(res.molecule, i);
+      if (fails_safely(fails, candidate, res.basis, res.evaluations)) {
+        res.molecule = candidate;
+        ++res.steps;
+        progressed = true;
+        i = static_cast<std::size_t>(-1);  // restart over the smaller molecule
+      }
+    }
+    // Try each strictly smaller basis on the ladder.
+    for (std::size_t b = 0; b < ladder.size(); ++b) {
+      if (ladder[b] == res.basis) {
+        for (std::size_t smaller = b + 1;
+             smaller < ladder.size() && res.evaluations < max_evaluations;
+             ++smaller)
+          if (fails_safely(fails, res.molecule, ladder[smaller],
+                           res.evaluations)) {
+            res.basis = ladder[smaller];
+            res.steps += 1;
+            progressed = true;
+            break;
+          }
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+std::string describe_case(const Molecule& molecule, const std::string& basis) {
+  std::ostringstream os;
+  os << molecule.size() << " atoms [";
+  for (std::size_t i = 0; i < molecule.size(); ++i)
+    os << (i ? " " : "") << chem::element_symbol(molecule.atom(i).z);
+  os << "] basis " << basis << " charge " << molecule.charge() << " xyz(A):";
+  const std::string xyz = molecule.to_xyz();
+  // Inline the coordinate lines (skip the count + comment header).
+  std::istringstream lines(xyz);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line))
+    if (++lineno > 2 && !line.empty()) os << " {" << line << "}";
+  return os.str();
+}
+
+}  // namespace mthfx::testing

@@ -1,0 +1,45 @@
+#pragma once
+
+// Failing-case shrinker. Given a molecule/basis pair on which a property
+// fails, greedily minimize it: drop atoms one at a time and downgrade
+// the basis, keeping every change that still reproduces the failure.
+// The shrunk case plus the original seed is what gets printed in the
+// one-line repro, so debugging starts from the smallest witness rather
+// than the random blob the generator happened to draw.
+
+#include <functional>
+#include <string>
+
+#include "chem/molecule.hpp"
+
+namespace mthfx::testing {
+
+/// Returns true when the property FAILS on (molecule, basis). A throwing
+/// predicate is treated as "does not fail" so shrinking never escapes
+/// into invalid cases (e.g. a basis that doesn't cover an element).
+using FailingPredicate =
+    std::function<bool(const chem::Molecule&, const std::string& basis)>;
+
+struct ShrinkResult {
+  chem::Molecule molecule;  ///< smallest failing molecule found
+  std::string basis;        ///< smallest failing basis found
+  std::size_t steps = 0;    ///< accepted shrink steps
+  std::size_t evaluations = 0;  ///< predicate calls spent
+};
+
+/// Greedy fixpoint shrink: repeatedly try removing each atom and
+/// downgrading the basis (6-31g* -> 6-31g -> sto-3g); accept any change
+/// on which `fails` still returns true; stop when no single change
+/// reproduces the failure or `max_evaluations` is spent. The input case
+/// must itself be failing (it is returned unchanged otherwise).
+ShrinkResult shrink_failing_case(const chem::Molecule& molecule,
+                                 const std::string& basis,
+                                 const FailingPredicate& fails,
+                                 std::size_t max_evaluations = 200);
+
+/// One-line human-readable description of a case:
+/// "3 atoms [O H H] basis sto-3g charge 0" plus inline XYZ coordinates.
+std::string describe_case(const chem::Molecule& molecule,
+                          const std::string& basis);
+
+}  // namespace mthfx::testing

@@ -1,0 +1,53 @@
+// Regenerates tests/data/golden/*.json from the current code. Run after
+// an *intentional* physics change, eyeball the diff, and commit:
+//
+//   cmake --build build --target generate_golden
+//   ./build/tests/generate_golden tests/data/golden
+//
+// test_golden.cpp then pins every future build to these numbers.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "support/golden_cases.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: generate_golden <output-dir>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const auto& c : mthfx::golden::golden_cases()) {
+    const auto e = mthfx::golden::run_golden_case(c);
+    if (!e.converged) {
+      std::cerr << c.name << ": SCF did not converge, refusing to write\n";
+      return 1;
+    }
+    mthfx::obs::Json j = mthfx::obs::Json::object();
+    j["name"] = c.name;
+    j["molecule"] = c.molecule;
+    j["basis"] = c.basis;
+    j["method"] = c.method;
+    j["tolerance"] = c.tolerance;
+    j["energy"] = e.energy;
+    mthfx::obs::Json comp = mthfx::obs::Json::object();
+    comp["nuclear_repulsion"] = e.nuclear_repulsion;
+    comp["one_electron"] = e.one_electron;
+    comp["coulomb"] = e.coulomb;
+    comp["exchange"] = e.exchange;
+    j["components"] = std::move(comp);
+
+    const std::string path = dir + "/" + c.name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    out << j.dump(2) << "\n";
+    std::cout << c.name << ": E = " << e.energy << " -> " << path << "\n";
+  }
+  return 0;
+}

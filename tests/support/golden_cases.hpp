@@ -1,0 +1,91 @@
+#pragma once
+
+// The golden-value case list, shared between test_golden.cpp (compares
+// against committed JSON) and generate_golden.cpp (regenerates the
+// JSON). One definition means the two can never drift apart.
+//
+// Cases run single-threaded with a static reduction order and tight
+// screening, so the recorded energies are deterministic; tolerances are
+// stated per case and absorb cross-platform libm/rounding differences
+// (grid-based PBE0 gets a looser one than pure-RHF).
+
+#include <string>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "scf/rhf.hpp"
+#include "scf/rks.hpp"
+#include "workload/geometries.hpp"
+
+namespace mthfx::golden {
+
+struct GoldenCase {
+  std::string name;      ///< also the JSON file stem
+  std::string molecule;  ///< workload::by_name key
+  std::string basis;
+  std::string method;    ///< "rhf" or "pbe0"
+  double tolerance;      ///< |E - golden| allowed at ctest time
+};
+
+inline const std::vector<GoldenCase>& golden_cases() {
+  static const std::vector<GoldenCase> cases = {
+      {"h2_rhf_sto3g", "h2", "sto-3g", "rhf", 1e-8},
+      {"water_rhf_sto3g", "water", "sto-3g", "rhf", 1e-8},
+      {"water_rhf_631g", "water", "6-31g", "rhf", 1e-8},
+      {"hydroxide_rhf_sto3g", "oh-", "sto-3g", "rhf", 1e-8},
+      {"li2o2_rhf_sto3g", "li2o2", "sto-3g", "rhf", 1e-7},
+      {"water_pbe0_sto3g", "water", "sto-3g", "pbe0", 1e-6},
+  };
+  return cases;
+}
+
+struct GoldenEnergies {
+  bool converged = false;
+  double energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  double one_electron = 0.0;
+  double coulomb = 0.0;
+  double exchange = 0.0;
+};
+
+/// Run one case deterministically and return its energy breakdown.
+inline GoldenEnergies run_golden_case(const GoldenCase& c) {
+  const chem::Molecule mol = workload::by_name(c.molecule);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, c.basis);
+
+  scf::ScfOptions scf_opts;
+  scf_opts.energy_tolerance = 1e-10;
+  scf_opts.diis_tolerance = 1e-8;
+  scf_opts.max_iterations = 200;
+  scf_opts.hfx.eps_schwarz = 1e-12;
+  scf_opts.hfx.num_threads = 1;
+  scf_opts.hfx.schedule = hfx::HfxSchedule::kStaticBlock;
+
+  GoldenEnergies out;
+  if (c.method == "rhf") {
+    const scf::ScfResult r = scf::rhf(mol, basis, scf_opts);
+    out.converged = r.converged;
+    out.energy = r.energy;
+    out.nuclear_repulsion = r.nuclear_repulsion;
+    out.one_electron = r.one_electron_energy;
+    out.coulomb = r.coulomb_energy;
+    out.exchange = r.exchange_energy;
+  } else if (c.method == "pbe0") {
+    scf::KsOptions ks;
+    ks.scf = scf_opts;
+    ks.functional = "pbe0";
+    const scf::KsResult r = scf::rks(mol, basis, ks);
+    out.converged = r.scf.converged;
+    out.energy = r.scf.energy;
+    out.nuclear_repulsion = r.scf.nuclear_repulsion;
+    out.one_electron = r.scf.one_electron_energy;
+    out.coulomb = r.scf.coulomb_energy;
+    out.exchange = r.exact_exchange_energy;
+  } else {
+    throw std::runtime_error("golden: unknown method " + c.method);
+  }
+  return out;
+}
+
+}  // namespace mthfx::golden

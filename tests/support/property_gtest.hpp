@@ -1,0 +1,68 @@
+#pragma once
+
+// gtest glue for the src/testing property harness. Keeps the library
+// framework-agnostic while giving tests a one-macro entry point that
+// prints the failing case's message and its one-line repro command.
+//
+// Typical use:
+//
+//   TEST(PropertyHfx, SchwarzBoundNeverViolated) {
+//     MTHFX_PROPERTY("PropertyHfx.SchwarzBoundNeverViolated",
+//                    [](mthfx::testing::Rng& rng, std::size_t) -> std::string {
+//       ...
+//       return ok ? "" : "what broke";
+//     });
+//   }
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "testing/property.hpp"
+#include "testing/shrink.hpp"
+
+/// Run `body` (a Property callable) property_iterations() times under
+/// `name`. On failure, FAILs the gtest with message + repro line.
+#define MTHFX_PROPERTY(name, body)                                          \
+  do {                                                                      \
+    const auto mthfx_failure_ = mthfx::testing::run_property(               \
+        (name), mthfx::testing::property_iterations(), (body));             \
+    if (mthfx_failure_)                                                     \
+      FAIL() << "property failed at iteration " << mthfx_failure_->iteration \
+             << " (seed " << mthfx_failure_->seed << "):\n  "               \
+             << mthfx_failure_->message << "\nrepro: "                      \
+             << mthfx_failure_->repro;                                      \
+  } while (0)
+
+/// As MTHFX_PROPERTY with an explicit iteration count (for properties
+/// whose per-case cost warrants fewer/more runs than the suite default).
+#define MTHFX_PROPERTY_N(name, iters, body)                                 \
+  do {                                                                      \
+    const auto mthfx_failure_ = mthfx::testing::run_property(               \
+        (name), mthfx::testing::property_iterations(iters), (body));        \
+    if (mthfx_failure_)                                                     \
+      FAIL() << "property failed at iteration " << mthfx_failure_->iteration \
+             << " (seed " << mthfx_failure_->seed << "):\n  "               \
+             << mthfx_failure_->message << "\nrepro: "                      \
+             << mthfx_failure_->repro;                                      \
+  } while (0)
+
+namespace mthfx::testing {
+
+/// Shrink a failing (molecule, basis) case and append the minimized
+/// witness to `message`. Helper for properties that generate molecules:
+/// call when the check fails, return the result as the failure string.
+inline std::string with_shrunk_case(std::string message,
+                                    const chem::Molecule& molecule,
+                                    const std::string& basis,
+                                    const FailingPredicate& fails) {
+  const ShrinkResult shrunk = shrink_failing_case(molecule, basis, fails);
+  message += "\n  original: " + describe_case(molecule, basis);
+  if (shrunk.steps > 0)
+    message += "\n  shrunk (" + std::to_string(shrunk.steps) +
+               " steps): " + describe_case(shrunk.molecule, shrunk.basis);
+  return message;
+}
+
+}  // namespace mthfx::testing

@@ -1,0 +1,189 @@
+// Differential tests: the production screened/threaded HFX paths versus
+// the slow-but-obviously-correct oracles in src/testing, across every
+// schedule policy and several thread counts, on seeded generated inputs.
+// This is the layer that turns "the fast path looks right on water"
+// into "the fast path agrees with brute force on anything we can draw".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "hfx/fock_builder.hpp"
+#include "ints/eri.hpp"
+#include "linalg/matrix.hpp"
+#include "scf/rhf.hpp"
+#include "support/property_gtest.hpp"
+#include "testing/generators.hpp"
+#include "testing/invariants.hpp"
+#include "testing/oracles.hpp"
+#include "testing/property.hpp"
+#include "workload/geometries.hpp"
+
+namespace chem = mthfx::chem;
+namespace hfx = mthfx::hfx;
+namespace la = mthfx::linalg;
+namespace mt = mthfx::testing;
+namespace scf = mthfx::scf;
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+const char* schedule_name(hfx::HfxSchedule s) {
+  switch (s) {
+    case hfx::HfxSchedule::kDynamicBag: return "dynamic-bag";
+    case hfx::HfxSchedule::kStaticBlock: return "static-block";
+    case hfx::HfxSchedule::kStaticCyclic: return "static-cyclic";
+    case hfx::HfxSchedule::kWorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// The production tensor builder (pair-data reuse) against the naive
+// one-pass oracle, element by element.
+TEST(Differential, EriTensorMatchesNaiveOnePass) {
+  MTHFX_PROPERTY(
+      "Differential.EriTensorMatchesNaiveOnePass",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto fast = mthfx::ints::eri_tensor(basis);
+        const auto naive = mt::naive_eri_tensor(basis);
+        if (fast.size() != naive.size())
+          return "tensor size mismatch";
+        for (std::size_t i = 0; i < fast.size(); ++i)
+          if (std::abs(fast[i] - naive[i]) > 1e-12)
+            return "tensor element " + std::to_string(i) + " differs: " +
+                   fmt(fast[i]) + " vs naive " + fmt(naive[i]);
+        return "";
+      });
+}
+
+// The explicit-orbit-deduplication J/K against the dense contraction —
+// two independent derivations of the same matrices from one tensor.
+TEST(Differential, OrbitOracleMatchesDenseContraction) {
+  MTHFX_PROPERTY(
+      "Differential.OrbitOracleMatchesDenseContraction",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p = mt::random_symmetric_density(rng, basis.num_functions());
+        const auto tensor = mt::naive_eri_tensor(basis);
+        const auto dense = mt::contract_jk(basis, tensor, p);
+        const auto orbit = mt::orbit_jk_reference(basis, tensor, p);
+        const double jdiff = la::max_abs(dense.j - orbit.j);
+        const double kdiff = la::max_abs(dense.k - orbit.k);
+        if (jdiff > 1e-11 || kdiff > 1e-11)
+          return "orbit oracle disagrees with dense contraction: |dJ| " +
+                 fmt(jdiff) + " |dK| " + fmt(kdiff);
+        return "";
+      });
+}
+
+// The paper's central claim, as a property: the screened, threaded,
+// task-parallel build agrees with unscreened brute force within the
+// eps_schwarz-derived bound — for every schedule policy.
+TEST(Differential, ScreenedBuildMatchesBruteForceAcrossSchedules) {
+  MTHFX_PROPERTY(
+      "Differential.ScreenedBuildMatchesBruteForceAcrossSchedules",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p = mt::random_symmetric_density(rng, basis.num_functions());
+        const auto ref = mt::dense_jk_reference(basis, p);
+        const double pmax = la::max_abs(p);
+
+        hfx::HfxOptions opts = mt::random_hfx_options(rng);
+        for (const auto schedule : mt::all_schedules()) {
+          opts.schedule = schedule;
+          hfx::FockBuilder builder(basis, opts);
+          const auto jk = builder.coulomb_exchange(p);
+          const double kerr = la::max_abs(jk.k - ref.k);
+          const double jerr = la::max_abs(jk.j - ref.j);
+          const double bound =
+              mt::screening_error_bound(jk.stats, opts, pmax);
+          if (kerr > bound || jerr > bound)
+            return std::string("schedule ") + schedule_name(schedule) +
+                   " (threads " + std::to_string(opts.num_threads) +
+                   ", eps " + fmt(opts.eps_schwarz) + "): |dK| " + fmt(kerr) +
+                   " |dJ| " + fmt(jerr) + " exceeds bound " + fmt(bound);
+        }
+        return "";
+      });
+}
+
+// Thread count must be invisible in the result (to reduction-order
+// rounding) for every schedule, on generated inputs.
+TEST(Differential, ThreadCountIsInvisibleAcrossSchedules) {
+  MTHFX_PROPERTY(
+      "Differential.ThreadCountIsInvisibleAcrossSchedules",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p = mt::random_symmetric_density(rng, basis.num_functions());
+
+        hfx::HfxOptions serial;
+        serial.eps_schwarz = 1e-12;
+        serial.num_threads = 1;
+        const auto k0 = hfx::FockBuilder(basis, serial).exchange(p).k;
+
+        // One random schedule and thread count per case; the sweep over
+        // all combinations lives in test_hfx's fixed-seed regression.
+        hfx::HfxOptions par = serial;
+        par.schedule = mt::all_schedules()[rng.index(4)];
+        par.num_threads = static_cast<std::size_t>(1) << (1 + rng.index(3));
+        const auto kp = hfx::FockBuilder(basis, par).exchange(p).k;
+        const double diff = la::max_abs(kp - k0);
+        if (diff > 1e-12)
+          return std::string("schedule ") + schedule_name(par.schedule) +
+                 " at " + std::to_string(par.num_threads) +
+                 " threads drifted from serial by " + fmt(diff);
+        return "";
+      });
+}
+
+// End-to-end differential: the converged SCF energy must not depend on
+// the schedule policy. Fewer default iterations — each case is two full
+// SCF solves.
+TEST(Differential, ScfEnergyScheduleIndependent) {
+  MTHFX_PROPERTY_N(
+      "Differential.ScfEnergyScheduleIndependent", 10,
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        auto mol = mt::jittered(rng, mthfx::workload::water(), 0.05);
+        const auto basis = chem::BasisSet::build(mol, "sto-3g");
+
+        scf::ScfOptions base;
+        base.energy_tolerance = 1e-10;
+        base.diis_tolerance = 1e-8;
+        base.hfx.eps_schwarz = 1e-12;
+        base.hfx.num_threads = 1;
+        base.hfx.schedule = hfx::HfxSchedule::kStaticBlock;
+        const auto ref = scf::rhf(mol, basis, base);
+
+        scf::ScfOptions alt = base;
+        alt.hfx.schedule = mt::all_schedules()[rng.index(4)];
+        alt.hfx.num_threads = 1 + rng.index(8);
+        const auto got = scf::rhf(mol, basis, alt);
+        if (!ref.converged || !got.converged)
+          return "SCF did not converge under one of the schedules";
+        if (std::abs(ref.energy - got.energy) > 1e-9)
+          return std::string("schedule ") + schedule_name(alt.hfx.schedule) +
+                 " changed the SCF energy by " +
+                 fmt(std::abs(ref.energy - got.energy));
+        return "";
+      });
+}

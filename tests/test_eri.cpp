@@ -89,6 +89,41 @@ TEST(Eri, SchwarzInequalityHolds) {
         }
 }
 
+// Regression (found by PropertyHfx.SchwarzBoundNeverViolated): for a
+// distant pair the kernel's primitive cutoff makes the computed (ab|ab)
+// exactly 0, but cross integrals against that pair still compute at
+// ~1e-16. The bound table must floor sub-noise diagonals at the kernel's
+// truncation scale so (a) the Schwarz inequality holds for *computed*
+// integrals with no additive fudge — only a few-ulp relative slack for
+// the sqrt/product rounding of the bound itself — and (b) no pair's
+// bound is exactly 0: a zero bound drops the pair at any eps, so
+// eps -> 0 would never recover the unscreened result.
+TEST(Eri, SchwarzBoundsSurviveUnderflowingDiagonals) {
+  // Shrunk witness from the property harness (coordinates in Angstrom).
+  const auto m = chem::Molecule::from_xyz(
+      "2\ndistant LiO\nLi 3.1867180343 0.0300792487 2.8296176852\n"
+      "O 0.5649454403 2.3480062295 1.8925279138\n");
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const auto q = ints::schwarz_bounds(basis);
+  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa)
+    for (std::size_t sb = 0; sb < basis.num_shells(); ++sb) {
+      EXPECT_GT(q(sa, sb), 0.0) << "zero Schwarz bound for pair " << sa
+                                << "," << sb;
+      for (std::size_t sc = 0; sc < basis.num_shells(); ++sc)
+        for (std::size_t sd = 0; sd < basis.num_shells(); ++sd) {
+          const auto block =
+              ints::eri_shell_quartet(basis.shell(sa), basis.shell(sb),
+                                      basis.shell(sc), basis.shell(sd));
+          double mx = 0.0;
+          for (double v : block.values) mx = std::max(mx, std::abs(v));
+          // (1 + 1e-14): self-quartets saturate the bound exactly, and
+          // q*q = sqrt(mx)^2 can round a few ulp below mx.
+          EXPECT_LE(mx, q(sa, sb) * q(sc, sd) * (1.0 + 1e-14))
+              << sa << sb << sc << sd;
+        }
+    }
+}
+
 TEST(Eri, LongRangeDecaysAsOneOverR) {
   // Two well-separated s functions: (aa|bb) -> 1/R (point charges).
   for (double r : {10.0, 15.0, 20.0}) {

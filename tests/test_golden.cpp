@@ -1,0 +1,74 @@
+// Golden-value suite: every committed tests/data/golden/*.json pins a
+// reference SCF/PBE0 energy for an example molecule. Refactors that
+// drift the physics fail here at ctest time instead of surfacing weeks
+// later in application results. Regenerate deliberately with the
+// generate_golden tool (see tests/support/generate_golden.cpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "support/golden_cases.hpp"
+
+namespace golden = mthfx::golden;
+using mthfx::obs::Json;
+
+namespace {
+
+Json load_golden(const std::string& name) {
+  const std::string path =
+      std::string(MTHFX_GOLDEN_DIR) + "/" + name + ".json";
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("missing golden file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+double member(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  if (!v) throw std::runtime_error(std::string("golden missing key ") + key);
+  return v->as_double();
+}
+
+}  // namespace
+
+class Golden : public ::testing::TestWithParam<golden::GoldenCase> {};
+
+TEST_P(Golden, EnergyMatchesCommittedReference) {
+  const golden::GoldenCase& c = GetParam();
+  const Json ref = load_golden(c.name);
+
+  // The committed file must describe the same case the code defines —
+  // a renamed molecule or basis would otherwise silently compare apples
+  // to oranges.
+  ASSERT_EQ(ref.find("molecule")->as_string(), c.molecule);
+  ASSERT_EQ(ref.find("basis")->as_string(), c.basis);
+  ASSERT_EQ(ref.find("method")->as_string(), c.method);
+
+  const auto got = golden::run_golden_case(c);
+  ASSERT_TRUE(got.converged) << c.name << ": SCF did not converge";
+
+  EXPECT_NEAR(got.energy, member(ref, "energy"), c.tolerance) << c.name;
+
+  // Components get 10x the total-energy tolerance: they are larger in
+  // magnitude and cancel in the total, so equal-tolerance checks would
+  // be the flakiest part of the suite while adding little signal.
+  const Json* comp = ref.find("components");
+  ASSERT_NE(comp, nullptr);
+  const double ctol = 10 * c.tolerance;
+  EXPECT_NEAR(got.nuclear_repulsion, member(*comp, "nuclear_repulsion"), ctol);
+  EXPECT_NEAR(got.one_electron, member(*comp, "one_electron"), ctol);
+  EXPECT_NEAR(got.coulomb, member(*comp, "coulomb"), ctol);
+  EXPECT_NEAR(got.exchange, member(*comp, "exchange"), ctol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenCases, Golden, ::testing::ValuesIn(golden::golden_cases()),
+    [](const ::testing::TestParamInfo<golden::GoldenCase>& info) {
+      return info.param.name;
+    });

@@ -319,6 +319,36 @@ INSTANTIATE_TEST_SUITE_P(
                       hfx::HfxSchedule::kStaticCyclic,
                       hfx::HfxSchedule::kWorkStealing));
 
+// Differential regression: every schedule at 1, 2, 4 and 8 threads must
+// reproduce the single-threaded K matrix to 1e-12 on a fixed seeded
+// molecule. Guards the task partitioners, the bag/steal protocols and
+// the thread-private reduction in one sweep.
+TEST(FockBuilder, AllSchedulesAndThreadCountsAgreeTightly) {
+  const auto m = water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix p = random_density(basis.num_functions(), 41);
+
+  hfx::HfxOptions base;
+  base.eps_schwarz = 1e-12;
+  base.num_threads = 1;
+  base.schedule = hfx::HfxSchedule::kStaticBlock;
+  const auto kref = hfx::FockBuilder(basis, base).exchange(p).k;
+
+  for (auto schedule :
+       {hfx::HfxSchedule::kDynamicBag, hfx::HfxSchedule::kStaticBlock,
+        hfx::HfxSchedule::kStaticCyclic, hfx::HfxSchedule::kWorkStealing}) {
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      hfx::HfxOptions opts = base;
+      opts.schedule = schedule;
+      opts.num_threads = threads;
+      const auto k = hfx::FockBuilder(basis, opts).exchange(p).k;
+      EXPECT_LT(la::max_abs(k - kref), 1e-12)
+          << "schedule " << static_cast<int>(schedule) << " threads "
+          << threads;
+    }
+  }
+}
+
 TEST(HfxOptions, ContributionCutoffDerivesFromEpsSchwarz) {
   hfx::HfxOptions opts;
   // Default eps_schwarz = 1e-10 must reproduce the historical 1e-16
@@ -336,6 +366,32 @@ TEST(HfxOptions, ContributionCutoffDerivesFromEpsSchwarz) {
   manual.eps_schwarz = 1e-4;
   manual.eps_contribution = 1e-30;
   EXPECT_DOUBLE_EQ(manual.contribution_cutoff(), 1e-30);
+}
+
+TEST(HfxOptions, ExplicitContributionCutoffReachesTheKernel) {
+  // The derivation chain must actually steer the digestion kernel: an
+  // absurdly large explicit cutoff throws away real contributions and
+  // visibly degrades K, while the eps_schwarz-derived default stays
+  // near-exact. Catches regressions where contribution_cutoff() is
+  // computed but no longer plumbed into digest_quartet.
+  const auto m = water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  const la::Matrix p = random_density(basis.num_functions(), 43);
+  const auto [jref, kref] = reference_jk(basis, p);
+
+  hfx::HfxOptions derived;
+  derived.eps_schwarz = 1e-12;
+  const double err_derived =
+      la::max_abs(hfx::FockBuilder(basis, derived).exchange(p).k - kref);
+
+  hfx::HfxOptions blunt = derived;
+  blunt.eps_contribution = 1e-2;  // wipes out small but real integrals
+  const double err_blunt =
+      la::max_abs(hfx::FockBuilder(basis, blunt).exchange(p).k - kref);
+
+  EXPECT_LT(err_derived, 1e-10);
+  EXPECT_GT(err_blunt, 1e-6);
+  EXPECT_GT(err_blunt, err_derived * 1e3);
 }
 
 TEST(FockBuilder, TighterEpsSchwarzMonotonicallyReducesExchangeError) {

@@ -1,0 +1,268 @@
+// Property-based tests of the integral and HFX layers: seeded random
+// molecules/densities/configs, checked against metamorphic invariants
+// and the slow dense oracles. Iteration count comes from
+// MTHFX_PROPERTY_ITERS (default 50); a failing case prints a one-line
+// repro command plus a shrunk witness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "hfx/fock_builder.hpp"
+#include "linalg/matrix.hpp"
+#include "support/property_gtest.hpp"
+#include "testing/generators.hpp"
+#include "testing/invariants.hpp"
+#include "testing/oracles.hpp"
+#include "testing/property.hpp"
+#include "testing/rng.hpp"
+
+namespace chem = mthfx::chem;
+namespace hfx = mthfx::hfx;
+namespace la = mthfx::linalg;
+namespace mt = mthfx::testing;
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+// The harness itself must be deterministic: same seed, same stream.
+TEST(PropertyHarness, SeedsAreDeterministic) {
+  mt::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_EQ(mt::iteration_seed(7, 3), mt::iteration_seed(7, 3));
+  EXPECT_NE(mt::iteration_seed(7, 3), mt::iteration_seed(7, 4));
+  EXPECT_NE(mt::iteration_seed(7, 3), mt::iteration_seed(8, 3));
+
+  // Generators are a pure function of the rng stream.
+  mt::Rng g1(99), g2(99);
+  const auto m1 = mt::random_molecule(g1);
+  const auto m2 = mt::random_molecule(g2);
+  ASSERT_EQ(m1.size(), m2.size());
+  EXPECT_TRUE(m1 == m2);
+}
+
+TEST(PropertyHarness, ShrinkerMinimizesAndKeepsFailure) {
+  // Synthetic predicate: fails iff the molecule still contains >= 2 O
+  // atoms. The shrinker must strip everything else and land on exactly
+  // the minimal 2-oxygen witness, downgraded to the smallest basis.
+  mt::Rng rng(123);
+  mt::MoleculeSpec spec;
+  spec.min_atoms = 6;
+  spec.max_atoms = 6;
+  spec.elements = {8};  // all O so the witness surely exists
+  const auto mol = mt::random_molecule(rng, spec);
+  const auto fails = [](const chem::Molecule& m, const std::string&) {
+    std::size_t oxygens = 0;
+    for (const auto& a : m.atoms()) oxygens += (a.z == 8);
+    return oxygens >= 2;
+  };
+  const auto shrunk = mt::shrink_failing_case(mol, "6-31g", fails);
+  EXPECT_EQ(shrunk.molecule.size(), 2u);
+  EXPECT_EQ(shrunk.basis, "sto-3g");
+  EXPECT_TRUE(fails(shrunk.molecule, shrunk.basis));
+  EXPECT_GE(shrunk.steps, 5u);
+  EXPECT_FALSE(mt::describe_case(shrunk.molecule, shrunk.basis).empty());
+}
+
+// --- Metamorphic invariants on generated inputs ------------------------
+
+TEST(PropertyHfx, EriPermutationSymmetry) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.EriPermutationSymmetry",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        auto res = mt::check_eri_permutation_symmetry(basis, rng, 12);
+        if (res.ok) return "";
+        return mt::with_shrunk_case(
+            res.detail, mol, name,
+            [&rng](const chem::Molecule& m, const std::string& b) {
+              const auto shrunk_basis = chem::BasisSet::build(m, b);
+              mt::Rng local = rng.fork(0xe81);
+              return !mt::check_eri_permutation_symmetry(shrunk_basis, local,
+                                                         12)
+                          .ok;
+            });
+      });
+}
+
+TEST(PropertyHfx, SchwarzBoundNeverViolated) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.SchwarzBoundNeverViolated",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        auto res = mt::check_schwarz_bound(basis);
+        if (res.ok) return "";
+        return mt::with_shrunk_case(
+            res.detail, mol, name,
+            [](const chem::Molecule& m, const std::string& b) {
+              return !mt::check_schwarz_bound(chem::BasisSet::build(m, b)).ok;
+            });
+      });
+}
+
+TEST(PropertyHfx, JkHermitianAndTraceIdentities) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.JkHermitianAndTraceIdentities",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p =
+            mt::random_symmetric_density(rng, basis.num_functions());
+
+        hfx::HfxOptions opts = mt::random_hfx_options(rng);
+        hfx::FockBuilder builder(basis, opts);
+        const auto jk = builder.coulomb_exchange(p);
+
+        if (auto res = mt::check_hermitian(jk.k, 1e-12, "K"); !res.ok)
+          return res.detail;
+        if (auto res = mt::check_hermitian(jk.j, 1e-12, "J"); !res.ok)
+          return res.detail;
+
+        // Scalar anchors computed straight from the naive tensor, never
+        // through a J/K matrix. Must match tr-based energies within the
+        // screening error bound (scaled by ||P|| for the extra trace
+        // contraction).
+        const auto tensor = mt::naive_eri_tensor(basis);
+        const double ej_ref =
+            mt::coulomb_energy_from_tensor(basis, tensor, p);
+        const double ek_ref =
+            mt::exchange_energy_from_tensor(basis, tensor, p);
+        const double ej = 0.5 * la::trace_product(p, jk.j);
+        const double ek = 0.5 * la::trace_product(p, jk.k);
+        const double pmax = la::max_abs(p);
+        const double bound =
+            mt::screening_error_bound(jk.stats, opts, pmax) *
+                static_cast<double>(basis.num_functions() *
+                                    basis.num_functions()) * pmax +
+            1e-9 * std::max(1.0, std::abs(ej_ref));
+        if (std::abs(ej - ej_ref) > bound)
+          return "Coulomb trace identity violated: 0.5 tr(PJ) = " + fmt(ej) +
+                 " vs tensor " + fmt(ej_ref) + " (bound " + fmt(bound) + ")";
+        if (std::abs(ek - ek_ref) > bound)
+          return "Exchange trace identity violated: 0.5 tr(PK) = " + fmt(ek) +
+                 " vs tensor " + fmt(ek_ref) + " (bound " + fmt(bound) + ")";
+        return "";
+      });
+}
+
+TEST(PropertyHfx, TighteningEpsSchwarzShrinksKError) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.TighteningEpsSchwarzShrinksKError",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p =
+            mt::random_symmetric_density(rng, basis.num_functions());
+        const auto ref = mt::dense_jk_reference(basis, p);
+
+        double last_err = std::numeric_limits<double>::infinity();
+        for (const double eps : {1e-4, 1e-7, 1e-10, 1e-13}) {
+          hfx::HfxOptions opts;
+          opts.eps_schwarz = eps;
+          opts.num_threads = 1;
+          const auto k = hfx::FockBuilder(basis, opts).exchange(p).k;
+          const double err = la::max_abs(k - ref.k);
+          // Monotone within a sliver of slack for error cancellation.
+          if (err > last_err * 1.05 + 1e-13)
+            return "K error grew when tightening eps_schwarz to " + fmt(eps) +
+                   ": " + fmt(err) + " > " + fmt(last_err);
+          last_err = std::min(last_err, err);
+        }
+        if (last_err > 1e-9)
+          return "K error did not vanish at tight eps_schwarz: " +
+                 fmt(last_err);
+        return "";
+      });
+}
+
+TEST(PropertyHfx, ScreenedErrorWithinDerivedBound) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.ScreenedErrorWithinDerivedBound",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p =
+            mt::random_symmetric_density(rng, basis.num_functions());
+        const auto ref = mt::dense_jk_reference(basis, p);
+
+        hfx::HfxOptions opts = mt::random_hfx_options(rng);
+        const auto result = hfx::FockBuilder(basis, opts).exchange(p);
+        const double err = la::max_abs(result.k - ref.k);
+        const double bound = mt::screening_error_bound(
+            result.stats, opts, la::max_abs(p));
+        if (err > bound)
+          return "screened K error " + fmt(err) +
+                 " exceeds derived bound " + fmt(bound) + " at eps_schwarz " +
+                 fmt(opts.eps_schwarz);
+        return "";
+      });
+}
+
+TEST(PropertyHfx, TaskGranularityDoesNotChangeK) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.TaskGranularityDoesNotChangeK",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::random_molecule(rng);
+        const auto name = mt::random_basis_name(rng, mol);
+        const auto basis = chem::BasisSet::build(mol, name);
+        const auto p =
+            mt::random_symmetric_density(rng, basis.num_functions());
+
+        hfx::HfxOptions base;
+        base.eps_schwarz = 1e-12;
+        base.num_threads = 1;
+        const auto k0 = hfx::FockBuilder(basis, base).exchange(p).k;
+
+        hfx::HfxOptions alt = base;
+        alt.target_task_cost = rng.uniform(1.0, 1e5);
+        const auto k1 = hfx::FockBuilder(basis, alt).exchange(p).k;
+        const double diff = la::max_abs(k1 - k0);
+        // Same quartets, same serial digestion order within each bra
+        // sweep — only task boundaries move, so agreement is tight.
+        if (diff > 1e-12)
+          return "task granularity changed K by " + fmt(diff) +
+                 " (target_task_cost " + fmt(alt.target_task_cost) + ")";
+        return "";
+      });
+}
+
+// Serial reduction oracle: the sum of thread-private parts must not
+// depend on part boundaries.
+TEST(PropertyHfx, SerialReduceMatchesDirectSum) {
+  MTHFX_PROPERTY(
+      "PropertyHfx.SerialReduceMatchesDirectSum",
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const std::size_t n = 3 + rng.index(6);
+        const std::size_t parts = 1 + rng.index(8);
+        std::vector<la::Matrix> ms;
+        la::Matrix direct(n, n);
+        for (std::size_t t = 0; t < parts; ++t) {
+          la::Matrix m(n, n);
+          for (double& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+          direct += m;
+          ms.push_back(std::move(m));
+        }
+        const la::Matrix reduced = mt::serial_reduce(ms);
+        if (la::max_abs(reduced - direct) > 0.0)
+          return "serial_reduce disagrees with direct accumulation";
+        return "";
+      });
+}

@@ -150,6 +150,31 @@ TEST(Rhf, IncrementalFockMatchesFullRebuild) {
   EXPECT_NEAR(r1.energy, r2.energy, 1e-8);
 }
 
+TEST(Rhf, IncrementalConvergenceIsDecidedOnFullBuilds) {
+  // Accumulated DP screening error makes the incremental energy walk at
+  // the eps_schwarz noise scale, far above a tight energy_tolerance.
+  // Convergence must not depend on where that walk happens to land:
+  // once the DIIS error is converged the driver switches to full
+  // builds, so the verdict (and the reported energy) comes from
+  // noise-free deltas. Before the switch existed this configuration
+  // stalled for all 100 iterations with the energy drifted ~1e-7 off
+  // the full-build answer.
+  const auto m = water();
+  const auto basis = chem::BasisSet::build(m, "6-31g");
+  scf::ScfOptions inc;
+  inc.incremental_fock = true;
+  inc.full_rebuild_every = 1000;  // schedule never resets the drift
+  inc.hfx.eps_schwarz = 1e-9;
+  inc.energy_tolerance = 1e-12;
+  scf::ScfOptions full = inc;
+  full.incremental_fock = false;
+  const auto r_inc = scf::rhf(m, basis, inc);
+  const auto r_full = scf::rhf(m, basis, full);
+  ASSERT_TRUE(r_inc.converged);
+  ASSERT_TRUE(r_full.converged);
+  EXPECT_NEAR(r_inc.energy, r_full.energy, 1e-10);
+}
+
 TEST(Rhf, IncrementalFockShrinksLateIterationWork) {
   const auto m = water();
   const auto basis = chem::BasisSet::build(m, "6-31g");
