@@ -2,10 +2,17 @@
 // a simple input file (format documented in src/app/input.hpp).
 //
 //   ./build/examples/mthfx_cli water.in
+//   ./build/examples/mthfx_cli --json water.in           # result record
+//   ./build/examples/mthfx_cli --json=result.json water.in
 //   ./build/examples/mthfx_cli --trace water.in          # phase table
 //   ./build/examples/mthfx_cli --trace=run.json water.in # full span JSON
 //   ./build/examples/mthfx_cli --checkpoint=run.ckpt water.in
 //   ./build/examples/mthfx_cli --restore=run.ckpt water.in
+//
+// --json replaces the human report on stdout with the machine-readable
+// result record (schema mthfx.result.v1 — the same record the screening
+// engine emits per job); --json=<file> writes the record to <file> and
+// keeps the human report on stdout.
 //
 // With --trace, a per-phase timing summary (scf.* / jk.* spans from the
 // global trace) is printed after the report; --trace=<file> additionally
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "app/driver.hpp"
+#include "engine/report.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -78,7 +86,9 @@ void print_phase_table(const mthfx::obs::Trace& trace) {
 
 int main(int argc, char** argv) {
   bool trace = false;
+  bool json = false;
   std::string trace_file;
+  std::string json_file;
   std::string checkpoint_file;
   std::string restore_file;
   const char* input_path = nullptr;
@@ -89,6 +99,11 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       trace = true;
       trace_file = arg + 8;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json = true;
+      json_file = arg + 7;
     } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
       checkpoint_file = arg + 13;
     } else if (std::strncmp(arg, "--restore=", 10) == 0) {
@@ -102,8 +117,8 @@ int main(int argc, char** argv) {
   }
   if (!input_path) {
     std::fprintf(stderr,
-                 "usage: %s [--trace[=file.json]] [--checkpoint=file]"
-                 " [--restore=file] <input-file>\n"
+                 "usage: %s [--json[=file.json]] [--trace[=file.json]]"
+                 " [--checkpoint=file] [--restore=file] <input-file>\n"
                  "input format: see src/app/input.hpp\n",
                  argv[0]);
     return 2;
@@ -112,8 +127,24 @@ int main(int argc, char** argv) {
     auto input = mthfx::app::parse_input_file(input_path);
     input.checkpoint_path = checkpoint_file;
     input.restore_path = restore_file;
-    const auto result = mthfx::app::run(input);
-    std::fputs(result.report.c_str(), stdout);
+    const auto result = mthfx::app::run_structured(input);
+    if (json) {
+      const auto record = mthfx::engine::result_record(input, result);
+      if (json_file.empty()) {
+        std::fputs((record.dump(2) + "\n").c_str(), stdout);
+      } else {
+        std::ofstream json_out(json_file);
+        if (!json_out) {
+          std::fprintf(stderr, "error: cannot write %s\n", json_file.c_str());
+          return 2;
+        }
+        json_out << record.dump(2) << "\n";
+        std::fputs(result.report.c_str(), stdout);
+        std::printf("[json] wrote %s\n", json_file.c_str());
+      }
+    } else {
+      std::fputs(result.report.c_str(), stdout);
+    }
     if (trace) {
       const auto& tr = mthfx::obs::global_trace();
       print_phase_table(tr);

@@ -6,6 +6,7 @@
 # Tiers:
 #   tier1    (default) fast example-based suites — the PR gate
 #   fault    fault-injection / recovery / checkpoint suite
+#   engine   screening-engine suite (queue/cache/scheduler/campaign)
 #   property seeded property/differential suites at MTHFX_PROPERTY_ITERS
 #            (default 50) iterations
 #   nightly  the property executables at high iteration count
@@ -26,7 +27,7 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 
 case "$TIER" in
-  tier1|fault|property)
+  tier1|fault|engine|property)
     ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
     ;;
   nightly)
@@ -38,7 +39,7 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
     ;;
   *)
-    echo "unknown tier: $TIER (want tier1|fault|property|nightly|all)" >&2
+    echo "unknown tier: $TIER (want tier1|fault|engine|property|nightly|all)" >&2
     exit 2
     ;;
 esac

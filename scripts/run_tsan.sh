@@ -3,8 +3,9 @@
 #
 # Covers the concurrency-sensitive surface: the thread pool, the
 # work-stealing scheduler (both steal paths and their stats counters),
-# the obs registry's lock-free per-thread slots, and the HFX scheduler
-# exactness tests. A data race anywhere in that stack fails this script.
+# the obs registry's lock-free per-thread slots, the HFX scheduler
+# exactness tests, and the screening engine's job queue + multi-job
+# scheduler. A data race anywhere in that stack fails this script.
 #
 # Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -15,7 +16,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx \
-  test_fault test_differential
+  test_fault test_engine test_differential
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -28,6 +29,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # Retry/exactly-once-commit paths of the fault suite: concurrent task
 # failure, requeue, and attempt accounting across every schedule.
 "$BUILD_DIR"/tests/test_fault --gtest_filter='AllSchedules/*:Schedulers.*'
+# Screening-engine concurrency surface: blocking queue handoff, worker
+# pool vs. submitter races, result-cache sharing, per-job fault domains.
+"$BUILD_DIR"/tests/test_engine --gtest_filter='JobQueue.*:JobScheduler.*'
 # Small-iteration differential subset: randomized schedule x thread-count
 # builds race the bag/steal protocols on fresh task shapes each case.
 MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_differential \

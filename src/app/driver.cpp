@@ -36,8 +36,8 @@ void print_geometry(std::ostringstream& out, const chem::Molecule& mol) {
 
 }  // namespace
 
-RunResult run(const Input& input) {
-  RunResult result;
+StructuredResult run_structured(const Input& input) {
+  StructuredResult result;
   std::ostringstream out;
   out.precision(10);
 
@@ -106,6 +106,7 @@ RunResult run(const Input& input) {
       scf::UksOptions opts;
       opts.functional = input.method;
       opts.scf.hfx.eps_schwarz = input.eps_schwarz;
+      opts.scf.hfx.num_threads = input.num_threads;
       opts.scf.hfx.fault = input.fault;
       opts.scf.hfx.validate_tasks = input.fault.enabled();
       opts.scf.resume = scf_resume;
@@ -114,7 +115,12 @@ RunResult run(const Input& input) {
       opts.grid.angular_points = input.grid_angular;
       const auto r = scf::uks(mol, basis, input.multiplicity, opts);
       result.ok = r.scf.converged;
+      result.converged = r.scf.converged;
+      result.reference = "uks";
       result.energy = r.scf.energy;
+      result.scf_iterations = r.scf.iterations;
+      result.xc_energy = r.xc_energy;
+      result.exact_exchange_energy = r.exact_exchange_energy;
       out << "UKS(" << input.method << ") energy: " << r.scf.energy
           << " Ha  (converged=" << r.scf.converged << ", iterations "
           << r.scf.iterations << ")\n";
@@ -128,6 +134,7 @@ RunResult run(const Input& input) {
       scf::KsOptions opts;
       opts.functional = input.method;
       opts.scf.hfx.eps_schwarz = input.eps_schwarz;
+      opts.scf.hfx.num_threads = input.num_threads;
       opts.scf.hfx.fault = input.fault;
       opts.scf.hfx.validate_tasks = input.fault.enabled();
       opts.scf.resume = scf_resume;
@@ -136,15 +143,22 @@ RunResult run(const Input& input) {
       opts.grid.angular_points = input.grid_angular;
       const auto r = scf::rks(mol, basis, opts);
       result.ok = r.scf.converged;
+      result.converged = r.scf.converged;
+      result.reference = "rks";
       result.energy = r.scf.energy;
+      result.scf_iterations = r.scf.iterations;
+      result.xc_energy = r.xc_energy;
+      result.exact_exchange_energy = r.exact_exchange_energy;
       out << "SCF(" << input.method << ") energy: " << r.scf.energy
           << " Ha  (converged=" << r.scf.converged << ", iterations "
           << r.scf.iterations << ")\n";
-      out << "  HOMO-LUMO gap: "
-          << scf::homo_lumo_gap(r.scf, mol) * chem::kEvPerHartree << " eV\n";
+      result.homo_lumo_gap_ev =
+          scf::homo_lumo_gap(r.scf, mol) * chem::kEvPerHartree;
+      out << "  HOMO-LUMO gap: " << result.homo_lumo_gap_ev << " eV\n";
       if (r.scf.converged) {
-        out << "  dipole moment: "
-            << scf::dipole_moment_debye(mol, basis, r.scf.density) << " D\n";
+        result.dipole_debye =
+            scf::dipole_moment_debye(mol, basis, r.scf.density);
+        out << "  dipole moment: " << result.dipole_debye << " D\n";
       }
       if (input.task == Task::kGradient && r.scf.converged) {
         if (input.method != "hf") {
@@ -153,10 +167,12 @@ RunResult run(const Input& input) {
           // Re-run through the RHF driver to get orbital data.
           scf::ScfOptions rhf_opts;
           rhf_opts.hfx.eps_schwarz = input.eps_schwarz;
+          rhf_opts.hfx.num_threads = input.num_threads;
           rhf_opts.hfx.fault = input.fault;
           rhf_opts.hfx.validate_tasks = input.fault.enabled();
           const auto hf = scf::rhf(mol, basis, rhf_opts);
           const auto g = scf::rhf_gradient(mol, basis, hf);
+          result.gradient = g;
           out << "  gradient (Ha/bohr):\n";
           for (std::size_t i = 0; i < g.size(); ++i)
             out << "    " << chem::element_symbol(mol.atom(i).z) << "  "
@@ -169,12 +185,14 @@ RunResult run(const Input& input) {
     if (open_shell) {
       out << "[BOMD supports closed-shell references only]\n";
       result.ok = false;
+      result.reference = "bomd";
       result.report = out.str();
       return result;
     }
     scf::KsOptions ks;
     ks.functional = input.method;
     ks.scf.hfx.eps_schwarz = input.eps_schwarz;
+    ks.scf.hfx.num_threads = input.num_threads;
     ks.scf.hfx.fault = input.fault;
     ks.scf.hfx.validate_tasks = input.fault.enabled();
     ks.grid.radial_points = input.grid_radial;
@@ -199,11 +217,20 @@ RunResult run(const Input& input) {
                                    });
     out << "max |energy drift|: " << traj.max_energy_drift() << " Ha\n";
     result.ok = true;
+    result.converged = true;
+    result.reference = "bomd";
     result.energy = traj.frames.back().total;
+    result.md_frames = traj.frames.size();
+    result.md_max_energy_drift = traj.max_energy_drift();
   }
 
   result.report = out.str();
   return result;
+}
+
+RunResult run(const Input& input) {
+  StructuredResult r = run_structured(input);
+  return {r.ok, r.energy, std::move(r.report)};
 }
 
 }  // namespace mthfx::app

@@ -1,14 +1,38 @@
 #pragma once
 
-// Task driver behind the mthfx CLI: runs the requested calculation and
-// renders a human-readable report.
+// Task driver behind the mthfx CLI and the screening engine: runs the
+// requested calculation and returns both a typed result record and a
+// human-readable report.
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "app/input.hpp"
+#include "chem/molecule.hpp"
 
 namespace mthfx::app {
 
+/// Typed outcome of one calculation. The engine serializes this (via
+/// engine/report.hpp) into the per-job JSON record; `report` carries the
+/// same human-readable text `run` always produced.
+struct StructuredResult {
+  bool ok = false;          ///< task-level success (SCF converged, MD ran)
+  bool converged = false;   ///< SCF convergence flag
+  std::string reference;    ///< driver used: "rks" | "uks" | "bomd"
+  double energy = 0.0;      ///< final total energy (Ha)
+  std::size_t scf_iterations = 0;
+  double xc_energy = 0.0;               ///< 0 for method hf
+  double exact_exchange_energy = 0.0;   ///< 0 for method hf
+  double homo_lumo_gap_ev = 0.0;        ///< closed-shell tasks only
+  double dipole_debye = 0.0;            ///< converged closed-shell only
+  std::vector<chem::Vec3> gradient;     ///< filled for task gradient (hf)
+  std::size_t md_frames = 0;            ///< task md only
+  double md_max_energy_drift = 0.0;     ///< task md only (Ha)
+  std::string report;  ///< formatted multi-line summary
+};
+
+/// Backwards-compatible summary view (the original CLI contract).
 struct RunResult {
   bool ok = false;
   double energy = 0.0;
@@ -18,6 +42,9 @@ struct RunResult {
 /// Execute the input's task. Never throws for chemistry-level failures
 /// (they are reported in `report` with ok = false); throws
 /// std::runtime_error only for unusable inputs.
+StructuredResult run_structured(const Input& input);
+
+/// Thin wrapper over run_structured keeping the original interface.
 RunResult run(const Input& input);
 
 }  // namespace mthfx::app

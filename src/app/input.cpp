@@ -1,6 +1,7 @@
 #include "app/input.hpp"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -40,6 +41,16 @@ Input parse_input(const std::string& text) {
   bool saw_geometry = false;
   double unit_scale = chem::kBohrPerAngstrom;
   chem::Molecule mol;
+  // Every keyword (geometry included) may appear at most once: "last one
+  // wins" silently discards half of a conflicting pair, which in a
+  // screening campaign means running the wrong calculation without any
+  // hint. Duplicates are rejected by name instead.
+  std::set<std::string> seen_keys;
+  auto reject_duplicate = [&seen_keys](int at_line, const std::string& key) {
+    if (!seen_keys.insert(key).second)
+      fail(at_line, "duplicate keyword '" + key +
+                        "' (each keyword may appear only once)");
+  };
 
   while (std::getline(in, raw)) {
     ++lineno;
@@ -64,6 +75,7 @@ Input parse_input(const std::string& text) {
     }
 
     if (key == "geometry") {
+      reject_duplicate(lineno, key);
       std::string unit = "angstrom";
       line >> unit;
       if (unit == "angstrom")
@@ -81,6 +93,7 @@ Input parse_input(const std::string& text) {
     std::string value;
     if (!(line >> value)) fail(lineno, "keyword '" + key + "' needs a value");
     reject_trailing(line, lineno, "value for keyword '" + key + "'");
+    reject_duplicate(lineno, key);
 
     if (key == "method") {
       input.method = value;
@@ -121,6 +134,10 @@ Input parse_input(const std::string& text) {
       input.grid_radial = std::stoi(value);
     } else if (key == "grid_angular") {
       input.grid_angular = std::stoi(value);
+    } else if (key == "threads") {
+      const int n = std::stoi(value);
+      if (n < 0) fail(lineno, "threads must be >= 0 (0 = hardware)");
+      input.num_threads = static_cast<std::size_t>(n);
     } else if (key == "fault_spec") {
       try {
         input.fault = fault::parse_fault_spec(value);

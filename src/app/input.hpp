@@ -15,6 +15,7 @@
 //   md_temperature_k 300
 //   grid_radial 40
 //   grid_angular 38
+//   threads 0              # HFX thread budget (0 = hardware)
 //   fault_spec fail=0.01,seed=42   # seeded fault injection (optional)
 //   geometry angstrom      # or: geometry bohr
 //   O 0.0 0.0 0.1173
@@ -22,7 +23,8 @@
 //   H 0.0 -0.7572 -0.4692
 //   end
 //
-// '#' starts a comment anywhere on a line.
+// '#' starts a comment anywhere on a line. Every keyword (geometry
+// included) may appear at most once; duplicates are a parse error.
 
 #include <string>
 
@@ -47,6 +49,10 @@ struct Input {
   double md_temperature_k = 0.0;
   int grid_radial = 40;
   int grid_angular = 38;
+  /// Thread budget for the HFX builds of this run (0 = hardware
+  /// concurrency, resolved through parallel::resolve_thread_count). The
+  /// screening engine caps this per job so a campaign shares one budget.
+  std::size_t num_threads = 0;
   /// Fault injection for resilience testing: from the `fault_spec`
   /// keyword, overridden by the MTHFX_FAULT_SPEC environment variable.
   fault::FaultOptions fault;

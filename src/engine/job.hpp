@@ -1,0 +1,53 @@
+#pragma once
+
+// Job model for the high-throughput screening engine: one Job is one
+// complete mthfx calculation (an app::Input) plus queueing metadata. The
+// engine turns the single-shot driver into a campaign of such jobs.
+
+#include <cstdint>
+#include <string>
+
+#include "app/driver.hpp"
+#include "app/input.hpp"
+
+namespace mthfx::engine {
+
+/// What to run. `priority` orders the queue (higher first, FIFO within a
+/// level); `name` labels the job in reports ("pc.n2.sto-3g.pbe0").
+struct Job {
+  std::uint64_t id = 0;  ///< assigned at submission; 0 = unassigned
+  std::string name;
+  int priority = 0;
+  app::Input input;
+};
+
+enum class JobState : std::uint8_t {
+  kQueued,    ///< admitted, waiting for a worker
+  kRunning,   ///< executing on a worker
+  kDone,      ///< finished with result.ok
+  kFailed,    ///< finished without result.ok, or retries exhausted
+  kRejected,  ///< refused at admission (queue full / invalid / closed)
+};
+
+const char* to_string(JobState state);
+
+/// Final accounting for one job: outcome, where the time went, and the
+/// typed result. `attempts` counts executions (> 1 means the per-job
+/// fault domain retried); `cache_hit` marks a ResultStore serve.
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::string name;
+  int priority = 0;
+  JobState state = JobState::kQueued;
+  bool cache_hit = false;
+  std::size_t attempts = 0;
+  std::size_t threads = 0;        ///< per-job thread cap it ran under
+  double wait_seconds = 0.0;      ///< submission -> worker pickup
+  double run_seconds = 0.0;       ///< worker execution (all attempts)
+  std::string error;              ///< last failure message (kFailed)
+  std::string reject_reason;      ///< admission refusal (kRejected)
+  app::Input input;               ///< the input as executed (threads capped)
+  app::StructuredResult result;   ///< valid when kDone (or best effort)
+};
+
+}  // namespace mthfx::engine

@@ -1,0 +1,80 @@
+#include "engine/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mthfx::engine {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("JobQueue: capacity must be >= 1");
+}
+
+Admission JobQueue::submit(Job job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) {
+    ++rejected_;
+    return {false, "queue closed"};
+  }
+  if (job.input.molecule.size() == 0) {
+    ++rejected_;
+    return {false, "job '" + job.name + "' has no geometry"};
+  }
+  if (queued_.size() >= capacity_) {
+    ++rejected_;
+    return {false, "queue full (capacity " + std::to_string(capacity_) +
+                       ", depth " + std::to_string(queued_.size()) + ")"};
+  }
+  job.id = next_id_++;
+  ++accepted_;
+  const Key key{job.priority, job.id};
+  queued_.emplace(key, Entry{std::move(job), epoch_.seconds()});
+  high_water_ = std::max(high_water_, queued_.size());
+  cv_.notify_one();
+  return {true, ""};
+}
+
+std::optional<PoppedJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queued_.empty(); });
+  if (queued_.empty()) return std::nullopt;  // closed and drained
+  auto it = queued_.begin();
+  PoppedJob popped{std::move(it->second.job),
+                   epoch_.seconds() - it->second.submit_seconds};
+  queued_.erase(it);
+  return popped;
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_.size();
+}
+
+std::size_t JobQueue::high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+std::uint64_t JobQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t JobQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace mthfx::engine

@@ -1,0 +1,88 @@
+#pragma once
+
+// Bounded, priority-ordered job queue with admission control. The queue
+// is the engine's backpressure point: `submit` never blocks — when the
+// queue is at capacity (or closed, or the job is unusable) the job is
+// rejected *with a reason*, so a campaign front-end can throttle, shed,
+// or report instead of wedging the submitter. Workers block in `pop`.
+//
+// Ordering: higher priority first; FIFO (submission order) within a
+// priority level, so a campaign's job order is deterministic.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "engine/job.hpp"
+#include "obs/stopwatch.hpp"
+
+namespace mthfx::engine {
+
+/// Admission verdict. `reason` is empty iff `accepted`.
+struct Admission {
+  bool accepted = false;
+  std::string reason;
+};
+
+/// A popped job plus how long it waited in the queue.
+struct PoppedJob {
+  Job job;
+  double wait_seconds = 0.0;
+};
+
+class JobQueue {
+ public:
+  /// `capacity` bounds the number of queued (admitted, not yet popped)
+  /// jobs. Must be >= 1.
+  explicit JobQueue(std::size_t capacity);
+
+  /// Admission control: rejects (without blocking) when the queue is
+  /// closed, the job has no geometry, or the queue is full. On success
+  /// the job is assigned the next id (submission order, starting at 1).
+  Admission submit(Job job);
+
+  /// Blocks until a job is available or the queue is closed and
+  /// drained (then returns nullopt). Highest priority first.
+  std::optional<PoppedJob> pop();
+
+  /// No further admissions; pending jobs still drain through pop().
+  void close();
+
+  bool closed() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t depth() const;        ///< currently queued
+  std::size_t high_water() const;   ///< max depth ever reached
+  std::uint64_t accepted() const;   ///< total admitted
+  std::uint64_t rejected() const;   ///< total refused
+
+ private:
+  struct Key {
+    int priority = 0;
+    std::uint64_t seq = 0;  ///< admission order, breaks priority ties
+    bool operator<(const Key& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq < other.seq;
+    }
+  };
+  struct Entry {
+    Job job;
+    double submit_seconds = 0.0;  ///< queue-epoch timestamp
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  obs::Stopwatch epoch_;
+  std::map<Key, Entry> queued_;
+  bool closed_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace mthfx::engine

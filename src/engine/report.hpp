@@ -1,0 +1,35 @@
+#pragma once
+
+// Machine-readable result records. One formatter serves both front-ends:
+// `mthfx_cli --json` emits result_record for its single run, and
+// `mthfx_queue` emits the same record inside each job_record of its
+// campaign report — so downstream tooling parses one schema
+// ("mthfx.result.v1", documented in docs/engine.md) regardless of how
+// the calculation was driven.
+
+#include <vector>
+
+#include "app/driver.hpp"
+#include "app/input.hpp"
+#include "engine/job.hpp"
+#include "engine/scheduler.hpp"
+#include "obs/json.hpp"
+
+namespace mthfx::engine {
+
+/// {"schema": "mthfx.result.v1", "input": {...}, "result": {...}}.
+/// `input` includes the cache fingerprint key (hex) so records can be
+/// joined against ResultStore behavior.
+obs::Json result_record(const app::Input& input,
+                        const app::StructuredResult& result);
+
+/// One engine job: queueing metadata (state, attempts, wait/run time,
+/// cache_hit) plus the embedded result_record fields for executed jobs.
+obs::Json job_record(const JobRecord& record);
+
+/// Full campaign report: engine configuration, aggregate queue/cache
+/// statistics from the scheduler, and every job record.
+obs::Json campaign_report(const JobScheduler& scheduler,
+                          const std::vector<JobRecord>& records);
+
+}  // namespace mthfx::engine

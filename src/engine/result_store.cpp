@@ -1,0 +1,108 @@
+#include "engine/result_store.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace mthfx::engine {
+
+namespace {
+
+/// Doubles go in as bit patterns: 0.1 + 0.2 != 0.3 must miss, and two
+/// decimal renderings of the same double must hit.
+void put_double(std::ostringstream& out, double v) {
+  out << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
+}
+
+const char* task_name(app::Task task) {
+  switch (task) {
+    case app::Task::kEnergy: return "energy";
+    case app::Task::kGradient: return "gradient";
+    case app::Task::kMd: return "md";
+  }
+  return "?";
+}
+
+const char* reference_name(app::Reference ref) {
+  switch (ref) {
+    case app::Reference::kAuto: return "auto";
+    case app::Reference::kRestricted: return "restricted";
+    case app::Reference::kUnrestricted: return "unrestricted";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string canonical_fingerprint(const app::Input& input) {
+  std::ostringstream out;
+  out << "method=" << input.method << ";basis=" << input.basis
+      << ";reference=" << reference_name(input.reference)
+      << ";charge=" << input.charge
+      << ";multiplicity=" << input.multiplicity
+      << ";task=" << task_name(input.task) << ";eps_schwarz=";
+  put_double(out, input.eps_schwarz);
+  // The XC grid only exists for DFT functionals; for pure HF the grid
+  // resolution is dead configuration and must not split the key.
+  if (input.method != "hf") {
+    out << ";grid=" << input.grid_radial << "," << input.grid_angular;
+  }
+  if (input.task == app::Task::kMd) {
+    out << ";md=" << input.md_steps << ",";
+    put_double(out, input.md_timestep_fs);
+    out << ",";
+    put_double(out, input.md_temperature_k);
+  }
+  out << ";atoms=" << input.molecule.size();
+  for (const auto& atom : input.molecule.atoms()) {
+    out << ";" << atom.z << ":";
+    put_double(out, atom.pos.x);
+    out << ",";
+    put_double(out, atom.pos.y);
+    out << ",";
+    put_double(out, atom.pos.z);
+  }
+  return out.str();
+}
+
+std::uint64_t input_key(const app::Input& input) {
+  const std::string text = canonical_fingerprint(input);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime
+  }
+  return hash;
+}
+
+std::optional<app::StructuredResult> ResultStore::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  if (it == results_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultStore::insert(std::uint64_t key, app::StructuredResult result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  results_.emplace(key, std::move(result));  // first insert wins
+}
+
+std::uint64_t ResultStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+}  // namespace mthfx::engine

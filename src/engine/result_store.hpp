@@ -1,0 +1,59 @@
+#pragma once
+
+// Content-addressed result cache for the screening engine. Screening
+// sweeps resubmit identical geometries constantly (the same solvent at
+// the same lattice size shows up in every method column); the store
+// serves those from memory instead of re-running the SCF.
+//
+// The key is a 64-bit FNV-1a hash of a *canonicalized* rendering of the
+// Input: only fields that can change the computed numbers participate
+// (method, basis, reference, charge, multiplicity, task, eps_schwarz,
+// bit-exact atom coordinates; grid settings only when the method has an
+// XC grid, md settings only for task md). Execution-policy fields —
+// thread count, checkpoint paths, fault injection — are excluded: the
+// stack guarantees bit-identical results across schedules and thread
+// counts (see docs/validation.md), and injected faults are recovered
+// exactly, so those knobs cannot change the answer.
+
+#include <cstdint>
+#include <optional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "app/driver.hpp"
+#include "app/input.hpp"
+
+namespace mthfx::engine {
+
+/// Canonical text rendering of the result-relevant Input fields. Doubles
+/// are rendered as IEEE-754 bit patterns, so two inputs fingerprint
+/// equal iff the driver is guaranteed to produce bit-identical results.
+std::string canonical_fingerprint(const app::Input& input);
+
+/// FNV-1a 64-bit hash of canonical_fingerprint(input) — the cache key.
+std::uint64_t input_key(const app::Input& input);
+
+/// Thread-safe result cache with hit/miss accounting. Only successful
+/// (ok) results are worth caching; the scheduler enforces that.
+class ResultStore {
+ public:
+  /// Returns the cached result, counting a hit or a miss.
+  std::optional<app::StructuredResult> lookup(std::uint64_t key);
+
+  /// First insert wins (a concurrent duplicate job may finish second
+  /// with the same numbers; keeping the first keeps hits stable).
+  void insert(std::uint64_t key, app::StructuredResult result);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, app::StructuredResult> results_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mthfx::engine

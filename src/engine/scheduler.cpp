@@ -1,0 +1,181 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/stopwatch.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace mthfx::engine {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+JobScheduler::JobScheduler(EngineOptions options)
+    : options_(std::move(options)),
+      total_threads_(parallel::resolve_thread_count(options_.total_threads)),
+      queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity),
+      // One metric slot per worker plus one shared by submitter threads.
+      registry_(std::max<std::size_t>(options_.concurrency, 1) + 1) {
+  if (options_.concurrency == 0)
+    throw std::invalid_argument("JobScheduler: concurrency must be >= 1");
+  if (options_.queue_capacity == 0)
+    throw std::invalid_argument("JobScheduler: queue_capacity must be >= 1");
+  per_job_threads_ =
+      std::max<std::size_t>(1, total_threads_ / options_.concurrency);
+  c_submitted_ = registry_.counter("engine.jobs_submitted");
+  c_rejected_ = registry_.counter("engine.jobs_rejected");
+  c_completed_ = registry_.counter("engine.jobs_completed");
+  c_failed_ = registry_.counter("engine.jobs_failed");
+  c_cache_hits_ = registry_.counter("engine.cache_hits");
+  c_cache_misses_ = registry_.counter("engine.cache_misses");
+  c_retries_ = registry_.counter("engine.job_retries");
+  t_wait_ = registry_.timer("engine.queue_wait_seconds");
+  t_run_ = registry_.timer("engine.job_run_seconds");
+}
+
+JobScheduler::~JobScheduler() {
+  queue_.close();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+Admission JobScheduler::submit(Job job) {
+  const std::size_t submit_slot = options_.concurrency;  // shared slot
+  JobRecord rejected;
+  rejected.name = job.name;
+  rejected.priority = job.priority;
+  const Admission admission = queue_.submit(std::move(job));
+  if (admission.accepted) {
+    c_submitted_.add(submit_slot);
+  } else {
+    c_rejected_.add(submit_slot);
+    rejected.state = JobState::kRejected;
+    rejected.reject_reason = admission.reason;
+    std::lock_guard<std::mutex> lock(records_mutex_);
+    records_.push_back(std::move(rejected));
+  }
+  return admission;
+}
+
+void JobScheduler::start() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(options_.concurrency);
+  for (std::size_t w = 0; w < options_.concurrency; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+std::vector<JobRecord> JobScheduler::drain() {
+  start();
+  queue_.close();
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  drained_ = true;
+  std::lock_guard<std::mutex> lock(records_mutex_);
+  // Rejected jobs never get an id (0) and sort first, in submission
+  // order; executed jobs follow in id order.
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.id < b.id;
+                   });
+  return records_;
+}
+
+void JobScheduler::worker_loop(std::size_t worker_id) {
+  while (auto popped = queue_.pop()) {
+    t_wait_.add_seconds(worker_id, popped->wait_seconds);
+    JobRecord record =
+        execute(std::move(popped->job), popped->wait_seconds, worker_id);
+    t_run_.add_seconds(worker_id, record.run_seconds);
+    std::lock_guard<std::mutex> lock(records_mutex_);
+    records_.push_back(std::move(record));
+  }
+}
+
+JobRecord JobScheduler::execute(Job job, double wait_seconds,
+                                std::size_t worker_id) {
+  JobRecord record;
+  record.id = job.id;
+  record.name = job.name;
+  record.priority = job.priority;
+  record.wait_seconds = wait_seconds;
+
+  app::Input input = std::move(job.input);
+  // Shared-budget cap: a job may ask for fewer threads than its slice,
+  // never more.
+  const std::size_t requested =
+      input.num_threads == 0 ? per_job_threads_
+                             : parallel::resolve_thread_count(input.num_threads);
+  input.num_threads = std::min(requested, per_job_threads_);
+  record.threads = input.num_threads;
+
+  const std::uint64_t key = input_key(input);
+  if (options_.cache) {
+    if (auto cached = store_.lookup(key)) {
+      c_cache_hits_.add(worker_id);
+      record.cache_hit = true;
+      record.state = cached->ok ? JobState::kDone : JobState::kFailed;
+      record.result = std::move(*cached);
+      record.input = std::move(input);
+      return record;
+    }
+    c_cache_misses_.add(worker_id);
+  }
+
+  // Per-job fault domain: checkpoint to a job-private file, restore from
+  // it on retry, and give each retry an independent fault draw (the
+  // injector is seed-deterministic, so attempt k re-seeds as seed + k;
+  // recovered faults cannot change the numbers, see docs/resilience.md).
+  if (!options_.checkpoint_dir.empty() && input.checkpoint_path.empty())
+    input.checkpoint_path = options_.checkpoint_dir + "/job_" +
+                            std::to_string(job.id) + ".ckpt";
+  const std::uint64_t base_fault_seed = input.fault.seed;
+
+  const std::size_t max_attempts = options_.max_job_retries + 1;
+  while (true) {
+    ++record.attempts;
+    obs::Stopwatch attempt_watch;
+    try {
+      app::StructuredResult result = app::run_structured(input);
+      record.run_seconds += attempt_watch.seconds();
+      record.state = result.ok ? JobState::kDone : JobState::kFailed;
+      if (!result.ok && record.error.empty())
+        record.error = "task reported failure (see report)";
+      if (result.ok && options_.cache) store_.insert(key, result);
+      if (result.ok)
+        c_completed_.add(worker_id);
+      else
+        c_failed_.add(worker_id);
+      record.result = std::move(result);
+      record.input = std::move(input);
+      return record;
+    } catch (const std::exception& e) {
+      record.run_seconds += attempt_watch.seconds();
+      record.error = e.what();
+    } catch (...) {
+      record.run_seconds += attempt_watch.seconds();
+      record.error = "unknown exception";
+    }
+    if (record.attempts >= max_attempts) {
+      record.state = JobState::kFailed;
+      c_failed_.add(worker_id);
+      record.input = std::move(input);
+      return record;
+    }
+    c_retries_.add(worker_id);
+    if (!input.checkpoint_path.empty() && file_exists(input.checkpoint_path))
+      input.restore_path = input.checkpoint_path;
+    if (input.fault.enabled())
+      input.fault.seed = base_fault_seed + record.attempts;
+  }
+}
+
+}  // namespace mthfx::engine

@@ -1,0 +1,107 @@
+#pragma once
+
+// Multi-job execution engine: N worker threads drain the JobQueue and
+// run each job through app::run_structured under a *shared* thread
+// budget. The total budget comes from parallel::resolve_thread_count;
+// each concurrent job is capped at budget/concurrency threads, so one
+// huge condensed-phase job cannot starve a campaign of small screening
+// jobs — it just uses its slice while the others keep flowing.
+//
+// Each job is its own fault domain: any exception escaping the driver
+// (injected faults included) is caught on the worker, retried up to
+// `max_job_retries` times — resuming from the job's checkpoint when one
+// was written — and finally reported as a failed JobRecord. One job's
+// failure never kills the engine.
+//
+// Metrics land in an obs::Registry under the `engine.*` namespace:
+// engine.jobs_submitted / jobs_rejected / jobs_completed / jobs_failed,
+// engine.cache_hits / cache_misses, engine.job_retries, and the
+// engine.queue_wait_seconds / engine.job_run_seconds timers.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/queue.hpp"
+#include "engine/result_store.hpp"
+#include "obs/registry.hpp"
+
+namespace mthfx::engine {
+
+struct EngineOptions {
+  std::size_t concurrency = 2;      ///< concurrent jobs (worker threads)
+  std::size_t queue_capacity = 256;
+  /// Shared thread budget across all concurrent jobs; 0 resolves to
+  /// hardware concurrency via parallel::resolve_thread_count.
+  std::size_t total_threads = 0;
+  /// Engine-level re-runs of a job whose driver threw (on top of the
+  /// per-task retries inside the HFX builder).
+  std::size_t max_job_retries = 1;
+  bool cache = true;                ///< serve duplicates from ResultStore
+  /// When non-empty, each job checkpoints to
+  /// <checkpoint_dir>/job_<id>.ckpt and a retried attempt restores from
+  /// it, so a re-run resumes instead of starting over.
+  std::string checkpoint_dir;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(EngineOptions options = {});
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admission-controlled submission. A rejected job still produces a
+  /// JobRecord (state kRejected) in the final report.
+  Admission submit(Job job);
+
+  /// Launch the worker threads (idempotent; submit works before or
+  /// after).
+  void start();
+
+  /// Close the queue, run every admitted job to completion, join the
+  /// workers, and return all records (rejections included) ordered by
+  /// job id (rejected jobs, which never get an id, sort first in
+  /// submission order).
+  std::vector<JobRecord> drain();
+
+  const EngineOptions& options() const { return options_; }
+  /// Resolved shared budget and the per-job cap derived from it.
+  std::size_t total_threads() const { return total_threads_; }
+  std::size_t per_job_threads() const { return per_job_threads_; }
+
+  JobQueue& queue() { return queue_; }
+  const JobQueue& queue() const { return queue_; }
+  ResultStore& store() { return store_; }
+  const ResultStore& store() const { return store_; }
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
+ private:
+  void worker_loop(std::size_t worker_id);
+  JobRecord execute(Job job, double wait_seconds, std::size_t worker_id);
+
+  EngineOptions options_;
+  std::size_t total_threads_ = 1;
+  std::size_t per_job_threads_ = 1;
+  JobQueue queue_;
+  ResultStore store_;
+  obs::Registry registry_;
+
+  obs::Counter c_submitted_, c_rejected_, c_completed_, c_failed_;
+  obs::Counter c_cache_hits_, c_cache_misses_, c_retries_;
+  obs::Timer t_wait_, t_run_;
+
+  std::mutex records_mutex_;
+  std::vector<JobRecord> records_;
+
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace mthfx::engine

@@ -124,6 +124,34 @@ TEST(Input, TrailingCommentsStillAccepted) {
   EXPECT_EQ(in.molecule.size(), 2u);
 }
 
+TEST(Input, RejectsDuplicateKeywords) {
+  // Repeating any keyword is a parse error naming the offending key.
+  try {
+    app::parse_input(
+        "method hf\nmethod pbe0\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n");
+    FAIL() << "expected duplicate-keyword rejection";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate keyword 'method'"), std::string::npos)
+        << msg;
+  }
+  EXPECT_THROW(app::parse_input("charge 0\ncharge -1\n"
+                                "geometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"),
+               std::runtime_error);
+  EXPECT_THROW(app::parse_input("geometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"
+                                "geometry bohr\nHe 0 0 0\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Input, ThreadsKeyword) {
+  const auto in = app::parse_input(
+      "threads 3\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n");
+  EXPECT_EQ(in.num_threads, 3u);
+  EXPECT_THROW(app::parse_input(
+                   "threads -2\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"),
+               std::runtime_error);
+}
+
 TEST(Driver, WaterHfEnergy) {
   const auto in = app::parse_input(kWaterInput);
   const auto r = app::run(in);
@@ -146,6 +174,28 @@ TEST(Driver, OpenShellAutoSelectsUks) {
   EXPECT_TRUE(r.ok);
   EXPECT_NE(r.report.find("UKS(hf)"), std::string::npos);
   EXPECT_NEAR(r.energy, -7.3155, 1e-2);
+}
+
+TEST(Driver, StructuredResultCarriesTypedFields) {
+  const auto in = app::parse_input(kWaterInput);
+  const auto s = app::run_structured(in);
+  EXPECT_TRUE(s.ok);
+  EXPECT_TRUE(s.converged);
+  EXPECT_EQ(s.reference, "rks");
+  EXPECT_GT(s.scf_iterations, 0u);
+  EXPECT_GT(s.dipole_debye, 0.5);      // water has a real dipole
+  EXPECT_GT(s.homo_lumo_gap_ev, 1.0);  // closed-shell gap
+  // The thin run() wrapper reports the same numbers.
+  EXPECT_EQ(app::run(in).energy, s.energy);
+}
+
+TEST(Driver, StructuredGradientTask) {
+  const auto s = app::run_structured(app::parse_input(
+      "method hf\ntask gradient\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"));
+  EXPECT_TRUE(s.ok);
+  ASSERT_EQ(s.gradient.size(), 2u);
+  // Translational invariance: forces cancel along the bond axis.
+  EXPECT_NEAR(s.gradient[0][2] + s.gradient[1][2], 0.0, 1e-8);
 }
 
 TEST(Driver, MdTask) {

@@ -93,6 +93,61 @@ TEST(Replicate, LatticeForCountCoversRequest) {
   }
 }
 
+TEST(Replicate, LatticeForCountExactShapes) {
+  // Perfect cubes get the exact cube.
+  for (int n : {1, 2, 3, 4}) {
+    const auto spec = wl::lattice_for_count(n * n * n);
+    EXPECT_EQ(spec.nx, n);
+    EXPECT_EQ(spec.ny, n);
+    EXPECT_EQ(spec.nz, n);
+  }
+  // Non-cubes trim full z-layers off the covering cube.
+  const auto five = wl::lattice_for_count(5);  // 2x2 base, two layers
+  EXPECT_EQ(five.nx, 2);
+  EXPECT_EQ(five.ny, 2);
+  EXPECT_EQ(five.nz, 2);
+  const auto nine = wl::lattice_for_count(9);  // 3x3 base, one layer
+  EXPECT_EQ(nine.nx, 3);
+  EXPECT_EQ(nine.ny, 3);
+  EXPECT_EQ(nine.nz, 1);
+}
+
+TEST(Replicate, LatticeForCountLayerCountIsMinimal) {
+  // Given the nx = ny = ceil(cbrt) base, one fewer z-layer would not
+  // cover the request.
+  for (int count = 1; count <= 80; ++count) {
+    const auto spec = wl::lattice_for_count(count);
+    EXPECT_GE(spec.nx * spec.ny * spec.nz, count) << count;
+    EXPECT_LT(spec.nx * spec.ny * (spec.nz - 1), count) << count;
+  }
+}
+
+TEST(Replicate, ClusterOfExactCounts) {
+  const auto unit = wl::water();
+  for (int count : {1, 2, 5, 9, 12}) {
+    const auto cluster = wl::cluster_of(unit, count);
+    EXPECT_EQ(cluster.size(), static_cast<std::size_t>(count) * unit.size());
+    EXPECT_EQ(cluster.num_electrons(), 10 * count);
+  }
+  // Charged units accumulate charge per copy.
+  EXPECT_EQ(wl::cluster_of(wl::lithium_superoxide_anion(), 3).charge(), -3);
+}
+
+TEST(Replicate, ClusterOfPlacesCopiesRowMajor) {
+  // count=3 covers with a 2x2x1 lattice; the first three row-major sites
+  // are (0,0,0), (0,1,0), (1,0,0).
+  const auto unit = wl::h2();
+  const double s = 10.0;
+  const auto cluster = wl::cluster_of(unit, 3, s);
+  ASSERT_EQ(cluster.size(), 6u);
+  const auto base = unit.atom(0).pos;
+  EXPECT_EQ(cluster.atom(0).pos, base);
+  EXPECT_NEAR(cluster.atom(2).pos[1] - base[1], s, 1e-14);
+  EXPECT_NEAR(cluster.atom(2).pos[0] - base[0], 0.0, 1e-14);
+  EXPECT_NEAR(cluster.atom(4).pos[0] - base[0], s, 1e-14);
+  EXPECT_NEAR(cluster.atom(4).pos[1] - base[1], 0.0, 1e-14);
+}
+
 TEST(ReactionPath, LinearEndpointsExact) {
   auto a = wl::h2();
   auto b = wl::h2();
