@@ -1,0 +1,270 @@
+// A7 — ERI kernel microbenchmark: quartet throughput by L-class for the
+// sparse Hermite kernel (compacted E-lists + ket-side contraction
+// intermediates) against the pre-optimization dense reference kernel,
+// on the same precomputed pair data. The kernel variant is selected by
+// the EriKernel flag on ShellPairHermite, so "before" and "after" run
+// from identical inputs and are cross-checked element by element.
+//
+// Also records the reduce-phase scaling (hfx.reduce_seconds at 1 vs 8
+// threads) for the row-blocked tree reduction.
+//
+// `--smoke` runs the table with small iteration counts and exits nonzero
+// on any sparse-vs-dense disagreement — the counts-only CI invocation in
+// scripts/run_tests.sh. Without it, the table runs at full iteration
+// counts, emits BENCH_hfx_kernel.json, and then hands off to
+// google-benchmark for the registered timing loops.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ints/eri.hpp"
+
+namespace {
+
+using namespace mthfx;
+using ints::EriKernel;
+using ints::ShellPairHermite;
+
+// A small synthetic shell of the given angular momentum: 3 primitives
+// with TZ-ish exponent spread, slightly off-center so no coordinate
+// difference vanishes (the generic, not the special-case, code path).
+chem::Shell make_shell(int l, chem::Vec3 center) {
+  return chem::Shell(l, 0, center, {2.9, 0.81, 0.23}, {0.35, 0.55, 0.25});
+}
+
+struct LClass {
+  const char* name;
+  int la, lb, lc, ld;
+};
+
+constexpr LClass kClasses[] = {
+    {"(ss|ss)", 0, 0, 0, 0}, {"(sp|sp)", 0, 1, 0, 1},
+    {"(pp|pp)", 1, 1, 1, 1}, {"(dp|dp)", 2, 1, 2, 1},
+    {"(dd|dd)", 2, 2, 2, 2},
+};
+
+struct QuartetSetup {
+  ShellPairHermite sparse_bra, sparse_ket;
+  ShellPairHermite dense_bra, dense_ket;
+
+  QuartetSetup(const LClass& cls)
+      : sparse_bra(make_shell(cls.la, {0.0, 0.0, 0.0}),
+                   make_shell(cls.lb, {0.3, -0.2, 0.9})),
+        sparse_ket(make_shell(cls.lc, {1.1, 0.7, -0.4}),
+                   make_shell(cls.ld, {-0.5, 1.3, 0.6})),
+        dense_bra(make_shell(cls.la, {0.0, 0.0, 0.0}),
+                  make_shell(cls.lb, {0.3, -0.2, 0.9}),
+                  EriKernel::kDenseReference),
+        dense_ket(make_shell(cls.lc, {1.1, 0.7, -0.4}),
+                  make_shell(cls.ld, {-0.5, 1.3, 0.6}),
+                  EriKernel::kDenseReference) {}
+};
+
+double seconds_for(const std::function<void()>& fn, int iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double max_abs_diff(const ints::EriBlock& a, const ints::EriBlock& b) {
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    mx = std::max(mx, std::abs(a.values[i] - b.values[i]));
+  return mx;
+}
+
+// Mixed s/p/d workload: all quartets over one s, one p and one d shell
+// pair-set — the shape of a real heavy-atom polarization basis row.
+std::vector<chem::Shell> mixed_shells() {
+  return {make_shell(0, {0.0, 0.0, 0.0}), make_shell(1, {0.4, -0.3, 0.8}),
+          make_shell(2, {-0.7, 0.9, 0.2})};
+}
+
+obs::Json throughput_table(bool smoke, bool* agreement_ok) {
+  bench::print_header(
+      "A7: ERI quartet throughput, sparse kernel vs. dense reference "
+      "(same pair data)");
+  std::printf("%-10s %-10s %-14s %-14s %-9s %-12s\n", "class", "quartets",
+              "sparse q/s", "dense q/s", "speedup", "max|diff|");
+  bench::print_rule();
+
+  obs::Json rows = obs::Json::array();
+  const int iters = smoke ? 40 : 2000;
+  for (const LClass& cls : kClasses) {
+    QuartetSetup s(cls);
+    ints::EriBlock sparse_block, dense_block;
+    ints::eri_shell_quartet(s.sparse_bra, s.sparse_ket, sparse_block);
+    ints::eri_shell_quartet_dense_reference(s.dense_bra, s.dense_ket,
+                                            dense_block);
+    const double diff = max_abs_diff(sparse_block, dense_block);
+    if (diff > 1e-12) *agreement_ok = false;
+
+    const double ts = seconds_for(
+        [&] { ints::eri_shell_quartet(s.sparse_bra, s.sparse_ket, sparse_block); },
+        iters);
+    const double td = seconds_for(
+        [&] {
+          ints::eri_shell_quartet_dense_reference(s.dense_bra, s.dense_ket,
+                                                  dense_block);
+        },
+        iters);
+    const double qps_s = iters / ts;
+    const double qps_d = iters / td;
+    std::printf("%-10s %-10d %-14.3e %-14.3e %-9.2f %-12.2e\n", cls.name,
+                iters, qps_s, qps_d, qps_s / qps_d, diff);
+    obs::Json row = obs::Json::object();
+    row["class"] = cls.name;
+    row["quartets"] = iters;
+    row["sparse_quartets_per_second"] = qps_s;
+    row["dense_quartets_per_second"] = qps_d;
+    row["speedup"] = qps_s / qps_d;
+    row["max_abs_diff"] = diff;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+obs::Json mixed_workload(bool smoke, bool* agreement_ok) {
+  const auto shells = mixed_shells();
+  std::vector<ShellPairHermite> sparse, dense;
+  for (std::size_t a = 0; a < shells.size(); ++a)
+    for (std::size_t b = 0; b <= a; ++b) {
+      sparse.emplace_back(shells[a], shells[b]);
+      dense.emplace_back(shells[a], shells[b], EriKernel::kDenseReference);
+    }
+
+  ints::EriBlock block_s, block_d;
+  double diff = 0.0;
+  for (std::size_t bra = 0; bra < sparse.size(); ++bra)
+    for (std::size_t ket = 0; ket <= bra; ++ket) {
+      ints::eri_shell_quartet(sparse[bra], sparse[ket], block_s);
+      ints::eri_shell_quartet_dense_reference(dense[bra], dense[ket], block_d);
+      diff = std::max(diff, max_abs_diff(block_s, block_d));
+    }
+  if (diff > 1e-12) *agreement_ok = false;
+
+  const std::size_t quartets_per_sweep = sparse.size() * (sparse.size() + 1) / 2;
+  const int sweeps = smoke ? 5 : 300;
+  const double ts = seconds_for(
+      [&] {
+        for (std::size_t bra = 0; bra < sparse.size(); ++bra)
+          for (std::size_t ket = 0; ket <= bra; ++ket)
+            ints::eri_shell_quartet(sparse[bra], sparse[ket], block_s);
+      },
+      sweeps);
+  const double td = seconds_for(
+      [&] {
+        for (std::size_t bra = 0; bra < dense.size(); ++bra)
+          for (std::size_t ket = 0; ket <= bra; ++ket)
+            ints::eri_shell_quartet_dense_reference(dense[bra], dense[ket],
+                                                    block_d);
+      },
+      sweeps);
+  const double total = static_cast<double>(quartets_per_sweep * sweeps);
+  const double qps_s = total / ts;
+  const double qps_d = total / td;
+  std::printf("%-10s %-10.0f %-14.3e %-14.3e %-9.2f %-12.2e\n", "mixed", total,
+              qps_s, qps_d, qps_s / qps_d, diff);
+  obs::Json row = obs::Json::object();
+  row["class"] = "mixed s/p/d";
+  row["quartets"] = total;
+  row["sparse_quartets_per_second"] = qps_s;
+  row["dense_quartets_per_second"] = qps_d;
+  row["speedup"] = qps_s / qps_d;
+  row["max_abs_diff"] = diff;
+  return row;
+}
+
+// Reduce-phase scaling: hfx.reduce_seconds at 1 vs 8 threads for the
+// same build. The row-blocked tree makes this flat-to-shrinking in
+// thread count; the old serial sum grew linearly with it.
+obs::Json reduce_scaling(bool smoke) {
+  bench::print_header(
+      "A7: K-accumulator reduction, hfx.reduce_seconds by thread count");
+  const auto unit = workload::propylene_carbonate();
+  const auto mol = smoke ? unit : workload::cluster_of(unit, 2, 9.0);
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  const auto s = ints::overlap(basis);
+  const auto x = linalg::inverse_sqrt(s);
+  const auto p = scf::core_guess_density(basis, mol, x);
+
+  std::printf("%-10s %-16s %-16s\n", "threads", "reduce/s", "build wall/s");
+  bench::print_rule();
+  obs::Json rows = obs::Json::array();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    hfx::HfxOptions opts;
+    opts.eps_schwarz = 1e-8;
+    opts.num_threads = threads;
+    hfx::FockBuilder builder(basis, opts);
+    auto r = builder.exchange(p);
+    std::printf("%-10zu %-16.3e %-16.3e\n", threads, r.stats.reduce_seconds,
+                r.stats.wall_seconds);
+    obs::Json row = obs::Json::object();
+    row["threads"] = threads;
+    row["reduce_seconds"] = r.stats.reduce_seconds;
+    row["wall_seconds"] = r.stats.wall_seconds;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// google-benchmark timing loops for the two kernels on the heaviest
+// class, for perf-tracking runs.
+void BM_SparseKernel(benchmark::State& state) {
+  QuartetSetup s(kClasses[state.range(0)]);
+  ints::EriBlock block;
+  for (auto _ : state) {
+    ints::eri_shell_quartet(s.sparse_bra, s.sparse_ket, block);
+    benchmark::DoNotOptimize(block.values.data());
+  }
+}
+BENCHMARK(BM_SparseKernel)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_DenseReferenceKernel(benchmark::State& state) {
+  QuartetSetup s(kClasses[state.range(0)]);
+  ints::EriBlock block;
+  for (auto _ : state) {
+    ints::eri_shell_quartet_dense_reference(s.dense_bra, s.dense_ket, block);
+    benchmark::DoNotOptimize(block.values.data());
+  }
+}
+BENCHMARK(BM_DenseReferenceKernel)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  bool agreement_ok = true;
+  obs::Json record = obs::Json::object();
+  record["bench"] = "hfx_kernel";
+  record["throughput_by_class"] = throughput_table(smoke, &agreement_ok);
+  record["mixed_workload"] = mixed_workload(smoke, &agreement_ok);
+  record["reduce_scaling"] = reduce_scaling(smoke);
+  if (!smoke) bench::write_bench_json("hfx_kernel", record);
+
+  if (!agreement_ok) {
+    std::fprintf(stderr,
+                 "A7: sparse kernel disagrees with dense reference (> 1e-12)\n");
+    return 1;
+  }
+  if (smoke) {
+    std::printf("A7 smoke: kernel variants agree on every class.\n");
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,9 +3,11 @@
 #
 # Covers the concurrency-sensitive surface: the thread pool, the
 # work-stealing scheduler (both steal paths and their stats counters),
-# the obs registry's lock-free per-thread slots, the HFX scheduler
-# exactness tests, and the screening engine's job queue + multi-job
-# scheduler. A data race anywhere in that stack fails this script.
+# the row-blocked tree reduction (TreeReduce.* rides inside the full
+# test_parallel run), the obs registry's lock-free per-thread slots, the
+# HFX scheduler exactness tests, and the screening engine's job queue +
+# multi-job scheduler. A data race anywhere in that stack fails this
+# script.
 #
 # Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -33,7 +35,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # pool vs. submitter races, result-cache sharing, per-job fault domains.
 "$BUILD_DIR"/tests/test_engine --gtest_filter='JobQueue.*:JobScheduler.*'
 # Small-iteration differential subset: randomized schedule x thread-count
-# builds race the bag/steal protocols on fresh task shapes each case.
+# builds race the bag/steal protocols on fresh task shapes each case,
+# and every build ends in the shared-pool tree reduction of the
+# thread-private K accumulators.
 MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_differential \
   --gtest_filter='Differential.ThreadCountIsInvisibleAcrossSchedules:Differential.ScreenedBuildMatchesBruteForceAcrossSchedules'
 

@@ -12,6 +12,8 @@
 #include "ints/schwarz.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mthfx::hfx {
 
@@ -140,7 +142,8 @@ FockBuilder::FockBuilder(const BasisSet& basis, HfxOptions options)
     : basis_(basis),
       options_(options),
       pairs_(basis, ints::schwarz_bounds(basis), options.eps_schwarz),
-      tasks_(make_tasks(basis, pairs_, options.target_task_cost)) {
+      tasks_(make_tasks(basis, pairs_, options.target_task_cost,
+                        options.eps_schwarz)) {
   pair_hermites_.reserve(pairs_.size());
   for (const ShellPair& pr : pairs_.pairs())
     pair_hermites_.emplace_back(basis_.shell(pr.sa), basis_.shell(pr.sb));
@@ -233,12 +236,17 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
     const obs::Stopwatch watch;
     for (std::uint32_t kk = task.ket_begin; kk < task.ket_end; ++kk) {
       const ShellPair& ket = pairs_[kk];
-      ++considered;
       const double qq = bra.q * ket.q;
       if (qq < options_.eps_schwarz) {
-        ++schwarz;
-        continue;
+        // The pair list is sorted by descending q, so every remaining
+        // ket in this task fails the same bound: account for the whole
+        // tail and exit instead of testing it pair by pair.
+        const std::uint64_t rest = task.ket_end - kk;
+        considered += rest;
+        schwarz += rest;
+        break;
       }
+      ++considered;
       if (options_.density_screening) {
         const double pmax = want_coulomb
                                 ? std::max(exchange_density_bound(
@@ -291,25 +299,34 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
   const std::uint64_t pre_stalls = injector_ ? injector_->stalls() : 0;
   const std::uint64_t pre_corruptions =
       injector_ ? injector_->corruptions() : 0;
+  // One pool serves both parallel phases of the build (task loop, then
+  // accumulator reduction) so threads are spawned once per build.
+  parallel::ThreadPool pool(nthreads);
   {
     obs::Trace::Scope task_span(obs::global_trace(), "jk.tasks");
     obs::ScopedTimer wall(registry.timer("hfx.wall_seconds"), 0);
-    execute_tasks(tasks_.size(), nthreads, options_.schedule, run_task,
+    execute_tasks(pool, tasks_.size(), options_.schedule, run_task,
                   &registry,
                   RetryOptions{.max_retries = options_.fault.max_retries});
   }
 
-  // Reduce the thread-private accumulators (modeled as a torus tree
-  // reduction by the bgq simulator at scale).
+  // Reduce the thread-private accumulators with a row-blocked pairwise
+  // tree across the pool — the host analogue of the torus tree reduction
+  // the bgq simulator models at scale. Serial summation here would be
+  // O(nthreads * nao^2) on one thread, growing with exactly the thread
+  // count that is supposed to shrink the build.
   {
     obs::Trace::Scope reduce_span(obs::global_trace(), "jk.reduce");
     obs::ScopedTimer reduce(registry.timer("hfx.reduce_seconds"), 0);
-    result.k = Matrix(nao, nao);
-    for (const Matrix& kp : k_private) result.k += kp;
+    std::vector<double*> parts(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) parts[t] = k_private[t].data();
+    parallel::tree_reduce(pool, parts, nao * nao);
+    result.k = std::move(k_private.front());
     linalg::symmetrize(result.k);
     if (want_coulomb) {
-      result.j = Matrix(nao, nao);
-      for (const Matrix& jp : j_private) result.j += jp;
+      for (std::size_t t = 0; t < nthreads; ++t) parts[t] = j_private[t].data();
+      parallel::tree_reduce(pool, parts, nao * nao);
+      result.j = std::move(j_private.front());
       linalg::symmetrize(result.j);
     }
   }

@@ -57,6 +57,13 @@ void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
                    const std::function<void(std::size_t, std::size_t)>& body,
                    obs::Registry* registry, const RetryOptions& retry) {
   parallel::ThreadPool pool(num_threads);
+  execute_tasks(pool, num_tasks, schedule, body, registry, retry);
+}
+
+void execute_tasks(parallel::ThreadPool& pool, std::size_t num_tasks,
+                   HfxSchedule schedule,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   obs::Registry* registry, const RetryOptions& retry) {
   pool.set_registry(registry);
 
   obs::Counter tasks_executed;

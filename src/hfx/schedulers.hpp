@@ -13,6 +13,10 @@
 #include "hfx/fock_builder.hpp"
 #include "obs/registry.hpp"
 
+namespace mthfx::parallel {
+class ThreadPool;
+}
+
 namespace mthfx::hfx {
 
 /// 0 -> hardware concurrency (delegates to parallel::resolve_thread_count
@@ -53,6 +57,17 @@ struct TaskFailure : std::runtime_error {
 /// parallel_for policies it is retried in place. Exhausted budgets
 /// surface as TaskFailure.
 void execute_tasks(std::size_t num_tasks, std::size_t num_threads,
+                   HfxSchedule schedule,
+                   const std::function<void(std::size_t, std::size_t)>& body,
+                   obs::Registry* registry = nullptr,
+                   const RetryOptions& retry = {});
+
+/// Same contract, but runs on a caller-owned pool instead of spawning a
+/// fresh one — callers with more parallel phases than the task loop (the
+/// Fock builder also tree-reduces the accumulators) pay the thread spawn
+/// once per build instead of once per phase. The pool's registry
+/// attachment is replaced by `registry` for the duration of the call.
+void execute_tasks(parallel::ThreadPool& pool, std::size_t num_tasks,
                    HfxSchedule schedule,
                    const std::function<void(std::size_t, std::size_t)>& body,
                    obs::Registry* registry = nullptr,

@@ -1,8 +1,18 @@
 #include "hfx/tasks.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace mthfx::hfx {
+
+namespace {
+
+// Hermite-box volume term of the cost model, by total angular momentum.
+double hermite_volume(int lsum) {
+  return static_cast<double>((lsum + 1) * (lsum + 2) * (lsum + 3)) / 6.0;
+}
+
+}  // namespace
 
 double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
                              const ShellPair& ket) {
@@ -18,34 +28,77 @@ double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
                       static_cast<double>(b.num_functions()) *
                       static_cast<double>(c.num_functions()) *
                       static_cast<double>(d.num_functions());
-  const int lsum = a.l() + b.l() + c.l() + d.l();
   // Hermite contraction grows roughly with the volume of the (t,u,v) box.
-  const double herm = static_cast<double>((lsum + 1) * (lsum + 2) * (lsum + 3)) / 6.0;
-  return prim * comp * herm;
+  return prim * comp * hermite_volume(a.l() + b.l() + c.l() + d.l());
 }
 
 std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
                                     const ShellPairList& pairs,
-                                    double target_cost) {
+                                    double target_cost, double eps_schwarz) {
   const std::size_t np = pairs.size();
   std::vector<QuartetTask> tasks;
   if (np == 0) return tasks;
 
-  // Per-pair unit costs (cost of pairing with one "average" ket is not
-  // separable, so estimate row by row).
+  // The quartet cost model is separable per pair up to the Hermite-box
+  // term: cost(b, k) = w_b * w_k * volume(l_b + l_k). Factoring it once
+  // makes each quartet cost a table lookup and two multiplies, so the
+  // O(np^2) sweeps below never re-derive shell data per quartet (the old
+  // code called the full shell-level estimator twice per quartet: once
+  // in the target-cost pre-pass and again while chunking).
+  std::vector<double> weight(np);
+  std::vector<int> lsum(np);
+  int lmax = 0;
+  for (std::size_t i = 0; i < np; ++i) {
+    const auto& a = basis.shell(pairs[i].sa);
+    const auto& b = basis.shell(pairs[i].sb);
+    weight[i] = static_cast<double>(a.num_primitives()) *
+                static_cast<double>(b.num_primitives()) *
+                static_cast<double>(a.num_functions()) *
+                static_cast<double>(b.num_functions());
+    lsum[i] = a.l() + b.l();
+    lmax = std::max(lmax, lsum[i]);
+  }
+  std::vector<double> volume(static_cast<std::size_t>(2 * lmax) + 1);
+  for (std::size_t l = 0; l < volume.size(); ++l)
+    volume[l] = hermite_volume(static_cast<int>(l));
+
+  // Schwarz-screened quartets cost zero: the builder breaks out of the
+  // ket range at the first failing pair (pairs are sorted by descending
+  // q), so screened tails are a counter bump, not kernel work. The same
+  // descending sort makes "first screened ket of row b" a binary search.
+  const auto screened_begin = [&](std::size_t b) -> std::size_t {
+    if (eps_schwarz <= 0.0) return b + 1;
+    const double qb = pairs[b].q;
+    std::size_t lo = 0, hi = b + 1;  // first k with qb * q_k < eps
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (qb * pairs[mid].q >= eps_schwarz)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+
   if (target_cost <= 0.0) {
     double total = 0.0;
-    for (std::size_t b = 0; b < np; ++b)
-      for (std::size_t k = 0; k <= b; ++k)
-        total += estimate_quartet_cost(basis, pairs[b], pairs[k]);
+    for (std::size_t b = 0; b < np; ++b) {
+      const std::size_t live = screened_begin(b);
+      for (std::size_t k = 0; k < live; ++k)
+        total += weight[b] * weight[k] *
+                 volume[static_cast<std::size_t>(lsum[b] + lsum[k])];
+    }
     target_cost = total / (64.0 * static_cast<double>(np));
   }
 
   for (std::size_t b = 0; b < np; ++b) {
+    const std::size_t live = screened_begin(b);
     std::uint32_t begin = 0;
     double acc = 0.0;
     for (std::size_t k = 0; k <= b; ++k) {
-      acc += estimate_quartet_cost(basis, pairs[b], pairs[k]);
+      if (k < live)
+        acc += weight[b] * weight[k] *
+               volume[static_cast<std::size_t>(lsum[b] + lsum[k])];
       const bool last = (k == b);
       if (acc >= target_cost || last) {
         tasks.push_back({static_cast<std::uint32_t>(b), begin,

@@ -29,10 +29,15 @@ double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
                              const ShellPair& ket);
 
 /// Build the task list. `target_cost` bounds the estimated cost per task;
-/// 0 selects a heuristic (total cost / (64 * pairs)).
+/// 0 selects a heuristic (total cost / (64 * pairs)). With a positive
+/// `eps_schwarz`, quartets the builder will Schwarz-screen
+/// (bra.q * ket.q < eps) are costed at zero — they are a `break` in the
+/// kernel loop, not work — so chunk boundaries track the work that
+/// actually runs instead of being skewed toward screened-out regions.
 std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
                                     const ShellPairList& pairs,
-                                    double target_cost = 0.0);
+                                    double target_cost = 0.0,
+                                    double eps_schwarz = 0.0);
 
 /// Total estimated cost of a task list.
 double total_cost(const std::vector<QuartetTask>& tasks);

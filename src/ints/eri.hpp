@@ -8,8 +8,18 @@
 // on the bra or ket shell pair, so callers that sweep many quartets (the
 // Fock builder) precompute it once per significant pair and amortize it
 // across every partner pair.
+//
+// The pair expansion is stored *sparse*: per Cartesian component, a
+// compacted list of structurally nonzero (t,u,v) -> E entries (angular
+// bounds t <= ax+bx etc. plus the same-center parity zeros), so the
+// quartet kernel touches only real work. The quartet contraction is
+// ordered ket-first: for each primitive pair the Hermite Coulomb tensor
+// R is contracted with each ket component's E-list once, into a panel
+// indexed by the bra pair's union pattern, and that panel is reused by
+// every bra component (see docs/hfx_scheme.md, "The ERI kernel").
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "chem/basis.hpp"
@@ -36,45 +46,93 @@ struct EriBlock {
   }
 };
 
+/// Which quartet-kernel data a ShellPairHermite carries. kSparse is the
+/// production layout; kDenseReference additionally keeps the historical
+/// dense (lab+1)^3 boxes so the pre-optimization kernel
+/// (eri_shell_quartet_dense_reference) can run as a before/after
+/// baseline in benches and differential tests.
+enum class EriKernel { kSparse, kDenseReference };
+
+/// One structurally nonzero Hermite expansion coefficient of one
+/// Cartesian component: E(t,u,v) with the contraction/normalization
+/// coefficient folded in.
+struct HermiteEntry {
+  double val = 0.0;       ///< coefficient-weighted E value (bra-side use)
+  double sval = 0.0;      ///< val * (-1)^(t+u+v) (ket-side use)
+  std::uint8_t t = 0, u = 0, v = 0;  ///< Hermite orders
+  std::uint16_t upos = 0; ///< position in the pair's union pattern
+};
+
+/// A (t,u,v) coordinate of the pair-level union sparsity pattern.
+struct HermiteCoord {
+  std::uint8_t t = 0, u = 0, v = 0;
+};
+
 /// Precomputed coefficient-weighted Hermite expansion of one contracted
-/// shell pair (all primitive pairs).
+/// shell pair (all primitive pairs), compacted to structurally nonzero
+/// entries.
 class ShellPairHermite {
  public:
-  ShellPairHermite(const chem::Shell& a, const chem::Shell& b);
+  ShellPairHermite(const chem::Shell& a, const chem::Shell& b,
+                   EriKernel variant = EriKernel::kSparse);
 
   std::size_t num_functions_bra() const { return na_; }
   std::size_t num_functions_ket() const { return nb_; }
   int total_l() const { return lab_; }
+  /// Size of the union sparsity pattern (<= (lab+1)^3; halved for
+  /// same-center pairs by Hermite parity).
+  std::size_t union_size() const { return union_coords_.size(); }
 
  private:
   friend void eri_shell_quartet(const ShellPairHermite& bra,
                                 const ShellPairHermite& ket, EriBlock& out);
+  friend void eri_shell_quartet_dense_reference(const ShellPairHermite& bra,
+                                                const ShellPairHermite& ket,
+                                                EriBlock& out);
 
   struct Prim {
     double p = 0.0;         // exponent sum
     chem::Vec3 center{};    // Gaussian product center
     double max_abs_e = 0.0; // largest |e| — primitive-level cutoff bound
-    std::vector<double> e;  // [comp][t][u][v] over a (lab+1)^3 box
+    /// Compacted per-component entry lists, concatenated; component c
+    /// owns entries [comp_begin[c], comp_begin[c+1]).
+    std::vector<HermiteEntry> entries;
+    std::vector<std::uint32_t> comp_begin;
+    /// Dense [comp][t][u][v] boxes — only with EriKernel::kDenseReference.
+    std::vector<double> dense;
   };
 
   int lab_ = 0;
   std::size_t na_ = 0, nb_ = 0, ncomp_ = 0;
   std::vector<chem::CartPowers> powers_a_, powers_b_;
+  /// Union of the per-component sparsity patterns, in box-offset order;
+  /// HermiteEntry::upos indexes into this.
+  std::vector<HermiteCoord> union_coords_;
   std::vector<Prim> prims_;
 };
 
 /// Compute one shell quartet from precomputed pair data into `out`
 /// (buffers are reused across calls — the hot path never allocates once
-/// capacities are warm).
+/// capacities are warm). Sparse production kernel.
 void eri_shell_quartet(const ShellPairHermite& bra,
                        const ShellPairHermite& ket, EriBlock& out);
+
+/// Pre-optimization reference kernel: dense (lab+1)^3 boxes with
+/// zero-skipping branches, ket contraction redone per bra component.
+/// Both pairs must have been built with EriKernel::kDenseReference.
+/// Kept as the before/after baseline for bench_a7 and the differential
+/// sparse-vs-dense agreement tests.
+void eri_shell_quartet_dense_reference(const ShellPairHermite& bra,
+                                       const ShellPairHermite& ket,
+                                       EriBlock& out);
 
 /// Convenience: compute one shell quartet (ab|cd) from shells.
 EriBlock eri_shell_quartet(const chem::Shell& a, const chem::Shell& b,
                            const chem::Shell& c, const chem::Shell& d);
 
 /// Full nao^4 tensor in chemists' notation (test/small-system use only).
-/// Index ((mu*n + nu)*n + lam)*n + sig.
+/// Index ((mu*n + nu)*n + lam)*n + sig. Pair expansions are built for
+/// the sa >= sb triangle only and reused for both bra orders.
 std::vector<double> eri_tensor(const chem::BasisSet& basis);
 
 }  // namespace mthfx::ints

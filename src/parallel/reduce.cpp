@@ -1,0 +1,38 @@
+#include "parallel/reduce.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mthfx::parallel {
+
+void tree_reduce(ThreadPool& pool, const std::vector<double*>& parts,
+                 std::size_t len) {
+  const std::size_t nparts = parts.size();
+  if (nparts <= 1 || len == 0) return;
+
+  const std::size_t nblocks = pool.num_threads();
+  const std::size_t block = (len + nblocks - 1) / nblocks;
+
+  for (std::size_t gap = 1; gap < nparts; gap *= 2) {
+    // This round's pairwise adds: parts[i] += parts[i + gap] for every
+    // surviving root i. Distinct pairs touch disjoint buffers and
+    // distinct row blocks touch disjoint ranges, so all (pair x block)
+    // work items are independent.
+    std::vector<std::pair<double*, const double*>> ops;
+    for (std::size_t i = 0; i + gap < nparts; i += 2 * gap)
+      ops.push_back({parts[i], parts[i + gap]});
+    if (ops.empty()) continue;
+    pool.parallel_for(
+        0, ops.size() * nblocks,
+        [&](std::size_t w, std::size_t) {
+          double* dst = ops[w / nblocks].first;
+          const double* src = ops[w / nblocks].second;
+          const std::size_t i0 = (w % nblocks) * block;
+          const std::size_t i1 = std::min(i0 + block, len);
+          for (std::size_t i = i0; i < i1; ++i) dst[i] += src[i];
+        },
+        Schedule::kStatic);
+  }
+}
+
+}  // namespace mthfx::parallel

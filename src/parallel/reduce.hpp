@@ -1,0 +1,32 @@
+#pragma once
+
+// Row-blocked pairwise tree reduction of per-thread accumulators — the
+// host-side analogue of the torus tree reduction the BG/Q model assumes
+// for K-matrix assembly (bgq/collectives.cpp).
+//
+// The serial alternative (`for (p : parts) total += p`) is
+// O(nparts * len) on one thread: it grows linearly with thread count and
+// becomes the build's tail once the task loop itself scales. The tree
+// runs ceil(log2(nparts)) rounds of pairwise adds, each round split into
+// row blocks across the pool, so wall time is O(len * log2(nparts) /
+// nthreads) — sub-linear in thread count for the fixed-output reduction.
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mthfx::parallel {
+
+/// Reduce `parts` (equal-length buffers of `len` doubles) into parts[0],
+/// in place, using pairwise tree rounds (gap doubling: parts[i] +=
+/// parts[i+gap]) with each round row-blocked across the pool.
+///
+/// The combination tree is fixed by parts.size() alone, so the result is
+/// bit-for-bit deterministic regardless of the pool's thread count or
+/// scheduling — a reduction with N partials always produces the same
+/// floating-point sum.  Buffers other than parts[0] are clobbered.
+void tree_reduce(ThreadPool& pool, const std::vector<double*>& parts,
+                 std::size_t len);
+
+}  // namespace mthfx::parallel

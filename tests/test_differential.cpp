@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
@@ -154,6 +156,121 @@ TEST(Differential, ThreadCountIsInvisibleAcrossSchedules) {
                  " threads drifted from serial by " + fmt(diff);
         return "";
       });
+}
+
+// The sparse compacted-E-list kernel against the retained dense
+// reference kernel, quartet by quartet, on a basis with s, p and d
+// shells (6-31g* puts Cartesian d on O). The sparse kernel preserves
+// the dense kernel's association order, so agreement is bitwise; we
+// assert the acceptance bound of 1e-12.
+TEST(Differential, SparseKernelMatchesDenseReferenceOnMixedShells) {
+  MTHFX_PROPERTY_N(
+      "Differential.SparseKernelMatchesDenseReferenceOnMixedShells", 6,
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        namespace ints = mthfx::ints;
+        const auto mol = mt::jittered(rng, mthfx::workload::water(), 0.08);
+        const auto basis = chem::BasisSet::build(mol, "6-31g*");
+
+        std::vector<ints::ShellPairHermite> sparse;
+        std::vector<ints::ShellPairHermite> dense;
+        for (std::size_t sa = 0; sa < basis.num_shells(); ++sa)
+          for (std::size_t sb = 0; sb <= sa; ++sb) {
+            sparse.emplace_back(basis.shell(sa), basis.shell(sb));
+            dense.emplace_back(basis.shell(sa), basis.shell(sb),
+                               ints::EriKernel::kDenseReference);
+          }
+
+        ints::EriBlock bs;
+        ints::EriBlock bd;
+        for (std::size_t bra = 0; bra < sparse.size(); ++bra)
+          for (std::size_t ket = 0; ket <= bra; ++ket) {
+            ints::eri_shell_quartet(sparse[bra], sparse[ket], bs);
+            ints::eri_shell_quartet_dense_reference(dense[bra], dense[ket],
+                                                    bd);
+            for (std::size_t i = 0; i < bs.values.size(); ++i)
+              if (std::abs(bs.values[i] - bd.values[i]) > 1e-12)
+                return "quartet (" + std::to_string(bra) + "," +
+                       std::to_string(ket) + ") element " +
+                       std::to_string(i) + ": sparse " + fmt(bs.values[i]) +
+                       " vs dense " + fmt(bd.values[i]);
+          }
+        return "";
+      });
+}
+
+// Full builder on a d-shell basis, every schedule, at tight screening:
+// the sparse kernel + ket-side intermediates + early-exit ket loop must
+// reproduce the dense J/K oracle to 1e-12.
+TEST(Differential, MixedShellBuildMatchesOracleAcrossSchedules) {
+  MTHFX_PROPERTY_N(
+      "Differential.MixedShellBuildMatchesOracleAcrossSchedules", 6,
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::jittered(rng, mthfx::workload::water(), 0.08);
+        const auto basis = chem::BasisSet::build(mol, "6-31g*");
+        const auto p = mt::random_symmetric_density(rng, basis.num_functions());
+        const auto ref = mt::dense_jk_reference(basis, p);
+
+        hfx::HfxOptions opts;
+        opts.eps_schwarz = 1e-12;
+        opts.num_threads = 1 + rng.index(8);
+        for (const auto schedule : mt::all_schedules()) {
+          opts.schedule = schedule;
+          hfx::FockBuilder builder(basis, opts);
+          const auto jk = builder.coulomb_exchange(p);
+          const double kerr = la::max_abs(jk.k - ref.k);
+          const double jerr = la::max_abs(jk.j - ref.j);
+          if (kerr > 1e-12 || jerr > 1e-12)
+            return std::string("schedule ") + schedule_name(schedule) +
+                   " (threads " + std::to_string(opts.num_threads) +
+                   "): |dK| " + fmt(kerr) + " |dJ| " + fmt(jerr);
+        }
+        return "";
+      });
+}
+
+// Pinned regression for the early-exit Schwarz break: the bulk tail
+// accounting must keep both conservation laws intact —
+//   considered = schwarz + density + computed, and
+//   considered = sum over tasks of (ket_end - ket_begin)
+// — at a screening threshold loose enough that tasks actually break
+// mid-range, with and without density screening, on every schedule.
+TEST(Differential, EarlyExitScreeningStatsStayConserved) {
+  // Water is too compact for quartet-level Schwarz failures at any
+  // threshold its pair list survives; propylene carbonate has enough
+  // spatial spread that ket ranges genuinely break mid-task.
+  const auto mol = mthfx::workload::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  la::Matrix p(basis.num_functions(), basis.num_functions());
+  for (std::size_t i = 0; i < p.rows(); ++i)
+    for (std::size_t j = 0; j < p.cols(); ++j)
+      p(i, j) = (i == j) ? 1.0 : 0.02 / (1.0 + static_cast<double>(i + j));
+
+  for (const bool density : {false, true}) {
+    for (const auto schedule : mt::all_schedules()) {
+      hfx::HfxOptions opts;
+      opts.eps_schwarz = 1e-6;  // loose: forces mid-range breaks
+      opts.density_screening = density;
+      opts.schedule = schedule;
+      opts.num_threads = 4;
+      hfx::FockBuilder builder(basis, opts);
+      const auto r = builder.coulomb_exchange(p);
+      const auto& s = r.stats.screening;
+
+      std::uint64_t span = 0;
+      for (const auto& task : builder.tasks())
+        span += task.ket_end - task.ket_begin;
+
+      EXPECT_GT(s.quartets_schwarz_screened, 0u)
+          << "threshold not loose enough to exercise the break";
+      EXPECT_EQ(s.quartets_considered,
+                s.quartets_schwarz_screened + s.quartets_density_screened +
+                    s.quartets_computed)
+          << "schedule " << schedule_name(schedule) << " density " << density;
+      EXPECT_EQ(s.quartets_considered, span)
+          << "schedule " << schedule_name(schedule) << " density " << density;
+      if (!density) EXPECT_EQ(s.quartets_density_screened, 0u);
+    }
+  }
 }
 
 // End-to-end differential: the converged SCF energy must not depend on
