@@ -31,8 +31,8 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
     if [ "$TIER" = tier1 ]; then
       # Perf smoke: small-iteration A7 kernel sweep. Counts and
-      # sparse-vs-dense cross-checks only — no timing assertions, so it
-      # cannot flake on a loaded machine.
+      # batched-vs-sparse-vs-dense cross-checks only — no timing
+      # assertions, so it cannot flake on a loaded machine.
       "$BUILD_DIR"/bench/bench_a7_eri_kernel --smoke
     fi
     ;;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build the arithmetic-heavy tests under UndefinedBehaviorSanitizer and
+# run them.
+#
+# Covers the surfaces where the SIMD batched ERI path bends the rules
+# hardest: vector-extension loads/stores through memcpy, exponent-bit
+# manipulation in v8_exp, signed shift packing in the structure keys,
+# and the pointer arithmetic of the sparse Hermite entry walks. Any
+# UB diagnostic fails this script (halt_on_error below).
+#
+# Usage: scripts/run_ubsan.sh [build-dir]   (default: build-ubsan)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=undefined
+cmake --build "$BUILD_DIR" -j --target test_boys test_eri test_hfx \
+  test_differential bench_a7_eri_kernel
+
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+"$BUILD_DIR"/tests/test_boys
+"$BUILD_DIR"/tests/test_eri
+# Kernel-facing subset of test_hfx (SCF convergence loops are slow under
+# UBSan and add no new arithmetic surface).
+"$BUILD_DIR"/tests/test_hfx --gtest_filter='Hfx.*:DigestQuartet*'
+# Small-iteration differential subset: randomized quartet streams drive
+# the batched kernel's ragged-tail and lane-masking paths.
+MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_differential
+# The A7 smoke sweeps every shell class through batched + scalar + dense
+# in one process — the densest UB net over the micro-kernel itself.
+"$BUILD_DIR"/bench/bench_a7_eri_kernel --smoke
+
+echo "UBSan pass clean."

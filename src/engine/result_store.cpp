@@ -1,6 +1,8 @@
 #include "engine/result_store.hpp"
 
 #include <bit>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace mthfx::engine {
@@ -8,8 +10,16 @@ namespace mthfx::engine {
 namespace {
 
 /// Doubles go in as bit patterns: 0.1 + 0.2 != 0.3 must miss, and two
-/// decimal renderings of the same double must hit.
+/// decimal renderings of the same double must hit. Bit patterns are
+/// canonicalized first: -0.0 compares equal to +0.0 everywhere physics
+/// can see (an atom at coordinate -0.0 *is* the atom at 0.0), yet its
+/// sign bit used to split the cache key; likewise any NaN payload
+/// collapses to the one quiet NaN.
 void put_double(std::ostringstream& out, double v) {
+  if (v == 0.0)
+    v = 0.0;  // drops the sign of -0.0
+  else if (std::isnan(v))
+    v = std::numeric_limits<double>::quiet_NaN();
   out << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
 }
 

@@ -9,6 +9,7 @@
 
 #include "hfx/schedulers.hpp"
 #include "ints/eri.hpp"
+#include "ints/eri_batch.hpp"
 #include "ints/schwarz.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -143,10 +144,11 @@ FockBuilder::FockBuilder(const BasisSet& basis, HfxOptions options)
       options_(options),
       pairs_(basis, ints::schwarz_bounds(basis), options.eps_schwarz),
       tasks_(make_tasks(basis, pairs_, options.target_task_cost,
-                        options.eps_schwarz)) {
+                        options.eps_schwarz, options.eri_kernel)) {
   pair_hermites_.reserve(pairs_.size());
   for (const ShellPair& pr : pairs_.pairs())
-    pair_hermites_.emplace_back(basis_.shell(pr.sa), basis_.shell(pr.sb));
+    pair_hermites_.emplace_back(basis_.shell(pr.sa), basis_.shell(pr.sb),
+                                options_.eri_kernel);
   if (options_.fault.enabled()) injector_.emplace(options_.fault);
 }
 
@@ -233,6 +235,15 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
     // Screening tallies accumulate locally and flush once per task so
     // the inner quartet loop performs no atomic traffic.
     std::uint64_t considered = 0, schwarz = 0, density_scr = 0, computed = 0;
+    // Batched kernel: survivors of this task's screening loop accumulate
+    // into a quartet stream and are evaluated in one micro-kernel call,
+    // then digested in the same ascending-ket order the scalar path uses.
+    // (All three buffers keep their capacity across tasks.)
+    const bool batched = options_.eri_kernel == ints::EriKernel::kBatched;
+    thread_local std::vector<std::uint32_t> survivors;
+    thread_local std::vector<ints::QuartetRef> stream;
+    thread_local std::vector<ints::EriBlock> blocks;
+    survivors.clear();
     const obs::Stopwatch watch;
     for (std::uint32_t kk = task.ket_begin; kk < task.ket_end; ++kk) {
       const ShellPair& ket = pairs_[kk];
@@ -263,12 +274,36 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
         }
       }
       ++computed;
+      if (batched) {
+        survivors.push_back(kk);
+        continue;
+      }
       thread_local ints::EriBlock block;
-      ints::eri_shell_quartet(pair_hermites_[task.bra], pair_hermites_[kk],
-                              block);
+      if (options_.eri_kernel == ints::EriKernel::kDenseReference)
+        ints::eri_shell_quartet_dense_reference(pair_hermites_[task.bra],
+                                                pair_hermites_[kk], block);
+      else
+        ints::eri_shell_quartet(pair_hermites_[task.bra], pair_hermites_[kk],
+                                block);
       digest_quartet(basis_, bra.sa, bra.sb, ket.sa, ket.sb, block, density,
                      j_acc, k_acc, /*braket_same=*/kk == task.bra,
                      eps_contribution);
+    }
+    if (batched && !survivors.empty()) {
+      stream.clear();
+      stream.reserve(survivors.size());
+      for (const std::uint32_t kk : survivors)
+        stream.push_back({&pair_hermites_[task.bra], &pair_hermites_[kk]});
+      if (blocks.size() < survivors.size()) blocks.resize(survivors.size());
+      ints::eri_shell_quartet_batched({stream.data(), stream.size()},
+                                      blocks.data());
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        const ShellPair& ket = pairs_[survivors[i]];
+        digest_quartet(basis_, bra.sa, bra.sb, ket.sa, ket.sb, blocks[i],
+                       density, j_acc, k_acc,
+                       /*braket_same=*/survivors[i] == task.bra,
+                       eps_contribution);
+      }
     }
     // A kCorrupt fault models silent data corruption in the task's
     // output. With validation on, the isfinite sweep catches it and the

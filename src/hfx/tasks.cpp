@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 
 namespace mthfx::hfx {
 
@@ -10,6 +11,18 @@ namespace {
 // Hermite-box volume term of the cost model, by total angular momentum.
 double hermite_volume(int lsum) {
   return static_cast<double>((lsum + 1) * (lsum + 2) * (lsum + 3)) / 6.0;
+}
+
+// Measured throughput gain of the batched SIMD kernel over the scalar
+// sparse kernel by combined quartet angular momentum (bench_a7, 8-lane
+// AVX-512 host; ss ~3.6x down to dd|dd ~2.6x — high-L quartets spend
+// relatively more time in the scatter/panel bookkeeping that does not
+// vectorize). Only the *ratios* matter: dividing each class's cost by
+// its speedup keeps batched task chunks time-even across classes.
+double batched_speedup(int lsum) {
+  constexpr double kByLsum[] = {3.6, 3.4, 3.1, 3.4, 2.6};
+  constexpr int kN = static_cast<int>(std::size(kByLsum));
+  return kByLsum[std::min(lsum, kN - 1)];
 }
 
 }  // namespace
@@ -34,7 +47,8 @@ double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
 
 std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
                                     const ShellPairList& pairs,
-                                    double target_cost, double eps_schwarz) {
+                                    double target_cost, double eps_schwarz,
+                                    ints::EriKernel kernel) {
   const std::size_t np = pairs.size();
   std::vector<QuartetTask> tasks;
   if (np == 0) return tasks;
@@ -59,8 +73,11 @@ std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
     lmax = std::max(lmax, lsum[i]);
   }
   std::vector<double> volume(static_cast<std::size_t>(2 * lmax) + 1);
-  for (std::size_t l = 0; l < volume.size(); ++l)
+  for (std::size_t l = 0; l < volume.size(); ++l) {
     volume[l] = hermite_volume(static_cast<int>(l));
+    if (kernel == ints::EriKernel::kBatched)
+      volume[l] /= batched_speedup(static_cast<int>(l));
+  }
 
   // Schwarz-screened quartets cost zero: the builder breaks out of the
   // ket range at the first failing pair (pairs are sorted by descending

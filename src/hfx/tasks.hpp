@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hfx/shell_pairs.hpp"
+#include "ints/eri.hpp"
 
 namespace mthfx::hfx {
 
@@ -34,10 +35,14 @@ double estimate_quartet_cost(const chem::BasisSet& basis, const ShellPair& bra,
 /// (bra.q * ket.q < eps) are costed at zero — they are a `break` in the
 /// kernel loop, not work — so chunk boundaries track the work that
 /// actually runs instead of being skewed toward screened-out regions.
-std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
-                                    const ShellPairList& pairs,
-                                    double target_cost = 0.0,
-                                    double eps_schwarz = 0.0);
+/// `kernel` selects the cost model: the batched SIMD kernel compresses
+/// the quartet cost spread between angular classes (low-L classes gain
+/// more from vectorization than high-L ones), so its per-class costs are
+/// deflated by measured per-class speedups to keep chunks even.
+std::vector<QuartetTask> make_tasks(
+    const chem::BasisSet& basis, const ShellPairList& pairs,
+    double target_cost = 0.0, double eps_schwarz = 0.0,
+    ints::EriKernel kernel = ints::EriKernel::kSparse);
 
 /// Total estimated cost of a task list.
 double total_cost(const std::vector<QuartetTask>& tasks);

@@ -16,11 +16,11 @@ using chem::Vec3;
 
 namespace {
 
-// Compile-time capacity: supports shells up to l = 3 (f) on each center,
-// i.e. Hermite orders up to 12 in the Coulomb tensor.
-constexpr int kMaxL = 3;
+// Compile-time capacity: supports shells up to l = kEriMaxL (f) on each
+// center, i.e. Hermite orders up to kEriMaxTuv in the Coulomb tensor.
+constexpr int kMaxL = kEriMaxL;
 constexpr int kMaxLab = 2 * kMaxL;          // per-side Hermite order
-constexpr int kMaxTuv = 4 * kMaxL;          // combined order for R
+constexpr int kMaxTuv = kEriMaxTuv;         // combined order for R
 constexpr std::size_t kE1 = kMaxLab + 1;    // per-dimension box extent
 
 // Fixed-capacity E(t; i, j) table for one direction of one primitive pair.
@@ -109,6 +109,23 @@ struct RTensor {
   }
 };
 
+// True when E(t; i, j) vanishes identically in one dimension, by
+// parity rather than by accident of the geometry. A same-coordinate
+// pair (ab == 0) expands the pure monomial (x-P)^{i+j}, so only
+// i+j-t even survives; equal exponents with i == j expand
+// ((x-P)^2 - (ab/2)^2)^i, even in x-P, so only even t survives.
+// Entry retention must be decided by these rules, not by comparing
+// the computed value with zero: the recurrence's cancellation noise
+// makes a value test geometry-dependent, which splits structurally
+// identical pairs into distinct batching classes (observed as the
+// batched kernel degrading to width-1 batches whenever a basis puts
+// the same exponent on both shells of a pair).
+bool parity_zero_1d(double ab, double ea, double eb, int i, int j, int t) {
+  if (ab == 0.0) return ((i + j - t) & 1) != 0;
+  if (ea == eb && i == j) return (t & 1) != 0;
+  return false;
+}
+
 thread_local RTensor tls_r;
 
 // Per-quartet scratch for the sparse kernel (capacity persists, so the
@@ -139,6 +156,7 @@ ShellPairHermite::ShellPairHermite(const Shell& a, const Shell& b,
   // nonzero for *any* component of *any* primitive — that union is the
   // pattern the quartet kernel's ket->bra panel is indexed by.
   std::vector<std::vector<double>> boxes(prims_.size());
+  std::vector<std::vector<char>> nz(prims_.size());
   std::vector<char> mask(box, 0);
   std::size_t pp = 0;
   for (std::size_t i = 0; i < a.num_primitives(); ++i) {
@@ -154,24 +172,37 @@ ShellPairHermite::ShellPairHermite(const Shell& a, const Shell& b,
 
       std::vector<double>& e = boxes[pp];
       e.assign(ncomp_ * box, 0.0);
+      std::vector<char>& keep = nz[pp];
+      keep.assign(ncomp_ * box, 0);
       std::size_t comp = 0;
       for (std::size_t ia = 0; ia < na_; ++ia) {
         for (std::size_t ib = 0; ib < nb_; ++ib, ++comp) {
           const double cc = a.norm_coef(i, ia) * b.norm_coef(j, ib);
           double* dst = e.data() + comp * box;
+          char* nzc = keep.data() + comp * box;
           for (int t = 0; t <= powers_a_[ia].x + powers_b_[ib].x; ++t) {
+            if (parity_zero_1d(ca.x - cb.x, ea, eb, powers_a_[ia].x,
+                               powers_b_[ib].x, t))
+              continue;
             const double vx = cc * ex.v[powers_a_[ia].x][powers_b_[ib].x][t];
             for (int u = 0; u <= powers_a_[ia].y + powers_b_[ib].y; ++u) {
+              if (parity_zero_1d(ca.y - cb.y, ea, eb, powers_a_[ia].y,
+                                 powers_b_[ib].y, u))
+                continue;
               const double vxy =
                   vx * ey.v[powers_a_[ia].y][powers_b_[ib].y][u];
               for (int w = 0; w <= powers_a_[ia].z + powers_b_[ib].z; ++w) {
+                if (parity_zero_1d(ca.z - cb.z, ea, eb, powers_a_[ia].z,
+                                   powers_b_[ib].z, w))
+                  continue;
                 const std::size_t off = (static_cast<std::size_t>(t) * n1 +
                                          static_cast<std::size_t>(u)) *
                                             n1 +
                                         static_cast<std::size_t>(w);
                 const double ev = vxy * ez.v[powers_a_[ia].z][powers_b_[ib].z][w];
                 dst[off] = ev;
-                if (ev != 0.0) mask[off] = 1;
+                nzc[off] = 1;
+                mask[off] = 1;
               }
             }
           }
@@ -197,21 +228,27 @@ ShellPairHermite::ShellPairHermite(const Shell& a, const Shell& b,
                                  static_cast<std::uint8_t>(v)});
       }
 
-  // Pass 2: compact each component's nonzeros into the entry lists the
-  // quartet kernel iterates, with the ket-side parity sign prefolded.
+  // Pass 2: compact each component's structurally nonzero slots into the
+  // entry lists the quartet kernel iterates, with the ket-side parity
+  // sign prefolded. Retention follows the parity flags, never the value:
+  // an accidental numerical zero stays (it contributes nothing) so that
+  // every pair with the same skeleton compacts to the same entry
+  // pattern regardless of geometry.
   for (std::size_t pi = 0; pi < prims_.size(); ++pi) {
     Prim& prim = prims_[pi];
     const std::vector<double>& e = boxes[pi];
+    const std::vector<char>& keep = nz[pi];
     prim.comp_begin.assign(ncomp_ + 1, 0);
     for (std::size_t comp = 0; comp < ncomp_; ++comp) {
       prim.comp_begin[comp] = static_cast<std::uint32_t>(prim.entries.size());
       const double* src = e.data() + comp * box;
+      const char* nzc = keep.data() + comp * box;
       for (std::size_t t = 0; t < n1; ++t)
         for (std::size_t u = 0; u < n1; ++u)
           for (std::size_t v = 0; v < n1; ++v) {
             const std::size_t off = (t * n1 + u) * n1 + v;
+            if (!nzc[off]) continue;
             const double ev = src[off];
-            if (ev == 0.0) continue;
             HermiteEntry entry;
             entry.val = ev;
             entry.sval = ((t + u + v) & 1) ? -ev : ev;
@@ -225,6 +262,34 @@ ShellPairHermite::ShellPairHermite(const Shell& a, const Shell& b,
     prim.comp_begin[ncomp_] = static_cast<std::uint32_t>(prim.entries.size());
     if (variant == EriKernel::kDenseReference) prim.dense = std::move(boxes[pi]);
   }
+
+  // Structural class key for the batched kernel: FNV-1a over everything
+  // that shapes the kernel's control flow and indexing — angular class,
+  // union pattern, per-primitive/component entry coordinates — with the
+  // coefficient *values* deliberately excluded (they become SIMD lane
+  // data). Equal skeleton => identical instruction stream.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(lab_));
+  mix(na_);
+  mix(nb_);
+  mix(prims_.size());
+  mix(union_coords_.size());
+  for (const HermiteCoord& c : union_coords_)
+    mix((static_cast<std::uint64_t>(c.t) << 16) |
+        (static_cast<std::uint64_t>(c.u) << 8) | c.v);
+  for (const Prim& prim : prims_) {
+    mix(prim.entries.size());
+    for (const std::uint32_t cb : prim.comp_begin) mix(cb);
+    for (const HermiteEntry& e : prim.entries)
+      mix((static_cast<std::uint64_t>(e.t) << 40) |
+          (static_cast<std::uint64_t>(e.u) << 32) |
+          (static_cast<std::uint64_t>(e.v) << 24) | e.upos);
+  }
+  structure_key_ = h;
 }
 
 void eri_shell_quartet(const ShellPairHermite& bra,

@@ -26,6 +26,14 @@
 
 namespace mthfx::ints {
 
+class BatchedEri;  // batched SIMD kernel implementation (eri_batch.cpp)
+
+/// Largest per-center angular momentum the fixed-capacity kernels
+/// support (f shells), and the largest combined Hermite order any
+/// quartet's Coulomb tensor can reach.
+inline constexpr int kEriMaxL = 3;
+inline constexpr int kEriMaxTuv = 4 * kEriMaxL;
+
 /// Primitive-combination truncation threshold of the ERI kernel: a
 /// primitive quartet whose prefactor-weighted Hermite bound falls below
 /// this is skipped. Anything the kernel reports is therefore only
@@ -46,12 +54,14 @@ struct EriBlock {
   }
 };
 
-/// Which quartet-kernel data a ShellPairHermite carries. kSparse is the
-/// production layout; kDenseReference additionally keeps the historical
-/// dense (lab+1)^3 boxes so the pre-optimization kernel
-/// (eri_shell_quartet_dense_reference) can run as a before/after
-/// baseline in benches and differential tests.
-enum class EriKernel { kSparse, kDenseReference };
+/// Which quartet kernel consumes a ShellPairHermite (and what data the
+/// pair therefore carries). kSparse is the scalar production kernel;
+/// kBatched is the SIMD kernel (eri_batch.hpp), which reads the same
+/// sparse layout plus the structural class key; kDenseReference
+/// additionally keeps the historical dense (lab+1)^3 boxes so the
+/// pre-optimization kernel (eri_shell_quartet_dense_reference) can run
+/// as a before/after baseline in benches and differential tests.
+enum class EriKernel { kSparse, kDenseReference, kBatched };
 
 /// One structurally nonzero Hermite expansion coefficient of one
 /// Cartesian component: E(t,u,v) with the contraction/normalization
@@ -82,8 +92,15 @@ class ShellPairHermite {
   /// Size of the union sparsity pattern (<= (lab+1)^3; halved for
   /// same-center pairs by Hermite parity).
   std::size_t union_size() const { return union_coords_.size(); }
+  /// FNV-1a hash of the pair's structural skeleton — angular class,
+  /// primitive count, union pattern, per-component entry coordinates —
+  /// but *not* coefficient values. Two pairs with equal skeletons (the
+  /// batched kernel verifies equality, the key only pre-filters) can be
+  /// evaluated in lockstep SIMD lanes.
+  std::uint64_t structure_key() const { return structure_key_; }
 
  private:
+  friend class BatchedEri;
   friend void eri_shell_quartet(const ShellPairHermite& bra,
                                 const ShellPairHermite& ket, EriBlock& out);
   friend void eri_shell_quartet_dense_reference(const ShellPairHermite& bra,
@@ -109,6 +126,7 @@ class ShellPairHermite {
   /// HermiteEntry::upos indexes into this.
   std::vector<HermiteCoord> union_coords_;
   std::vector<Prim> prims_;
+  std::uint64_t structure_key_ = 0;
 };
 
 /// Compute one shell quartet from precomputed pair data into `out`

@@ -1,0 +1,440 @@
+#include "ints/eri_batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "ints/boys.hpp"
+#include "ints/simd.hpp"
+
+namespace mthfx::ints {
+
+namespace {
+
+constexpr std::size_t kW = kBoysBatchWidth;
+
+// Per-thread scratch, grow-only so the hot path never allocates warm.
+struct BatchScratch {
+  // Packed per-primitive lane data, SoA: value index e, lane w at
+  // [e * kW + w]. Entry *values* are lane data; entry coordinates are
+  // shared batch structure read from lane 0's pair.
+  std::vector<double> bra_vals;    // [bra prim entries][lane] (val)
+  std::vector<double> ket_svals;   // [ket prim entries][lane] (sval)
+  std::vector<std::size_t> ent_off_b, ent_off_k;  // per-prim entry offsets
+  std::vector<double> bp_p, bp_x, bp_y, bp_z, bp_me;  // [prim * kW + w]
+  std::vector<double> kp_p, kp_x, kp_y, kp_z, kp_me;
+  std::vector<std::uint32_t> rbase;  // union point -> flat R offset
+  std::vector<double> r_a, r_b;      // ping-pong R slices, [offset][lane]
+  std::vector<double> panel;         // [ket comp][union point][lane]
+};
+
+thread_local BatchScratch tls;
+
+}  // namespace
+
+// Friend of ShellPairHermite: implements interning, batch packing and
+// the lane-parallel kernel stages.
+class BatchedEri {
+ public:
+  static void run(std::span<const QuartetRef> stream, EriBlock* out) {
+    const std::size_t n = stream.size();
+    if (n == 0) return;
+
+    // Intern each distinct pair pointer to a structural class id. The
+    // memoization is per call on purpose: pair objects are rebuilt
+    // between Fock builds and addresses can be recycled, so a
+    // cross-call pointer cache could silently alias two generations.
+    std::unordered_map<const ShellPairHermite*, std::uint32_t> memo;
+    std::vector<const ShellPairHermite*> reps;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_key;
+    const auto intern = [&](const ShellPairHermite* p) -> std::uint32_t {
+      const auto it = memo.find(p);
+      if (it != memo.end()) return it->second;
+      std::uint32_t id = 0;
+      bool found = false;
+      std::vector<std::uint32_t>& cands = by_key[p->structure_key()];
+      for (const std::uint32_t c : cands)
+        if (same_structure(*p, *reps[c])) {
+          id = c;
+          found = true;
+          break;
+        }
+      if (!found) {
+        id = static_cast<std::uint32_t>(reps.size());
+        reps.push_back(p);
+        cands.push_back(id);
+      }
+      memo.emplace(p, id);
+      return id;
+    };
+
+    // Sort key: (bra class, ket class). Ids are assigned in first-seen
+    // stream order and the sort is stable, so batch composition is a
+    // pure function of the stream.
+    std::vector<std::uint64_t> key(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t cb = intern(stream[i].bra);
+      const std::uint64_t ck = intern(stream[i].ket);
+      key[i] = (cb << 32) | ck;
+    }
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](std::uint32_t a, std::uint32_t b) {
+                       return key[a] < key[b];
+                     });
+
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && j - i < kW && key[order[j]] == key[order[i]]) ++j;
+      eval_batch(stream, order.data() + i, j - i, out);
+      i = j;
+    }
+  }
+
+ private:
+  // Full structural equality — the hash key only pre-filters. Everything
+  // that shapes control flow and indexing must match; coefficient values
+  // (val/sval, exponents, centers) are lane data and deliberately don't.
+  static bool same_structure(const ShellPairHermite& x,
+                             const ShellPairHermite& y) {
+    if (x.lab_ != y.lab_ || x.na_ != y.na_ || x.nb_ != y.nb_ ||
+        x.prims_.size() != y.prims_.size() ||
+        x.union_coords_.size() != y.union_coords_.size())
+      return false;
+    for (std::size_t u = 0; u < x.union_coords_.size(); ++u) {
+      const HermiteCoord a = x.union_coords_[u];
+      const HermiteCoord b = y.union_coords_[u];
+      if (a.t != b.t || a.u != b.u || a.v != b.v) return false;
+    }
+    for (std::size_t p = 0; p < x.prims_.size(); ++p) {
+      const auto& xp = x.prims_[p];
+      const auto& yp = y.prims_[p];
+      if (xp.entries.size() != yp.entries.size() ||
+          xp.comp_begin != yp.comp_begin)
+        return false;
+      for (std::size_t e = 0; e < xp.entries.size(); ++e) {
+        const HermiteEntry& a = xp.entries[e];
+        const HermiteEntry& b = yp.entries[e];
+        if (a.t != b.t || a.u != b.u || a.v != b.v || a.upos != b.upos)
+          return false;
+      }
+    }
+    return true;
+  }
+
+  static void eval_batch(std::span<const QuartetRef> stream,
+                         const std::uint32_t* idx, std::size_t nw,
+                         EriBlock* out) {
+    // Lane tables; ragged tails replicate lane 0 (prefactor forced to 0
+    // below, final writes guarded by w < nw).
+    const ShellPairHermite* B[kW];
+    const ShellPairHermite* K[kW];
+    for (std::size_t w = 0; w < kW; ++w) {
+      const QuartetRef& q = stream[idx[w < nw ? w : 0]];
+      B[w] = q.bra;
+      K[w] = q.ket;
+    }
+    const ShellPairHermite& b0 = *B[0];
+    const ShellPairHermite& k0 = *K[0];
+    const std::size_t ncb = b0.ncomp_;
+    const std::size_t nck = k0.ncomp_;
+
+    for (std::size_t w = 0; w < nw; ++w) {
+      EriBlock& o = out[idx[w]];
+      o.na = b0.na_;
+      o.nb = b0.nb_;
+      o.nc = k0.na_;
+      o.nd = k0.nb_;
+      o.values.assign(ncb * nck, 0.0);
+    }
+
+    const int lab = b0.lab_;
+    const int lcd = k0.lab_;
+    const int tuv_max = lab + lcd;
+    const std::size_t rn1 = static_cast<std::size_t>(tuv_max + 1);
+    const std::size_t nu = b0.union_coords_.size();
+    if (nu == 0) return;
+    const std::size_t npb = b0.prims_.size();
+    const std::size_t npk = k0.prims_.size();
+
+    // ---- Batch packing: shared structure from lane 0, values SoA.
+    tls.rbase.resize(nu);
+    for (std::size_t pnt = 0; pnt < nu; ++pnt) {
+      const HermiteCoord c = b0.union_coords_[pnt];
+      tls.rbase[pnt] = static_cast<std::uint32_t>(
+          (static_cast<std::size_t>(c.t) * rn1 + c.u) * rn1 + c.v);
+    }
+
+    tls.ent_off_b.resize(npb + 1);
+    tls.ent_off_b[0] = 0;
+    for (std::size_t p = 0; p < npb; ++p)
+      tls.ent_off_b[p + 1] = tls.ent_off_b[p] + b0.prims_[p].entries.size();
+    tls.ent_off_k.resize(npk + 1);
+    tls.ent_off_k[0] = 0;
+    for (std::size_t p = 0; p < npk; ++p)
+      tls.ent_off_k[p + 1] = tls.ent_off_k[p] + k0.prims_[p].entries.size();
+
+    tls.bra_vals.resize(tls.ent_off_b[npb] * kW);
+    tls.ket_svals.resize(tls.ent_off_k[npk] * kW);
+    tls.bp_p.resize(npb * kW);
+    tls.bp_x.resize(npb * kW);
+    tls.bp_y.resize(npb * kW);
+    tls.bp_z.resize(npb * kW);
+    tls.bp_me.resize(npb * kW);
+    tls.kp_p.resize(npk * kW);
+    tls.kp_x.resize(npk * kW);
+    tls.kp_y.resize(npk * kW);
+    tls.kp_z.resize(npk * kW);
+    tls.kp_me.resize(npk * kW);
+    for (std::size_t p = 0; p < npb; ++p) {
+      double* vals = tls.bra_vals.data() + tls.ent_off_b[p] * kW;
+      for (std::size_t w = 0; w < kW; ++w) {
+        const auto& pr = B[w]->prims_[p];
+        tls.bp_p[p * kW + w] = pr.p;
+        tls.bp_x[p * kW + w] = pr.center.x;
+        tls.bp_y[p * kW + w] = pr.center.y;
+        tls.bp_z[p * kW + w] = pr.center.z;
+        tls.bp_me[p * kW + w] = pr.max_abs_e;
+        for (std::size_t e = 0; e < pr.entries.size(); ++e)
+          vals[e * kW + w] = pr.entries[e].val;
+      }
+    }
+    for (std::size_t p = 0; p < npk; ++p) {
+      double* svals = tls.ket_svals.data() + tls.ent_off_k[p] * kW;
+      for (std::size_t w = 0; w < kW; ++w) {
+        const auto& pr = K[w]->prims_[p];
+        tls.kp_p[p * kW + w] = pr.p;
+        tls.kp_x[p * kW + w] = pr.center.x;
+        tls.kp_y[p * kW + w] = pr.center.y;
+        tls.kp_z[p * kW + w] = pr.center.z;
+        tls.kp_me[p * kW + w] = pr.max_abs_e;
+        for (std::size_t e = 0; e < pr.entries.size(); ++e)
+          svals[e * kW + w] = pr.entries[e].sval;
+      }
+    }
+
+    const std::size_t rcube = rn1 * rn1 * rn1;
+    tls.r_a.resize(rcube * kW);
+    tls.r_b.resize(rcube * kW);
+    tls.panel.resize(nck * nu * kW);
+    const double pi52 = 2.0 * std::pow(std::numbers::pi, 2.5);
+
+    // ---- Primitive-combination loop, all lanes in lockstep. A lane
+    // whose combination falls below the primitive cutoff (or a padded
+    // tail lane) runs with pref = 0, which contributes an exact +-0.0 in
+    // stage 2 — the same result as the scalar kernel's skip.
+    for (std::size_t bi = 0; bi < npb; ++bi) {
+      for (std::size_t ki = 0; ki < npk; ++ki) {
+        double pref[kW], alpha[kW], dx[kW], dy[kW], dz[kW], targ[kW];
+        bool any = false;
+        for (std::size_t w = 0; w < kW; ++w) {
+          const double p = tls.bp_p[bi * kW + w];
+          const double q = tls.kp_p[ki * kW + w];
+          double pr = pi52 / (p * q * std::sqrt(p + q));
+          if (w >= nw ||
+              pr * tls.bp_me[bi * kW + w] * tls.kp_me[ki * kW + w] <
+                  kEriPrimitiveCutoff)
+            pr = 0.0;
+          else
+            any = true;
+          pref[w] = pr;
+          alpha[w] = p * q / (p + q);
+          dx[w] = tls.bp_x[bi * kW + w] - tls.kp_x[ki * kW + w];
+          dy[w] = tls.bp_y[bi * kW + w] - tls.kp_y[ki * kW + w];
+          dz[w] = tls.bp_z[bi * kW + w] - tls.kp_z[ki * kW + w];
+          targ[w] = alpha[w] * (dx[w] * dx[w] + dy[w] * dy[w] + dz[w] * dz[w]);
+        }
+        if (!any) continue;
+
+        double f[(kBoysMaxM + 1) * kW];
+        static_assert(kEriMaxTuv <= kBoysMaxM);
+        boys_batch(tuv_max, targ, f);
+
+        // R-tensor recurrence over lanes, same slice order and term
+        // association as the scalar RTensor.
+        const double* r = build_r(tuv_max, rn1, alpha, dx, dy, dz, f);
+
+        // Stage 1 — ket contraction into the bra-union panel. Entry 0
+        // initializes the panel row (no zero-fill pass); the remaining
+        // entries fold in two at a time to amortize the panel
+        // read-modify-write per FMA. The pairwise grouping reorders the
+        // per-point additions relative to the scalar kernel — a few-ulp
+        // effect far inside the 1e-12 agreement budget.
+        const std::uint32_t* rbase = tls.rbase.data();
+        const auto& kp0 = k0.prims_[ki];
+        const auto r_of = [r, rn1](const HermiteEntry& e) {
+          return r + ((static_cast<std::size_t>(e.t) * rn1 + e.u) * rn1 + e.v) *
+                         kW;
+        };
+        for (std::size_t kc = 0; kc < nck; ++kc) {
+          double* panel_kc = tls.panel.data() + kc * nu * kW;
+          const HermiteEntry* ke = kp0.entries.data() + kp0.comp_begin[kc];
+          const std::size_t ne = kp0.comp_begin[kc + 1] - kp0.comp_begin[kc];
+          const double* sv = tls.ket_svals.data() +
+                             (tls.ent_off_k[ki] + kp0.comp_begin[kc]) * kW;
+          if (ne == 0) {
+            std::fill(panel_kc, panel_kc + nu * kW, 0.0);
+            continue;
+          }
+          {
+            const double* rk = r_of(ke[0]);
+            const V8 s0 = v8_load(sv);
+            for (std::size_t pnt = 0; pnt < nu; ++pnt)
+              v8_store(panel_kc + pnt * kW,
+                       s0 * v8_load(rk + static_cast<std::size_t>(rbase[pnt]) *
+                                             kW));
+          }
+          std::size_t e = 1;
+          for (; e + 1 < ne; e += 2) {
+            const double* rk0 = r_of(ke[e]);
+            const double* rk1 = r_of(ke[e + 1]);
+            const V8 s0 = v8_load(sv + e * kW);
+            const V8 s1 = v8_load(sv + (e + 1) * kW);
+            for (std::size_t pnt = 0; pnt < nu; ++pnt) {
+              const std::size_t off = static_cast<std::size_t>(rbase[pnt]) * kW;
+              double* pp = panel_kc + pnt * kW;
+              v8_store(pp, v8_load(pp) + s0 * v8_load(rk0 + off) +
+                               s1 * v8_load(rk1 + off));
+            }
+          }
+          if (e < ne) {
+            const double* rk = r_of(ke[e]);
+            const V8 s0 = v8_load(sv + e * kW);
+            for (std::size_t pnt = 0; pnt < nu; ++pnt) {
+              double* pp = panel_kc + pnt * kW;
+              v8_store(pp, v8_load(pp) +
+                               s0 * v8_load(rk + static_cast<std::size_t>(
+                                                     rbase[pnt]) *
+                                                     kW));
+            }
+          }
+        }
+
+        // Stage 2 — bra sparse dots against the panel, four ket
+        // components per pass so each bra value load feeds four FMAs,
+        // scattered to the per-lane output blocks. The per-(bc,kc)
+        // summation order matches the scalar kernel exactly.
+        const auto& bp0 = b0.prims_[bi];
+        for (std::size_t bc = 0; bc < ncb; ++bc) {
+          const HermiteEntry* be0 = bp0.entries.data() + bp0.comp_begin[bc];
+          const HermiteEntry* be1 = bp0.entries.data() + bp0.comp_begin[bc + 1];
+          const double* bv0 = tls.bra_vals.data() +
+                              (tls.ent_off_b[bi] + bp0.comp_begin[bc]) * kW;
+          std::size_t kc = 0;
+          for (; kc + 4 <= nck; kc += 4) {
+            const double* p0 = tls.panel.data() + kc * nu * kW;
+            const double* p1 = p0 + nu * kW;
+            const double* p2 = p1 + nu * kW;
+            const double* p3 = p2 + nu * kW;
+            V8 s0 = v8_zero(), s1 = v8_zero(), s2 = v8_zero(), s3 = v8_zero();
+            const double* bv = bv0;
+            for (const HermiteEntry* be = be0; be != be1; ++be, bv += kW) {
+              const std::size_t off = static_cast<std::size_t>(be->upos) * kW;
+              const V8 b = v8_load(bv);
+              s0 = s0 + b * v8_load(p0 + off);
+              s1 = s1 + b * v8_load(p1 + off);
+              s2 = s2 + b * v8_load(p2 + off);
+              s3 = s3 + b * v8_load(p3 + off);
+            }
+            for (std::size_t w = 0; w < nw; ++w) {
+              double* orow = out[idx[w]].values.data() + bc * nck + kc;
+              orow[0] += pref[w] * s0[w];
+              orow[1] += pref[w] * s1[w];
+              orow[2] += pref[w] * s2[w];
+              orow[3] += pref[w] * s3[w];
+            }
+          }
+          for (; kc < nck; ++kc) {
+            const double* panel_kc = tls.panel.data() + kc * nu * kW;
+            V8 sum = v8_zero();
+            const double* bv = bv0;
+            for (const HermiteEntry* be = be0; be != be1; ++be, bv += kW) {
+              const double* pp =
+                  panel_kc + static_cast<std::size_t>(be->upos) * kW;
+              sum = sum + v8_load(bv) * v8_load(pp);
+            }
+            for (std::size_t w = 0; w < nw; ++w)
+              out[idx[w]].values[bc * nck + kc] += pref[w] * sum[w];
+          }
+        }
+      }
+    }
+  }
+
+  // Lane-parallel Hermite Coulomb tensor: the scalar RTensor recurrence
+  // with every slot widened to kW lanes. Returns the n = 0 slice,
+  // [flat (t,u,v) offset * kW + lane].
+  static const double* build_r(int tuv_max, std::size_t rn1,
+                               const double* alpha, const double* dx,
+                               const double* dy, const double* dz,
+                               const double* f) {
+    double* hi = tls.r_a.data();
+    double* lo = tls.r_b.data();
+    const auto idx3 = [rn1](int t, int u, int v) {
+      return ((static_cast<std::size_t>(t) * rn1 + static_cast<std::size_t>(u)) *
+                  rn1 +
+              static_cast<std::size_t>(v)) *
+             kW;
+    };
+    const V8 vdx = v8_load(dx);
+    const V8 vdy = v8_load(dy);
+    const V8 vdz = v8_load(dz);
+    double powers[(kEriMaxTuv + 1) * kW];
+    {
+      V8 m2a = v8_broadcast(1.0);
+      const V8 step = v8_broadcast(-2.0) * v8_load(alpha);
+      for (int n = 0; n <= tuv_max; ++n) {
+        v8_store(powers + static_cast<std::size_t>(n) * kW, m2a);
+        m2a = m2a * step;
+      }
+    }
+    for (int n = tuv_max; n >= 0; --n) {
+      v8_store(lo, v8_load(powers + static_cast<std::size_t>(n) * kW) *
+                       v8_load(f + static_cast<std::size_t>(n) * kW));
+      for (int total = 1; total <= tuv_max - n; ++total) {
+        for (int t = total; t >= 0; --t) {
+          for (int u = total - t; u >= 0; --u) {
+            const int v = total - t - u;
+            double* dst = lo + idx3(t, u, v);
+            V8 val;
+            if (t > 0) {
+              val = vdx * v8_load(hi + idx3(t - 1, u, v));
+              if (t > 1)
+                val = v8_broadcast(static_cast<double>(t - 1)) *
+                          v8_load(hi + idx3(t - 2, u, v)) +
+                      val;
+            } else if (u > 0) {
+              val = vdy * v8_load(hi + idx3(t, u - 1, v));
+              if (u > 1)
+                val = v8_broadcast(static_cast<double>(u - 1)) *
+                          v8_load(hi + idx3(t, u - 2, v)) +
+                      val;
+            } else {
+              val = vdz * v8_load(hi + idx3(t, u, v - 1));
+              if (v > 1)
+                val = v8_broadcast(static_cast<double>(v - 1)) *
+                          v8_load(hi + idx3(t, u, v - 2)) +
+                      val;
+            }
+            v8_store(dst, val);
+          }
+        }
+      }
+      std::swap(hi, lo);
+    }
+    return hi;
+  }
+};
+
+void eri_shell_quartet_batched(std::span<const QuartetRef> stream,
+                               EriBlock* out) {
+  BatchedEri::run(stream, out);
+}
+
+}  // namespace mthfx::ints

@@ -1,0 +1,111 @@
+#pragma once
+
+// Fixed-width vector-of-double used by the batched Boys evaluator and
+// the batched ERI micro-kernel (one lane per quartet). Autovectorization
+// of the lane loops is fragile — the hot loops walk several scratch
+// arrays the compiler cannot prove distinct, so GCC leaves them scalar —
+// hence an explicit vector type: GNU vector extensions where available
+// (lowered to one AVX-512 register or two AVX2 registers per value), a
+// plain struct fallback elsewhere.
+//
+// Loads and stores go through memcpy on purpose: it compiles to the
+// same unaligned vector move and sidesteps strict-aliasing questions
+// about viewing `double` arrays as vectors.
+
+#include <cmath>
+#include <cstring>
+
+#include "ints/boys.hpp"
+
+namespace mthfx::ints {
+
+static_assert(kBoysBatchWidth == 8,
+              "V8 is hard-wired to 8 lanes (vector_size(64))");
+
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef double V8 __attribute__((vector_size(64), may_alias, aligned(8)));
+typedef long long V8i __attribute__((vector_size(64), may_alias, aligned(8)));
+
+inline V8 v8_broadcast(double x) { return V8{x, x, x, x, x, x, x, x}; }
+
+/// Vector exp(x) for x <= 0 (the Boys kernels only ever need e^{-T}).
+/// Cody–Waite range reduction, degree-13 Taylor on |r| <= ln2/2, 2^k
+/// scaling via exponent-bit construction; matches std::exp to a few ulp.
+/// Inputs below the underflow edge return ~DBL_MIN instead of 0 — the
+/// callers only ever add e^{-T} to terms >= F_m(T), which dwarfs 1e-308.
+inline V8 v8_exp(V8 x) {
+  const V8 lo = v8_broadcast(-708.0);
+  const V8i keep = x > lo;
+  x = (V8)(((V8i)x & keep) | ((V8i)lo & ~keep));
+  const V8 shifter = v8_broadcast(6755399441055744.0);  // 1.5 * 2^52
+  const V8 kd = x * v8_broadcast(1.4426950408889634) + shifter;
+  const V8 k = kd - shifter;  // nearest-integer x / ln2, exact
+  V8 r = x - k * v8_broadcast(0.6931471803691238);   // ln2 hi
+  r = r - k * v8_broadcast(1.9082149292705877e-10);  // ln2 lo
+  V8 p = v8_broadcast(1.0 / 6227020800.0);  // 1/13!
+  p = p * r + v8_broadcast(1.0 / 479001600.0);
+  p = p * r + v8_broadcast(1.0 / 39916800.0);
+  p = p * r + v8_broadcast(1.0 / 3628800.0);
+  p = p * r + v8_broadcast(1.0 / 362880.0);
+  p = p * r + v8_broadcast(1.0 / 40320.0);
+  p = p * r + v8_broadcast(1.0 / 5040.0);
+  p = p * r + v8_broadcast(1.0 / 720.0);
+  p = p * r + v8_broadcast(1.0 / 120.0);
+  p = p * r + v8_broadcast(1.0 / 24.0);
+  p = p * r + v8_broadcast(1.0 / 6.0);
+  p = p * r + v8_broadcast(0.5);
+  p = p * r + v8_broadcast(1.0);
+  p = p * r + v8_broadcast(1.0);
+  const V8i ebits = (__builtin_convertvector(k, V8i) + 1023) << 52;
+  return p * (V8)ebits;
+}
+
+#else
+
+struct V8 {
+  double d[kBoysBatchWidth];
+  double operator[](std::size_t i) const { return d[i]; }
+  double& operator[](std::size_t i) { return d[i]; }
+  friend V8 operator+(V8 a, V8 b) {
+    for (std::size_t w = 0; w < kBoysBatchWidth; ++w) a.d[w] += b.d[w];
+    return a;
+  }
+  friend V8 operator-(V8 a, V8 b) {
+    for (std::size_t w = 0; w < kBoysBatchWidth; ++w) a.d[w] -= b.d[w];
+    return a;
+  }
+  friend V8 operator*(V8 a, V8 b) {
+    for (std::size_t w = 0; w < kBoysBatchWidth; ++w) a.d[w] *= b.d[w];
+    return a;
+  }
+  friend V8 operator/(V8 a, V8 b) {
+    for (std::size_t w = 0; w < kBoysBatchWidth; ++w) a.d[w] /= b.d[w];
+    return a;
+  }
+};
+
+inline V8 v8_broadcast(double x) {
+  V8 r;
+  for (std::size_t w = 0; w < kBoysBatchWidth; ++w) r.d[w] = x;
+  return r;
+}
+
+inline V8 v8_exp(V8 x) {
+  for (std::size_t w = 0; w < kBoysBatchWidth; ++w) x.d[w] = std::exp(x.d[w]);
+  return x;
+}
+
+#endif
+
+inline V8 v8_load(const double* p) {
+  V8 r;
+  std::memcpy(&r, p, sizeof r);
+  return r;
+}
+
+inline void v8_store(double* p, V8 x) { std::memcpy(p, &x, sizeof x); }
+
+inline V8 v8_zero() { return v8_broadcast(0.0); }
+
+}  // namespace mthfx::ints

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -85,5 +86,90 @@ TEST(Boys, AsymptoticLargeT) {
     const double ref = dfact / std::pow(2.0 * t, m) * 0.5 * std::sqrt(M_PI / t);
     EXPECT_NEAR(ints::boys_single(m, t) / ref, 1.0, 1e-10);
     dfact *= (2 * m + 1);
+  }
+}
+
+TEST(Boys, SeamContinuityAcrossBranchSwitch) {
+  // The downward-series / upward-erf switch lives at max(18, 2 m_max):
+  // T just below that threshold takes the series+downward branch, T at
+  // or above it takes the erf+upward branch. F_m changes by ~1 ulp over
+  // one ulp of T, so the straddle pair below must agree to the ~1e-15
+  // evaluator noise floor; a branch mismatch (the historical fixed seam
+  // at T = 36 stepped between two different noise floors) shows up as a
+  // jump orders of magnitude larger.
+  constexpr int kMaxM = 12;  // largest m_max the ERI kernel requests
+  for (int m_max = 0; m_max <= kMaxM; ++m_max) {
+    const double seam = std::max(18.0, 2.0 * m_max);
+    const double below = std::nextafter(seam, 0.0);  // downward branch
+    double lo[ints::kBoysMaxM + 1], hi[ints::kBoysMaxM + 1];
+    ints::boys(m_max, below, {lo, static_cast<std::size_t>(m_max) + 1});
+    ints::boys(m_max, seam, {hi, static_cast<std::size_t>(m_max) + 1});
+    for (int m = 0; m <= m_max; ++m) {
+      const std::size_t mi = static_cast<std::size_t>(m);
+      EXPECT_NEAR(hi[mi], lo[mi], 1e-13 * lo[mi])
+          << "m_max=" << m_max << " m=" << m << " seam=" << seam;
+    }
+  }
+  // The old seam's window: both sides of T = 36 must also track the
+  // integral itself, not merely each other.
+  for (int m_max = 0; m_max <= kMaxM; m_max += 4) {
+    for (double t = 35.9; t <= 36.1; t += 0.02) {
+      const double got = ints::boys_single(m_max, t);
+      EXPECT_NEAR(got / boys_quadrature(m_max, t), 1.0, 1e-10)
+          << "m_max=" << m_max << " T=" << t;
+    }
+  }
+}
+
+TEST(Boys, SingleHandlesMaxSupportedOrder) {
+  // boys_single runs on a fixed stack buffer sized by kBoysMaxM (it used
+  // to heap-allocate per call); the top supported order must work and
+  // agree with quadrature.
+  const int m = ints::kBoysMaxM;
+  for (double t : {1e-6, 0.5, 7.0, 42.0, 300.0})
+    EXPECT_NEAR(ints::boys_single(m, t) / boys_quadrature(m, t), 1.0, 1e-10)
+        << "T=" << t;
+}
+
+TEST(BoysBatch, MatchesScalarAcrossRegimes) {
+  // One batch deliberately straddling every branch: tiny-T series,
+  // mid-range tabulated-Taylor downward lanes, and upward erf lanes,
+  // for every m_max the ERI kernel can request.
+  const double ts[ints::kBoysBatchWidth] = {1e-14, 1e-3, 0.7,  5.0,
+                                            17.9,  19.0, 36.0, 250.0};
+  for (int m_max = 0; m_max <= ints::kBoysMaxM; ++m_max) {
+    double batch[(ints::kBoysMaxM + 1) * ints::kBoysBatchWidth];
+    ints::boys_batch(m_max, ts, batch);
+    for (std::size_t w = 0; w < ints::kBoysBatchWidth; ++w) {
+      double ref[ints::kBoysMaxM + 1];
+      ints::boys(m_max, ts[w], {ref, static_cast<std::size_t>(m_max) + 1});
+      for (int m = 0; m <= m_max; ++m) {
+        const double b =
+            batch[static_cast<std::size_t>(m) * ints::kBoysBatchWidth + w];
+        const double r = ref[static_cast<std::size_t>(m)];
+        EXPECT_NEAR(b, r, 1e-13 * r)
+            << "m_max=" << m_max << " m=" << m << " T=" << ts[w];
+      }
+    }
+  }
+}
+
+TEST(BoysBatch, UniformBranchLanesTakeFastPaths) {
+  // All-downward and all-upward batches skip the per-lane blend; both
+  // fast paths must agree with the scalar evaluator too.
+  const double all_down[ints::kBoysBatchWidth] = {0.1, 0.5, 1.0, 2.0,
+                                                  4.0, 8.0, 12.0, 17.0};
+  const double all_up[ints::kBoysBatchWidth] = {40.0,  50.0,  60.0,  80.0,
+                                                100.0, 150.0, 200.0, 400.0};
+  for (const double* ts : {all_down, all_up}) {
+    double batch[(ints::kBoysMaxM + 1) * ints::kBoysBatchWidth];
+    ints::boys_batch(ints::kBoysMaxM, ts, batch);
+    for (std::size_t w = 0; w < ints::kBoysBatchWidth; ++w) {
+      const double r = ints::boys_single(ints::kBoysMaxM, ts[w]);
+      const double b = batch[static_cast<std::size_t>(ints::kBoysMaxM) *
+                                 ints::kBoysBatchWidth +
+                             w];
+      EXPECT_NEAR(b, r, 1e-13 * r) << "T=" << ts[w];
+    }
   }
 }

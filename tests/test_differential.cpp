@@ -10,12 +10,14 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
 #include "hfx/fock_builder.hpp"
 #include "ints/eri.hpp"
+#include "ints/eri_batch.hpp"
 #include "linalg/matrix.hpp"
 #include "scf/rhf.hpp"
 #include "support/property_gtest.hpp"
@@ -301,6 +303,118 @@ TEST(Differential, ScfEnergyScheduleIndependent) {
           return std::string("schedule ") + schedule_name(alt.hfx.schedule) +
                  " changed the SCF energy by " +
                  fmt(std::abs(ref.energy - got.energy));
+        return "";
+      });
+}
+
+// The batched SIMD kernel against both retained oracles — the scalar
+// sparse kernel and the dense reference — quartet by quartet, on random
+// stream slices. Slice lengths are drawn to cover single-quartet
+// streams, sub-width batches and ragged tails (the stream length mod 8
+// varies with the draw), and the stream is shuffled so batches mix
+// structural classes in different lane orders each case.
+TEST(Differential, BatchedKernelMatchesScalarAndDenseOnMixedShells) {
+  MTHFX_PROPERTY_N(
+      "Differential.BatchedKernelMatchesScalarAndDenseOnMixedShells", 6,
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        namespace ints = mthfx::ints;
+        const auto mol = mt::jittered(rng, mthfx::workload::water(), 0.08);
+        const auto basis = chem::BasisSet::build(mol, "6-31g*");
+
+        std::vector<ints::ShellPairHermite> batched;
+        std::vector<ints::ShellPairHermite> dense;
+        const std::size_t ns = basis.num_shells();
+        batched.reserve(ns * (ns + 1) / 2);
+        dense.reserve(ns * (ns + 1) / 2);
+        for (std::size_t sa = 0; sa < ns; ++sa)
+          for (std::size_t sb = 0; sb <= sa; ++sb) {
+            batched.emplace_back(basis.shell(sa), basis.shell(sb),
+                                 ints::EriKernel::kBatched);
+            dense.emplace_back(basis.shell(sa), basis.shell(sb),
+                               ints::EriKernel::kDenseReference);
+          }
+
+        // Shuffled full quartet stream: quartet (bra, ket) with
+        // ket <= bra, encoded as bra * npairs + ket (a bare pair's
+        // template comma would split the property macro's arguments).
+        const std::size_t npairs = batched.size();
+        std::vector<std::size_t> quartets;
+        for (std::size_t bra = 0; bra < npairs; ++bra)
+          for (std::size_t ket = 0; ket <= bra; ++ket)
+            quartets.push_back(bra * npairs + ket);
+        for (std::size_t i = quartets.size(); i > 1; --i)
+          std::swap(quartets[i - 1], quartets[rng.index(i)]);
+
+        // Random slice lengths, always including 1 and a ragged tail.
+        std::vector<std::size_t> lens;
+        lens.push_back(1);
+        lens.push_back(1 + rng.index(8));
+        lens.push_back(8 + 1 + rng.index(16));
+        lens.push_back(quartets.size());
+        for (const std::size_t len : lens) {
+          std::vector<ints::QuartetRef> stream;
+          for (std::size_t q = 0; q < len; ++q)
+            stream.push_back({&batched[quartets[q] / npairs],
+                              &batched[quartets[q] % npairs]});
+          std::vector<ints::EriBlock> out(len);
+          ints::eri_shell_quartet_batched({stream.data(), len}, out.data());
+
+          ints::EriBlock ref_sparse;
+          ints::EriBlock ref_dense;
+          for (std::size_t q = 0; q < len; ++q) {
+            ints::eri_shell_quartet(*stream[q].bra, *stream[q].ket,
+                                    ref_sparse);
+            ints::eri_shell_quartet_dense_reference(
+                dense[quartets[q] / npairs], dense[quartets[q] % npairs],
+                ref_dense);
+            for (std::size_t i = 0; i < ref_sparse.values.size(); ++i) {
+              const double b = out[q].values[i];
+              if (std::abs(b - ref_sparse.values[i]) > 1e-12 ||
+                  std::abs(b - ref_dense.values[i]) > 1e-12)
+                return "len " + std::to_string(len) + " quartet " +
+                       std::to_string(q) + " element " + std::to_string(i) +
+                       ": batched " + fmt(b) + " vs sparse " +
+                       fmt(ref_sparse.values[i]) + " vs dense " +
+                       fmt(ref_dense.values[i]);
+            }
+          }
+        }
+        return "";
+      });
+}
+
+// Builder-level kernel cross-check: the same build with each of the
+// three quartet kernels must produce the same K to the kernels'
+// agreement budget — across a random schedule and thread count, so the
+// batched stream formation composes with every task partitioning.
+TEST(Differential, BuildAgreesAcrossEriKernels) {
+  MTHFX_PROPERTY_N(
+      "Differential.BuildAgreesAcrossEriKernels", 6,
+      [](mt::Rng& rng, std::size_t) -> std::string {
+        namespace ints = mthfx::ints;
+        const auto mol = mt::jittered(rng, mthfx::workload::water(), 0.08);
+        const auto basis = chem::BasisSet::build(mol, "6-31g*");
+        const auto p = mt::random_symmetric_density(rng, basis.num_functions());
+
+        hfx::HfxOptions opts;
+        opts.eps_schwarz = 1e-12;
+        opts.schedule = mt::all_schedules()[rng.index(4)];
+        opts.num_threads = 1 + rng.index(8);
+
+        opts.eri_kernel = ints::EriKernel::kSparse;
+        const auto k_sparse = hfx::FockBuilder(basis, opts).exchange(p).k;
+        opts.eri_kernel = ints::EriKernel::kBatched;
+        const auto k_batched = hfx::FockBuilder(basis, opts).exchange(p).k;
+        opts.eri_kernel = ints::EriKernel::kDenseReference;
+        const auto k_dense = hfx::FockBuilder(basis, opts).exchange(p).k;
+
+        const double db = la::max_abs(k_batched - k_sparse);
+        const double dd = la::max_abs(k_dense - k_sparse);
+        if (db > 1e-12 || dd > 1e-12)
+          return std::string("schedule ") + schedule_name(opts.schedule) +
+                 " (threads " + std::to_string(opts.num_threads) +
+                 "): |K_batched - K_sparse| " + fmt(db) +
+                 ", |K_dense - K_sparse| " + fmt(dd);
         return "";
       });
 }

@@ -176,6 +176,39 @@ TEST(ResultStore, KeySensitiveToPhysicsFields) {
   EXPECT_NE(engine::input_key(other), baseline);
 }
 
+TEST(ResultStore, KeyCanonicalizesSignedZeroCoordinates) {
+  // -0.0 == +0.0 to every consumer of the geometry, but its sign bit
+  // differs — raw bit-pattern hashing used to split these into two cache
+  // entries, so reflected/axis-aligned geometries re-ran from scratch.
+  app::Input pos_zero = h2_job("x").input;
+  auto p = pos_zero.molecule.atom(0).pos;
+  p.x = 0.0;
+  pos_zero.molecule.set_position(0, p);
+
+  app::Input neg_zero = pos_zero;
+  p.x = -0.0;
+  neg_zero.molecule.set_position(0, p);
+  ASSERT_TRUE(std::signbit(neg_zero.molecule.atom(0).pos.x));
+
+  EXPECT_EQ(engine::input_key(pos_zero), engine::input_key(neg_zero));
+  EXPECT_EQ(engine::canonical_fingerprint(pos_zero),
+            engine::canonical_fingerprint(neg_zero));
+
+  // A cached result stored under +0.0 must be served to the -0.0 twin.
+  engine::ResultStore store;
+  app::StructuredResult result;
+  result.ok = true;
+  result.energy = -1.0;
+  store.insert(engine::input_key(pos_zero), result);
+  EXPECT_TRUE(store.lookup(engine::input_key(neg_zero)).has_value());
+
+  // Canonicalization must not blur a genuinely nonzero coordinate.
+  app::Input shifted = pos_zero;
+  p.x = 1e-300;
+  shifted.molecule.set_position(0, p);
+  EXPECT_NE(engine::input_key(shifted), engine::input_key(pos_zero));
+}
+
 TEST(ResultStore, GridParticipatesOnlyWhenMethodHasXcGrid) {
   app::Input hf = h2_job("x").input;
   app::Input hf_grid = hf;
