@@ -5,12 +5,21 @@
 //   ./build/examples/mthfx_queue examples/inputs/screening.campaign
 //   ./build/examples/mthfx_queue --report=jobs.json screening.campaign
 //   ./build/examples/mthfx_queue --concurrency=4 screening.campaign
+//   ./build/examples/mthfx_queue --journal=run.wal --store=store \
+//       --resume screening.campaign
 //
 // Prints a per-job table (state, attempts, cache hits, wait/run time,
 // energy) plus queue/cache statistics, and with --report writes the full
 // machine-readable campaign record (schema mthfx.campaign.v1). Exit code
 // 0 when every admitted job finished ok, 1 when any failed or was
 // rejected, 2 on usage/parse errors.
+//
+// Durability: --journal writes every job transition ahead to a
+// checksummed journal; --resume replays it — committed jobs are served
+// from their journaled records (bit-identical physics, zero duplicated
+// SCF work), in-flight jobs restart from their checkpoints. --store
+// persists the result cache across runs; --deadline bounds each job's
+// wall clock. See docs/engine.md (Durability).
 
 #include <cstdio>
 #include <cstring>
@@ -19,12 +28,15 @@
 #include <vector>
 
 #include "engine/campaign.hpp"
+#include "engine/journal.hpp"
 #include "engine/report.hpp"
 #include "engine/scheduler.hpp"
 
 int main(int argc, char** argv) {
   std::string report_file;
   std::size_t concurrency_override = 0;
+  std::string journal_override, store_override, deadline_override;
+  bool resume = false;
   const char* campaign_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -32,6 +44,14 @@ int main(int argc, char** argv) {
       report_file = arg + 9;
     } else if (std::strncmp(arg, "--concurrency=", 14) == 0) {
       concurrency_override = static_cast<std::size_t>(std::atoi(arg + 14));
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      journal_override = arg + 10;
+    } else if (std::strncmp(arg, "--store=", 8) == 0) {
+      store_override = arg + 8;
+    } else if (std::strncmp(arg, "--deadline=", 11) == 0) {
+      deadline_override = arg + 11;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
     } else if (!campaign_path) {
       campaign_path = arg;
     } else {
@@ -42,7 +62,8 @@ int main(int argc, char** argv) {
   if (!campaign_path) {
     std::fprintf(stderr,
                  "usage: %s [--report=file.json] [--concurrency=N]"
-                 " <campaign-file>\n"
+                 " [--journal=file.wal] [--resume] [--store=dir]"
+                 " [--deadline=seconds] <campaign-file>\n"
                  "campaign format: see src/engine/campaign.hpp\n",
                  argv[0]);
     return 2;
@@ -53,8 +74,30 @@ int main(int argc, char** argv) {
     engine::CampaignSpec spec = engine::parse_campaign_file(campaign_path);
     if (concurrency_override > 0)
       spec.engine.concurrency = concurrency_override;
+    if (!journal_override.empty()) spec.engine.journal_path = journal_override;
+    if (!store_override.empty()) spec.engine.store_dir = store_override;
+    if (!deadline_override.empty())
+      spec.engine.default_deadline_seconds = std::stod(deadline_override);
+    if (resume && spec.engine.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --resume needs a journal (--journal= or the "
+                   "campaign 'journal' keyword)\n");
+      return 2;
+    }
 
-    const std::vector<engine::Job> jobs = spec.expand();
+    std::vector<engine::Job> jobs = spec.expand();
+    // Deterministic ids (expansion order, starting at 1): a resumed run
+    // re-derives the same ids, so journal records line up with jobs.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      jobs[i].id = static_cast<std::uint64_t>(i) + 1;
+
+    engine::JournalReplay replay;
+    if (resume) {
+      replay = engine::Journal::replay(spec.engine.journal_path);
+      for (const std::string& warning : replay.warnings)
+        std::fprintf(stderr, "[resume] %s\n", warning.c_str());
+    }
+
     engine::JobScheduler scheduler(spec.engine);
     std::printf(
         "campaign: %zu jobs, concurrency %zu, %zu thread(s) total "
@@ -63,11 +106,35 @@ int main(int argc, char** argv) {
         scheduler.per_job_threads(), spec.engine.queue_capacity);
 
     scheduler.start();
-    for (engine::Job job : jobs) {
+    std::size_t replayed = 0, resumed_ckpt = 0;
+    for (engine::Job& job : jobs) {
+      if (resume) {
+        const engine::ReplayedJob* prior = replay.find(job.id);
+        if (prior && prior->committed) {
+          scheduler.adopt(prior->record);
+          ++replayed;
+          continue;
+        }
+        // The job was in flight (or never started) when the previous run
+        // died; restart it from its checkpoint when one was written.
+        if (!spec.engine.checkpoint_dir.empty()) {
+          const std::string ckpt = spec.engine.checkpoint_dir + "/job_" +
+                                   std::to_string(job.id) + ".ckpt";
+          if (std::ifstream(ckpt).good()) {
+            job.input.restore_path = ckpt;
+            ++resumed_ckpt;
+          }
+        }
+      }
       const engine::Admission admission = scheduler.submit(std::move(job));
       if (!admission.accepted)
         std::fprintf(stderr, "rejected: %s\n", admission.reason.c_str());
     }
+    if (resume)
+      std::printf(
+          "[resume] %zu job(s) served from the journal, %zu restarting "
+          "from checkpoints, %zu journal record(s) applied\n",
+          replayed, resumed_ckpt, replay.records);
     const std::vector<engine::JobRecord> records = scheduler.drain();
 
     std::printf("%-6s %-28s %-9s %-5s %-6s %9s %9s  %-18s\n", "id", "job",
@@ -90,7 +157,8 @@ int main(int argc, char** argv) {
       std::printf("%-6llu %-28s %-9s %-5zu %-6s %9.2f %9.2f  %.10f%s\n",
                   static_cast<unsigned long long>(r.id), r.name.c_str(),
                   engine::to_string(r.state), r.attempts,
-                  r.cache_hit ? "hit" : "-", 1e3 * r.wait_seconds,
+                  r.replayed ? "replay" : (r.cache_hit ? "hit" : "-"),
+                  1e3 * r.wait_seconds,
                   1e3 * r.run_seconds, r.result.energy, note.c_str());
     }
     std::printf(
@@ -102,6 +170,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(scheduler.store().misses()),
         static_cast<unsigned long long>(
             scheduler.registry().counter_total("engine.job_retries")));
+    if (scheduler.store().disk_attached())
+      std::printf(
+          "store: %llu disk hit(s), %zu entries (%llu bytes), "
+          "%llu corrupt miss(es), %llu eviction(s)\n",
+          static_cast<unsigned long long>(scheduler.store().disk_hits()),
+          scheduler.store().disk_entries(),
+          static_cast<unsigned long long>(scheduler.store().disk_bytes()),
+          static_cast<unsigned long long>(scheduler.store().corrupt_misses()),
+          static_cast<unsigned long long>(scheduler.store().evictions()));
+    const auto shed = scheduler.queue().shed();
+    const auto deadline_hits =
+        scheduler.registry().counter_total("engine.deadline.expired");
+    if (shed > 0 || deadline_hits > 0)
+      std::printf("shed %llu job(s); %llu deadline expiration(s)\n",
+                  static_cast<unsigned long long>(shed),
+                  static_cast<unsigned long long>(deadline_hits));
+    if (scheduler.journal().active())
+      std::printf("journal: %llu record(s) appended to %s\n",
+                  static_cast<unsigned long long>(
+                      scheduler.journal().appended()),
+                  scheduler.journal().path().c_str());
 
     if (!report_file.empty()) {
       std::ofstream out(report_file);

@@ -7,6 +7,8 @@
 #   tier1    (default) fast example-based suites — the PR gate
 #   fault    fault-injection / recovery / checkpoint suite
 #   engine   screening-engine suite (queue/cache/scheduler/campaign)
+#   durability  journal / disk-store / deadline / crash-recovery suite
+#            (forks and SIGKILLs a campaign — slower than tier1)
 #   property seeded property/differential suites at MTHFX_PROPERTY_ITERS
 #            (default 50) iterations
 #   nightly  the property executables at high iteration count
@@ -27,7 +29,7 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 
 case "$TIER" in
-  tier1|fault|engine|property)
+  tier1|fault|engine|durability|property)
     ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
     if [ "$TIER" = tier1 ]; then
       # Perf smoke: small-iteration A7 kernel sweep. Counts and
@@ -45,7 +47,7 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
     ;;
   *)
-    echo "unknown tier: $TIER (want tier1|fault|engine|property|nightly|all)" >&2
+    echo "unknown tier: $TIER (want tier1|fault|engine|durability|property|nightly|all)" >&2
     exit 2
     ;;
 esac

@@ -18,7 +18,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx \
-  test_fault test_engine test_differential
+  test_fault test_engine test_durability test_differential
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -34,6 +34,12 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # Screening-engine concurrency surface: blocking queue handoff, worker
 # pool vs. submitter races, result-cache sharing, per-job fault domains.
 "$BUILD_DIR"/tests/test_engine --gtest_filter='JobQueue.*:JobScheduler.*'
+# Durable-engine concurrency surface: the watchdog thread cancelling
+# in-flight attempts it races with workers registering/unregistering
+# them, journal appends from submitter + workers at once, and the disk
+# store's LRU under concurrent lookup/insert.
+"$BUILD_DIR"/tests/test_durability \
+  --gtest_filter='Scheduler.*:DiskStore.*:Backoff.*'
 # Small-iteration differential subset: randomized schedule x thread-count
 # builds race the bag/steal protocols on fresh task shapes each case,
 # and every build ends in the shared-pool tree reduction of the

@@ -111,6 +111,7 @@ StructuredResult run_structured(const Input& input) {
       opts.scf.hfx.validate_tasks = input.fault.enabled();
       opts.scf.resume = scf_resume;
       opts.scf.checkpoint_sink = scf_sink;
+      opts.scf.cancel = input.cancel;
       opts.grid.radial_points = input.grid_radial;
       opts.grid.angular_points = input.grid_angular;
       const auto r = scf::uks(mol, basis, input.multiplicity, opts);
@@ -139,6 +140,7 @@ StructuredResult run_structured(const Input& input) {
       opts.scf.hfx.validate_tasks = input.fault.enabled();
       opts.scf.resume = scf_resume;
       opts.scf.checkpoint_sink = scf_sink;
+      opts.scf.cancel = input.cancel;
       opts.grid.radial_points = input.grid_radial;
       opts.grid.angular_points = input.grid_angular;
       const auto r = scf::rks(mol, basis, opts);
@@ -170,6 +172,7 @@ StructuredResult run_structured(const Input& input) {
           rhf_opts.hfx.num_threads = input.num_threads;
           rhf_opts.hfx.fault = input.fault;
           rhf_opts.hfx.validate_tasks = input.fault.enabled();
+          rhf_opts.cancel = input.cancel;
           const auto hf = scf::rhf(mol, basis, rhf_opts);
           const auto g = scf::rhf_gradient(mol, basis, hf);
           result.gradient = g;
@@ -195,6 +198,7 @@ StructuredResult run_structured(const Input& input) {
     ks.scf.hfx.num_threads = input.num_threads;
     ks.scf.hfx.fault = input.fault;
     ks.scf.hfx.validate_tasks = input.fault.enabled();
+    ks.scf.cancel = input.cancel;
     ks.grid.radial_points = input.grid_radial;
     ks.grid.angular_points = input.grid_angular;
     md::ScfPotential surface(input.basis, ks);

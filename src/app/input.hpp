@@ -26,9 +26,11 @@
 // '#' starts a comment anywhere on a line. Every keyword (geometry
 // included) may appear at most once; duplicates are a parse error.
 
+#include <memory>
 #include <string>
 
 #include "chem/molecule.hpp"
+#include "fault/cancel.hpp"
 #include "fault/injector.hpp"
 
 namespace mthfx::app {
@@ -59,6 +61,10 @@ struct Input {
   /// Set by the CLI (--checkpoint= / --restore=), not the input file.
   std::string checkpoint_path;
   std::string restore_path;
+  /// Cooperative cancellation, polled at every SCF iteration. Set by the
+  /// engine's deadline watchdog; an execution-policy field like the
+  /// paths above, so it never participates in the cache fingerprint.
+  std::shared_ptr<const fault::CancelToken> cancel;
   chem::Molecule molecule;
 };
 

@@ -102,7 +102,35 @@ CampaignSpec parse_campaign(const std::string& text) {
               static_cast<std::size_t>(std::stoul(value));
         else if (key == "checkpoint_dir")
           spec.engine.checkpoint_dir = value;
-        else if (key == "cache") {
+        else if (key == "journal")
+          spec.engine.journal_path = value;
+        else if (key == "store_dir")
+          spec.engine.store_dir = value;
+        else if (key == "store_max_bytes")
+          spec.engine.store_max_bytes = std::stoull(value);
+        else if (key == "deadline") {
+          spec.engine.default_deadline_seconds = std::stod(value);
+          if (spec.engine.default_deadline_seconds < 0.0)
+            fail(lineno, "deadline must be >= 0");
+        } else if (key == "degrade_depth")
+          spec.engine.degrade_depth =
+              static_cast<std::size_t>(std::stoul(value));
+        else if (key == "backoff_base_ms")
+          spec.engine.backoff.base_ms = std::stod(value);
+        else if (key == "backoff_max_ms")
+          spec.engine.backoff.max_ms = std::stod(value);
+        else if (key == "backoff_jitter")
+          spec.engine.backoff.jitter = std::stod(value);
+        else if (key == "backoff_seed")
+          spec.engine.backoff.seed = std::stoull(value);
+        else if (key == "shed") {
+          if (value == "on")
+            spec.engine.shed_lowest = true;
+          else if (value == "off")
+            spec.engine.shed_lowest = false;
+          else
+            fail(lineno, "shed must be on|off");
+        } else if (key == "cache") {
           if (value == "on")
             spec.engine.cache = true;
           else if (value == "off")
@@ -169,7 +197,11 @@ CampaignSpec parse_campaign(const std::string& text) {
           sweep.priority = std::stoi(value);
         else if (key == "repeat")
           sweep.repeat = std::stoi(value);
-        else if (key == "fault_spec")
+        else if (key == "deadline") {
+          sweep.deadline_seconds = std::stod(value);
+          if (sweep.deadline_seconds < 0.0)
+            fail(lineno, "deadline must be >= 0");
+        } else if (key == "fault_spec")
           sweep.fault = fault::parse_fault_spec(value);
         else
           fail(lineno, "unknown sweep keyword '" + key + "'");
@@ -212,6 +244,7 @@ std::vector<Job> CampaignSpec::expand() const {
               if (sweep.repeat > 1)
                 job.name += "#r" + std::to_string(rep + 1);
               job.priority = sweep.priority;
+              job.deadline_seconds = sweep.deadline_seconds;
               job.input.method = method;
               job.input.basis = basis;
               job.input.task = sweep.task;

@@ -13,6 +13,16 @@
 //   job_retries 1
 //   cache on                 # on | off
 //   checkpoint_dir ckpts     # optional per-job checkpoint directory
+//   journal campaign.wal     # write-ahead job journal (crash recovery)
+//   store_dir store          # disk-backed ResultStore directory
+//   store_max_bytes 1000000  # LRU-evict the store above this (0 = off)
+//   deadline 30              # default per-job deadline, seconds (0 = off)
+//   shed on                  # displace lowest-priority work when full
+//   degrade_depth 0          # coarsen DFT grids at this queue depth
+//   backoff_base_ms 10       # retry backoff: base delay
+//   backoff_max_ms 1000      #   exponential cap
+//   backoff_jitter 0.5       #   jittered fraction, [0, 1]
+//   backoff_seed 0           #   deterministic jitter seed
 //
 //   sweep                    # one or more blocks
 //     molecules pc dmso      # workload::by_name names
@@ -29,6 +39,7 @@
 //     grid_angular 38
 //     priority 0             # higher runs first
 //     repeat 1               # submit the whole block this many times
+//     deadline 10            # per-job deadline for this sweep (seconds)
 //     fault_spec fail=0.01,seed=42
 //   end
 //
@@ -60,6 +71,9 @@ struct SweepSpec {
   int grid_angular = 38;
   int priority = 0;
   int repeat = 1;
+  /// Per-job wall-clock deadline for this sweep's jobs; 0 inherits the
+  /// engine default.
+  double deadline_seconds = 0.0;
   fault::FaultOptions fault;
 };
 

@@ -18,6 +18,11 @@ struct Job {
   std::uint64_t id = 0;  ///< assigned at submission; 0 = unassigned
   std::string name;
   int priority = 0;
+  /// Wall-clock deadline for one attempt; 0 inherits the engine default
+  /// (EngineOptions::default_deadline_seconds, 0 = no deadline). An
+  /// overdue attempt is cancelled at the next SCF-iteration cancellation
+  /// point and retried with backoff.
+  double deadline_seconds = 0.0;
   app::Input input;
 };
 
@@ -40,12 +45,17 @@ struct JobRecord {
   int priority = 0;
   JobState state = JobState::kQueued;
   bool cache_hit = false;
+  bool replayed = false;          ///< served from the write-ahead journal
+  bool degraded = false;          ///< ran under load-shedding degradation
   std::size_t attempts = 0;
+  std::size_t deadline_hits = 0;  ///< attempts cancelled by the watchdog
   std::size_t threads = 0;        ///< per-job thread cap it ran under
   double wait_seconds = 0.0;      ///< submission -> worker pickup
   double run_seconds = 0.0;       ///< worker execution (all attempts)
+  double backoff_ms = 0.0;        ///< total retry backoff slept
   std::string error;              ///< last failure message (kFailed)
   std::string reject_reason;      ///< admission refusal (kRejected)
+  std::string degrade_note;       ///< what degradation changed (kDone)
   app::Input input;               ///< the input as executed (threads capped)
   app::StructuredResult result;   ///< valid when kDone (or best effort)
 };

@@ -1,0 +1,545 @@
+#include "engine/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/atomic_file.hpp"
+#include "fault/checkpoint.hpp"
+
+namespace mthfx::engine {
+
+namespace {
+
+constexpr std::string_view kMagic = "MTHFXJ1";
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+const obs::Json& require(const obs::Json& j, const char* key) {
+  const obs::Json* member = j.find(key);
+  if (!member)
+    throw std::runtime_error(std::string("journal: missing member '") + key +
+                             "'");
+  return *member;
+}
+
+// Optional readers: absent members keep the default, so the journal
+// format can grow fields without invalidating older files.
+double opt_double(const obs::Json& j, const char* key, double fallback) {
+  const obs::Json* m = j.find(key);
+  return m ? m->as_double() : fallback;
+}
+
+std::int64_t opt_int(const obs::Json& j, const char* key,
+                     std::int64_t fallback) {
+  const obs::Json* m = j.find(key);
+  return m ? m->as_int() : fallback;
+}
+
+bool opt_bool(const obs::Json& j, const char* key, bool fallback) {
+  const obs::Json* m = j.find(key);
+  return m ? m->as_bool() : fallback;
+}
+
+std::string opt_string(const obs::Json& j, const char* key,
+                       const std::string& fallback) {
+  const obs::Json* m = j.find(key);
+  return m ? m->as_string() : fallback;
+}
+
+const char* task_name(app::Task task) {
+  switch (task) {
+    case app::Task::kEnergy: return "energy";
+    case app::Task::kGradient: return "gradient";
+    case app::Task::kMd: return "md";
+  }
+  return "energy";
+}
+
+app::Task task_from_name(const std::string& name) {
+  if (name == "energy") return app::Task::kEnergy;
+  if (name == "gradient") return app::Task::kGradient;
+  if (name == "md") return app::Task::kMd;
+  throw std::runtime_error("journal: unknown task '" + name + "'");
+}
+
+const char* reference_name(app::Reference ref) {
+  switch (ref) {
+    case app::Reference::kAuto: return "auto";
+    case app::Reference::kRestricted: return "restricted";
+    case app::Reference::kUnrestricted: return "unrestricted";
+  }
+  return "auto";
+}
+
+app::Reference reference_from_name(const std::string& name) {
+  if (name == "auto") return app::Reference::kAuto;
+  if (name == "restricted") return app::Reference::kRestricted;
+  if (name == "unrestricted") return app::Reference::kUnrestricted;
+  throw std::runtime_error("journal: unknown reference '" + name + "'");
+}
+
+JobState job_state_from_name(const std::string& name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "rejected") return JobState::kRejected;
+  throw std::runtime_error("journal: unknown job state '" + name + "'");
+}
+
+obs::Json fault_to_json(const fault::FaultOptions& f) {
+  obs::Json j = obs::Json::object();
+  j["fail_rate"] = f.fail_rate;
+  j["stall_rate"] = f.stall_rate;
+  j["corrupt_rate"] = f.corrupt_rate;
+  j["hang_rate"] = f.hang_rate;
+  j["slow_rate"] = f.slow_rate;
+  j["stall_seconds"] = f.stall_seconds;
+  j["hang_seconds"] = f.hang_seconds;
+  j["slow_factor"] = f.slow_factor;
+  j["seed"] = f.seed;
+  j["max_retries"] = f.max_retries;
+  return j;
+}
+
+fault::FaultOptions fault_from_json(const obs::Json& j) {
+  fault::FaultOptions f;
+  f.fail_rate = opt_double(j, "fail_rate", f.fail_rate);
+  f.stall_rate = opt_double(j, "stall_rate", f.stall_rate);
+  f.corrupt_rate = opt_double(j, "corrupt_rate", f.corrupt_rate);
+  f.hang_rate = opt_double(j, "hang_rate", f.hang_rate);
+  f.slow_rate = opt_double(j, "slow_rate", f.slow_rate);
+  f.stall_seconds = opt_double(j, "stall_seconds", f.stall_seconds);
+  f.hang_seconds = opt_double(j, "hang_seconds", f.hang_seconds);
+  f.slow_factor = opt_double(j, "slow_factor", f.slow_factor);
+  f.seed = static_cast<std::uint64_t>(
+      opt_int(j, "seed", static_cast<std::int64_t>(f.seed)));
+  f.max_retries = static_cast<std::size_t>(
+      opt_int(j, "max_retries", static_cast<std::int64_t>(f.max_retries)));
+  return f;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+obs::Json input_to_json(const app::Input& input) {
+  obs::Json j = obs::Json::object();
+  j["method"] = input.method;
+  j["basis"] = input.basis;
+  j["reference"] = reference_name(input.reference);
+  j["charge"] = input.charge;
+  j["multiplicity"] = input.multiplicity;
+  j["task"] = task_name(input.task);
+  j["eps_schwarz"] = input.eps_schwarz;
+  j["md_steps"] = input.md_steps;
+  j["md_timestep_fs"] = input.md_timestep_fs;
+  j["md_temperature_k"] = input.md_temperature_k;
+  j["grid_radial"] = input.grid_radial;
+  j["grid_angular"] = input.grid_angular;
+  j["num_threads"] = input.num_threads;
+  j["fault"] = fault_to_json(input.fault);
+  j["checkpoint_path"] = input.checkpoint_path;
+  j["restore_path"] = input.restore_path;
+  // `cancel` is an execution-policy handle, never serialized.
+  j["molecule"] = fault::molecule_to_json(input.molecule);
+  return j;
+}
+
+app::Input input_from_json(const obs::Json& j) {
+  app::Input input;
+  input.method = opt_string(j, "method", input.method);
+  input.basis = opt_string(j, "basis", input.basis);
+  input.reference =
+      reference_from_name(opt_string(j, "reference", "auto"));
+  input.charge = static_cast<int>(opt_int(j, "charge", input.charge));
+  input.multiplicity =
+      static_cast<int>(opt_int(j, "multiplicity", input.multiplicity));
+  input.task = task_from_name(opt_string(j, "task", "energy"));
+  input.eps_schwarz = opt_double(j, "eps_schwarz", input.eps_schwarz);
+  input.md_steps = static_cast<int>(opt_int(j, "md_steps", input.md_steps));
+  input.md_timestep_fs =
+      opt_double(j, "md_timestep_fs", input.md_timestep_fs);
+  input.md_temperature_k =
+      opt_double(j, "md_temperature_k", input.md_temperature_k);
+  input.grid_radial =
+      static_cast<int>(opt_int(j, "grid_radial", input.grid_radial));
+  input.grid_angular =
+      static_cast<int>(opt_int(j, "grid_angular", input.grid_angular));
+  input.num_threads = static_cast<std::size_t>(
+      opt_int(j, "num_threads", static_cast<std::int64_t>(input.num_threads)));
+  if (const obs::Json* f = j.find("fault")) input.fault = fault_from_json(*f);
+  input.checkpoint_path = opt_string(j, "checkpoint_path", "");
+  input.restore_path = opt_string(j, "restore_path", "");
+  input.molecule = fault::molecule_from_json(require(j, "molecule"));
+  return input;
+}
+
+obs::Json structured_result_to_json(const app::StructuredResult& result) {
+  obs::Json j = obs::Json::object();
+  j["ok"] = result.ok;
+  j["converged"] = result.converged;
+  j["reference"] = result.reference;
+  j["energy"] = result.energy;
+  j["scf_iterations"] = result.scf_iterations;
+  j["xc_energy"] = result.xc_energy;
+  j["exact_exchange_energy"] = result.exact_exchange_energy;
+  j["homo_lumo_gap_ev"] = result.homo_lumo_gap_ev;
+  j["dipole_debye"] = result.dipole_debye;
+  obs::Json grad = obs::Json::array();
+  for (const auto& g : result.gradient) {
+    obs::Json row = obs::Json::array();
+    row.push_back(g.x);
+    row.push_back(g.y);
+    row.push_back(g.z);
+    grad.push_back(std::move(row));
+  }
+  j["gradient"] = std::move(grad);
+  j["md_frames"] = result.md_frames;
+  j["md_max_energy_drift"] = result.md_max_energy_drift;
+  j["report"] = result.report;
+  return j;
+}
+
+app::StructuredResult structured_result_from_json(const obs::Json& j) {
+  app::StructuredResult r;
+  r.ok = opt_bool(j, "ok", false);
+  r.converged = opt_bool(j, "converged", false);
+  r.reference = opt_string(j, "reference", "");
+  r.energy = opt_double(j, "energy", 0.0);
+  r.scf_iterations =
+      static_cast<std::size_t>(opt_int(j, "scf_iterations", 0));
+  r.xc_energy = opt_double(j, "xc_energy", 0.0);
+  r.exact_exchange_energy = opt_double(j, "exact_exchange_energy", 0.0);
+  r.homo_lumo_gap_ev = opt_double(j, "homo_lumo_gap_ev", 0.0);
+  r.dipole_debye = opt_double(j, "dipole_debye", 0.0);
+  if (const obs::Json* grad = j.find("gradient")) {
+    for (const obs::Json& row : grad->items()) {
+      if (row.items().size() != 3)
+        throw std::runtime_error("journal: gradient row is not a triple");
+      r.gradient.push_back({row.items()[0].as_double(),
+                            row.items()[1].as_double(),
+                            row.items()[2].as_double()});
+    }
+  }
+  r.md_frames = static_cast<std::size_t>(opt_int(j, "md_frames", 0));
+  r.md_max_energy_drift = opt_double(j, "md_max_energy_drift", 0.0);
+  r.report = opt_string(j, "report", "");
+  return r;
+}
+
+obs::Json job_record_to_json(const JobRecord& record) {
+  obs::Json j = obs::Json::object();
+  j["id"] = record.id;
+  j["name"] = record.name;
+  j["priority"] = record.priority;
+  j["state"] = to_string(record.state);
+  j["cache_hit"] = record.cache_hit;
+  j["replayed"] = record.replayed;
+  j["degraded"] = record.degraded;
+  j["attempts"] = record.attempts;
+  j["deadline_hits"] = record.deadline_hits;
+  j["threads"] = record.threads;
+  j["wait_seconds"] = record.wait_seconds;
+  j["run_seconds"] = record.run_seconds;
+  j["backoff_ms"] = record.backoff_ms;
+  j["error"] = record.error;
+  j["reject_reason"] = record.reject_reason;
+  j["degrade_note"] = record.degrade_note;
+  j["input"] = input_to_json(record.input);
+  j["result"] = structured_result_to_json(record.result);
+  return j;
+}
+
+JobRecord job_record_from_json(const obs::Json& j) {
+  JobRecord r;
+  r.id = static_cast<std::uint64_t>(require(j, "id").as_int());
+  r.name = opt_string(j, "name", "");
+  r.priority = static_cast<int>(opt_int(j, "priority", 0));
+  r.state = job_state_from_name(require(j, "state").as_string());
+  r.cache_hit = opt_bool(j, "cache_hit", false);
+  r.replayed = opt_bool(j, "replayed", false);
+  r.degraded = opt_bool(j, "degraded", false);
+  r.attempts = static_cast<std::size_t>(opt_int(j, "attempts", 0));
+  r.deadline_hits =
+      static_cast<std::size_t>(opt_int(j, "deadline_hits", 0));
+  r.threads = static_cast<std::size_t>(opt_int(j, "threads", 0));
+  r.wait_seconds = opt_double(j, "wait_seconds", 0.0);
+  r.run_seconds = opt_double(j, "run_seconds", 0.0);
+  r.backoff_ms = opt_double(j, "backoff_ms", 0.0);
+  r.error = opt_string(j, "error", "");
+  r.reject_reason = opt_string(j, "reject_reason", "");
+  r.degrade_note = opt_string(j, "degrade_note", "");
+  r.input = input_from_json(require(j, "input"));
+  r.result = structured_result_from_json(require(j, "result"));
+  return r;
+}
+
+const ReplayedJob* JournalReplay::find(std::uint64_t id) const {
+  for (const ReplayedJob& job : jobs)
+    if (job.job.id == id) return &job;
+  return nullptr;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0)
+    throw std::runtime_error("journal: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  fd_ = fd;
+  path_ = path;
+}
+
+void Journal::append(const obs::Json& payload) {
+  const std::string body = payload.dump();
+  std::string line;
+  line.reserve(kMagic.size() + 18 + body.size() + 1);
+  line.append(kMagic);
+  line.push_back(' ');
+  line.append(hex64(fnv1a(body)));
+  line.push_back(' ');
+  line.append(body);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  fault::durable_append(fd_, line);
+  ++appended_;
+}
+
+void Journal::record_submitted(const Job& job) {
+  if (!active()) return;
+  obs::Json j = obs::Json::object();
+  j["type"] = "submitted";
+  j["id"] = job.id;
+  j["name"] = job.name;
+  j["priority"] = job.priority;
+  j["deadline_s"] = job.deadline_seconds;
+  j["input"] = input_to_json(job.input);
+  append(j);
+}
+
+void Journal::record_started(std::uint64_t id, std::size_t attempt) {
+  if (!active()) return;
+  obs::Json j = obs::Json::object();
+  j["type"] = "started";
+  j["id"] = id;
+  j["attempt"] = attempt;
+  append(j);
+}
+
+void Journal::record_attempt_failed(std::uint64_t id, std::size_t attempt,
+                                    const std::string& reason,
+                                    const std::string& message,
+                                    double backoff_ms) {
+  if (!active()) return;
+  obs::Json j = obs::Json::object();
+  j["type"] = "attempt_failed";
+  j["id"] = id;
+  j["attempt"] = attempt;
+  j["reason"] = reason;
+  j["message"] = message;
+  j["backoff_ms"] = backoff_ms;
+  append(j);
+}
+
+void Journal::record_committed(const JobRecord& record) {
+  if (!active()) return;
+  obs::Json j = obs::Json::object();
+  j["type"] = "committed";
+  j["id"] = record.id;
+  j["record"] = job_record_to_json(record);
+  append(j);
+}
+
+std::uint64_t Journal::appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+JournalReplay Journal::replay(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return replay;  // never started = empty campaign
+
+  auto warn = [&replay](std::size_t line_no, const std::string& what) {
+    ++replay.skipped;
+    replay.warnings.push_back("journal line " + std::to_string(line_no) +
+                              ": " + what);
+  };
+
+  auto job_slot = [&replay](std::uint64_t id) -> ReplayedJob* {
+    for (ReplayedJob& job : replay.jobs)
+      if (job.job.id == id) return &job;
+    return nullptr;
+  };
+
+  // Records are checked and parsed in file order, then applied in two
+  // passes (submitted first): workers journal concurrently with the
+  // submitter, so a job's `started` — or even `committed` — record can
+  // legitimately precede its `submitted` record in the file.
+  struct Parsed {
+    std::size_t line_no;
+    obs::Json payload;
+  };
+  std::vector<Parsed> parsed;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // Frame: MTHFXJ1 <16-hex> <json>
+    if (line.size() < kMagic.size() + 19 ||
+        line.compare(0, kMagic.size(), kMagic) != 0 ||
+        line[kMagic.size()] != ' ' || line[kMagic.size() + 17] != ' ') {
+      warn(line_no, "malformed frame (skipped)");
+      continue;
+    }
+    const std::string_view hex =
+        std::string_view(line).substr(kMagic.size() + 1, 16);
+    const std::string_view body =
+        std::string_view(line).substr(kMagic.size() + 18);
+    std::uint64_t expected = 0;
+    bool hex_ok = true;
+    for (char c : hex) {
+      expected <<= 4;
+      if (c >= '0' && c <= '9') expected |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        expected |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else { hex_ok = false; break; }
+    }
+    if (!hex_ok || fnv1a(body) != expected) {
+      warn(line_no, "checksum mismatch (torn or corrupt record, skipped)");
+      continue;
+    }
+
+    try {
+      parsed.push_back({line_no, obs::Json::parse(body)});
+    } catch (const std::exception& e) {
+      warn(line_no, std::string("unparseable payload: ") + e.what());
+      continue;
+    }
+  }
+
+  auto record_type = [](const obs::Json& payload) -> std::string {
+    const obs::Json* type = payload.find("type");
+    return type ? type->as_string() : std::string();
+  };
+
+  // Pass 1: submitted records create the job slots.
+  for (const Parsed& item : parsed) {
+    if (record_type(item.payload) != "submitted") continue;
+    const obs::Json& payload = item.payload;
+    try {
+      ReplayedJob job;
+      job.job.id =
+          static_cast<std::uint64_t>(require(payload, "id").as_int());
+      job.job.name = opt_string(payload, "name", "");
+      job.job.priority = static_cast<int>(opt_int(payload, "priority", 0));
+      job.job.deadline_seconds = opt_double(payload, "deadline_s", 0.0);
+      job.job.input = input_from_json(require(payload, "input"));
+      if (job_slot(job.job.id)) {
+        warn(item.line_no, "duplicate submitted record for job " +
+                               std::to_string(job.job.id));
+      } else {
+        replay.jobs.push_back(std::move(job));
+        ++replay.records;
+      }
+    } catch (const std::exception& e) {
+      warn(item.line_no, std::string("bad record: ") + e.what());
+    }
+  }
+
+  // Pass 2: attempt/commit records attach to their slots. A committed
+  // record whose submitted record was lost (torn tail) still counts — it
+  // carries the full JobRecord, enough to rebuild the job.
+  for (const Parsed& item : parsed) {
+    const std::string type = record_type(item.payload);
+    if (type == "submitted") continue;
+    const obs::Json& payload = item.payload;
+    try {
+      if (type == "started") {
+        const auto id =
+            static_cast<std::uint64_t>(require(payload, "id").as_int());
+        if (ReplayedJob* job = job_slot(id)) {
+          ++job->attempts_started;
+          ++replay.records;
+        } else {
+          warn(item.line_no,
+               "started record for unknown job " + std::to_string(id));
+        }
+      } else if (type == "attempt_failed") {
+        const auto id =
+            static_cast<std::uint64_t>(require(payload, "id").as_int());
+        if (ReplayedJob* job = job_slot(id)) {
+          ++job->attempts_failed;
+          ++replay.records;
+        } else {
+          warn(item.line_no, "attempt_failed record for unknown job " +
+                                 std::to_string(id));
+        }
+      } else if (type == "committed") {
+        const auto id =
+            static_cast<std::uint64_t>(require(payload, "id").as_int());
+        JobRecord record = job_record_from_json(require(payload, "record"));
+        ReplayedJob* job = job_slot(id);
+        if (!job) {
+          ReplayedJob rebuilt;
+          rebuilt.job.id = id;
+          rebuilt.job.name = record.name;
+          rebuilt.job.priority = record.priority;
+          rebuilt.job.input = record.input;
+          replay.jobs.push_back(std::move(rebuilt));
+          job = &replay.jobs.back();
+        }
+        job->committed = true;
+        job->record = std::move(record);
+        ++replay.records;
+      } else {
+        warn(item.line_no, "unknown record type '" + type + "'");
+      }
+    } catch (const std::exception& e) {
+      warn(item.line_no, std::string("bad record: ") + e.what());
+    }
+  }
+
+  std::sort(replay.jobs.begin(), replay.jobs.end(),
+            [](const ReplayedJob& a, const ReplayedJob& b) {
+              return a.job.id < b.job.id;
+            });
+  return replay;
+}
+
+}  // namespace mthfx::engine

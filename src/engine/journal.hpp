@@ -1,0 +1,114 @@
+#pragma once
+
+// Write-ahead job journal: the engine's crash-safety backbone. Every
+// state transition of every job is appended as one checksummed record
+// *before* the engine acts on it, and each append is fsynced, so a
+// SIGKILL at any instant loses at most the record being written — which
+// replay then detects and skips.
+//
+// File format (one record per line):
+//
+//   MTHFXJ1 <fnv1a-hex-of-payload> <payload-json-one-line>
+//
+// Payload types:
+//   submitted      {type, id, name, priority, deadline_s, input{...}}
+//   started        {type, id, attempt}
+//   attempt_failed {type, id, attempt, reason, message, backoff_ms}
+//   committed      {type, id, record{... full JobRecord ...}}
+//
+// Replay reconstructs the campaign: committed jobs are served straight
+// from their journaled records (bit-identical energies — doubles
+// round-trip through obs::Json — and zero recomputed SCF work);
+// uncommitted jobs are resubmitted, resuming from their per-job
+// checkpoint when one exists. A truncated tail or a corrupt record is
+// tolerated: the bad record and everything after it is skipped with a
+// structured warning, never a crash. See docs/engine.md (Durability).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "app/driver.hpp"
+#include "app/input.hpp"
+#include "engine/job.hpp"
+#include "obs/json.hpp"
+
+namespace mthfx::engine {
+
+/// Full-fidelity JSON round-trips (unlike report.hpp's summary views,
+/// these preserve every field needed to re-execute or re-serve a job;
+/// doubles are bit-exact through obs::Json).
+obs::Json input_to_json(const app::Input& input);
+app::Input input_from_json(const obs::Json& j);
+obs::Json structured_result_to_json(const app::StructuredResult& result);
+app::StructuredResult structured_result_from_json(const obs::Json& j);
+obs::Json job_record_to_json(const JobRecord& record);
+JobRecord job_record_from_json(const obs::Json& j);
+
+/// FNV-1a 64-bit over a byte string (the record checksum).
+std::uint64_t fnv1a(std::string_view text);
+
+/// One job's reconstructed journal state.
+struct ReplayedJob {
+  Job job;  ///< from the submitted record (deadline included)
+  bool committed = false;
+  JobRecord record;             ///< valid when committed
+  std::size_t attempts_started = 0;
+  std::size_t attempts_failed = 0;
+};
+
+/// Outcome of Journal::replay. `jobs` is ordered by job id. `skipped`
+/// counts records dropped for bad checksum / truncation / malformed
+/// payload; each drop adds a human-readable line to `warnings`.
+struct JournalReplay {
+  std::vector<ReplayedJob> jobs;
+  std::size_t records = 0;   ///< well-formed records applied
+  std::size_t skipped = 0;
+  std::vector<std::string> warnings;
+
+  /// The replayed job with this id, or nullptr.
+  const ReplayedJob* find(std::uint64_t id) const;
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open (create or append to) the journal file. Throws
+  /// std::runtime_error on I/O failure.
+  void open(const std::string& path);
+  bool active() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Append one payload as a checksummed record and fsync it. No-op
+  /// when not active. Thread-safe.
+  void append(const obs::Json& payload);
+
+  /// Convenience appenders for the four record types.
+  void record_submitted(const Job& job);
+  void record_started(std::uint64_t id, std::size_t attempt);
+  void record_attempt_failed(std::uint64_t id, std::size_t attempt,
+                             const std::string& reason,
+                             const std::string& message, double backoff_ms);
+  void record_committed(const JobRecord& record);
+
+  std::uint64_t appended() const;
+
+  /// Tolerant replay of a journal file. A missing file replays to an
+  /// empty state (no error): resuming a campaign that never started is
+  /// just starting it.
+  static JournalReplay replay(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace mthfx::engine

@@ -6,7 +6,8 @@
 
 namespace mthfx::engine {
 
-JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+JobQueue::JobQueue(std::size_t capacity, bool shed_lowest)
+    : capacity_(capacity), shed_lowest_(shed_lowest) {
   if (capacity == 0)
     throw std::invalid_argument("JobQueue: capacity must be >= 1");
 }
@@ -21,18 +22,33 @@ Admission JobQueue::submit(Job job) {
     ++rejected_;
     return {false, "job '" + job.name + "' has no geometry"};
   }
+  Admission admission;
   if (queued_.size() >= capacity_) {
-    ++rejected_;
-    return {false, "queue full (capacity " + std::to_string(capacity_) +
-                       ", depth " + std::to_string(queued_.size()) + ")"};
+    // Saturated. Shed the lowest-priority (then youngest) queued job for
+    // a strictly-higher-priority newcomer; otherwise reject the arrival.
+    auto victim = queued_.empty() ? queued_.end() : std::prev(queued_.end());
+    if (!shed_lowest_ || victim == queued_.end() ||
+        job.priority <= victim->first.priority) {
+      ++rejected_;
+      return {false, "queue full (capacity " + std::to_string(capacity_) +
+                         ", depth " + std::to_string(queued_.size()) + ")"};
+    }
+    admission.displaced = std::move(victim->second.job);
+    queued_.erase(victim);
+    ++shed_;
   }
-  job.id = next_id_++;
+  if (job.id == 0)
+    job.id = next_id_++;
+  else
+    next_id_ = std::max(next_id_, job.id + 1);
   ++accepted_;
+  admission.accepted = true;
+  admission.id = job.id;
   const Key key{job.priority, job.id};
   queued_.emplace(key, Entry{std::move(job), epoch_.seconds()});
   high_water_ = std::max(high_water_, queued_.size());
   cv_.notify_one();
-  return {true, ""};
+  return admission;
 }
 
 std::optional<PoppedJob> JobQueue::pop() {
@@ -75,6 +91,11 @@ std::uint64_t JobQueue::accepted() const {
 std::uint64_t JobQueue::rejected() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rejected_;
+}
+
+std::uint64_t JobQueue::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
 }
 
 }  // namespace mthfx::engine

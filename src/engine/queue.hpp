@@ -22,10 +22,15 @@
 
 namespace mthfx::engine {
 
-/// Admission verdict. `reason` is empty iff `accepted`.
+/// Admission verdict. `reason` is empty iff `accepted`. `id` is the
+/// admitted job's id. When admission displaced a lower-priority queued
+/// job (load shedding), the victim rides along in `displaced` so the
+/// engine can record *why* it was shed.
 struct Admission {
   bool accepted = false;
   std::string reason;
+  std::uint64_t id = 0;
+  std::optional<Job> displaced;
 };
 
 /// A popped job plus how long it waited in the queue.
@@ -37,12 +42,17 @@ struct PoppedJob {
 class JobQueue {
  public:
   /// `capacity` bounds the number of queued (admitted, not yet popped)
-  /// jobs. Must be >= 1.
-  explicit JobQueue(std::size_t capacity);
+  /// jobs. Must be >= 1. With `shed_lowest`, a submission that finds the
+  /// queue full displaces the lowest-priority (then youngest) queued job
+  /// when the newcomer's priority is strictly higher — equal-priority
+  /// arrivals still reject, so FIFO fairness within a level is kept.
+  explicit JobQueue(std::size_t capacity, bool shed_lowest = false);
 
   /// Admission control: rejects (without blocking) when the queue is
-  /// closed, the job has no geometry, or the queue is full. On success
-  /// the job is assigned the next id (submission order, starting at 1).
+  /// closed, the job has no geometry, or the queue is full (and cannot
+  /// shed). A job arriving with id 0 is assigned the next id (submission
+  /// order, starting at 1); a non-zero id is honored as-is — journal
+  /// replay resubmits surviving jobs under their original ids.
   Admission submit(Job job);
 
   /// Blocks until a job is available or the queue is closed and
@@ -58,6 +68,7 @@ class JobQueue {
   std::size_t high_water() const;   ///< max depth ever reached
   std::uint64_t accepted() const;   ///< total admitted
   std::uint64_t rejected() const;   ///< total refused
+  std::uint64_t shed() const;       ///< queued jobs displaced at capacity
 
  private:
   struct Key {
@@ -74,6 +85,7 @@ class JobQueue {
   };
 
   const std::size_t capacity_;
+  const bool shed_lowest_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   obs::Stopwatch epoch_;
@@ -82,6 +94,7 @@ class JobQueue {
   std::uint64_t next_id_ = 1;
   std::uint64_t accepted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
   std::size_t high_water_ = 0;
 };
 

@@ -102,6 +102,15 @@ obs::Json job_record(const JobRecord& record) {
   job["threads"] = record.threads;
   job["wait_seconds"] = record.wait_seconds;
   job["run_seconds"] = record.run_seconds;
+  // Durability annotations, emitted only when set so pre-durability
+  // consumers see an unchanged record.
+  if (record.replayed) job["replayed"] = true;
+  if (record.degraded) {
+    job["degraded"] = true;
+    job["degrade_note"] = record.degrade_note;
+  }
+  if (record.deadline_hits > 0) job["deadline_hits"] = record.deadline_hits;
+  if (record.backoff_ms > 0.0) job["backoff_ms"] = record.backoff_ms;
   if (!record.error.empty()) job["error"] = record.error;
   job["record"] = result_record(record.input, record.result);
   return job;
@@ -120,11 +129,20 @@ obs::Json campaign_report(const JobScheduler& scheduler,
   engine["per_job_threads"] = scheduler.per_job_threads();
   engine["max_job_retries"] = opts.max_job_retries;
   engine["cache"] = opts.cache;
+  engine["shed_lowest"] = opts.shed_lowest;
+  if (!opts.journal_path.empty()) {
+    engine["journal_path"] = opts.journal_path;
+    engine["journal_appends"] = scheduler.journal().appended();
+  }
+  if (!opts.store_dir.empty()) engine["store_dir"] = opts.store_dir;
+  if (opts.default_deadline_seconds > 0.0)
+    engine["default_deadline_seconds"] = opts.default_deadline_seconds;
   report["engine"] = std::move(engine);
 
   obs::Json queue = obs::Json::object();
   queue["accepted"] = scheduler.queue().accepted();
   queue["rejected"] = scheduler.queue().rejected();
+  queue["shed"] = scheduler.queue().shed();
   queue["high_water"] = scheduler.queue().high_water();
   report["queue"] = std::move(queue);
 
@@ -132,6 +150,14 @@ obs::Json campaign_report(const JobScheduler& scheduler,
   cache["hits"] = scheduler.store().hits();
   cache["misses"] = scheduler.store().misses();
   cache["entries"] = scheduler.store().size();
+  if (scheduler.store().disk_attached()) {
+    cache["disk_hits"] = scheduler.store().disk_hits();
+    cache["disk_entries"] = scheduler.store().disk_entries();
+    cache["disk_bytes"] = scheduler.store().disk_bytes();
+    cache["corrupt_misses"] = scheduler.store().corrupt_misses();
+    cache["evictions"] = scheduler.store().evictions();
+    cache["evicted_bytes"] = scheduler.store().evicted_bytes();
+  }
   report["cache"] = std::move(cache);
 
   report["metrics"] = scheduler.registry().to_json();

@@ -1,13 +1,49 @@
 #include "engine/result_store.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "engine/journal.hpp"
+#include "fault/atomic_file.hpp"
 
 namespace mthfx::engine {
 
 namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kStoreMagic = "MTHFXS1";
+
+std::string key_hex(std::uint64_t key) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[key & 0xF];
+    key >>= 4;
+  }
+  return out;
+}
+
+bool parse_key_hex(std::string_view text, std::uint64_t& key) {
+  if (text.size() != 16) return false;
+  key = 0;
+  for (char c : text) {
+    key <<= 4;
+    if (c >= '0' && c <= '9') key |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      key |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  return true;
+}
 
 /// Doubles go in as bit patterns: 0.1 + 0.2 != 0.3 must miss, and two
 /// decimal renderings of the same double must hit. Bit patterns are
@@ -87,17 +123,175 @@ std::uint64_t input_key(const app::Input& input) {
 std::optional<app::StructuredResult> ResultStore::lookup(std::uint64_t key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = results_.find(key);
-  if (it == results_.end()) {
-    ++misses_;
-    return std::nullopt;
+  if (it != results_.end()) {
+    ++hits_;
+    touch_locked(key);
+    return it->second;
   }
-  ++hits_;
-  return it->second;
+  if (disk_attached_) {
+    auto from_disk = disk_lookup_locked(key);
+    if (from_disk) {
+      ++hits_;
+      ++disk_hits_;
+      results_.emplace(key, *from_disk);  // promote into memory
+      touch_locked(key);
+      return from_disk;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
 }
 
 void ResultStore::insert(std::uint64_t key, app::StructuredResult result) {
   std::lock_guard<std::mutex> lock(mutex_);
-  results_.emplace(key, std::move(result));  // first insert wins
+  const bool inserted =
+      results_.emplace(key, std::move(result)).second;  // first insert wins
+  if (inserted && disk_attached_) {
+    disk_insert_locked(key, results_.at(key));
+    evict_to_budget_locked(key);
+  }
+}
+
+void ResultStore::attach_disk(const std::string& dir,
+                              std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec && !fs::is_directory(dir))
+    throw std::runtime_error("result store: cannot create '" + dir +
+                             "': " + ec.message());
+  dir_ = dir;
+  max_bytes_ = max_bytes;
+  disk_attached_ = true;
+  lru_.clear();
+  index_.clear();
+  disk_bytes_ = 0;
+
+  // Index existing entries, oldest-modified first, so the LRU order of a
+  // reattached store approximates its pre-crash access order.
+  struct Found {
+    std::uint64_t key;
+    std::string path;
+    std::uint64_t bytes;
+    fs::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".entry") continue;
+    std::uint64_t key = 0;
+    if (!parse_key_hex(p.stem().string(), key)) continue;
+    found.push_back({key, p.string(),
+                     static_cast<std::uint64_t>(entry.file_size(ec)),
+                     entry.last_write_time(ec)});
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.key < b.key;
+  });
+  for (const Found& f : found) {
+    lru_.push_back(f.key);
+    index_[f.key] = {f.path, f.bytes, std::prev(lru_.end())};
+    disk_bytes_ += f.bytes;
+  }
+  evict_to_budget_locked(0);
+}
+
+bool ResultStore::disk_attached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_attached_;
+}
+
+std::optional<app::StructuredResult> ResultStore::disk_lookup_locked(
+    std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  const std::string path = it->second.path;
+
+  auto corrupt = [this, key] {
+    ++corrupt_misses_;
+    disk_remove_locked(key);
+    return std::nullopt;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return corrupt();
+  std::string header, payload;
+  if (!std::getline(in, header) || !std::getline(in, payload))
+    return corrupt();
+  if (header.size() != kStoreMagic.size() + 17 ||
+      header.compare(0, kStoreMagic.size(), kStoreMagic) != 0 ||
+      header[kStoreMagic.size()] != ' ')
+    return corrupt();
+  std::uint64_t expected = 0;
+  if (!parse_key_hex(
+          std::string_view(header).substr(kStoreMagic.size() + 1, 16),
+          expected))
+    return corrupt();
+  if (fnv1a(payload) != expected) return corrupt();
+  try {
+    return structured_result_from_json(obs::Json::parse(payload));
+  } catch (const std::exception&) {
+    return corrupt();
+  }
+}
+
+void ResultStore::disk_insert_locked(std::uint64_t key,
+                                     const app::StructuredResult& result) {
+  if (index_.count(key)) {
+    touch_locked(key);
+    return;
+  }
+  const std::string payload = structured_result_to_json(result).dump();
+  std::string contents;
+  contents.reserve(kStoreMagic.size() + 18 + payload.size() + 1);
+  contents.append(kStoreMagic);
+  contents.push_back(' ');
+  contents.append(key_hex(fnv1a(payload)));
+  contents.push_back('\n');
+  contents.append(payload);
+  contents.push_back('\n');
+  const std::string path = dir_ + "/" + key_hex(key) + ".entry";
+  try {
+    fault::atomic_write_file(path, contents);
+  } catch (const std::exception&) {
+    return;  // persistence is best-effort; the memory tier still serves
+  }
+  lru_.push_back(key);
+  index_[key] = {path, contents.size(), std::prev(lru_.end())};
+  disk_bytes_ += contents.size();
+}
+
+void ResultStore::disk_remove_locked(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  std::remove(it->second.path.c_str());
+  disk_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru);
+  index_.erase(it);
+}
+
+void ResultStore::evict_to_budget_locked(std::uint64_t keep_key) {
+  if (max_bytes_ == 0) return;
+  while (disk_bytes_ > max_bytes_ && !lru_.empty()) {
+    std::uint64_t victim = lru_.front();
+    if (victim == keep_key) {
+      // Never evict the entry being inserted; try the next-least-recent.
+      if (lru_.size() == 1) return;
+      auto second = std::next(lru_.begin());
+      victim = *second;
+    }
+    const std::uint64_t bytes = index_.at(victim).bytes;
+    disk_remove_locked(victim);
+    ++evictions_;
+    evicted_bytes_ += bytes;
+  }
+}
+
+void ResultStore::touch_locked(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second.lru);
 }
 
 std::uint64_t ResultStore::hits() const {
@@ -113,6 +307,36 @@ std::uint64_t ResultStore::misses() const {
 std::size_t ResultStore::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return results_.size();
+}
+
+std::uint64_t ResultStore::disk_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_hits_;
+}
+
+std::uint64_t ResultStore::corrupt_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_misses_;
+}
+
+std::uint64_t ResultStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::uint64_t ResultStore::evicted_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_bytes_;
+}
+
+std::uint64_t ResultStore::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_bytes_;
+}
+
+std::size_t ResultStore::disk_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
 }
 
 }  // namespace mthfx::engine

@@ -16,6 +16,7 @@
 // exactly, so those knobs cannot change the answer.
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <mutex>
 #include <string>
@@ -36,24 +37,77 @@ std::uint64_t input_key(const app::Input& input);
 
 /// Thread-safe result cache with hit/miss accounting. Only successful
 /// (ok) results are worth caching; the scheduler enforces that.
+///
+/// Optionally disk-backed (attach_disk): entries are persisted as
+/// checksummed files `<dir>/<key-hex>.entry` written atomically, so a
+/// warm store survives a crash and a resumed campaign serves repeats
+/// without re-running the SCF. The disk tier is size-bounded: when the
+/// byte budget is exceeded the least-recently-used entries are evicted.
+/// A corrupt entry (bad magic, checksum mismatch, unparseable payload)
+/// is treated as a miss — counted, removed, never a crash.
 class ResultStore {
  public:
-  /// Returns the cached result, counting a hit or a miss.
+  /// Returns the cached result, counting a hit or a miss. Falls through
+  /// to the disk tier when attached (a disk serve counts as a hit and a
+  /// disk_hit, and is promoted into memory).
   std::optional<app::StructuredResult> lookup(std::uint64_t key);
 
   /// First insert wins (a concurrent duplicate job may finish second
-  /// with the same numbers; keeping the first keeps hits stable).
+  /// with the same numbers; keeping the first keeps hits stable). With a
+  /// disk tier attached the entry is written through (atomically) and
+  /// LRU eviction enforces the byte budget.
   void insert(std::uint64_t key, app::StructuredResult result);
+
+  /// Attach a persistence directory (created if needed). Existing
+  /// entries are indexed (oldest-modified = least recent) without
+  /// validating their contents; validation happens lazily at lookup.
+  /// `max_bytes` bounds the on-disk footprint (0 = unbounded). Throws
+  /// std::runtime_error when the directory cannot be created.
+  void attach_disk(const std::string& dir, std::uint64_t max_bytes = 0);
+  bool disk_attached() const;
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::size_t size() const;
 
+  /// Disk-tier accounting (all zero when not attached).
+  std::uint64_t disk_hits() const;
+  std::uint64_t corrupt_misses() const;
+  std::uint64_t evictions() const;
+  std::uint64_t evicted_bytes() const;
+  std::uint64_t disk_bytes() const;
+  std::size_t disk_entries() const;
+
  private:
+  struct DiskEntry {
+    std::string path;
+    std::uint64_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru;
+  };
+
+  std::optional<app::StructuredResult> disk_lookup_locked(std::uint64_t key);
+  void disk_insert_locked(std::uint64_t key,
+                          const app::StructuredResult& result);
+  void disk_remove_locked(std::uint64_t key);
+  void evict_to_budget_locked(std::uint64_t keep_key);
+  void touch_locked(std::uint64_t key);
+
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, app::StructuredResult> results_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+
+  // Disk tier.
+  std::string dir_;
+  bool disk_attached_ = false;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t disk_bytes_ = 0;
+  std::list<std::uint64_t> lru_;  ///< front = least recently used
+  std::unordered_map<std::uint64_t, DiskEntry> index_;
+  std::uint64_t disk_hits_ = 0;
+  std::uint64_t corrupt_misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t evicted_bytes_ = 0;
 };
 
 }  // namespace mthfx::engine

@@ -1,10 +1,12 @@
 #include "engine/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "obs/stopwatch.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -18,16 +20,35 @@ bool file_exists(const std::string& path) {
 
 }  // namespace
 
+double backoff_delay_ms(const BackoffOptions& options, std::uint64_t job_id,
+                        std::size_t attempt) {
+  const std::size_t exponent = attempt > 0 ? attempt - 1 : 0;
+  double delay = options.base_ms * std::pow(2.0, static_cast<double>(exponent));
+  delay = std::min(delay, options.max_ms);
+  std::uint64_t h = fault::mix64(options.seed ^ fault::mix64(job_id));
+  h = fault::mix64(h ^ static_cast<std::uint64_t>(attempt));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  return delay * (1.0 - options.jitter * u);
+}
+
 JobScheduler::JobScheduler(EngineOptions options)
     : options_(std::move(options)),
       total_threads_(parallel::resolve_thread_count(options_.total_threads)),
-      queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity),
-      // One metric slot per worker plus one shared by submitter threads.
-      registry_(std::max<std::size_t>(options_.concurrency, 1) + 1) {
+      queue_(options_.queue_capacity == 0 ? 1 : options_.queue_capacity,
+             options_.shed_lowest),
+      // One metric slot per worker, one shared by submitter threads
+      // (slot `concurrency`), one for the watchdog (`concurrency + 1`).
+      registry_(std::max<std::size_t>(options_.concurrency, 1) + 2) {
   if (options_.concurrency == 0)
     throw std::invalid_argument("JobScheduler: concurrency must be >= 1");
   if (options_.queue_capacity == 0)
     throw std::invalid_argument("JobScheduler: queue_capacity must be >= 1");
+  if (!(options_.backoff.jitter >= 0.0 && options_.backoff.jitter <= 1.0))
+    throw std::invalid_argument(
+        "JobScheduler: backoff.jitter must be in [0, 1]");
+  if (options_.backoff.base_ms < 0.0 || options_.backoff.max_ms < 0.0)
+    throw std::invalid_argument(
+        "JobScheduler: backoff delays must be >= 0");
   per_job_threads_ =
       std::max<std::size_t>(1, total_threads_ / options_.concurrency);
   c_submitted_ = registry_.counter("engine.jobs_submitted");
@@ -37,14 +58,23 @@ JobScheduler::JobScheduler(EngineOptions options)
   c_cache_hits_ = registry_.counter("engine.cache_hits");
   c_cache_misses_ = registry_.counter("engine.cache_misses");
   c_retries_ = registry_.counter("engine.job_retries");
+  c_shed_ = registry_.counter("engine.jobs_shed");
+  c_degraded_ = registry_.counter("engine.jobs_degraded");
+  c_replayed_ = registry_.counter("engine.jobs_replayed");
+  c_deadline_expired_ = registry_.counter("engine.deadline.expired");
+  c_backoff_ms_ = registry_.counter("engine.retry.backoff_ms");
   t_wait_ = registry_.timer("engine.queue_wait_seconds");
   t_run_ = registry_.timer("engine.job_run_seconds");
+  if (!options_.store_dir.empty())
+    store_.attach_disk(options_.store_dir, options_.store_max_bytes);
+  if (!options_.journal_path.empty()) journal_.open(options_.journal_path);
 }
 
 JobScheduler::~JobScheduler() {
   queue_.close();
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
+  stop_watchdog();
 }
 
 Admission JobScheduler::submit(Job job) {
@@ -52,9 +82,35 @@ Admission JobScheduler::submit(Job job) {
   JobRecord rejected;
   rejected.name = job.name;
   rejected.priority = job.priority;
-  const Admission admission = queue_.submit(std::move(job));
+  // The journal needs the job's content after the queue takes ownership;
+  // copy up front (submission cost is noise next to one SCF iteration).
+  Job journaled;
+  const bool journaling = journal_.active();
+  if (journaling) journaled = job;
+  Admission admission = queue_.submit(std::move(job));
   if (admission.accepted) {
     c_submitted_.add(submit_slot);
+    if (journaling) {
+      journaled.id = admission.id;
+      journal_.record_submitted(journaled);
+    }
+    if (admission.displaced) {
+      c_shed_.add(submit_slot);
+      JobRecord shed;
+      shed.id = admission.displaced->id;
+      shed.name = admission.displaced->name;
+      shed.priority = admission.displaced->priority;
+      shed.state = JobState::kRejected;
+      shed.reject_reason =
+          "shed: displaced at capacity " +
+          std::to_string(options_.queue_capacity) +
+          " by higher-priority submission (id " +
+          std::to_string(admission.id) + ")";
+      shed.input = std::move(admission.displaced->input);
+      if (journaling) journal_.record_committed(shed);
+      std::lock_guard<std::mutex> lock(records_mutex_);
+      records_.push_back(std::move(shed));
+    }
   } else {
     c_rejected_.add(submit_slot);
     rejected.state = JobState::kRejected;
@@ -65,9 +121,20 @@ Admission JobScheduler::submit(Job job) {
   return admission;
 }
 
+void JobScheduler::adopt(JobRecord record) {
+  const std::size_t submit_slot = options_.concurrency;
+  record.replayed = true;
+  if (record.state == JobState::kDone && options_.cache && record.result.ok)
+    store_.insert(input_key(record.input), record.result);
+  c_replayed_.add(submit_slot);
+  std::lock_guard<std::mutex> lock(records_mutex_);
+  records_.push_back(std::move(record));
+}
+
 void JobScheduler::start() {
   if (started_) return;
   started_ = true;
+  watchdog_ = std::thread([this] { watchdog_loop(); });
   workers_.reserve(options_.concurrency);
   for (std::size_t w = 0; w < options_.concurrency; ++w)
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -78,6 +145,7 @@ std::vector<JobRecord> JobScheduler::drain() {
   queue_.close();
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
+  stop_watchdog();
   drained_ = true;
   std::lock_guard<std::mutex> lock(records_mutex_);
   // Rejected jobs never get an id (0) and sort first, in submission
@@ -100,6 +168,40 @@ void JobScheduler::worker_loop(std::size_t worker_id) {
   }
 }
 
+void JobScheduler::watchdog_loop() {
+  const std::size_t slot = options_.concurrency + 1;
+  const auto poll = std::chrono::duration<double, std::milli>(
+      std::max(options_.watchdog_poll_ms, 0.5));
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (stopping_) break;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> active_lock(active_mutex_);
+    for (auto& [id, attempt] : active_) {
+      if (attempt.deadline_seconds <= 0.0 || attempt.token->cancelled())
+        continue;
+      const double elapsed =
+          std::chrono::duration<double>(now - attempt.started).count();
+      if (elapsed > attempt.deadline_seconds) {
+        attempt.token->cancel("deadline: exceeded " +
+                              std::to_string(attempt.deadline_seconds) +
+                              " s (job " + std::to_string(id) + ")");
+        c_deadline_expired_.add(slot);
+      }
+    }
+  }
+}
+
+void JobScheduler::stop_watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    stopping_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
 JobRecord JobScheduler::execute(Job job, double wait_seconds,
                                 std::size_t worker_id) {
   JobRecord record;
@@ -117,6 +219,28 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
   input.num_threads = std::min(requested, per_job_threads_);
   record.threads = input.num_threads;
 
+  // Graceful degradation: under sustained saturation, buy queue drain
+  // rate by coarsening the XC grid of DFT jobs. The record is flagged so
+  // downstream analysis knows these numbers ran at reduced quality.
+  if (options_.degrade_depth > 0 &&
+      queue_.depth() >= options_.degrade_depth && input.method != "hf" &&
+      input.task != app::Task::kMd) {
+    const int coarse_radial = std::min(input.grid_radial, 20);
+    const int coarse_angular = std::min(input.grid_angular, 26);
+    if (coarse_radial != input.grid_radial ||
+        coarse_angular != input.grid_angular) {
+      record.degraded = true;
+      record.degrade_note =
+          "queue saturated: XC grid " + std::to_string(input.grid_radial) +
+          "x" + std::to_string(input.grid_angular) + " -> " +
+          std::to_string(coarse_radial) + "x" +
+          std::to_string(coarse_angular);
+      input.grid_radial = coarse_radial;
+      input.grid_angular = coarse_angular;
+      c_degraded_.add(worker_id);
+    }
+  }
+
   const std::uint64_t key = input_key(input);
   if (options_.cache) {
     if (auto cached = store_.lookup(key)) {
@@ -125,6 +249,7 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
       record.state = cached->ok ? JobState::kDone : JobState::kFailed;
       record.result = std::move(*cached);
       record.input = std::move(input);
+      journal_.record_committed(record);
       return record;
     }
     c_cache_misses_.add(worker_id);
@@ -138,14 +263,30 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
     input.checkpoint_path = options_.checkpoint_dir + "/job_" +
                             std::to_string(job.id) + ".ckpt";
   const std::uint64_t base_fault_seed = input.fault.seed;
+  const double deadline = job.deadline_seconds > 0.0
+                              ? job.deadline_seconds
+                              : options_.default_deadline_seconds;
 
   const std::size_t max_attempts = options_.max_job_retries + 1;
   while (true) {
     ++record.attempts;
+    journal_.record_started(job.id, record.attempts);
+    std::string fail_reason = "exception";
+    if (deadline > 0.0) {
+      auto token = std::make_shared<fault::CancelToken>();
+      input.cancel = token;
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_[job.id] = {deadline, std::chrono::steady_clock::now(),
+                         std::move(token)};
+    }
     obs::Stopwatch attempt_watch;
     try {
       app::StructuredResult result = app::run_structured(input);
       record.run_seconds += attempt_watch.seconds();
+      if (deadline > 0.0) {
+        std::lock_guard<std::mutex> lock(active_mutex_);
+        active_.erase(job.id);
+      }
       record.state = result.ok ? JobState::kDone : JobState::kFailed;
       if (!result.ok && record.error.empty())
         record.error = "task reported failure (see report)";
@@ -155,8 +296,15 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
       else
         c_failed_.add(worker_id);
       record.result = std::move(result);
+      input.cancel.reset();
       record.input = std::move(input);
+      journal_.record_committed(record);
       return record;
+    } catch (const fault::Cancelled& e) {
+      record.run_seconds += attempt_watch.seconds();
+      record.error = e.what();
+      fail_reason = "deadline";
+      ++record.deadline_hits;
     } catch (const std::exception& e) {
       record.run_seconds += attempt_watch.seconds();
       record.error = e.what();
@@ -164,13 +312,30 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
       record.run_seconds += attempt_watch.seconds();
       record.error = "unknown exception";
     }
+    if (deadline > 0.0) {
+      std::lock_guard<std::mutex> lock(active_mutex_);
+      active_.erase(job.id);
+    }
     if (record.attempts >= max_attempts) {
+      journal_.record_attempt_failed(job.id, record.attempts, fail_reason,
+                                     record.error, 0.0);
       record.state = JobState::kFailed;
       c_failed_.add(worker_id);
+      input.cancel.reset();
       record.input = std::move(input);
+      journal_.record_committed(record);
       return record;
     }
     c_retries_.add(worker_id);
+    const double delay_ms =
+        backoff_delay_ms(options_.backoff, job.id, record.attempts);
+    record.backoff_ms += delay_ms;
+    c_backoff_ms_.add(worker_id,
+                      static_cast<std::uint64_t>(std::llround(delay_ms)));
+    journal_.record_attempt_failed(job.id, record.attempts, fail_reason,
+                                   record.error, delay_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
     if (!input.checkpoint_path.empty() && file_exists(input.checkpoint_path))
       input.restore_path = input.checkpoint_path;
     if (input.fault.enabled())

@@ -1,0 +1,81 @@
+#include "fault/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mthfx::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write to", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  // The temporary lives in the target's directory so the final rename()
+  // stays within one filesystem (rename across filesystems is a copy,
+  // not atomic).
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open", tmp);
+  try {
+    write_all(fd, contents.data(), contents.size(), tmp);
+    if (::fsync(fd) != 0) fail("fsync", tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename to", path);
+  }
+  // Persist the rename itself: without the directory fsync a crash can
+  // forget the new directory entry even though the data blocks are safe.
+  const std::string dir = parent_dir(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    (void)::fsync(dfd);  // best effort; some filesystems refuse dir fsync
+    ::close(dfd);
+  }
+}
+
+void durable_append(int fd, std::string_view data) {
+  write_all(fd, data.data(), data.size(), "<journal>");
+  if (::fsync(fd) != 0)
+    throw std::runtime_error(std::string("atomic_write: fsync journal: ") +
+                             std::strerror(errno));
+}
+
+}  // namespace mthfx::fault

@@ -1,0 +1,26 @@
+#pragma once
+
+// Crash-safe file replacement shared by checkpoints, journal segments,
+// and the disk-backed result store: write to a temporary file in the
+// same directory, fsync it, rename() over the target, then fsync the
+// directory. A reader therefore sees either the old contents or the new
+// contents in full — never a torn write — and the data survives the
+// process being SIGKILLed at any instant after the call returns.
+
+#include <string>
+#include <string_view>
+
+namespace mthfx::fault {
+
+/// Atomically replace `path` with `contents`. Throws std::runtime_error
+/// (with the errno message) on any I/O failure; on failure the original
+/// file, if any, is untouched and the temporary is unlinked.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Durably append `data` to the file descriptor: write everything, then
+/// fsync. Used by the write-ahead journal, whose records must be on
+/// stable storage before the engine acts on them. Throws
+/// std::runtime_error on failure.
+void durable_append(int fd, std::string_view data);
+
+}  // namespace mthfx::fault

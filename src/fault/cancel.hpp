@@ -1,0 +1,57 @@
+#pragma once
+
+// Cooperative cancellation for long-running solves. A CancelToken is
+// armed by an external observer (the engine's deadline watchdog); the
+// SCF drivers poll it once per iteration — the natural cancellation
+// point, since an iteration is the smallest unit after which the
+// checkpoint machinery can resume — and raise Cancelled, which unwinds
+// like any other job failure (caught by the per-job fault domain, never
+// by the numerics).
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace mthfx::fault {
+
+/// Thrown from a cancellation point after the token was armed. Carries
+/// the canceller's reason (e.g. "deadline 0.05s exceeded").
+struct Cancelled : std::runtime_error {
+  explicit Cancelled(const std::string& reason)
+      : std::runtime_error("cancelled: " + reason) {}
+};
+
+class CancelToken {
+ public:
+  /// Arm the token (idempotent; the first reason wins). Thread-safe.
+  void cancel(std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (reason_.empty()) reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  std::string reason() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+  }
+
+  /// Cancellation point: throws Cancelled once the token is armed. The
+  /// fast path is one relaxed-ish atomic load.
+  void check() const {
+    if (cancelled()) throw Cancelled(reason());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mutex_;
+  std::string reason_;
+};
+
+}  // namespace mthfx::fault

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/atomic_file.hpp"
+
 namespace mthfx::fault {
 
 namespace {
@@ -51,6 +53,8 @@ std::vector<linalg::Matrix> matrices_from_json(const obs::Json& j) {
   return out;
 }
 
+}  // namespace
+
 obs::Json molecule_to_json(const chem::Molecule& mol) {
   obs::Json j = obs::Json::object();
   j["charge"] = mol.charge();
@@ -84,15 +88,13 @@ chem::Molecule molecule_from_json(const obs::Json& j) {
   return mol;
 }
 
+namespace {
+
+// Checkpoints are replaced atomically (temp file + rename + fsync): a
+// crash mid-save can no longer leave a torn half-written checkpoint
+// that poisons the next restart.
 void write_file(const std::string& path, const obs::Json& j) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out)
-    throw std::runtime_error("checkpoint: cannot open '" + path +
-                             "' for writing");
-  out << j.dump(2) << "\n";
-  out.flush();
-  if (!out)
-    throw std::runtime_error("checkpoint: write to '" + path + "' failed");
+  atomic_write_file(path, j.dump(2) + "\n");
 }
 
 }  // namespace

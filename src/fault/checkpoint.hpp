@@ -59,6 +59,12 @@ struct MdCheckpoint {
 obs::Json to_json(const ScfCheckpoint& ckpt);
 obs::Json to_json(const MdCheckpoint& ckpt);
 
+/// Geometry round-trip ({"charge", "atoms": [{"z", "pos"}]}) shared with
+/// the engine's write-ahead journal, which must persist full job inputs.
+/// Doubles survive bit-for-bit through obs::Json.
+obs::Json molecule_to_json(const chem::Molecule& mol);
+chem::Molecule molecule_from_json(const obs::Json& j);
+
 /// Throws std::invalid_argument on schema mismatch (wrong "kind",
 /// missing fields, inconsistent dimensions).
 ScfCheckpoint scf_checkpoint_from_json(const obs::Json& j);

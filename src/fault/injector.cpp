@@ -6,16 +6,16 @@
 
 namespace mthfx::fault {
 
-namespace {
-
 // splitmix64: well-mixed stateless hash, the standard choice for turning
 // a counter into an independent-looking stream.
-std::uint64_t splitmix64(std::uint64_t x) {
+std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
+
+namespace {
 
 double uniform01(std::uint64_t bits) {
   // 53 high-quality mantissa bits -> [0, 1).
@@ -30,6 +30,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kFail: return "fail";
     case FaultKind::kStall: return "stall";
     case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kSlow: return "slow";
   }
   return "?";
 }
@@ -43,11 +45,17 @@ void FaultOptions::validate() const {
   check01(fail_rate, "fail_rate");
   check01(stall_rate, "stall_rate");
   check01(corrupt_rate, "corrupt_rate");
-  if (fail_rate + stall_rate + corrupt_rate > 1.0)
+  check01(hang_rate, "hang_rate");
+  check01(slow_rate, "slow_rate");
+  if (fail_rate + stall_rate + corrupt_rate + hang_rate + slow_rate > 1.0)
     throw std::invalid_argument(
         "FaultOptions: combined fault rates exceed 1");
   if (stall_seconds < 0.0)
     throw std::invalid_argument("FaultOptions: stall_seconds must be >= 0");
+  if (hang_seconds < 0.0)
+    throw std::invalid_argument("FaultOptions: hang_seconds must be >= 0");
+  if (slow_factor < 0.0)
+    throw std::invalid_argument("FaultOptions: slow_factor must be >= 0");
 }
 
 InjectedFault::InjectedFault(std::uint64_t site_in, std::uint32_t attempt_in)
@@ -62,14 +70,19 @@ Injector::Injector(FaultOptions options) : options_(options) {
 
 FaultKind Injector::decide(std::uint64_t site, std::uint32_t attempt) const {
   if (!options_.enabled()) return FaultKind::kNone;
-  std::uint64_t h = splitmix64(options_.seed);
-  h = splitmix64(h ^ site);
-  h = splitmix64(h ^ attempt);
-  const double u = uniform01(h);
+  std::uint64_t h = mix64(options_.seed);
+  h = mix64(h ^ site);
+  h = mix64(h ^ attempt);
+  double u = uniform01(h);
   if (u < options_.fail_rate) return FaultKind::kFail;
-  if (u < options_.fail_rate + options_.stall_rate) return FaultKind::kStall;
-  if (u < options_.fail_rate + options_.stall_rate + options_.corrupt_rate)
-    return FaultKind::kCorrupt;
+  u -= options_.fail_rate;
+  if (u < options_.stall_rate) return FaultKind::kStall;
+  u -= options_.stall_rate;
+  if (u < options_.corrupt_rate) return FaultKind::kCorrupt;
+  u -= options_.corrupt_rate;
+  if (u < options_.hang_rate) return FaultKind::kHang;
+  u -= options_.hang_rate;
+  if (u < options_.slow_rate) return FaultKind::kSlow;
   return FaultKind::kNone;
 }
 
@@ -88,6 +101,16 @@ FaultKind Injector::sample(std::uint64_t site, std::uint32_t attempt) {
     case FaultKind::kCorrupt:
       corruptions_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case FaultKind::kHang:
+      hangs_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.hang_seconds));
+      break;
+    case FaultKind::kSlow:
+      slowdowns_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.slow_factor * options_.stall_seconds));
+      break;
   }
   return kind;
 }
@@ -102,6 +125,8 @@ void Injector::reset_stats() {
   failures_.store(0, std::memory_order_relaxed);
   stalls_.store(0, std::memory_order_relaxed);
   corruptions_.store(0, std::memory_order_relaxed);
+  hangs_.store(0, std::memory_order_relaxed);
+  slowdowns_.store(0, std::memory_order_relaxed);
 }
 
 FaultOptions parse_fault_spec(std::string_view spec) {
@@ -130,8 +155,16 @@ FaultOptions parse_fault_spec(std::string_view spec) {
       options.stall_rate = num;
     } else if (key == "corrupt") {
       options.corrupt_rate = num;
+    } else if (key == "hang") {
+      options.hang_rate = num;
+    } else if (key == "slow") {
+      options.slow_rate = num;
     } else if (key == "stall_ms") {
       options.stall_seconds = num * 1e-3;
+    } else if (key == "hang_ms") {
+      options.hang_seconds = num * 1e-3;
+    } else if (key == "slow_factor") {
+      options.slow_factor = num;
     } else if (key == "seed") {
       options.seed = static_cast<std::uint64_t>(num);
     } else if (key == "retries") {

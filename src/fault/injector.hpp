@@ -13,6 +13,14 @@
 // spec (grammar in docs/resilience.md):
 //
 //   MTHFX_FAULT_SPEC="fail=0.01,corrupt=0.005,stall=0.001,stall_ms=2,seed=42,retries=4"
+//
+// Two straggler-class kinds make deadline/watchdog paths testable:
+// `hang` (the task sleeps hang_ms — long enough to blow a wall-clock
+// deadline) and `slow` (the task sleeps slow_factor x stall_ms — a
+// multiplicative slowdown rather than a fixed blip):
+//
+//   MTHFX_FAULT_SPEC="hang=1,hang_ms=200,seed=7"
+//   MTHFX_FAULT_SPEC="slow=0.05,slow_factor=20,stall_ms=2"
 
 #include <atomic>
 #include <cstdint>
@@ -22,7 +30,14 @@
 
 namespace mthfx::fault {
 
-enum class FaultKind : std::uint8_t { kNone = 0, kFail, kStall, kCorrupt };
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kFail,
+  kStall,
+  kCorrupt,
+  kHang,  ///< task sleeps hang_seconds (deadline/watchdog testing)
+  kSlow,  ///< task sleeps slow_factor * stall_seconds (straggler)
+};
 
 const char* to_string(FaultKind kind);
 
@@ -30,12 +45,17 @@ struct FaultOptions {
   double fail_rate = 0.0;     ///< P(task throws InjectedFault)
   double stall_rate = 0.0;    ///< P(task sleeps stall_seconds first)
   double corrupt_rate = 0.0;  ///< P(task output is NaN-poisoned)
+  double hang_rate = 0.0;     ///< P(task sleeps hang_seconds — a hang)
+  double slow_rate = 0.0;     ///< P(task sleeps slow_factor*stall_seconds)
   double stall_seconds = 1e-3;
+  double hang_seconds = 0.1;  ///< hang duration (spec key hang_ms)
+  double slow_factor = 10.0;  ///< straggler slowdown multiplier
   std::uint64_t seed = 0x6d746866'78ULL;  // "mthfx"
   std::size_t max_retries = 3;            ///< retry budget per task
 
   bool enabled() const {
-    return fail_rate > 0.0 || stall_rate > 0.0 || corrupt_rate > 0.0;
+    return fail_rate > 0.0 || stall_rate > 0.0 || corrupt_rate > 0.0 ||
+           hang_rate > 0.0 || slow_rate > 0.0;
   }
   /// Throws std::invalid_argument if any rate is outside [0, 1] or the
   /// combined rate exceeds 1.
@@ -72,7 +92,7 @@ class Injector {
   bool apply(std::uint64_t site, std::uint32_t attempt);
 
   std::uint64_t injected() const {
-    return failures() + stalls() + corruptions();
+    return failures() + stalls() + corruptions() + hangs() + slowdowns();
   }
   std::uint64_t failures() const {
     return failures_.load(std::memory_order_relaxed);
@@ -83,6 +103,12 @@ class Injector {
   std::uint64_t corruptions() const {
     return corruptions_.load(std::memory_order_relaxed);
   }
+  std::uint64_t hangs() const {
+    return hangs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slowdowns() const {
+    return slowdowns_.load(std::memory_order_relaxed);
+  }
   void reset_stats();
 
  private:
@@ -90,12 +116,15 @@ class Injector {
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> stalls_{0};
   std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> hangs_{0};
+  std::atomic<std::uint64_t> slowdowns_{0};
 };
 
 /// Parses the MTHFX_FAULT_SPEC grammar:
 ///   spec    := pair ("," pair)*  |  ""          (empty spec = disabled)
 ///   pair    := key "=" value
-///   key     := fail | stall | corrupt | stall_ms | seed | retries
+///   key     := fail | stall | corrupt | hang | slow | stall_ms
+///            | hang_ms | slow_factor | seed | retries
 /// Unknown keys, malformed values, and out-of-range rates throw
 /// std::invalid_argument.
 FaultOptions parse_fault_spec(std::string_view spec);
@@ -103,5 +132,10 @@ FaultOptions parse_fault_spec(std::string_view spec);
 /// FaultOptions from the MTHFX_FAULT_SPEC environment variable, or
 /// all-zero (disabled) defaults when unset/empty.
 FaultOptions fault_options_from_env();
+
+/// splitmix64 mixing step — the stateless hash behind decide(), exposed
+/// for other seeded-deterministic policies (the engine's jittered
+/// retry backoff draws from it).
+std::uint64_t mix64(std::uint64_t x);
 
 }  // namespace mthfx::fault

@@ -104,6 +104,7 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
   std::size_t completed = start_iter;
 
   for (std::size_t iter = start_iter; iter < options.max_iterations; ++iter) {
+    if (options.cancel) options.cancel->check();
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     ScfIterationLog log_entry;

@@ -13,6 +13,7 @@
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
+#include "fault/cancel.hpp"
 #include "fault/checkpoint.hpp"
 #include "hfx/fock_builder.hpp"
 #include "linalg/matrix.hpp"
@@ -38,6 +39,13 @@ struct ScfOptions {
   /// iterations (callers persist it via fault::save_checkpoint).
   std::function<void(const fault::ScfCheckpoint&)> checkpoint_sink;
   std::size_t checkpoint_every = 1;
+
+  /// Cooperative cancellation, polled once per SCF iteration (all four
+  /// drivers). An armed token makes the solve throw fault::Cancelled at
+  /// the next iteration boundary — after the latest checkpoint, so a
+  /// cancelled job resumes instead of restarting. Used by the engine's
+  /// deadline watchdog to reclaim hung/overdue jobs.
+  std::shared_ptr<const fault::CancelToken> cancel;
 };
 
 struct ScfIterationLog {

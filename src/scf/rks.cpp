@@ -70,6 +70,7 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
 
   for (std::size_t iter = start_iter; iter < options.scf.max_iterations;
        ++iter) {
+    if (options.scf.cancel) options.scf.cancel->check();
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     const auto jk = builder.coulomb_exchange(p);

@@ -117,6 +117,7 @@ UhfResult uhf(const chem::Molecule& mol, const chem::BasisSet& basis,
 
   for (std::size_t iter = start_iter; iter < options.max_iterations;
        ++iter) {
+    if (options.cancel) options.cancel->check();
     const obs::Trace::Scope iter_span(obs::global_trace(), "scf.iteration");
     const obs::Stopwatch iter_watch;
     const auto jk_a = builder.coulomb_exchange(a.p);

@@ -34,6 +34,9 @@ struct UhfOptions {
   /// Called with end-of-iteration state every `checkpoint_every` cycles.
   std::function<void(const fault::ScfCheckpoint&)> checkpoint_sink;
   std::size_t checkpoint_every = 1;
+  /// Cooperative cancellation, polled at each iteration (see
+  /// fault/cancel.hpp); the engine's deadline watchdog arms it.
+  std::shared_ptr<const fault::CancelToken> cancel;
 };
 
 struct UhfResult {

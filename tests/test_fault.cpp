@@ -6,11 +6,18 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
+#include "fault/atomic_file.hpp"
+#include "fault/cancel.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/injector.hpp"
 #include "hfx/fock_builder.hpp"
@@ -595,4 +602,102 @@ TEST(ScfFault, FaultInjectedPbe0MatchesCleanEnergy) {
   const auto r = scf::rks(m, basis, opts);
   ASSERT_TRUE(r.scf.converged);
   EXPECT_NEAR(r.scf.energy, ref.scf.energy, 1e-10);
+}
+
+// ---------------------------------------------------------------------
+// New fault kinds (hang/slow), cooperative cancellation, and the
+// atomic-write primitive the checkpoint/journal/store layers share.
+
+TEST(FaultSpec, ParsesHangAndSlowKeys) {
+  const auto o = fault::parse_fault_spec(
+      "hang=0.25,hang_ms=200,slow=0.1,slow_factor=20,stall_ms=2");
+  EXPECT_DOUBLE_EQ(o.hang_rate, 0.25);
+  EXPECT_DOUBLE_EQ(o.hang_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(o.slow_rate, 0.1);
+  EXPECT_DOUBLE_EQ(o.slow_factor, 20.0);
+  EXPECT_DOUBLE_EQ(o.stall_seconds, 2e-3);
+  EXPECT_TRUE(o.enabled());
+}
+
+TEST(FaultSpec, RejectsRateSumAboveOneWithHangAndSlow) {
+  EXPECT_THROW(fault::parse_fault_spec("hang=0.6,slow=0.6"),
+               std::invalid_argument);
+}
+
+TEST(Injector, HangAndSlowDecideAndCount) {
+  fault::FaultOptions o;
+  o.hang_rate = 1.0;
+  o.hang_seconds = 1e-4;  // keep the injected sleeps negligible
+  {
+    fault::Injector inj(o);
+    EXPECT_EQ(inj.decide(5, 0), fault::FaultKind::kHang);
+    EXPECT_FALSE(inj.apply(5, 0));  // sleeps, never throws, no poison
+    EXPECT_EQ(inj.hangs(), 1u);
+    EXPECT_EQ(inj.injected(), 1u);
+  }
+  fault::FaultOptions s;
+  s.slow_rate = 1.0;
+  s.stall_seconds = 1e-5;
+  s.slow_factor = 2.0;
+  fault::Injector inj(s);
+  EXPECT_EQ(inj.decide(5, 0), fault::FaultKind::kSlow);
+  EXPECT_FALSE(inj.apply(5, 0));
+  EXPECT_EQ(inj.slowdowns(), 1u);
+}
+
+TEST(CancelToken, FirstReasonWinsAndCheckThrows) {
+  fault::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.check();  // unarmed: no throw
+  token.cancel("deadline");
+  token.cancel("second caller");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "deadline");
+  try {
+    token.check();
+    FAIL() << "expected Cancelled";
+  } catch (const fault::Cancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(ScfFault, CancelTokenStopsScfAtIterationBoundary) {
+  const auto m = water();
+  const auto basis = chem::BasisSet::build(m, "sto-3g");
+  scf::ScfOptions opts;
+  auto token = std::make_shared<fault::CancelToken>();
+  token->cancel("unit test");
+  opts.cancel = token;
+  EXPECT_THROW(scf::rhf(m, basis, opts), fault::Cancelled);
+}
+
+TEST(AtomicFile, WriteIsAllOrNothing) {
+  std::string tmpl = "/tmp/mthfx_atomic_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl.data()), nullptr);
+  const std::string path = tmpl + "/state.json";
+  fault::atomic_write_file(path, "first");
+  fault::atomic_write_file(path, "second");
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "second");
+  // No temporary litter left beside the target.
+  EXPECT_EQ(std::distance(std::filesystem::directory_iterator(tmpl),
+                          std::filesystem::directory_iterator{}),
+            1);
+}
+
+TEST(AtomicFile, FailureLeavesOriginalUntouched) {
+  std::string tmpl = "/tmp/mthfx_atomic_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl.data()), nullptr);
+  const std::string path = tmpl + "/state.json";
+  fault::atomic_write_file(path, "keep me");
+  // Writing into a missing directory must throw and not touch `path`.
+  EXPECT_THROW(
+      fault::atomic_write_file(tmpl + "/no_such_dir/state.json", "x"),
+      std::runtime_error);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "keep me");
 }
