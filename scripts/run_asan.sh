@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=address
 cmake --build "$BUILD_DIR" -j --target test_fault test_parallel test_obs \
-  test_hfx test_property_hfx test_durability
+  test_hfx test_property_hfx test_durability test_property_grad
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 
@@ -31,6 +31,11 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 # 50-case budget.
 MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_property_hfx \
   --gtest_filter='PropertyHarness.*:PropertyHfx.JkHermitianAndTraceIdentities:PropertyHfx.SerialReduceMatchesDirectSum'
+# Analytic-gradient surface: the ERI-derivative scratch blocks and XC
+# grid-gradient buffers are the newest raw-buffer territory; a couple of
+# random molecules walk all four functionals through them.
+MTHFX_PROPERTY_ITERS=2 "$BUILD_DIR"/tests/test_property_grad \
+  --gtest_filter='PropertyGrad.NetForceVanishes:PropertyGrad.ForcesAreTranslationInvariant'
 # Durable-engine buffer surface: journal frame parsing/replay of corrupt
 # and truncated records, and the disk store's entry read/validate/evict
 # path — both chew raw file bytes and must not over-read on garbage.

@@ -11,6 +11,8 @@
 #            (forks and SIGKILLs a campaign — slower than tier1)
 #   property seeded property/differential suites at MTHFX_PROPERTY_ITERS
 #            (default 50) iterations
+#   gradient analytic-gradient suites: deterministic unit + golden
+#            checks and the seeded force-property suite
 #   nightly  the property executables at high iteration count
 #            (MTHFX_PROPERTY_NIGHTLY_ITERS, default 400)
 #   all      everything except nightly (what a bare `ctest` runs)
@@ -29,13 +31,17 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 
 case "$TIER" in
-  tier1|fault|engine|durability|property)
+  tier1|fault|engine|durability|property|gradient)
     ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
     if [ "$TIER" = tier1 ]; then
       # Perf smoke: small-iteration A7 kernel sweep. Counts and
       # batched-vs-sparse-vs-dense cross-checks only — no timing
       # assertions, so it cannot flake on a loaded machine.
       "$BUILD_DIR"/bench/bench_a7_eri_kernel --smoke
+      # A8 smoke: a 2-step PBE0 trajectory checking the accelerated
+      # MD surface's one-solve-per-step counters — again counts only,
+      # no timing assertions.
+      "$BUILD_DIR"/bench/bench_a8_bomd --smoke
     fi
     ;;
   nightly)
@@ -47,7 +53,7 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
     ;;
   *)
-    echo "unknown tier: $TIER (want tier1|fault|engine|durability|property|nightly|all)" >&2
+    echo "unknown tier: $TIER (want tier1|fault|engine|durability|property|gradient|nightly|all)" >&2
     exit 2
     ;;
 esac

@@ -17,7 +17,7 @@ BUILD_DIR="${1:-build-ubsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=undefined
 cmake --build "$BUILD_DIR" -j --target test_boys test_eri test_hfx \
-  test_differential bench_a7_eri_kernel
+  test_differential test_gradient test_property_grad bench_a7_eri_kernel
 
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
@@ -29,6 +29,12 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 # Small-iteration differential subset: randomized quartet streams drive
 # the batched kernel's ragged-tail and lane-masking paths.
 MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_differential
+# Derivative-ERI index arithmetic: the deterministic gradient unit
+# suite plus a couple of random force-property cases run the dA/dB
+# Hermite recursion and its packed index walks end to end.
+"$BUILD_DIR"/tests/test_gradient
+MTHFX_PROPERTY_ITERS=2 "$BUILD_DIR"/tests/test_property_grad \
+  --gtest_filter='PropertyGrad.NetForceVanishes'
 # The A7 smoke sweeps every shell class through batched + scalar + dense
 # in one process — the densest UB net over the micro-kernel itself.
 "$BUILD_DIR"/bench/bench_a7_eri_kernel --smoke

@@ -163,9 +163,8 @@ StructuredResult run_structured(const Input& input) {
         out << "  dipole moment: " << result.dipole_debye << " D\n";
       }
       if (input.task == Task::kGradient && r.scf.converged) {
-        if (input.method != "hf") {
-          out << "  [analytic gradients available for method hf only]\n";
-        } else {
+        std::vector<chem::Vec3> g;
+        if (input.method == "hf") {
           // Re-run through the RHF driver to get orbital data.
           scf::ScfOptions rhf_opts;
           rhf_opts.hfx.eps_schwarz = input.eps_schwarz;
@@ -174,13 +173,15 @@ StructuredResult run_structured(const Input& input) {
           rhf_opts.hfx.validate_tasks = input.fault.enabled();
           rhf_opts.cancel = input.cancel;
           const auto hf = scf::rhf(mol, basis, rhf_opts);
-          const auto g = scf::rhf_gradient(mol, basis, hf);
-          result.gradient = g;
-          out << "  gradient (Ha/bohr):\n";
-          for (std::size_t i = 0; i < g.size(); ++i)
-            out << "    " << chem::element_symbol(mol.atom(i).z) << "  "
-                << g[i].x << " " << g[i].y << " " << g[i].z << "\n";
+          g = scf::rhf_gradient(mol, basis, hf);
+        } else {
+          g = scf::ks_gradient(mol, basis, opts, r);
         }
+        result.gradient = g;
+        out << "  gradient (Ha/bohr):\n";
+        for (std::size_t i = 0; i < g.size(); ++i)
+          out << "    " << chem::element_symbol(mol.atom(i).z) << "  "
+              << g[i].x << " " << g[i].y << " " << g[i].z << "\n";
       }
     }
   } else {  // Task::kMd

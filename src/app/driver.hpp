@@ -26,7 +26,7 @@ struct StructuredResult {
   double exact_exchange_energy = 0.0;   ///< 0 for method hf
   double homo_lumo_gap_ev = 0.0;        ///< closed-shell tasks only
   double dipole_debye = 0.0;            ///< converged closed-shell only
-  std::vector<chem::Vec3> gradient;     ///< filled for task gradient (hf)
+  std::vector<chem::Vec3> gradient;     ///< filled for task gradient (restricted)
   std::size_t md_frames = 0;            ///< task md only
   double md_max_energy_drift = 0.0;     ///< task md only (Ha)
   std::string report;  ///< formatted multi-line summary

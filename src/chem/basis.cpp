@@ -165,4 +165,71 @@ void BasisSet::evaluate_with_gradient(const Vec3& point,
   }
 }
 
+void BasisSet::evaluate_with_hessian(
+    const Vec3& point, std::vector<double>& val, std::vector<double>& dx,
+    std::vector<double>& dy, std::vector<double>& dz, std::vector<double>& dxx,
+    std::vector<double>& dxy, std::vector<double>& dxz,
+    std::vector<double>& dyy, std::vector<double>& dyz,
+    std::vector<double>& dzz) const {
+  val.assign(nao_, 0.0);
+  dx.assign(nao_, 0.0);
+  dy.assign(nao_, 0.0);
+  dz.assign(nao_, 0.0);
+  dxx.assign(nao_, 0.0);
+  dxy.assign(nao_, 0.0);
+  dxz.assign(nao_, 0.0);
+  dyy.assign(nao_, 0.0);
+  dyz.assign(nao_, 0.0);
+  dzz.assign(nao_, 0.0);
+
+  auto powi = [](double x, int n) {
+    double r = 1.0;
+    for (int k = 0; k < n; ++k) r *= x;
+    return r;
+  };
+  // Per-dimension factors of x^i e^{-a x^2} with the shared Gaussian
+  // pulled out: f = x^i, f' = i x^{i-1} - 2a x^{i+1},
+  // f'' = i(i-1) x^{i-2} - 2a(2i+1) x^i + 4a^2 x^{i+2}. Mixed second
+  // derivatives are products of first-derivative factors.
+  auto d1 = [&](double x, int i, double a) {
+    return (i > 0 ? i * powi(x, i - 1) : 0.0) - 2.0 * a * powi(x, i + 1);
+  };
+  auto d2 = [&](double x, int i, double a) {
+    double v = -2.0 * a * (2 * i + 1) * powi(x, i) +
+               4.0 * a * a * powi(x, i + 2);
+    if (i > 1) v += i * (i - 1) * powi(x, i - 2);
+    return v;
+  };
+
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const Shell& sh = shells_[s];
+    const Vec3 r = point - sh.center();
+    const double r2 = dot(r, r);
+    const auto powers = cartesian_powers(sh.l());
+    const std::size_t base = offsets_[s];
+    for (std::size_t p = 0; p < sh.num_primitives(); ++p) {
+      const double a = sh.exponents()[p];
+      const double e = std::exp(-a * r2);
+      if (e < 1e-16) continue;
+      for (std::size_t c = 0; c < powers.size(); ++c) {
+        const int i = powers[c].x, j = powers[c].y, k = powers[c].z;
+        const double fx = powi(r[0], i), fy = powi(r[1], j), fz = powi(r[2], k);
+        const double gx = d1(r[0], i, a), gy = d1(r[1], j, a),
+                     gz = d1(r[2], k, a);
+        const double nc = sh.norm_coef(p, c) * e;
+        val[base + c] += nc * fx * fy * fz;
+        dx[base + c] += nc * gx * fy * fz;
+        dy[base + c] += nc * fx * gy * fz;
+        dz[base + c] += nc * fx * fy * gz;
+        dxx[base + c] += nc * d2(r[0], i, a) * fy * fz;
+        dyy[base + c] += nc * fx * d2(r[1], j, a) * fz;
+        dzz[base + c] += nc * fx * fy * d2(r[2], k, a);
+        dxy[base + c] += nc * gx * gy * fz;
+        dxz[base + c] += nc * gx * fy * gz;
+        dyz[base + c] += nc * fx * gy * gz;
+      }
+    }
+  }
+}
+
 }  // namespace mthfx::chem

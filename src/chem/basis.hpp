@@ -109,6 +109,17 @@ class BasisSet {
                               std::vector<double>& dx, std::vector<double>& dy,
                               std::vector<double>& dz) const;
 
+  /// Evaluate AOs with first and second Cartesian derivatives at a point
+  /// (needed by the GGA gradient: d(sigma)/dR pulls in AO Hessians). The
+  /// six second-derivative vectors follow the xx, xy, xz, yy, yz, zz
+  /// order. All vectors are resized to num_functions().
+  void evaluate_with_hessian(const Vec3& point, std::vector<double>& val,
+                             std::vector<double>& dx, std::vector<double>& dy,
+                             std::vector<double>& dz, std::vector<double>& dxx,
+                             std::vector<double>& dxy, std::vector<double>& dxz,
+                             std::vector<double>& dyy, std::vector<double>& dyz,
+                             std::vector<double>& dzz) const;
+
  private:
   std::vector<Shell> shells_;
   std::vector<std::size_t> offsets_;

@@ -55,6 +55,108 @@ double becke_weight(const chem::Molecule& mol, std::size_t center,
   return cell_product(mol, center, p) / total;
 }
 
+std::vector<chem::Vec3> becke_weight_gradient(const chem::Molecule& mol,
+                                              std::size_t center,
+                                              const chem::Vec3& p) {
+  const std::size_t n = mol.size();
+  std::vector<chem::Vec3> grad(n, chem::Vec3{0, 0, 0});
+  if (n < 2) return grad;
+  const auto& atoms = mol.atoms();
+
+  // Derivative of the iterated smoothing polynomial g(x) = p(p(p(x))),
+  // p(x) = 1.5x - 0.5x^3, by the chain rule.
+  auto smooth_deriv = [](double mu) {
+    double d = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      d *= 1.5 * (1.0 - mu * mu);
+      mu = 1.5 * mu - 0.5 * mu * mu * mu;
+    }
+    return d;
+  };
+
+  std::vector<double> r(n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = chem::distance(p, atoms[i].pos);
+
+  // Cell values s_jk and the scalar chain factor ds_jk/dmu_jk for every
+  // ordered pair, plus the raw (unadjusted) mu and pair geometry.
+  std::vector<double> s(n * n, 1.0), dsdmu(n * n, 0.0), mu_raw(n * n, 0.0),
+      rij(n * n, 1.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (j == k) continue;
+      const double d_jk = chem::distance(atoms[j].pos, atoms[k].pos);
+      const double mu = (r[j] - r[k]) / d_jk;
+      const double a = size_adjustment(chem::element(atoms[j].z).bragg_radius_a,
+                                       chem::element(atoms[k].z).bragg_radius_a);
+      const double nu = mu + a * (1.0 - mu * mu);
+      s[j * n + k] = 0.5 * (1.0 - becke_smooth(nu));
+      dsdmu[j * n + k] = -0.5 * smooth_deriv(nu) * (1.0 - 2.0 * a * mu);
+      mu_raw[j * n + k] = mu;
+      rij[j * n + k] = d_jk;
+    }
+  }
+
+  // Cell products c_j and leave-one-out products via prefix/suffix scans
+  // (never divides by a possibly tiny s value).
+  std::vector<double> c(n, 1.0);
+  std::vector<double> loo(n * n, 0.0);
+  std::vector<double> prefix(n), suffix(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      prefix[k] = acc;
+      if (k != j) acc *= s[j * n + k];
+    }
+    c[j] = acc;
+    acc = 1.0;
+    for (std::size_t k = n; k-- > 0;) {
+      suffix[k] = acc;
+      if (k != j) acc *= s[j * n + k];
+    }
+    for (std::size_t k = 0; k < n; ++k)
+      if (k != j) loo[j * n + k] = prefix[k] * suffix[k];
+  }
+
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) total += c[j];
+  if (total <= 0.0) return grad;
+
+  // dc[j * n + B] = dc_j/dR_B. Each pair (j,k) contributes to B = j and
+  // B = k through dmu_jk/dR_j and dmu_jk/dR_k.
+  std::vector<chem::Vec3> dc(n * n, chem::Vec3{0, 0, 0});
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (j == k) continue;
+      const double t = loo[j * n + k] * dsdmu[j * n + k];
+      if (t == 0.0) continue;
+      const double d_jk = rij[j * n + k];
+      const double mu = mu_raw[j * n + k];
+      const chem::Vec3 e_jk = (1.0 / d_jk) * (atoms[j].pos - atoms[k].pos);
+      // dmu/dR_j = -u_j/R_jk - mu e_jk/R_jk with u_j the unit vector from
+      // atom j to the point; dmu/dR_k mirrors with the opposite signs.
+      if (r[j] > 1e-14) {
+        const chem::Vec3 u_j = (1.0 / r[j]) * (p - atoms[j].pos);
+        dc[j * n + j] =
+            dc[j * n + j] + t * ((-1.0 / d_jk) * u_j - (mu / d_jk) * e_jk);
+      }
+      if (r[k] > 1e-14) {
+        const chem::Vec3 u_k = (1.0 / r[k]) * (p - atoms[k].pos);
+        dc[j * n + k] =
+            dc[j * n + k] + t * ((1.0 / d_jk) * u_k + (mu / d_jk) * e_jk);
+      }
+    }
+  }
+
+  // Quotient rule on P_center = c_center / sum_j c_j.
+  for (std::size_t b = 0; b < n; ++b) {
+    chem::Vec3 sum_dc{0, 0, 0};
+    for (std::size_t j = 0; j < n; ++j) sum_dc = sum_dc + dc[j * n + b];
+    grad[b] = (1.0 / total) * dc[center * n + b] -
+              (c[center] / (total * total)) * sum_dc;
+  }
+  return grad;
+}
+
 MolecularGrid::MolecularGrid(const chem::Molecule& mol,
                              const GridOptions& options) {
   const auto angular = lebedev_grid_at_least(options.angular_points);
@@ -84,6 +186,8 @@ MolecularGrid::MolecularGrid(const chem::Molecule& mol,
         gp.pos = center + chem::Vec3{r * ap.x, r * ap.y, r * ap.z};
         const double wb = becke_weight(mol, a, gp.pos);
         gp.weight = wr * 4.0 * std::numbers::pi * ap.weight * wb;
+        gp.parent = a;
+        gp.becke = wb;
         if (gp.weight > 1e-16) points_.push_back(gp);
       }
     }

@@ -15,6 +15,8 @@ namespace mthfx::dft {
 struct GridPoint {
   chem::Vec3 pos;      ///< Bohr
   double weight = 0.0; ///< full quadrature weight (radial x angular x Becke)
+  std::size_t parent = 0;  ///< atom whose radial shell spawned this point
+  double becke = 0.0;      ///< Becke partition weight P_parent at pos
 };
 
 struct GridOptions {
@@ -45,5 +47,15 @@ class MolecularGrid {
 /// Becke cell weight of atom `center` at point `p` (exposed for tests).
 double becke_weight(const chem::Molecule& mol, std::size_t center,
                     const chem::Vec3& p);
+
+/// Analytic derivative of the Becke partition weight: entry B of the
+/// returned vector is dP_center/dR_B at *fixed* point p (the point is not
+/// dragged along with any atom; the grid-point motion term is recovered
+/// from translational invariance by the XC gradient). Matches
+/// becke_weight including the smoothing iterations and the Bragg-radius
+/// size adjustment.
+std::vector<chem::Vec3> becke_weight_gradient(const chem::Molecule& mol,
+                                              std::size_t center,
+                                              const chem::Vec3& p);
 
 }  // namespace mthfx::dft

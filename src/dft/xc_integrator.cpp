@@ -112,6 +112,112 @@ XcResult XcIntegrator::integrate(const Functional& functional,
 }
 
 
+std::vector<chem::Vec3> XcIntegrator::gradient(const Functional& functional,
+                                               const Matrix& density,
+                                               const chem::Molecule& mol) const {
+  const std::size_t nao = basis_.num_functions();
+  std::vector<chem::Vec3> grad(mol.size(), chem::Vec3{0, 0, 0});
+
+  // AO index -> owning atom.
+  std::vector<std::size_t> atom_of(nao, 0);
+  for (std::size_t s = 0; s < basis_.num_shells(); ++s) {
+    const chem::Shell& sh = basis_.shell(s);
+    const std::size_t base = basis_.first_function(s);
+    for (std::size_t c = 0; c < sh.num_functions(); ++c)
+      atom_of[base + c] = sh.atom_index();
+  }
+
+  std::vector<double> val, d1x, d1y, d1z, hxx, hxy, hxz, hyy, hyz, hzz;
+  std::vector<double> pphi(nao), pgx(nao), pgy(nao), pgz(nao);
+
+  for (std::size_t g = 0; g < grid_.size(); ++g) {
+    const GridPoint& gp = grid_.points()[g];
+    const double w = gp.weight;
+    basis_.evaluate_with_hessian(gp.pos, val, d1x, d1y, d1z, hxx, hxy, hxz,
+                                 hyy, hyz, hzz);
+
+    double rho = 0.0;
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      double t = 0.0, tx = 0.0, ty = 0.0, tz = 0.0;
+      for (std::size_t nu = 0; nu < nao; ++nu) {
+        const double pmn = density(mu, nu);
+        t += pmn * val[nu];
+        tx += pmn * d1x[nu];
+        ty += pmn * d1y[nu];
+        tz += pmn * d1z[nu];
+      }
+      pphi[mu] = t;
+      pgx[mu] = tx;
+      pgy[mu] = ty;
+      pgz[mu] = tz;
+      rho += t * val[mu];
+    }
+    if (rho < 1e-12) continue;
+
+    double drx = 0.0, dry = 0.0, drz = 0.0;
+    if (functional.needs_gradient) {
+      for (std::size_t mu = 0; mu < nao; ++mu) {
+        drx += 2.0 * pphi[mu] * d1x[mu];
+        dry += 2.0 * pphi[mu] * d1y[mu];
+        drz += 2.0 * pphi[mu] * d1z[mu];
+      }
+    }
+    const double sigma = drx * drx + dry * dry + drz * drz;
+
+    const double e = functional.energy_density(rho, sigma);
+
+    // Same central-difference potentials the SCF-side integrate() uses,
+    // so the gradient is consistent with the converged V_xc.
+    const double hr = std::max(1e-9, 1e-6 * rho);
+    const double vrho = (functional.energy_density(rho + hr, sigma) -
+                         functional.energy_density(rho - hr, sigma)) /
+                        (2.0 * hr);
+    double vsigma = 0.0;
+    if (functional.needs_gradient && sigma > 1e-24) {
+      const double hs = std::max(1e-12, 1e-6 * sigma);
+      vsigma = (functional.energy_density(rho, sigma + hs) -
+                functional.energy_density(rho, sigma - hs)) /
+               (2.0 * hs);
+    }
+
+    // Orbital terms: X_C = vrho drho/dR_C + vsigma dsigma/dR_C at fixed
+    // point, accumulated per owning atom; the grid point riding on its
+    // parent atom contributes -sum_C X_C there (translational
+    // invariance of rho and sigma under a rigid shift).
+    chem::Vec3 x_total{0, 0, 0};
+    for (std::size_t mu = 0; mu < nao; ++mu) {
+      const chem::Vec3 dphi{d1x[mu], d1y[mu], d1z[mu]};
+      // (Hessian of phi_mu) . grad rho
+      const chem::Vec3 hdr{
+          hxx[mu] * drx + hxy[mu] * dry + hxz[mu] * drz,
+          hxy[mu] * drx + hyy[mu] * dry + hyz[mu] * drz,
+          hxz[mu] * drx + hyz[mu] * dry + hzz[mu] * drz};
+      const double gdotpg = drx * pgx[mu] + dry * pgy[mu] + drz * pgz[mu];
+      const chem::Vec3 x_mu =
+          (-2.0 * vrho * pphi[mu]) * dphi +
+          (-4.0 * vsigma) * (pphi[mu] * hdr + gdotpg * dphi);
+      grad[atom_of[mu]] = grad[atom_of[mu]] + w * x_mu;
+      x_total = x_total + x_mu;
+    }
+    grad[gp.parent] = grad[gp.parent] - w * x_total;
+
+    // Grid-weight term: w = w0 * P_parent with w0 the (geometry-
+    // independent) radial x angular weight. dP uses the same
+    // translational-invariance correction for the moving point.
+    if (gp.becke > 0.0 && mol.size() > 1) {
+      const double w0 = w / gp.becke;
+      const auto dp = becke_weight_gradient(mol, gp.parent, gp.pos);
+      chem::Vec3 dp_total{0, 0, 0};
+      for (std::size_t b = 0; b < mol.size(); ++b) {
+        grad[b] = grad[b] + (w0 * e) * dp[b];
+        dp_total = dp_total + dp[b];
+      }
+      grad[gp.parent] = grad[gp.parent] - (w0 * e) * dp_total;
+    }
+  }
+  return grad;
+}
+
 XcSpinResult XcIntegrator::integrate_spin(const SpinFunctional& functional,
                                           const Matrix& density_alpha,
                                           const Matrix& density_beta) const {

@@ -42,6 +42,16 @@ class XcIntegrator {
   /// ∫ rho for a density matrix (electron-count check).
   double integrate_density(const linalg::Matrix& density) const;
 
+  /// dE_xc/dR per atom at fixed density matrix P. Covers the
+  /// basis-center (orbital) terms — with AO Hessians feeding the
+  /// d(sigma)/dR part for GGAs — and the Becke partition-weight
+  /// derivatives. Grid points ride on their parent atoms; the moving-
+  /// point terms are folded in through translational invariance, so the
+  /// total gradient sums to zero over atoms up to quadrature error.
+  std::vector<chem::Vec3> gradient(const Functional& functional,
+                                   const linalg::Matrix& density,
+                                   const chem::Molecule& mol) const;
+
  private:
   const chem::BasisSet& basis_;
   const MolecularGrid& grid_;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 #include <stdexcept>
 
 #include "hfx/schedulers.hpp"
@@ -140,16 +141,79 @@ obs::Json to_json(const HfxStats& stats) {
 }
 
 FockBuilder::FockBuilder(const BasisSet& basis, HfxOptions options)
-    : basis_(basis),
+    : basis_(&basis),
       options_(options),
-      pairs_(basis, ints::schwarz_bounds(basis), options.eps_schwarz),
+      schwarz_(ints::schwarz_bounds(basis)),
+      pairs_(basis, schwarz_, options.eps_schwarz),
       tasks_(make_tasks(basis, pairs_, options.target_task_cost,
                         options.eps_schwarz, options.eri_kernel)) {
   pair_hermites_.reserve(pairs_.size());
   for (const ShellPair& pr : pairs_.pairs())
-    pair_hermites_.emplace_back(basis_.shell(pr.sa), basis_.shell(pr.sb),
+    pair_hermites_.emplace_back(basis_->shell(pr.sa), basis_->shell(pr.sb),
                                 options_.eri_kernel);
   if (options_.fault.enabled()) injector_.emplace(options_.fault);
+}
+
+void FockBuilder::rebind(const BasisSet& basis) {
+  const BasisSet& old = *basis_;
+  if (basis.num_shells() != old.num_shells() ||
+      basis.num_functions() != old.num_functions())
+    throw std::invalid_argument("FockBuilder::rebind: shell structure differs");
+  const std::size_t ns = basis.num_shells();
+
+  std::vector<char> moved(ns, 0);
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (basis.shell(s).l() != old.shell(s).l() ||
+        basis.shell(s).atom_index() != old.shell(s).atom_index())
+      throw std::invalid_argument(
+          "FockBuilder::rebind: shell structure differs");
+    const chem::Vec3& c0 = old.shell(s).center();
+    const chem::Vec3& c1 = basis.shell(s).center();
+    moved[s] = (c0.x != c1.x || c0.y != c1.y || c0.z != c1.z) ? 1 : 0;
+  }
+
+  // Refresh Schwarz entries with a moved endpoint; bounds between two
+  // unmoved shells are bitwise identical by construction.
+  for (std::size_t sa = 0; sa < ns; ++sa)
+    for (std::size_t sb = sa; sb < ns; ++sb)
+      if (moved[sa] || moved[sb]) {
+        const double b = ints::schwarz_bound(basis.shell(sa), basis.shell(sb));
+        schwarz_(sa, sb) = b;
+        schwarz_(sb, sa) = b;
+      }
+
+  // Index the old pair list so surviving unmoved pairs can hand their
+  // Hermite tables over instead of re-expanding them.
+  std::unordered_map<std::uint64_t, std::size_t> old_index;
+  old_index.reserve(pairs_.size());
+  for (std::size_t i = 0; i < pairs_.size(); ++i)
+    old_index.emplace(
+        (static_cast<std::uint64_t>(pairs_[i].sa) << 32) | pairs_[i].sb, i);
+
+  ShellPairList new_pairs(basis, schwarz_, options_.eps_schwarz);
+  std::vector<ints::ShellPairHermite> new_hermites;
+  new_hermites.reserve(new_pairs.size());
+  std::size_t reused = 0;
+  for (const ShellPair& pr : new_pairs.pairs()) {
+    if (!moved[pr.sa] && !moved[pr.sb]) {
+      const auto it = old_index.find(
+          (static_cast<std::uint64_t>(pr.sa) << 32) | pr.sb);
+      if (it != old_index.end()) {
+        new_hermites.push_back(std::move(pair_hermites_[it->second]));
+        ++reused;
+        continue;
+      }
+    }
+    new_hermites.emplace_back(basis.shell(pr.sa), basis.shell(pr.sb),
+                              options_.eri_kernel);
+  }
+
+  pairs_ = std::move(new_pairs);
+  pair_hermites_ = std::move(new_hermites);
+  tasks_ = make_tasks(basis, pairs_, options_.target_task_cost,
+                      options_.eps_schwarz, options_.eri_kernel);
+  basis_ = &basis;
+  rebind_reused_ = reused;
 }
 
 ExchangeResult FockBuilder::exchange(const Matrix& density) const {
@@ -163,7 +227,7 @@ JkResult FockBuilder::coulomb_exchange(const Matrix& density) const {
 
 JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
   obs::Trace::Scope build_span(obs::global_trace(), "jk.build");
-  const std::size_t nao = basis_.num_functions();
+  const std::size_t nao = basis_->num_functions();
   const std::size_t nthreads = resolve_thread_count(options_.num_threads);
   const double eps_contribution = options_.contribution_cutoff();
 
@@ -175,7 +239,7 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
   const obs::Counter c_computed = registry.counter("hfx.quartets_computed");
 
   const Matrix block_max = options_.density_screening
-                               ? shell_block_max_density(basis_, density)
+                               ? shell_block_max_density(*basis_, density)
                                : Matrix();
 
   std::vector<Matrix> k_private(nthreads, Matrix(nao, nao));
@@ -285,7 +349,7 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
       else
         ints::eri_shell_quartet(pair_hermites_[task.bra], pair_hermites_[kk],
                                 block);
-      digest_quartet(basis_, bra.sa, bra.sb, ket.sa, ket.sb, block, density,
+      digest_quartet(*basis_, bra.sa, bra.sb, ket.sa, ket.sb, block, density,
                      j_acc, k_acc, /*braket_same=*/kk == task.bra,
                      eps_contribution);
     }
@@ -299,7 +363,7 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
                                       blocks.data());
       for (std::size_t i = 0; i < survivors.size(); ++i) {
         const ShellPair& ket = pairs_[survivors[i]];
-        digest_quartet(basis_, bra.sa, bra.sb, ket.sa, ket.sb, blocks[i],
+        digest_quartet(*basis_, bra.sa, bra.sb, ket.sa, ket.sb, blocks[i],
                        density, j_acc, k_acc,
                        /*braket_same=*/survivors[i] == task.bra,
                        eps_contribution);

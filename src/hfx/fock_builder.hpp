@@ -135,7 +135,22 @@ class FockBuilder {
   /// are digested from one pass over the unique quartets.
   JkResult coulomb_exchange(const linalg::Matrix& density) const;
 
-  const chem::BasisSet& basis() const { return basis_; }
+  /// Re-target the builder at a new geometry of the *same* molecule/basis
+  /// (identical shell structure, possibly moved centers). Schwarz bounds
+  /// and shell-pair Hermite tables are recomputed only for pairs with a
+  /// bitwise-moved endpoint; everything touching only unmoved atoms is
+  /// carried over exactly. This is the cross-step reuse lever for MD
+  /// surfaces and finite-difference sweeps, where most single-geometry
+  /// rebuild cost is pair preparation on atoms that did not move.
+  /// Throws std::invalid_argument if the shell structure differs. The new
+  /// basis must outlive the builder.
+  void rebind(const chem::BasisSet& basis);
+
+  /// Pairs carried over unchanged by the most recent rebind (0 before
+  /// any rebind) — observability for the reuse tests and the MD bench.
+  std::size_t last_rebind_reused_pairs() const { return rebind_reused_; }
+
+  const chem::BasisSet& basis() const { return *basis_; }
   const ShellPairList& pairs() const { return pairs_; }
   const std::vector<QuartetTask>& tasks() const { return tasks_; }
   const HfxOptions& options() const { return options_; }
@@ -143,10 +158,12 @@ class FockBuilder {
  private:
   JkResult build(const linalg::Matrix& density, bool want_coulomb) const;
 
-  const chem::BasisSet& basis_;
+  const chem::BasisSet* basis_;
   HfxOptions options_;
+  linalg::Matrix schwarz_;
   ShellPairList pairs_;
   std::vector<QuartetTask> tasks_;
+  std::size_t rebind_reused_ = 0;
   /// Precomputed Hermite expansions, aligned with pairs_ — computed once
   /// and amortized over every quartet the pair participates in.
   std::vector<ints::ShellPairHermite> pair_hermites_;

@@ -1,0 +1,47 @@
+#pragma once
+
+// Screened contraction of derivative ERIs with the two-particle density —
+// the two-electron term of the analytic RHF/RKS nuclear gradient.
+//
+// dE2/dR = 1/2 sum_{unique quartets} deg * Gamma_{munu,lamsig} *
+//          d(mu nu|lam sig)/dR, with the orbit-symmetric two-particle
+// density for a hybrid exchange fraction ax:
+//     Gamma = P_munu P_lamsig - (ax/4) (P_mulam P_nusig + P_musig P_nulam).
+// The quartet stream is the same canonical (bra pair >= ket pair) walk the
+// FockBuilder screens: Schwarz bound per pair product, then a density-
+// weighted bound, both against a gradient threshold derived from
+// eps_schwarz. The derivative blocks for all three independent centers
+// come from ints::eri_gradient_blocks; the fourth center follows from
+// translational invariance.
+
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "hfx/shell_pairs.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::hfx {
+
+struct GradContractionOptions {
+  double ax = 1.0;             ///< exact-exchange fraction (1 = RHF, 0.25 = PBE0)
+  double eps_schwarz = 1e-12;  ///< quartet neglect threshold (pre-density)
+  std::size_t num_threads = 0; ///< 0 selects hardware concurrency
+  /// Safety margin applied below eps_schwarz: derivative integrals are not
+  /// strictly bounded by the value-integral Schwarz product, so quartets
+  /// are kept down to eps_schwarz * safety.
+  double safety = 1e-2;
+};
+
+/// Two-electron gradient dE2/dR per atom over a prebuilt pair list
+/// (reuse the FockBuilder's list across calls when available).
+std::vector<chem::Vec3> two_electron_gradient(
+    const chem::BasisSet& basis, const ShellPairList& pairs,
+    const linalg::Matrix& density, const GradContractionOptions& options);
+
+/// Convenience overload that builds its own Schwarz table and pair list.
+std::vector<chem::Vec3> two_electron_gradient(
+    const chem::BasisSet& basis, const linalg::Matrix& density,
+    const GradContractionOptions& options);
+
+}  // namespace mthfx::hfx

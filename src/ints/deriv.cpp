@@ -213,19 +213,16 @@ std::vector<std::array<Matrix, 3>> nuclear_gradient_blocks(
   return grads;
 }
 
-std::array<std::vector<double>, 3> eri_gradient_block(const Shell& a,
-                                                      const Shell& b,
-                                                      const Shell& c,
-                                                      const Shell& d,
-                                                      int center) {
+EriGradBlocks eri_gradient_blocks(const Shell& a, const Shell& b,
+                                  const Shell& c, const Shell& d) {
   const auto pa = cartesian_powers(a.l());
   const auto pb = cartesian_powers(b.l());
   const auto pc = cartesian_powers(c.l());
   const auto pd = cartesian_powers(d.l());
   const std::size_t nblock = pa.size() * pb.size() * pc.size() * pd.size();
-  std::array<std::vector<double>, 3> grad{
-      std::vector<double>(nblock, 0.0), std::vector<double>(nblock, 0.0),
-      std::vector<double>(nblock, 0.0)};
+  EriGradBlocks out;
+  for (auto& center : out.g)
+    for (auto& dir : center) dir.assign(nblock, 0.0);
 
   const int lsum = a.l() + b.l() + c.l() + d.l();
   const double pi52 = 2.0 * std::pow(std::numbers::pi, 2.5);
@@ -275,9 +272,8 @@ std::array<std::vector<double>, 3> eri_gradient_block(const Shell& a,
             return sum;
           };
 
-          const double expo = center == 0   ? a.exponents()[ia]
-                              : center == 1 ? b.exponents()[ib]
-                                            : c.exponents()[ic];
+          const double expos[3] = {a.exponents()[ia], b.exponents()[ib],
+                                   c.exponents()[ic]};
 
           std::size_t idx = 0;
           for (std::size_t caa = 0; caa < pa.size(); ++caa) {
@@ -292,21 +288,21 @@ std::array<std::vector<double>, 3> eri_gradient_block(const Shell& a,
                                     b.norm_coef(ib, cbb) *
                                     c.norm_coef(ic, ccc) *
                                     d.norm_coef(id, cdd) * pref;
-                  for (std::size_t dd = 0; dd < 3; ++dd) {
-                    int qa[3] = {qa0[0], qa0[1], qa0[2]};
-                    int qb[3] = {qb0[0], qb0[1], qb0[2]};
-                    int qc[3] = {qc0[0], qc0[1], qc0[2]};
-                    const int* shifted = center == 0   ? qa
-                                         : center == 1 ? qb
-                                                       : qc;
-                    int* mut = const_cast<int*>(shifted);
-                    const int orig = mut[dd];
-                    mut[dd] = orig + 1;
-                    double val = 2.0 * expo * eri(qa, qb, qc, qd0);
-                    mut[dd] = orig - 1;
-                    if (orig > 0) val -= orig * eri(qa, qb, qc, qd0);
-                    mut[dd] = orig;
-                    grad[dd][idx] += cc * val;
+                  for (int center = 0; center < 3; ++center) {
+                    for (std::size_t dd = 0; dd < 3; ++dd) {
+                      int qa[3] = {qa0[0], qa0[1], qa0[2]};
+                      int qb[3] = {qb0[0], qb0[1], qb0[2]};
+                      int qc[3] = {qc0[0], qc0[1], qc0[2]};
+                      int* mut = center == 0 ? qa : center == 1 ? qb : qc;
+                      const int orig = mut[dd];
+                      mut[dd] = orig + 1;
+                      double val = 2.0 * expos[center] * eri(qa, qb, qc, qd0);
+                      mut[dd] = orig - 1;
+                      if (orig > 0) val -= orig * eri(qa, qb, qc, qd0);
+                      mut[dd] = orig;
+                      out.g[static_cast<std::size_t>(center)][dd][idx] +=
+                          cc * val;
+                    }
                   }
                 }
               }
@@ -316,7 +312,16 @@ std::array<std::vector<double>, 3> eri_gradient_block(const Shell& a,
       }
     }
   }
-  return grad;
+  return out;
+}
+
+std::array<std::vector<double>, 3> eri_gradient_block(const Shell& a,
+                                                      const Shell& b,
+                                                      const Shell& c,
+                                                      const Shell& d,
+                                                      int center) {
+  EriGradBlocks all = eri_gradient_blocks(a, b, c, d);
+  return std::move(all.g[static_cast<std::size_t>(center)]);
 }
 
 }  // namespace mthfx::ints

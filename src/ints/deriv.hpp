@@ -35,9 +35,24 @@ std::array<linalg::Matrix, 3> kinetic_gradient_block(const chem::Shell& a,
 std::vector<std::array<linalg::Matrix, 3>> nuclear_gradient_blocks(
     const chem::Shell& a, const chem::Shell& b, const chem::Molecule& mol);
 
+/// All ERI derivative blocks of one shell quartet: g[center][dir] is the
+/// flattened (na*nb*nc*nd) block of d(ab|cd)/d{center,dir} for center in
+/// {A, B, C} and dir in {x, y, z}. The D derivative follows from
+/// translational invariance: dD = -(dA + dB + dC). Computing all three
+/// centers in one pass shares the Hermite E tables and the (single)
+/// order-(L+1) Hermite-Coulomb tensor across every primitive quartet —
+/// the gradient contraction in hfx/grad_contraction.cpp runs on this.
+struct EriGradBlocks {
+  std::array<std::array<std::vector<double>, 3>, 3> g;
+};
+
+EriGradBlocks eri_gradient_blocks(const chem::Shell& a, const chem::Shell& b,
+                                  const chem::Shell& c, const chem::Shell& d);
+
 /// ERI derivative block: d(ab|cd)/d{center}. `center` selects A(0), B(1),
 /// C(2); the D derivative is -(A+B+C). Each entry is a flattened
-/// (na*nb*nc*nd) block for the x, y, z derivative.
+/// (na*nb*nc*nd) block for the x, y, z derivative. Convenience wrapper
+/// over eri_gradient_blocks (kept for the derivative-integral tests).
 std::array<std::vector<double>, 3> eri_gradient_block(const chem::Shell& a,
                                                       const chem::Shell& b,
                                                       const chem::Shell& c,

@@ -7,31 +7,34 @@
 
 namespace mthfx::ints {
 
+double schwarz_bound(const chem::Shell& a, const chem::Shell& b) {
+  const EriBlock block = eri_shell_quartet(a, b, a, b);
+  double mx = 0.0;
+  for (std::size_t i = 0; i < block.na; ++i)
+    for (std::size_t j = 0; j < block.nb; ++j)
+      mx = std::max(mx, std::abs(block(i, j, i, j)));
+  // Floor sub-noise diagonals at the kernel's truncation scale: for a
+  // distant pair the computed (ab|ab) underflows to exactly 0 through
+  // the primitive cutoff while cross integrals against the pair still
+  // compute at ~1e-16, so a bare sqrt would (a) violate the Schwarz
+  // inequality for computed integrals and (b) drop the pair at *any*
+  // eps — eps -> 0 would never recover the unscreened result. Each of
+  // the (nprim_a*nprim_b)^2 primitive combinations of (ab|ab) may
+  // have been truncated by up to the cutoff; only diagonals below
+  // that noise scale are floored, so healthy pairs keep the exact
+  // sqrt(max (ab|ab)) bound.
+  const double npp =
+      static_cast<double>(a.num_primitives() * b.num_primitives());
+  const double noise = npp * npp * kEriPrimitiveCutoff;
+  return mx < noise ? std::sqrt(mx + noise) : std::sqrt(mx);
+}
+
 linalg::Matrix schwarz_bounds(const chem::BasisSet& basis) {
   const std::size_t ns = basis.num_shells();
   linalg::Matrix q(ns, ns);
   for (std::size_t sa = 0; sa < ns; ++sa) {
     for (std::size_t sb = sa; sb < ns; ++sb) {
-      const EriBlock block = eri_shell_quartet(
-          basis.shell(sa), basis.shell(sb), basis.shell(sa), basis.shell(sb));
-      double mx = 0.0;
-      for (std::size_t i = 0; i < block.na; ++i)
-        for (std::size_t j = 0; j < block.nb; ++j)
-          mx = std::max(mx, std::abs(block(i, j, i, j)));
-      // Floor sub-noise diagonals at the kernel's truncation scale: for a
-      // distant pair the computed (ab|ab) underflows to exactly 0 through
-      // the primitive cutoff while cross integrals against the pair still
-      // compute at ~1e-16, so a bare sqrt would (a) violate the Schwarz
-      // inequality for computed integrals and (b) drop the pair at *any*
-      // eps — eps -> 0 would never recover the unscreened result. Each of
-      // the (nprim_a*nprim_b)^2 primitive combinations of (ab|ab) may
-      // have been truncated by up to the cutoff; only diagonals below
-      // that noise scale are floored, so healthy pairs keep the exact
-      // sqrt(max (ab|ab)) bound.
-      const double npp = static_cast<double>(
-          basis.shell(sa).num_primitives() * basis.shell(sb).num_primitives());
-      const double noise = npp * npp * kEriPrimitiveCutoff;
-      const double bound = mx < noise ? std::sqrt(mx + noise) : std::sqrt(mx);
+      const double bound = schwarz_bound(basis.shell(sa), basis.shell(sb));
       q(sa, sb) = bound;
       q(sb, sa) = bound;
     }

@@ -15,4 +15,8 @@ namespace mthfx::ints {
 /// (num_shells x num_shells) table.
 linalg::Matrix schwarz_bounds(const chem::BasisSet& basis);
 
+/// One entry of the table above — used by FockBuilder::rebind to refresh
+/// only the pairs whose shell centers actually moved.
+double schwarz_bound(const chem::Shell& a, const chem::Shell& b);
+
 }  // namespace mthfx::ints

@@ -1,7 +1,12 @@
 #include "scf/gradient.hpp"
 
 #include <cmath>
+#include <memory>
 
+#include "dft/functionals.hpp"
+#include "dft/grid.hpp"
+#include "dft/xc_integrator.hpp"
+#include "hfx/grad_contraction.hpp"
 #include "ints/deriv.hpp"
 
 namespace mthfx::scf {
@@ -24,14 +29,11 @@ std::vector<Vec3> nuclear_repulsion_gradient(const chem::Molecule& mol) {
   return g;
 }
 
-std::vector<Vec3> rhf_gradient(const chem::Molecule& mol,
-                               const chem::BasisSet& basis,
-                               const ScfResult& result) {
-  const std::size_t nao = basis.num_functions();
-  const auto nocc = static_cast<std::size_t>(mol.num_electrons() / 2);
-  const Matrix& p = result.density;
+namespace {
 
-  // Energy-weighted density W = 2 sum_occ eps_i c_i c_i^T.
+// Energy-weighted density W = 2 sum_occ eps_i c_i c_i^T.
+Matrix energy_weighted_density(const ScfResult& result, std::size_t nocc) {
+  const std::size_t nao = result.density.rows();
   Matrix w(nao, nao);
   for (std::size_t mu = 0; mu < nao; ++mu)
     for (std::size_t nu = 0; nu < nao; ++nu) {
@@ -41,10 +43,14 @@ std::vector<Vec3> rhf_gradient(const chem::Molecule& mol,
              result.coefficients(nu, o);
       w(mu, nu) = 2.0 * v;
     }
+  return w;
+}
 
-  std::vector<Vec3> grad = nuclear_repulsion_gradient(mol);
-
-  // One-electron terms: P (dT + dV) and the Pulay term -W dS.
+// One-electron terms P (dT + dV) and the Pulay term -W dS, accumulated
+// into grad. Shared verbatim between the RHF and RKS surfaces.
+void add_one_electron_gradient(const chem::Molecule& mol,
+                               const chem::BasisSet& basis, const Matrix& p,
+                               const Matrix& w, std::vector<Vec3>& grad) {
   for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
     for (std::size_t sb = 0; sb < basis.num_shells(); ++sb) {
       const auto& a = basis.shell(sa);
@@ -78,50 +84,60 @@ std::vector<Vec3> rhf_gradient(const chem::Molecule& mol,
         }
     }
   }
+}
 
-  // Two-electron term: 1/2 sum Gamma d(mu nu|lam sig), Gamma = P P -
-  // 1/2 P P (exchange pattern). All shell quartets are visited without
-  // permutational folding — clarity over speed; the derivative centers
-  // A, B, C are explicit and D follows from translational invariance.
-  for (std::size_t sa = 0; sa < basis.num_shells(); ++sa) {
-    const auto& a = basis.shell(sa);
-    const std::size_t oa = basis.first_function(sa);
-    for (std::size_t sb = 0; sb < basis.num_shells(); ++sb) {
-      const auto& b = basis.shell(sb);
-      const std::size_t ob = basis.first_function(sb);
-      for (std::size_t sc = 0; sc < basis.num_shells(); ++sc) {
-        const auto& c = basis.shell(sc);
-        const std::size_t oc = basis.first_function(sc);
-        for (std::size_t sd = 0; sd < basis.num_shells(); ++sd) {
-          const auto& dsh = basis.shell(sd);
-          const std::size_t od = basis.first_function(sd);
+}  // namespace
 
-          const std::size_t centers[4] = {a.atom_index(), b.atom_index(),
-                                          c.atom_index(), dsh.atom_index()};
-          for (int center = 0; center < 3; ++center) {
-            const auto dblk = ints::eri_gradient_block(a, b, c, dsh, center);
-            std::size_t idx = 0;
-            for (std::size_t i = 0; i < a.num_functions(); ++i)
-              for (std::size_t j = 0; j < b.num_functions(); ++j)
-                for (std::size_t k = 0; k < c.num_functions(); ++k)
-                  for (std::size_t l = 0; l < dsh.num_functions(); ++l, ++idx) {
-                    const double gamma =
-                        p(oa + i, ob + j) * p(oc + k, od + l) -
-                        0.5 * p(oa + i, oc + k) * p(ob + j, od + l);
-                    if (gamma == 0.0) continue;
-                    for (std::size_t d = 0; d < 3; ++d) {
-                      const double contrib = 0.5 * gamma * dblk[d][idx];
-                      grad[centers[static_cast<std::size_t>(center)]][d] +=
-                          contrib;
-                      // Translational invariance: the D-center derivative
-                      // is minus the sum of A, B, C.
-                      grad[centers[3]][d] -= contrib;
-                    }
-                  }
-          }
-        }
-      }
-    }
+std::vector<Vec3> rhf_gradient(const chem::Molecule& mol,
+                               const chem::BasisSet& basis,
+                               const ScfResult& result) {
+  const auto nocc = static_cast<std::size_t>(mol.num_electrons() / 2);
+  const Matrix& p = result.density;
+  const Matrix w = energy_weighted_density(result, nocc);
+
+  std::vector<Vec3> grad = nuclear_repulsion_gradient(mol);
+  add_one_electron_gradient(mol, basis, p, w, grad);
+
+  hfx::GradContractionOptions gopt;
+  gopt.ax = 1.0;
+  const std::vector<Vec3> g2 = hfx::two_electron_gradient(basis, p, gopt);
+  for (std::size_t a = 0; a < grad.size(); ++a) grad[a] = grad[a] + g2[a];
+  return grad;
+}
+
+std::vector<Vec3> ks_gradient(const chem::Molecule& mol,
+                              const chem::BasisSet& basis,
+                              const KsOptions& options,
+                              const KsResult& result) {
+  const dft::Functional functional = dft::make_functional(options.functional);
+  const bool semilocal = options.functional != "hf";
+  const auto nocc = static_cast<std::size_t>(mol.num_electrons() / 2);
+  const Matrix& p = result.scf.density;
+  const Matrix w = energy_weighted_density(result.scf, nocc);
+
+  std::vector<Vec3> grad = nuclear_repulsion_gradient(mol);
+  add_one_electron_gradient(mol, basis, p, w, grad);
+
+  // Two-electron term: Coulomb derivative always, exchange derivative
+  // scaled by the functional's exact-exchange fraction. Reuse the shared
+  // builder's screened pair list when one targets this basis (the MD
+  // surface's cross-step path); otherwise build a fresh one.
+  hfx::GradContractionOptions gopt;
+  gopt.ax = functional.exact_exchange;
+  gopt.eps_schwarz = options.scf.hfx.eps_schwarz;
+  gopt.num_threads = options.scf.hfx.num_threads;
+  const hfx::FockBuilder* shared = options.scf.shared_builder;
+  const std::vector<Vec3> g2 =
+      (shared && &shared->basis() == &basis)
+          ? hfx::two_electron_gradient(basis, shared->pairs(), p, gopt)
+          : hfx::two_electron_gradient(basis, p, gopt);
+  for (std::size_t a = 0; a < grad.size(); ++a) grad[a] = grad[a] + g2[a];
+
+  if (semilocal) {
+    const dft::MolecularGrid grid(mol, options.grid);
+    const dft::XcIntegrator xc(basis, grid);
+    const std::vector<Vec3> gxc = xc.gradient(functional, p, mol);
+    for (std::size_t a = 0; a < grad.size(); ++a) grad[a] = grad[a] + gxc[a];
   }
   return grad;
 }

@@ -1,6 +1,7 @@
 #include "scf/rhf.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "ints/one_electron.hpp"
@@ -49,6 +50,17 @@ std::vector<Matrix> history_copy(const std::deque<Matrix>& history) {
 
 }  // namespace
 
+Matrix initial_scf_density(const chem::BasisSet& basis,
+                           const chem::Molecule& mol, const Matrix& x,
+                           const ScfOptions& options, const char* driver) {
+  if (!options.initial_density) return core_guess_density(basis, mol, x);
+  const Matrix& p0 = *options.initial_density;
+  if (p0.rows() != basis.num_functions() || p0.cols() != basis.num_functions())
+    throw std::invalid_argument(std::string(driver) +
+                                ": initial_density dimension mismatch");
+  return p0;
+}
+
 ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
               const ScfOptions& options) {
   const obs::Trace::Scope scf_span(obs::global_trace(), "scf.rhf");
@@ -62,9 +74,16 @@ ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
   const Matrix h = ints::core_hamiltonian(basis, mol);
   const double enuc = mol.nuclear_repulsion();
 
-  hfx::FockBuilder builder(basis, options.hfx);
+  std::optional<hfx::FockBuilder> own_builder;
+  if (options.shared_builder &&
+      &options.shared_builder->basis() != &basis)
+    throw std::invalid_argument(
+        "rhf: shared_builder is bound to a different basis object");
+  if (!options.shared_builder) own_builder.emplace(basis, options.hfx);
+  const hfx::FockBuilder& builder =
+      options.shared_builder ? *options.shared_builder : *own_builder;
 
-  Matrix p = core_guess_density(basis, mol, x);
+  Matrix p = initial_scf_density(basis, mol, x, options, "rhf");
   Matrix p_prev;     // density of the last *built* J/K
   Matrix j, k;       // running Coulomb/exchange matrices
   // Endgame switch for incremental Fock: once the solve is near

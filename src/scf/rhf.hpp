@@ -46,6 +46,18 @@ struct ScfOptions {
   /// cancelled job resumes instead of restarting. Used by the engine's
   /// deadline watchdog to reclaim hung/overdue jobs.
   std::shared_ptr<const fault::CancelToken> cancel;
+
+  /// Warm-start density guess replacing the core guess (rhf and rks).
+  /// The MD surface feeds extrapolated previous-step densities through
+  /// here so mid-trajectory solves converge in a few iterations. Throws
+  /// std::invalid_argument on a dimension mismatch with the basis.
+  std::shared_ptr<const linalg::Matrix> initial_density;
+
+  /// Non-owning: reuse this prebuilt FockBuilder (its basis must be the
+  /// exact BasisSet object passed to the solve — rebind it first when the
+  /// geometry changed). Skips Schwarz/pair/Hermite setup per solve; the
+  /// MD surface shares one builder across a whole trajectory.
+  hfx::FockBuilder* shared_builder = nullptr;
 };
 
 struct ScfIterationLog {
@@ -85,6 +97,14 @@ struct ScfResult {
 /// counts.
 ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
               const ScfOptions& options = {});
+
+/// Guess density honoring ScfOptions::initial_density (falls back to the
+/// core guess). Shared by the rhf and rks drivers.
+linalg::Matrix initial_scf_density(const chem::BasisSet& basis,
+                                   const chem::Molecule& mol,
+                                   const linalg::Matrix& x,
+                                   const ScfOptions& options,
+                                   const char* driver);
 
 /// HOMO-LUMO gap in Hartree (0 when no virtual orbital exists).
 double homo_lumo_gap(const ScfResult& result, const chem::Molecule& mol);

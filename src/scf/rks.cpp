@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "dft/xc_integrator.hpp"
@@ -33,7 +34,14 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
   const Matrix h = ints::core_hamiltonian(basis, mol);
   const double enuc = mol.nuclear_repulsion();
 
-  hfx::FockBuilder builder(basis, options.scf.hfx);
+  std::optional<hfx::FockBuilder> own_builder;
+  if (options.scf.shared_builder &&
+      &options.scf.shared_builder->basis() != &basis)
+    throw std::invalid_argument(
+        "rks: shared_builder is bound to a different basis object");
+  if (!options.scf.shared_builder) own_builder.emplace(basis, options.scf.hfx);
+  const hfx::FockBuilder& builder =
+      options.scf.shared_builder ? *options.scf.shared_builder : *own_builder;
 
   // The grid is only needed for functionals with a semilocal part.
   std::unique_ptr<dft::MolecularGrid> grid;
@@ -43,7 +51,7 @@ KsResult rks(const chem::Molecule& mol, const chem::BasisSet& basis,
     xc = std::make_unique<dft::XcIntegrator>(basis, *grid);
   }
 
-  Matrix p = core_guess_density(basis, mol, x);
+  Matrix p = initial_scf_density(basis, mol, x, options.scf, "rks");
   linalg::Diis diis;
   RecoveryLadder ladder(options.scf.recovery);
 

@@ -49,5 +49,36 @@ int main(int argc, char** argv) {
     out << j.dump(2) << "\n";
     std::cout << c.name << ": E = " << e.energy << " -> " << path << "\n";
   }
+
+  for (const auto& c : mthfx::golden::golden_gradient_cases()) {
+    const auto g = mthfx::golden::run_golden_gradient_case(c);
+    if (!g.converged) {
+      std::cerr << c.name << ": SCF did not converge, refusing to write\n";
+      return 1;
+    }
+    mthfx::obs::Json j = mthfx::obs::Json::object();
+    j["name"] = c.name;
+    j["molecule"] = c.molecule;
+    j["basis"] = c.basis;
+    j["method"] = c.method;
+    j["tolerance"] = c.tolerance;
+    mthfx::obs::Json rows = mthfx::obs::Json::array();
+    for (const auto& atom : g.gradient) {
+      mthfx::obs::Json row = mthfx::obs::Json::array();
+      for (std::size_t d = 0; d < 3; ++d) row.push_back(atom[d]);
+      rows.push_back(std::move(row));
+    }
+    j["gradient"] = std::move(rows);
+
+    const std::string path = dir + "/" + c.name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    out << j.dump(2) << "\n";
+    std::cout << c.name << ": " << g.gradient.size() << " atoms -> " << path
+              << "\n";
+  }
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
+#include "scf/gradient.hpp"
 #include "scf/rhf.hpp"
 #include "scf/rks.hpp"
 #include "workload/geometries.hpp"
@@ -84,6 +85,67 @@ inline GoldenEnergies run_golden_case(const GoldenCase& c) {
     out.exchange = r.exact_exchange_energy;
   } else {
     throw std::runtime_error("golden: unknown method " + c.method);
+  }
+  return out;
+}
+
+/// A pinned analytic nuclear gradient (Hartree/Bohr per atom). `method`
+/// is an scf functional name ("rhf" runs the RHF driver + rhf_gradient;
+/// the rest run rks + ks_gradient), so the golden suite pins each
+/// gradient entry point the MD surface uses.
+struct GoldenGradientCase {
+  std::string name;      ///< also the JSON file stem
+  std::string molecule;  ///< workload::by_name key
+  std::string basis;
+  std::string method;    ///< "rhf", "pbe" or "pbe0"
+  double tolerance;      ///< max |g - golden| per component at ctest time
+};
+
+inline const std::vector<GoldenGradientCase>& golden_gradient_cases() {
+  static const std::vector<GoldenGradientCase> cases = {
+      {"h2_grad_rhf_sto3g", "h2", "sto-3g", "rhf", 1e-7},
+      {"li2o2_grad_rhf_sto3g", "li2o2", "sto-3g", "rhf", 1e-7},
+      {"water_grad_pbe_sto3g", "water", "sto-3g", "pbe", 5e-6},
+      {"water_grad_pbe0_sto3g", "water", "sto-3g", "pbe0", 5e-6},
+      {"li2o2_grad_pbe0_sto3g", "li2o2", "sto-3g", "pbe0", 5e-6},
+  };
+  return cases;
+}
+
+struct GoldenGradient {
+  bool converged = false;
+  std::vector<chem::Vec3> gradient;
+};
+
+/// Run one gradient case deterministically (single thread, static
+/// schedule, tight screening — the same recipe as run_golden_case).
+inline GoldenGradient run_golden_gradient_case(const GoldenGradientCase& c) {
+  const chem::Molecule mol = workload::by_name(c.molecule);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, c.basis);
+
+  scf::ScfOptions scf_opts;
+  scf_opts.energy_tolerance = 1e-10;
+  // The grid-based functionals assemble V_xc with finite-difference
+  // vrho/vsigma, which floors the reachable DIIS error above the pure-HFX
+  // setting.
+  scf_opts.diis_tolerance = c.method == "rhf" ? 1e-8 : 1e-7;
+  scf_opts.max_iterations = 200;
+  scf_opts.hfx.eps_schwarz = 1e-12;
+  scf_opts.hfx.num_threads = 1;
+  scf_opts.hfx.schedule = hfx::HfxSchedule::kStaticBlock;
+
+  GoldenGradient out;
+  if (c.method == "rhf") {
+    const scf::ScfResult r = scf::rhf(mol, basis, scf_opts);
+    out.converged = r.converged;
+    if (r.converged) out.gradient = scf::rhf_gradient(mol, basis, r);
+  } else {
+    scf::KsOptions ks;
+    ks.scf = scf_opts;
+    ks.functional = c.method;
+    const scf::KsResult r = scf::rks(mol, basis, ks);
+    out.converged = r.scf.converged;
+    if (r.scf.converged) out.gradient = scf::ks_gradient(mol, basis, ks, r);
   }
   return out;
 }

@@ -198,6 +198,19 @@ TEST(Driver, StructuredGradientTask) {
   EXPECT_NEAR(s.gradient[0][2] + s.gradient[1][2], 0.0, 1e-8);
 }
 
+TEST(Driver, Pbe0GradientTask) {
+  // DFT methods route through ks_gradient (no finite-difference path).
+  const auto s = app::run_structured(app::parse_input(
+      "method pbe0\ntask gradient\ngeometry bohr\nH 0 0 0\nH 0 0 1.4\nend\n"));
+  EXPECT_TRUE(s.ok);
+  ASSERT_EQ(s.gradient.size(), 2u);
+  // Grid-quadrature noise loosens the cancellation vs. the RHF case.
+  EXPECT_NEAR(s.gradient[0][2] + s.gradient[1][2], 0.0, 1e-6);
+  // Stretched past equilibrium: the bond pulls inward from both ends.
+  EXPECT_LT(s.gradient[0][2], 0.0);
+  EXPECT_GT(s.gradient[1][2], 0.0);
+}
+
 TEST(Driver, MdTask) {
   const auto r = app::run(app::parse_input(
       "method hf\ntask md\nmd_steps 3\nmd_timestep_fs 0.15\n"

@@ -72,3 +72,36 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<golden::GoldenCase>& info) {
       return info.param.name;
     });
+
+class GoldenGradient
+    : public ::testing::TestWithParam<golden::GoldenGradientCase> {};
+
+TEST_P(GoldenGradient, GradientMatchesCommittedReference) {
+  const golden::GoldenGradientCase& c = GetParam();
+  const Json ref = load_golden(c.name);
+
+  ASSERT_EQ(ref.find("molecule")->as_string(), c.molecule);
+  ASSERT_EQ(ref.find("basis")->as_string(), c.basis);
+  ASSERT_EQ(ref.find("method")->as_string(), c.method);
+
+  const auto got = golden::run_golden_gradient_case(c);
+  ASSERT_TRUE(got.converged) << c.name << ": SCF did not converge";
+
+  const Json* rows = ref.find("gradient");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), got.gradient.size()) << c.name;
+  for (std::size_t a = 0; a < got.gradient.size(); ++a) {
+    const Json& row = rows->items()[a];
+    ASSERT_EQ(row.size(), 3u) << c.name << " atom " << a;
+    for (std::size_t d = 0; d < 3; ++d)
+      EXPECT_NEAR(got.gradient[a][d], row.items()[d].as_double(), c.tolerance)
+          << c.name << " atom " << a << " dir " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenGradientCases, GoldenGradient,
+    ::testing::ValuesIn(golden::golden_gradient_cases()),
+    [](const ::testing::TestParamInfo<golden::GoldenGradientCase>& info) {
+      return info.param.name;
+    });

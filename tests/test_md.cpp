@@ -186,6 +186,119 @@ TEST(Forces, AnalyticRhfForcesMatchFiniteDifference) {
       EXPECT_NEAR(analytic[i][d], numeric[i][d], 1e-5) << i << "," << d;
 }
 
+TEST(Forces, WavefunctionCacheMakesEnergyPlusForcesOneScf) {
+  // The integrator asks for energy(mol) then forces(mol) at the same
+  // geometry every step; the per-geometry cache must collapse that to
+  // one SCF solve. Counters pin the contract.
+  mthfx::scf::KsOptions ks;
+  ks.functional = "hf";
+  md::ScfPotential pot("sto-3g", ks);
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 1.5});
+
+  pot.energy(m);
+  pot.forces(m);
+  EXPECT_EQ(pot.metrics().counter_total("md.scf_solves"), 1u);
+  EXPECT_EQ(pot.metrics().counter_total("md.surface_cache_hits"), 1u);
+
+  // A moved geometry is a genuine new solve, not a stale cache hit.
+  chem::Molecule moved = m;
+  moved.set_position(1, {0, 0, 1.6});
+  pot.forces(moved);
+  EXPECT_EQ(pot.metrics().counter_total("md.scf_solves"), 2u);
+  EXPECT_EQ(pot.metrics().counter_total("md.surface_cache_hits"), 1u);
+  // Only atom 1 moved, so the rebind carried atom 0's diagonal shell
+  // pair (and its Hermite table) over from the previous geometry.
+  EXPECT_GT(pot.metrics().counter_total("md.rebind_reused_pairs"), 0u);
+
+  // ...and the original geometry re-solves too (history, not a map).
+  pot.energy(m);
+  EXPECT_EQ(pot.metrics().counter_total("md.scf_solves"), 3u);
+}
+
+TEST(Integrator, BomdRunsOneScfPerStep) {
+  mthfx::scf::KsOptions ks;
+  ks.functional = "hf";
+  md::ScfPotential pot("sto-3g", ks);
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 1.5});
+
+  md::MdOptions opts;
+  opts.timestep_fs = 0.15;
+  opts.num_steps = 4;
+  md::run_bomd(m, pot, opts);
+  // One solve per unique geometry (initial + one per step); every
+  // energy()+forces() pair costs exactly one cache hit.
+  EXPECT_EQ(pot.metrics().counter_total("md.scf_solves"), 5u);
+  EXPECT_EQ(pot.metrics().counter_total("md.surface_cache_hits"), 5u);
+}
+
+TEST(Integrator, WarmStartReducesScfIterations) {
+  // Mid-trajectory solves seeded with the extrapolated density must
+  // converge in fewer total iterations than cold core-guess starts.
+  mthfx::scf::KsOptions ks;
+  ks.functional = "hf";
+  chem::Molecule m;
+  m.add_atom(3, {0, 0, 0});
+  m.add_atom(1, {0, 0, 3.2});
+
+  md::MdOptions opts;
+  opts.timestep_fs = 0.25;
+  opts.num_steps = 5;
+
+  md::ScfPotential warm("sto-3g", ks);
+  md::SurfaceAccel no_warm;
+  no_warm.warm_start = false;
+  md::ScfPotential cold("sto-3g", ks, no_warm);
+
+  md::run_bomd(m, warm, opts);
+  md::run_bomd(m, cold, opts);
+
+  const auto& wm = warm.metrics();
+  const auto& cm = cold.metrics();
+  ASSERT_EQ(wm.counter_total("md.scf_solves"),
+            cm.counter_total("md.scf_solves"));
+  // Every solve after the first has history to extrapolate from.
+  EXPECT_EQ(wm.counter_total("md.warm_starts"),
+            wm.counter_total("md.scf_solves") - 1);
+  EXPECT_EQ(cm.counter_total("md.warm_starts"), 0u);
+  EXPECT_LT(wm.counter_total("md.scf_iterations"),
+            cm.counter_total("md.scf_iterations"));
+}
+
+TEST(Integrator, Pbe0AnalyticNveConservesEnergy) {
+  // NVE regression for the analytic PBE0 force path: drift stays inside
+  // the pinned bound and is no worse than the finite-difference baseline
+  // it replaced (modulo the FD path's own O(h^2) force error).
+  mthfx::scf::KsOptions ks;
+  ks.functional = "pbe0";
+  chem::Molecule m;
+  m.add_atom(1, {0, 0, 0});
+  m.add_atom(1, {0, 0, 1.5});
+
+  md::MdOptions opts;
+  opts.timestep_fs = 0.15;
+  opts.num_steps = 8;
+
+  md::ScfPotential pot("sto-3g", ks);
+  const double drift_analytic = md::run_bomd(m, pot, opts).max_energy_drift();
+  EXPECT_LT(drift_analytic, 2e-4);  // pinned NVE bound for this setup
+
+  md::ScfPotential pot_fd("sto-3g", ks);
+  struct FdView : md::PotentialSurface {
+    const md::ScfPotential* inner;
+    double energy(const chem::Molecule& mol) const override {
+      return inner->energy(mol);
+    }
+  } fd;
+  fd.inner = &pot_fd;
+  fd.fd_step = 1e-3;
+  const double drift_fd = md::run_bomd(m, fd, opts).max_energy_drift();
+  EXPECT_LT(drift_analytic, 2.0 * drift_fd + 1e-5);
+}
+
 TEST(Optimize, HarmonicDiatomicFindsMinimum) {
   md::HarmonicBondPotential pot({{0, 1, 0.5, 2.0}});
   const auto r = md::optimize(diatomic(2.6), pot);

@@ -1,0 +1,348 @@
+// Property-based tests for the analytic RKS/PBE0 nuclear gradients on
+// seeded, jittered geometries across every ScfPotential functional (hf,
+// lda, pbe, pbe0):
+//   - agreement with a central finite difference of the converged energy,
+//     to a bound derived from the step size and the convergence noise;
+//   - metamorphic invariants: rigid translation leaves forces unchanged
+//     (to tight tolerance — floating-point shifted-geometry integrals are
+//     not bit-identical), the net force and net torque vanish, and a
+//     rigid rotation maps forces covariantly.
+// Failing molecules are fed through the shrinker so the one-line repro
+// starts from the smallest witness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "scf/gradient.hpp"
+#include "scf/rks.hpp"
+#include "support/property_gtest.hpp"
+#include "testing/generators.hpp"
+#include "testing/property.hpp"
+#include "workload/geometries.hpp"
+
+namespace chem = mthfx::chem;
+namespace la = mthfx::linalg;
+namespace scf = mthfx::scf;
+namespace mt = mthfx::testing;
+namespace wl = mthfx::workload;
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+chem::Vec3 cross(const chem::Vec3& a, const chem::Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+// Random proper rotation from the octahedral group (signed axis
+// permutation with det +1). The shipped Lebedev grids are unions of
+// octahedral orbits, so these rotations map the atom-centered angular
+// grids exactly onto themselves: the semilocal XC energy is *exactly*
+// invariant under them, where a generic SO(3) rotation changes it by the
+// grid's orientation-dependent quadrature error.
+la::Matrix random_octahedral_rotation(mt::Rng& rng) {
+  std::size_t perm[3] = {0, 1, 2};
+  for (std::size_t i = 2; i > 0; --i) std::swap(perm[i], perm[rng.index(i + 1)]);
+  double sign[3];
+  for (double& s : sign) s = rng.index(2) == 0 ? 1.0 : -1.0;
+  // Determinant of a signed permutation = parity(perm) * prod(sign).
+  const bool odd_perm = (perm[0] == 0 && perm[1] == 2) ||
+                        (perm[0] == 1 && perm[1] == 0) ||
+                        (perm[0] == 2 && perm[1] == 1);
+  double det = (odd_perm ? -1.0 : 1.0) * sign[0] * sign[1] * sign[2];
+  if (det < 0.0) sign[rng.index(3)] *= -1.0;
+  la::Matrix rot(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) rot(r, perm[r]) = sign[r];
+  return rot;
+}
+
+// Copy of `mol` rotated about the z axis by `theta`.
+chem::Molecule rotated_z(const chem::Molecule& mol, double theta) {
+  chem::Molecule out = mol;
+  const double c = std::cos(theta), s = std::sin(theta);
+  for (std::size_t i = 0; i < mol.size(); ++i) {
+    const chem::Vec3 p = mol.atom(i).pos;
+    out.set_position(i, {c * p[0] - s * p[1], s * p[0] + c * p[1], p[2]});
+  }
+  return out;
+}
+
+// Small closed-shell templates jittered per case (same pool as the SCF
+// property suite, weighted toward the cheap species).
+chem::Molecule random_template(mt::Rng& rng) {
+  switch (rng.index(6)) {
+    case 0:
+    case 1:
+      return wl::h2();
+    case 2: {
+      chem::Molecule lih;
+      lih.add_atom(3, {0, 0, 0});
+      lih.add_atom(1, {0, 0, 3.0});
+      return lih;
+    }
+    case 3:
+      return wl::hydroxide();
+    default:
+      return wl::water();
+  }
+}
+
+const std::vector<std::string>& functionals() {
+  static const std::vector<std::string> kFns = {"hf", "lda", "pbe", "pbe0"};
+  return kFns;
+}
+
+// Tight-but-convergable options per functional. The semilocal XC matrix
+// is assembled with finite-difference vrho/vsigma on the grid, which
+// floors the reachable DIIS error; GGA needs the loosest setting.
+scf::KsOptions tight_options(const std::string& functional) {
+  scf::KsOptions opt;
+  opt.functional = functional;
+  opt.scf.max_iterations = 200;
+  opt.scf.energy_tolerance = 1e-10;
+  opt.scf.diis_tolerance =
+      functional == "hf" ? 1e-9 : (functional == "lda" ? 1e-8 : 1e-7);
+  opt.scf.hfx.eps_schwarz = 1e-12;
+  opt.scf.hfx.num_threads = 1;  // fixed reduction order: deterministic
+  return opt;
+}
+
+// Forces tolerance for the metamorphic checks: the gradient is exact
+// only at a fully variational solution, so the error scale is set by the
+// residual DIIS error of the converged state (with a safety factor).
+double force_tolerance(const scf::KsOptions& opt) {
+  return 50.0 * opt.scf.diis_tolerance + 1e-8;
+}
+
+struct Solved {
+  scf::KsResult result;
+  std::vector<chem::Vec3> grad;
+  bool converged = false;
+};
+
+Solved solve_with_gradient(const chem::Molecule& mol,
+                           const scf::KsOptions& opt) {
+  Solved s;
+  const auto basis = chem::BasisSet::build(mol, "sto-3g");
+  s.result = scf::rks(mol, basis, opt);
+  s.converged = s.result.scf.converged;
+  if (s.converged) s.grad = scf::ks_gradient(mol, basis, opt, s.result);
+  return s;
+}
+
+}  // namespace
+
+// Central finite differences of the converged energy are the oracle for
+// the analytic gradient. One random (atom, direction) per case keeps the
+// cost at three SCF solves; the random walk covers all components over
+// the suite. The acceptance bound combines the O(h^2) truncation of the
+// central difference (|E'''| <= kThirdDeriv on these geometries) with
+// the convergence noise of the two displaced energies amplified by 1/2h.
+TEST(PropertyGrad, AnalyticMatchesCentralDifference) {
+  MTHFX_PROPERTY(
+      "PropertyGrad.AnalyticMatchesCentralDifference",
+      ([](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::jittered(rng, random_template(rng));
+        const auto& fn = functionals()[rng.index(functionals().size())];
+        const auto opt = tight_options(fn);
+
+        const auto s = solve_with_gradient(mol, opt);
+        if (!s.converged) return "SCF did not converge (" + fn + ")";
+
+        const std::size_t atom = rng.index(mol.size());
+        const std::size_t dir = rng.index(3);
+        const double h = 1e-4;
+
+        chem::Molecule mp = mol, mm = mol;
+        chem::Vec3 p = mol.atom(atom).pos;
+        p[dir] += h;
+        mp.set_position(atom, p);
+        p[dir] -= 2.0 * h;
+        mm.set_position(atom, p);
+        const auto rp = scf::rks(mp, chem::BasisSet::build(mp, "sto-3g"), opt);
+        const auto rm = scf::rks(mm, chem::BasisSet::build(mm, "sto-3g"), opt);
+        if (!rp.scf.converged || !rm.scf.converged)
+          return "displaced SCF did not converge (" + fn + ")";
+
+        const double fd = (rp.scf.energy - rm.scf.energy) / (2.0 * h);
+        const double ana = s.grad[atom][dir];
+
+        constexpr double kThirdDeriv = 60.0;  // |E'''| bound, Hartree/Bohr^3
+        const double noise = 10.0 * opt.scf.energy_tolerance;
+        const double bound = (kThirdDeriv / 6.0) * h * h + noise / h;
+        if (std::abs(fd - ana) > bound)
+          return fn + " gradient disagrees with central difference at atom " +
+                 std::to_string(atom) + " dir " + std::to_string(dir) +
+                 ": analytic " + fmt(ana) + " fd " + fmt(fd) + " bound " +
+                 fmt(bound);
+        return "";
+      }));
+}
+
+// Rigid translation leaves the forces unchanged. Not bit-identical —
+// shifted Gaussian centers change every floating-point intermediate —
+// but well inside the convergence-noise tolerance.
+TEST(PropertyGrad, ForcesAreTranslationInvariant) {
+  MTHFX_PROPERTY(
+      "PropertyGrad.ForcesAreTranslationInvariant",
+      ([](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::jittered(rng, random_template(rng));
+        const auto moved = mt::randomly_translated(rng, mol, 6.0);
+        const auto& fn = functionals()[rng.index(functionals().size())];
+        const auto opt = tight_options(fn);
+
+        const auto a = solve_with_gradient(mol, opt);
+        const auto b = solve_with_gradient(moved, opt);
+        if (!a.converged || !b.converged)
+          return "SCF did not converge (" + fn + ")";
+
+        const double tol = force_tolerance(opt);
+        for (std::size_t i = 0; i < mol.size(); ++i)
+          for (std::size_t d = 0; d < 3; ++d)
+            if (std::abs(a.grad[i][d] - b.grad[i][d]) > tol)
+              return fn + " translation changed the force on atom " +
+                     std::to_string(i) + ": " + fmt(a.grad[i][d]) + " vs " +
+                     fmt(b.grad[i][d]);
+        return "";
+      }));
+}
+
+// Sum rule: the total force on a rigid molecule vanishes (the gradient
+// machinery builds the fourth ERI center and the grid-weight terms from
+// translational invariance, so violations flag bookkeeping bugs).
+TEST(PropertyGrad, NetForceVanishes) {
+  MTHFX_PROPERTY(
+      "PropertyGrad.NetForceVanishes",
+      ([](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::jittered(rng, random_template(rng));
+        const auto& fn = functionals()[rng.index(functionals().size())];
+        const auto opt = tight_options(fn);
+
+        const auto s = solve_with_gradient(mol, opt);
+        if (!s.converged) return "SCF did not converge (" + fn + ")";
+
+        chem::Vec3 net{0, 0, 0};
+        for (const auto& g : s.grad) net = net + g;
+        const double tol = force_tolerance(opt);
+        if (chem::norm(net) > tol) {
+          const auto fails = [&](const chem::Molecule& m,
+                                 const std::string& basis_name) {
+            scf::KsOptions o = opt;
+            const auto b = chem::BasisSet::build(m, basis_name);
+            const auto r = scf::rks(m, b, o);
+            if (!r.scf.converged) return false;
+            const auto g = scf::ks_gradient(m, b, o, r);
+            chem::Vec3 n{0, 0, 0};
+            for (const auto& gi : g) n = n + gi;
+            return chem::norm(n) > tol;
+          };
+          return mt::with_shrunk_case(
+              fn + " net force does not vanish: |sum| = " + fmt(chem::norm(net)),
+              mol, "sto-3g", fails);
+        }
+        return "";
+      }));
+}
+
+// Rotational sum rule. For "hf" the energy is exactly rotation
+// invariant, so the net torque sum_a R_a x F_a vanishes (to convergence
+// noise, widened by the coordinate length scale). For semilocal
+// functionals the orientation-fixed Lebedev grids make the implemented
+// energy orientation-dependent by the angular quadrature error, so the
+// honest invariant is the exact identity torque_z = dE/dtheta along a
+// rigid rotation: the analytic torque must match a central finite
+// difference of the energy over rotation angle to the same
+// step-size-derived bound used for Cartesian displacements.
+TEST(PropertyGrad, TorqueMatchesRotationalEnergyDerivative) {
+  MTHFX_PROPERTY(
+      "PropertyGrad.TorqueMatchesRotationalEnergyDerivative",
+      ([](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::jittered(rng, random_template(rng));
+        const auto& fn = functionals()[rng.index(functionals().size())];
+        const auto opt = tight_options(fn);
+
+        const auto s = solve_with_gradient(mol, opt);
+        if (!s.converged) return "SCF did not converge (" + fn + ")";
+
+        chem::Vec3 torque{0, 0, 0};
+        for (std::size_t i = 0; i < mol.size(); ++i)
+          torque = torque + cross(mol.atom(i).pos, s.grad[i]);
+
+        if (fn == "hf") {
+          const double tol = 10.0 * force_tolerance(opt);
+          if (chem::norm(torque) > tol)
+            return fn + " net torque does not vanish: |sum R x F| = " +
+                   fmt(chem::norm(torque));
+          return "";
+        }
+
+        const double h = 1e-3;  // radians
+        const auto rp = rotated_z(mol, h);
+        const auto rm = rotated_z(mol, -h);
+        const auto ep = scf::rks(rp, chem::BasisSet::build(rp, "sto-3g"), opt);
+        const auto em = scf::rks(rm, chem::BasisSet::build(rm, "sto-3g"), opt);
+        if (!ep.scf.converged || !em.scf.converged)
+          return "rotated SCF did not converge (" + fn + ")";
+        const double fd = (ep.scf.energy - em.scf.energy) / (2.0 * h);
+
+        constexpr double kThirdDeriv = 60.0;  // |d^3E/dtheta^3| bound
+        const double noise = 10.0 * opt.scf.energy_tolerance;
+        const double bound = (kThirdDeriv / 6.0) * h * h + noise / h +
+                             10.0 * force_tolerance(opt);
+        if (std::abs(torque[2] - fd) > bound)
+          return fn + " torque_z disagrees with dE/dtheta: analytic " +
+                 fmt(torque[2]) + " fd " + fmt(fd) + " bound " + fmt(bound);
+        return "";
+      }));
+}
+
+// Covariance: rotating the molecule rotates the forces, F(Rx) = R F(x).
+// "hf" holds for any SO(3) rotation; semilocal functionals hold exactly
+// only for rotations in the Lebedev grids' octahedral symmetry group
+// (see random_octahedral_rotation) — a generic rotation reorients the
+// molecule against the space-fixed angular grid and shifts the forces by
+// the quadrature error.
+TEST(PropertyGrad, ForcesRotateCovariantly) {
+  MTHFX_PROPERTY(
+      "PropertyGrad.ForcesRotateCovariantly",
+      ([](mt::Rng& rng, std::size_t) -> std::string {
+        const auto mol = mt::jittered(rng, random_template(rng));
+        const auto& fn0 = functionals()[rng.index(functionals().size())];
+        const auto rot = fn0 == "hf" ? mt::random_rotation(rng)
+                                     : random_octahedral_rotation(rng);
+        const auto turned = mt::rotated(mol, rot);
+        const auto& fn = fn0;
+        const auto opt = tight_options(fn);
+
+        const auto a = solve_with_gradient(mol, opt);
+        const auto b = solve_with_gradient(turned, opt);
+        if (!a.converged || !b.converged)
+          return "SCF did not converge (" + fn + ")";
+
+        const double tol = force_tolerance(opt);
+        for (std::size_t i = 0; i < mol.size(); ++i) {
+          chem::Vec3 expected{0, 0, 0};
+          for (std::size_t r = 0; r < 3; ++r)
+            for (std::size_t c = 0; c < 3; ++c)
+              expected[r] += rot(r, c) * a.grad[i][c];
+          for (std::size_t d = 0; d < 3; ++d)
+            if (std::abs(expected[d] - b.grad[i][d]) > tol)
+              return fn + " rotation broke force covariance at atom " +
+                     std::to_string(i) + " dir " + std::to_string(d) + ": " +
+                     fmt(expected[d]) + " vs " + fmt(b.grad[i][d]);
+        }
+        return "";
+      }));
+}
