@@ -21,6 +21,7 @@
 // persists the result cache across runs; --deadline bounds each job's
 // wall clock. See docs/engine.md (Durability).
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +32,17 @@
 #include "engine/journal.hpp"
 #include "engine/report.hpp"
 #include "engine/scheduler.hpp"
+
+namespace {
+
+// Graceful shutdown: SIGINT/SIGTERM stop the submission loop; jobs
+// already admitted drain normally and the journal gets a clean
+// `shutdown` record, so a later --resume picks up exactly the
+// unsubmitted tail. Async-signal-safe: the handler only sets the flag.
+volatile std::sig_atomic_t g_signal = 0;
+void handle_signal(int sig) { g_signal = sig; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string report_file;
@@ -105,9 +117,16 @@ int main(int argc, char** argv) {
         jobs.size(), spec.engine.concurrency, scheduler.total_threads(),
         scheduler.per_job_threads(), spec.engine.queue_capacity);
 
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
     scheduler.start();
-    std::size_t replayed = 0, resumed_ckpt = 0;
+    std::size_t replayed = 0, resumed_ckpt = 0, unsubmitted = 0;
     for (engine::Job& job : jobs) {
+      if (g_signal != 0) {
+        ++unsubmitted;
+        continue;
+      }
       if (resume) {
         const engine::ReplayedJob* prior = replay.find(job.id);
         if (prior && prior->committed) {
@@ -136,6 +155,14 @@ int main(int argc, char** argv) {
           "from checkpoints, %zu journal record(s) applied\n",
           replayed, resumed_ckpt, replay.records);
     const std::vector<engine::JobRecord> records = scheduler.drain();
+    if (scheduler.journal().active())
+      scheduler.journal().record_shutdown(
+          g_signal != 0 ? "signal " + std::to_string(g_signal) : "complete");
+    if (g_signal != 0)
+      std::printf(
+          "[shutdown] signal %d: drained admitted jobs, left %zu "
+          "unsubmitted (resume with --resume)\n",
+          static_cast<int>(g_signal), unsubmitted);
 
     std::printf("%-6s %-28s %-9s %-5s %-6s %9s %9s  %-18s\n", "id", "job",
                 "state", "try", "cache", "wait/ms", "run/ms", "energy/Ha");

@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=address
 cmake --build "$BUILD_DIR" -j --target test_fault test_parallel test_obs \
-  test_hfx test_property_hfx test_durability test_property_grad
+  test_hfx test_property_hfx test_durability test_property_grad test_serve
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 
@@ -40,5 +40,9 @@ MTHFX_PROPERTY_ITERS=2 "$BUILD_DIR"/tests/test_property_grad \
 # and truncated records, and the disk store's entry read/validate/evict
 # path — both chew raw file bytes and must not over-read on garbage.
 "$BUILD_DIR"/tests/test_durability --gtest_filter='Journal.*:DiskStore.*'
+# Service protocol codec: the line reader's frame buffering over raw
+# recv bytes and the request parser on malformed/oversized input — the
+# surface an untrusted client feeds directly.
+"$BUILD_DIR"/tests/test_serve --gtest_filter='Protocol.*'
 
 echo "ASan pass clean."

@@ -9,6 +9,8 @@
 #   engine   screening-engine suite (queue/cache/scheduler/campaign)
 #   durability  journal / disk-store / deadline / crash-recovery suite
 #            (forks and SIGKILLs a campaign — slower than tier1)
+#   serve    screening-service suite: line protocol, multi-tenant TCP
+#            server, fair-share ratios, SIGKILL/resume with live clients
 #   property seeded property/differential suites at MTHFX_PROPERTY_ITERS
 #            (default 50) iterations
 #   gradient analytic-gradient suites: deterministic unit + golden
@@ -31,7 +33,7 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 
 case "$TIER" in
-  tier1|fault|engine|durability|property|gradient)
+  tier1|fault|engine|durability|serve|property|gradient)
     ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
     if [ "$TIER" = tier1 ]; then
       # Perf smoke: small-iteration A7 kernel sweep. Counts and
@@ -42,6 +44,10 @@ case "$TIER" in
       # MD surface's one-solve-per-step counters — again counts only,
       # no timing assertions.
       "$BUILD_DIR"/bench/bench_a8_bomd --smoke
+      # A9 smoke: a ~120-job service campaign over real TCP with one
+      # SIGKILL + resume in the middle — completion/replay/bit-identity
+      # accounting only, no timing assertions.
+      "$BUILD_DIR"/bench/bench_a9_service --smoke
     fi
     ;;
   nightly)
@@ -53,7 +59,7 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
     ;;
   *)
-    echo "unknown tier: $TIER (want tier1|fault|engine|durability|property|gradient|nightly|all)" >&2
+    echo "unknown tier: $TIER (want tier1|fault|engine|durability|serve|property|gradient|nightly|all)" >&2
     exit 2
     ;;
 esac

@@ -18,7 +18,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx \
-  test_fault test_engine test_durability test_differential
+  test_fault test_engine test_durability test_serve test_differential
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -40,6 +40,12 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # store's LRU under concurrent lookup/insert.
 "$BUILD_DIR"/tests/test_durability \
   --gtest_filter='Scheduler.*:DiskStore.*:Backoff.*'
+# Service concurrency surface: the fair-share sub-queue pumped from
+# worker completions while client threads submit, the terminal-record
+# hook re-entering the tenant layer, and many client connections racing
+# one server (the crash drills fork and are exercised unsanitized).
+"$BUILD_DIR"/tests/test_serve \
+  --gtest_filter='Serve.WeightedFairShareRatioUnderSaturation:Serve.ConcurrentClientsRaceCleanly:Serve.SubmitResultBitIdenticalToDirectRun'
 # Small-iteration differential subset: randomized schedule x thread-count
 # builds race the bag/steal protocols on fresh task shapes each case,
 # and every build ends in the shared-pool tree reduction of the

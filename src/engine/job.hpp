@@ -17,12 +17,22 @@ namespace mthfx::engine {
 struct Job {
   std::uint64_t id = 0;  ///< assigned at submission; 0 = unassigned
   std::string name;
+  /// Owning tenant (multi-tenant service layer); empty for single-tenant
+  /// campaign fronts like mthfx_queue. Carried through journal records
+  /// so per-tenant accounting survives a resume.
+  std::string tenant;
   int priority = 0;
   /// Wall-clock deadline for one attempt; 0 inherits the engine default
   /// (EngineOptions::default_deadline_seconds, 0 = no deadline). An
   /// overdue attempt is cancelled at the next SCF-iteration cancellation
   /// point and retried with backoff.
   double deadline_seconds = 0.0;
+  /// Already written to the write-ahead journal by an upstream layer
+  /// (FairShareQueue journals at tenant admission so pending work
+  /// survives a crash; journal resume resubmits under existing records).
+  /// The scheduler skips its own `submitted` record when set, so a job
+  /// is journaled exactly once.
+  bool journaled = false;
   app::Input input;
 };
 
@@ -32,6 +42,7 @@ enum class JobState : std::uint8_t {
   kDone,      ///< finished with result.ok
   kFailed,    ///< finished without result.ok, or retries exhausted
   kRejected,  ///< refused at admission (queue full / invalid / closed)
+  kCanceled,  ///< withdrawn by the client before it reached a worker
 };
 
 const char* to_string(JobState state);
@@ -42,6 +53,7 @@ const char* to_string(JobState state);
 struct JobRecord {
   std::uint64_t id = 0;
   std::string name;
+  std::string tenant;             ///< owning tenant ("" = single-tenant)
   int priority = 0;
   JobState state = JobState::kQueued;
   bool cache_hit = false;

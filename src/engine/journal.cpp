@@ -100,6 +100,7 @@ JobState job_state_from_name(const std::string& name) {
   if (name == "done") return JobState::kDone;
   if (name == "failed") return JobState::kFailed;
   if (name == "rejected") return JobState::kRejected;
+  if (name == "canceled") return JobState::kCanceled;
   throw std::runtime_error("journal: unknown job state '" + name + "'");
 }
 
@@ -255,6 +256,7 @@ obs::Json job_record_to_json(const JobRecord& record) {
   obs::Json j = obs::Json::object();
   j["id"] = record.id;
   j["name"] = record.name;
+  j["tenant"] = record.tenant;
   j["priority"] = record.priority;
   j["state"] = to_string(record.state);
   j["cache_hit"] = record.cache_hit;
@@ -278,6 +280,7 @@ JobRecord job_record_from_json(const obs::Json& j) {
   JobRecord r;
   r.id = static_cast<std::uint64_t>(require(j, "id").as_int());
   r.name = opt_string(j, "name", "");
+  r.tenant = opt_string(j, "tenant", "");
   r.priority = static_cast<int>(opt_int(j, "priority", 0));
   r.state = job_state_from_name(require(j, "state").as_string());
   r.cache_hit = opt_bool(j, "cache_hit", false);
@@ -302,6 +305,12 @@ const ReplayedJob* JournalReplay::find(std::uint64_t id) const {
   for (const ReplayedJob& job : jobs)
     if (job.job.id == id) return &job;
   return nullptr;
+}
+
+std::uint64_t JournalReplay::max_id() const {
+  std::uint64_t max = 0;
+  for (const ReplayedJob& job : jobs) max = std::max(max, job.job.id);
+  return max;
 }
 
 Journal::~Journal() {
@@ -344,6 +353,7 @@ void Journal::record_submitted(const Job& job) {
   j["type"] = "submitted";
   j["id"] = job.id;
   j["name"] = job.name;
+  j["tenant"] = job.tenant;
   j["priority"] = job.priority;
   j["deadline_s"] = job.deadline_seconds;
   j["input"] = input_to_json(job.input);
@@ -380,6 +390,14 @@ void Journal::record_committed(const JobRecord& record) {
   j["type"] = "committed";
   j["id"] = record.id;
   j["record"] = job_record_to_json(record);
+  append(j);
+}
+
+void Journal::record_shutdown(const std::string& reason) {
+  if (!active()) return;
+  obs::Json j = obs::Json::object();
+  j["type"] = "shutdown";
+  j["reason"] = reason;
   append(j);
 }
 
@@ -467,6 +485,7 @@ JournalReplay Journal::replay(const std::string& path) {
       job.job.id =
           static_cast<std::uint64_t>(require(payload, "id").as_int());
       job.job.name = opt_string(payload, "name", "");
+      job.job.tenant = opt_string(payload, "tenant", "");
       job.job.priority = static_cast<int>(opt_int(payload, "priority", 0));
       job.job.deadline_seconds = opt_double(payload, "deadline_s", 0.0);
       job.job.input = input_from_json(require(payload, "input"));
@@ -519,6 +538,7 @@ JournalReplay Journal::replay(const std::string& path) {
           ReplayedJob rebuilt;
           rebuilt.job.id = id;
           rebuilt.job.name = record.name;
+          rebuilt.job.tenant = record.tenant;
           rebuilt.job.priority = record.priority;
           rebuilt.job.input = record.input;
           replay.jobs.push_back(std::move(rebuilt));
@@ -526,6 +546,12 @@ JournalReplay Journal::replay(const std::string& path) {
         }
         job->committed = true;
         job->record = std::move(record);
+        ++replay.records;
+      } else if (type == "shutdown") {
+        // A clean shutdown closed the previous run; resuming after one is
+        // routine (drain + restart), not crash recovery.
+        replay.clean_shutdown = true;
+        replay.shutdown_reason = opt_string(payload, "reason", "");
         ++replay.records;
       } else {
         warn(item.line_no, "unknown record type '" + type + "'");

@@ -11,10 +11,11 @@
 //   MTHFXJ1 <fnv1a-hex-of-payload> <payload-json-one-line>
 //
 // Payload types:
-//   submitted      {type, id, name, priority, deadline_s, input{...}}
+//   submitted      {type, id, name, tenant, priority, deadline_s, input{...}}
 //   started        {type, id, attempt}
 //   attempt_failed {type, id, attempt, reason, message, backoff_ms}
 //   committed      {type, id, record{... full JobRecord ...}}
+//   shutdown       {type, reason}   — clean graceful-drain marker
 //
 // Replay reconstructs the campaign: committed jobs are served straight
 // from their journaled records (bit-identical energies — doubles
@@ -67,9 +68,18 @@ struct JournalReplay {
   std::size_t records = 0;   ///< well-formed records applied
   std::size_t skipped = 0;
   std::vector<std::string> warnings;
+  /// True when the journal ends in a clean `shutdown` record (graceful
+  /// SIGINT/SIGTERM drain): the previous run stopped deliberately, so a
+  /// resume is routine rather than crash recovery.
+  bool clean_shutdown = false;
+  std::string shutdown_reason;
 
   /// The replayed job with this id, or nullptr.
   const ReplayedJob* find(std::uint64_t id) const;
+
+  /// The largest journaled job id (0 when empty) — a resuming front-end
+  /// continues assigning ids after it.
+  std::uint64_t max_id() const;
 };
 
 class Journal {
@@ -96,6 +106,10 @@ class Journal {
                              const std::string& reason,
                              const std::string& message, double backoff_ms);
   void record_committed(const JobRecord& record);
+  /// Graceful-shutdown marker (`{"type":"shutdown","reason":…}`): a
+  /// drained front-end appends it last, so replay can tell a clean stop
+  /// from a crash.
+  void record_shutdown(const std::string& reason);
 
   std::uint64_t appended() const;
 

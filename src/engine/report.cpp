@@ -32,6 +32,7 @@ const char* to_string(JobState state) {
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
     case JobState::kRejected: return "rejected";
+    case JobState::kCanceled: return "canceled";
   }
   return "?";
 }
@@ -91,10 +92,15 @@ obs::Json job_record(const JobRecord& record) {
   obs::Json job = obs::Json::object();
   job["id"] = record.id;
   job["name"] = record.name;
+  if (!record.tenant.empty()) job["tenant"] = record.tenant;
   job["priority"] = record.priority;
   job["state"] = to_string(record.state);
   if (record.state == JobState::kRejected) {
     job["reject_reason"] = record.reject_reason;
+    return job;
+  }
+  if (record.state == JobState::kCanceled) {
+    if (!record.error.empty()) job["error"] = record.error;
     return job;
   }
   job["cache_hit"] = record.cache_hit;
@@ -162,13 +168,14 @@ obs::Json campaign_report(const JobScheduler& scheduler,
 
   report["metrics"] = scheduler.registry().to_json();
 
-  std::size_t done = 0, failed = 0, rejected = 0;
+  std::size_t done = 0, failed = 0, rejected = 0, canceled = 0;
   obs::Json jobs = obs::Json::array();
   for (const JobRecord& record : records) {
     switch (record.state) {
       case JobState::kDone: ++done; break;
       case JobState::kFailed: ++failed; break;
       case JobState::kRejected: ++rejected; break;
+      case JobState::kCanceled: ++canceled; break;
       default: break;
     }
     jobs.push_back(job_record(record));
@@ -176,6 +183,7 @@ obs::Json campaign_report(const JobScheduler& scheduler,
   report["jobs_done"] = done;
   report["jobs_failed"] = failed;
   report["jobs_rejected"] = rejected;
+  if (canceled > 0) report["jobs_canceled"] = canceled;
   report["jobs"] = std::move(jobs);
   return report;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
@@ -68,6 +69,13 @@ JobScheduler::JobScheduler(EngineOptions options)
   if (!options_.store_dir.empty())
     store_.attach_disk(options_.store_dir, options_.store_max_bytes);
   if (!options_.journal_path.empty()) journal_.open(options_.journal_path);
+  if (!options_.checkpoint_dir.empty()) {
+    // Jobs checkpoint mid-attempt via atomic_write, which does not
+    // create parent directories; a missing directory would fail every
+    // job instead of disabling checkpoints.
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+  }
 }
 
 JobScheduler::~JobScheduler() {
@@ -77,15 +85,22 @@ JobScheduler::~JobScheduler() {
   stop_watchdog();
 }
 
+void JobScheduler::publish(JobRecord record) {
+  if (options_.on_record) options_.on_record(record);
+  std::lock_guard<std::mutex> lock(records_mutex_);
+  records_.push_back(std::move(record));
+}
+
 Admission JobScheduler::submit(Job job) {
   const std::size_t submit_slot = options_.concurrency;  // shared slot
   JobRecord rejected;
   rejected.name = job.name;
+  rejected.tenant = job.tenant;
   rejected.priority = job.priority;
   // The journal needs the job's content after the queue takes ownership;
   // copy up front (submission cost is noise next to one SCF iteration).
   Job journaled;
-  const bool journaling = journal_.active();
+  const bool journaling = journal_.active() && !job.journaled;
   if (journaling) journaled = job;
   Admission admission = queue_.submit(std::move(job));
   if (admission.accepted) {
@@ -99,6 +114,7 @@ Admission JobScheduler::submit(Job job) {
       JobRecord shed;
       shed.id = admission.displaced->id;
       shed.name = admission.displaced->name;
+      shed.tenant = admission.displaced->tenant;
       shed.priority = admission.displaced->priority;
       shed.state = JobState::kRejected;
       shed.reject_reason =
@@ -108,15 +124,13 @@ Admission JobScheduler::submit(Job job) {
           std::to_string(admission.id) + ")";
       shed.input = std::move(admission.displaced->input);
       if (journaling) journal_.record_committed(shed);
-      std::lock_guard<std::mutex> lock(records_mutex_);
-      records_.push_back(std::move(shed));
+      publish(std::move(shed));
     }
   } else {
     c_rejected_.add(submit_slot);
     rejected.state = JobState::kRejected;
     rejected.reject_reason = admission.reason;
-    std::lock_guard<std::mutex> lock(records_mutex_);
-    records_.push_back(std::move(rejected));
+    publish(std::move(rejected));
   }
   return admission;
 }
@@ -127,8 +141,16 @@ void JobScheduler::adopt(JobRecord record) {
   if (record.state == JobState::kDone && options_.cache && record.result.ok)
     store_.insert(input_key(record.input), record.result);
   c_replayed_.add(submit_slot);
-  std::lock_guard<std::mutex> lock(records_mutex_);
-  records_.push_back(std::move(record));
+  publish(std::move(record));
+}
+
+void JobScheduler::finish_external(JobRecord record) {
+  journal_.record_committed(record);
+  publish(std::move(record));
+}
+
+void JobScheduler::publish_external(JobRecord record) {
+  publish(std::move(record));
 }
 
 void JobScheduler::start() {
@@ -163,8 +185,7 @@ void JobScheduler::worker_loop(std::size_t worker_id) {
     JobRecord record =
         execute(std::move(popped->job), popped->wait_seconds, worker_id);
     t_run_.add_seconds(worker_id, record.run_seconds);
-    std::lock_guard<std::mutex> lock(records_mutex_);
-    records_.push_back(std::move(record));
+    publish(std::move(record));
   }
 }
 
@@ -207,6 +228,7 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
   JobRecord record;
   record.id = job.id;
   record.name = job.name;
+  record.tenant = job.tenant;
   record.priority = job.priority;
   record.wait_seconds = wait_seconds;
 
@@ -271,6 +293,7 @@ JobRecord JobScheduler::execute(Job job, double wait_seconds,
   while (true) {
     ++record.attempts;
     journal_.record_started(job.id, record.attempts);
+    if (options_.on_started) options_.on_started(job.id, record.attempts);
     std::string fail_reason = "exception";
     if (deadline > 0.0) {
       auto token = std::make_shared<fault::CancelToken>();

@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -97,6 +98,14 @@ struct EngineOptions {
   /// at pickup, DFT jobs run on a coarsened XC grid (flagged in the
   /// record). 0 disables.
   std::size_t degrade_depth = 0;
+  /// Scheduler hooks for long-lived fronts (the serve layer): called on
+  /// every terminal record — completion, failure, rejection, shed,
+  /// cancel, adopt — and at each attempt start. Both may be invoked
+  /// concurrently from worker and submitter threads; the callee must be
+  /// thread-safe and must not call back into the scheduler's blocking
+  /// APIs (drain). Empty = off.
+  std::function<void(const JobRecord&)> on_record;
+  std::function<void(std::uint64_t id, std::size_t attempt)> on_started;
 };
 
 class JobScheduler {
@@ -115,6 +124,18 @@ class JobScheduler {
   /// Adopt a journal-replayed record: it joins the final report (flagged
   /// `replayed`), its result warms the cache, and no SCF work runs.
   void adopt(JobRecord record);
+
+  /// Commit a record produced outside the worker path (e.g. a client
+  /// cancel of a job that never reached the queue): journaled as
+  /// committed, pushed into the final report, and announced through
+  /// on_record like any other terminal record.
+  void finish_external(JobRecord record);
+
+  /// Like finish_external but without the journal entry — for terminal
+  /// records of jobs that were never journaled (admission rejects at a
+  /// quota layer), mirroring how the core queue's own rejects are
+  /// reported but not journaled.
+  void publish_external(JobRecord record);
 
   /// Launch the worker threads (idempotent; submit works before or
   /// after).
@@ -149,6 +170,9 @@ class JobScheduler {
 
   void worker_loop(std::size_t worker_id);
   JobRecord execute(Job job, double wait_seconds, std::size_t worker_id);
+  /// Fire on_record, then append to the final report. The hook runs
+  /// outside records_mutex_ so a callee may query the scheduler.
+  void publish(JobRecord record);
   void watchdog_loop();
   void stop_watchdog();
 

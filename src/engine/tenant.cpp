@@ -1,0 +1,361 @@
+#include "engine/tenant.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace mthfx::engine {
+
+FairShareQueue::FairShareQueue(JobScheduler& scheduler, TenantOptions defaults)
+    : scheduler_(scheduler),
+      defaults_(defaults),
+      // Tenant counters share the scheduler's submitter metric slot:
+      // updates are relaxed atomic adds, safe from any thread.
+      metric_slot_(scheduler.options().concurrency) {
+  if (!(defaults_.weight > 0.0))
+    throw std::invalid_argument("FairShareQueue: default weight must be > 0");
+  if (defaults_.max_queued == 0)
+    throw std::invalid_argument(
+        "FairShareQueue: default max_queued must be >= 1");
+}
+
+FairShareQueue::Tenant& FairShareQueue::ensure_locked(
+    const std::string& tenant) {
+  auto it = by_name_.find(tenant);
+  if (it != by_name_.end()) return *it->second;
+  auto owned = std::make_unique<Tenant>();
+  Tenant& t = *owned;
+  t.id = tenant;
+  t.options = defaults_;
+  t.totals.options = defaults_;
+  obs::Registry& registry = scheduler_.registry();
+  const std::string prefix = "engine.tenant." + tenant + ".";
+  t.c_submitted = registry.counter(prefix + "submitted");
+  t.c_admitted = registry.counter(prefix + "admitted");
+  t.c_completed = registry.counter(prefix + "completed");
+  t.c_failed = registry.counter(prefix + "failed");
+  t.c_rejected = registry.counter(prefix + "rejected");
+  t.c_shed = registry.counter(prefix + "shed");
+  t.c_canceled = registry.counter(prefix + "canceled");
+  tenants_.push_back(std::move(owned));
+  by_name_.emplace(tenant, &t);
+  return t;
+}
+
+void FairShareQueue::configure(const std::string& tenant,
+                               TenantOptions options) {
+  if (!(options.weight > 0.0))
+    throw std::invalid_argument("FairShareQueue: weight must be > 0 (tenant '" +
+                                tenant + "')");
+  if (options.max_queued == 0)
+    throw std::invalid_argument(
+        "FairShareQueue: max_queued must be >= 1 (tenant '" + tenant + "')");
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  Tenant& t = ensure_locked(tenant);
+  t.options = options;
+  t.totals.options = options;
+}
+
+std::string FairShareQueue::quota_reason_locked(const Tenant& t) const {
+  std::string reason = "tenant quota: '" + t.id + "' queued " +
+                       std::to_string(t.pending.size()) + "/" +
+                       std::to_string(t.options.max_queued) + " (in-flight " +
+                       std::to_string(t.totals.in_flight);
+  if (t.options.max_in_flight > 0)
+    reason += "/" + std::to_string(t.options.max_in_flight);
+  reason += ")";
+  return reason;
+}
+
+Admission FairShareQueue::submit(const std::string& tenant, Job job) {
+  std::optional<Job> shed_victim;
+  Admission admission;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    Tenant& t = ensure_locked(tenant);
+    job.tenant = tenant;
+
+    // Mirror the core queue's usability check here so a pump admission
+    // can never be rejected (which keeps the pump's accounting simple).
+    if (job.input.molecule.size() == 0) {
+      ++t.totals.rejected;
+      t.c_rejected.add(metric_slot_);
+      admission.reason = "job '" + job.name + "' has no geometry";
+      JobRecord rejected;
+      rejected.name = job.name;
+      rejected.tenant = tenant;
+      rejected.priority = job.priority;
+      rejected.state = JobState::kRejected;
+      rejected.reject_reason = admission.reason;
+      scheduler_.publish_external(std::move(rejected));
+      return admission;
+    }
+
+    if (t.pending.size() >= t.options.max_queued) {
+      // Backlog full: a strictly-higher-priority newcomer displaces the
+      // tenant's own lowest-priority (then youngest) pending job;
+      // anything else is rejected with the structured quota reason.
+      auto victim = t.pending.end();
+      for (auto it = t.pending.begin(); it != t.pending.end(); ++it) {
+        if (victim == t.pending.end() || it->priority <= victim->priority)
+          victim = it;  // <=: later (younger) entries win the tie
+      }
+      if (victim != t.pending.end() && job.priority > victim->priority) {
+        ++t.totals.shed;
+        t.c_shed.add(metric_slot_);
+        shed_victim = std::move(*victim);
+        pending_ids_.erase(shed_victim->id);
+        t.pending.erase(victim);
+      } else {
+        ++t.totals.rejected;
+        t.c_rejected.add(metric_slot_);
+        admission.reason = quota_reason_locked(t);
+        JobRecord rejected;
+        rejected.name = job.name;
+        rejected.tenant = tenant;
+        rejected.priority = job.priority;
+        rejected.state = JobState::kRejected;
+        rejected.reject_reason = admission.reason;
+        scheduler_.publish_external(std::move(rejected));
+        return admission;
+      }
+    }
+
+    if (job.id == 0) job.id = next_id_++;
+    else next_id_ = std::max(next_id_, job.id + 1);
+    if (!job.journaled) {
+      scheduler_.journal().record_submitted(job);
+      job.journaled = true;
+    }
+    ++t.totals.submitted;
+    t.c_submitted.add(metric_slot_);
+    admission.accepted = true;
+    admission.id = job.id;
+    pending_ids_[job.id] = &t;
+    t.pending.push_back(std::move(job));
+    pump_locked();
+  }
+  if (shed_victim) {
+    JobRecord shed;
+    shed.id = shed_victim->id;
+    shed.name = shed_victim->name;
+    shed.tenant = shed_victim->tenant;
+    shed.priority = shed_victim->priority;
+    shed.state = JobState::kRejected;
+    shed.reject_reason = "shed: tenant '" + shed_victim->tenant +
+                         "' backlog full, displaced by higher-priority "
+                         "submission (id " +
+                         std::to_string(admission.id) + ")";
+    shed.input = std::move(shed_victim->input);
+    // Journals a committed record (the victim's `submitted` record is
+    // already on disk; without this a resume would resurrect it) and
+    // announces through on_record.
+    scheduler_.finish_external(std::move(shed));
+  }
+  return admission;
+}
+
+bool FairShareQueue::cancel(std::uint64_t id, const std::string& note,
+                            std::string* error) {
+  JobRecord canceled;
+  {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    auto it = pending_ids_.find(id);
+    if (it == pending_ids_.end()) {
+      if (error) {
+        *error = admitted_ids_.count(id)
+                     ? "job " + std::to_string(id) +
+                           " already admitted to the run queue"
+                     : "job " + std::to_string(id) + " is not pending here";
+      }
+      return false;
+    }
+    Tenant& t = *it->second;
+    auto job = std::find_if(t.pending.begin(), t.pending.end(),
+                            [id](const Job& j) { return j.id == id; });
+    assert(job != t.pending.end());
+    canceled.id = id;
+    canceled.name = job->name;
+    canceled.tenant = t.id;
+    canceled.priority = job->priority;
+    canceled.state = JobState::kCanceled;
+    canceled.error = note.empty() ? "canceled by client" : note;
+    canceled.input = std::move(job->input);
+    t.pending.erase(job);
+    pending_ids_.erase(it);
+    ++t.totals.canceled;
+    t.c_canceled.add(metric_slot_);
+    idle_cv_.notify_all();
+  }
+  // Outside the lock: finish_external fsyncs and fires on_record.
+  scheduler_.finish_external(std::move(canceled));
+  return true;
+}
+
+void FairShareQueue::on_terminal(const JobRecord& record) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = admitted_ids_.find(record.id);
+  if (it == admitted_ids_.end()) return;  // replayed, canceled, or foreign
+  Tenant& t = *it->second;
+  admitted_ids_.erase(it);
+  if (t.totals.in_flight > 0) --t.totals.in_flight;
+  switch (record.state) {
+    case JobState::kDone:
+      ++t.totals.completed;
+      t.c_completed.add(metric_slot_);
+      break;
+    case JobState::kFailed:
+      ++t.totals.failed;
+      t.c_failed.add(metric_slot_);
+      break;
+    default:
+      // kRejected here means the core queue closed mid-drain; count it
+      // against the tenant so the books still balance.
+      ++t.totals.rejected;
+      t.c_rejected.add(metric_slot_);
+      break;
+  }
+  pump_locked();
+  idle_cv_.notify_all();
+}
+
+void FairShareQueue::pump() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  pump_locked();
+}
+
+void FairShareQueue::pump_locked() {
+  if (pumping_ || tenants_.empty()) return;
+  pumping_ = true;
+  const std::size_t capacity = scheduler_.queue().capacity();
+  auto eligible = [](const Tenant& t) {
+    return !t.pending.empty() &&
+           (t.options.max_in_flight == 0 ||
+            t.totals.in_flight < t.options.max_in_flight);
+  };
+  // Deficit round-robin, one admission per free core-queue slot: credit
+  // every eligible tenant its weight until at least one can afford a
+  // whole unit, then admit from the richest. In steady state a pump
+  // runs with a single free slot (one per completion), so the crediting
+  // must be global-per-slot rather than per-visit — a per-visit scheme
+  // lets whichever tenant is scanned first spend its unit every pump
+  // and starves the rest no matter their weights. The scan origin
+  // rotates past the chosen tenant so equal deficits round-robin
+  // instead of favouring registration order.
+  while (!scheduler_.queue().closed() &&
+         scheduler_.queue().depth() < capacity) {
+    bool any = false;
+    for (const auto& t : tenants_) {
+      if (eligible(*t))
+        any = true;
+      else if (t->pending.empty())
+        t->deficit = 0.0;  // no banking while idle
+    }
+    if (!any) break;
+    Tenant* pick = nullptr;
+    while (!pick) {
+      std::size_t pick_at = 0;
+      for (std::size_t visit = 0; visit < tenants_.size(); ++visit) {
+        const std::size_t at = (cursor_ + visit) % tenants_.size();
+        Tenant& t = *tenants_[at];
+        if (!eligible(t) || t.deficit < 1.0) continue;
+        if (!pick || t.deficit > pick->deficit) {
+          pick = &t;
+          pick_at = at;
+        }
+      }
+      if (pick) {
+        cursor_ = pick_at + 1;
+        break;
+      }
+      // Nobody can afford a unit yet: credit and rescan. Terminates
+      // because some tenant is eligible and weights are positive.
+      for (const auto& t : tenants_)
+        if (eligible(*t)) t->deficit += t->options.weight;
+    }
+    Tenant& t = *pick;
+    t.deficit -= 1.0;
+    Job job = std::move(t.pending.front());
+    t.pending.pop_front();
+    pending_ids_.erase(job.id);
+    const std::uint64_t id = job.id;
+    admitted_ids_[id] = &t;
+    ++t.totals.in_flight;
+    ++t.totals.admitted;
+    t.c_admitted.add(metric_slot_);
+    Admission admission = scheduler_.submit(std::move(job));
+    if (!admission.accepted) {
+      // Only possible when the queue closed between the check and the
+      // submit (drain race). The scheduler already published the
+      // rejected record; our on_record hook re-entered on_terminal
+      // under this recursive mutex with id 0, a no-op, so settle the
+      // books here.
+      admitted_ids_.erase(id);
+      if (t.totals.in_flight > 0) --t.totals.in_flight;
+      ++t.totals.rejected;
+      t.c_rejected.add(metric_slot_);
+    }
+    if (t.pending.empty()) t.deficit = 0.0;
+  }
+  pumping_ = false;
+}
+
+void FairShareQueue::wait_idle() {
+  std::unique_lock<std::recursive_mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_ids_.empty() && admitted_ids_.empty();
+  });
+}
+
+std::size_t FairShareQueue::backlog() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return pending_ids_.size();
+}
+
+std::size_t FairShareQueue::in_flight() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return admitted_ids_.size();
+}
+
+std::vector<std::pair<std::string, TenantStats>> FairShareQueue::stats()
+    const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::vector<std::pair<std::string, TenantStats>> out;
+  out.reserve(tenants_.size());
+  for (const auto& t : tenants_) {
+    TenantStats snapshot = t->totals;
+    snapshot.options = t->options;
+    snapshot.queued = t->pending.size();
+    out.emplace_back(t->id, snapshot);
+  }
+  return out;
+}
+
+obs::Json FairShareQueue::stats_json() const {
+  obs::Json tenants = obs::Json::object();
+  for (const auto& [id, s] : stats()) {
+    obs::Json t = obs::Json::object();
+    t["weight"] = s.options.weight;
+    t["max_queued"] = s.options.max_queued;
+    t["max_in_flight"] = s.options.max_in_flight;
+    t["queued"] = s.queued;
+    t["in_flight"] = s.in_flight;
+    t["submitted"] = s.submitted;
+    t["admitted"] = s.admitted;
+    t["completed"] = s.completed;
+    t["failed"] = s.failed;
+    t["rejected"] = s.rejected;
+    t["shed"] = s.shed;
+    t["canceled"] = s.canceled;
+    tenants[id] = std::move(t);
+  }
+  return tenants;
+}
+
+void FairShareQueue::set_next_id(std::uint64_t next_id) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  next_id_ = std::max(next_id_, next_id);
+}
+
+}  // namespace mthfx::engine

@@ -1,0 +1,154 @@
+#pragma once
+
+// Multi-tenant fair-share admission in front of the JobScheduler. The
+// serve layer gives every connection a tenant id; this class gives every
+// tenant its own bounded sub-queue and feeds the scheduler's priority
+// queue by weighted deficit round-robin, so one flooding tenant cannot
+// starve the others no matter how fast it submits.
+//
+// Flow: submit(tenant, job) -> quota check against the tenant's backlog
+// cap (reject-with-reason, or displace the tenant's own lowest-priority
+// pending job for a strictly-higher-priority newcomer — shedding never
+// crosses tenants) -> tenant sub-queue -> pump. The pump visits tenants
+// round-robin; each visit adds `weight` to the tenant's deficit and
+// admits one pending job per unit of deficit into the core queue, while
+// the core queue has room and the tenant is under its in-flight cap.
+// Jobs all cost one unit (one SCF-sized calculation), so deficit
+// round-robin reduces to weighted fairness over job counts: tenants at
+// weights 2:1 complete work 2:1 under saturation.
+//
+// Wire `on_terminal` to EngineOptions::on_record: each terminal record
+// returns the tenant's in-flight credit and re-pumps, so admission is
+// driven by completions once the system saturates — which is exactly
+// when the DRR ordering matters.
+//
+// Per-tenant metrics land in the scheduler's registry as
+// engine.tenant.<id>.{submitted,admitted,completed,failed,rejected,
+// shed,canceled}.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/queue.hpp"
+#include "engine/scheduler.hpp"
+#include "obs/json.hpp"
+
+namespace mthfx::engine {
+
+/// Per-tenant fair-share configuration.
+struct TenantOptions {
+  /// Relative DRR share; tenants at weights 2:1 are admitted 2:1 under
+  /// saturation. Must be > 0 (fractional weights allowed).
+  double weight = 1.0;
+  /// Backlog cap: pending (not yet admitted) jobs per tenant. Beyond it
+  /// submissions are rejected with a structured `tenant quota:` reason
+  /// (or shed a lower-priority pending job of the same tenant).
+  std::size_t max_queued = 256;
+  /// Cap on admitted-but-not-terminal jobs; 0 = unlimited.
+  std::size_t max_in_flight = 0;
+};
+
+/// Snapshot of one tenant's accounting (see stats()).
+struct TenantStats {
+  TenantOptions options;
+  std::size_t queued = 0;     ///< pending in the tenant sub-queue
+  std::size_t in_flight = 0;  ///< admitted to the core queue, not terminal
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t canceled = 0;
+};
+
+class FairShareQueue {
+ public:
+  /// `defaults` configures tenants that were never `configure`d (a
+  /// connection may authenticate with a fresh tenant id at any time).
+  /// The scheduler must outlive this object, and its core queue should
+  /// run with `shed_lowest = false` — shedding policy lives here, per
+  /// tenant, so one tenant's burst can never displace another's work.
+  explicit FairShareQueue(JobScheduler& scheduler,
+                          TenantOptions defaults = {});
+
+  /// Register or reconfigure a tenant. Throws std::invalid_argument for
+  /// weight <= 0 or max_queued == 0.
+  void configure(const std::string& tenant, TenantOptions options);
+
+  /// Admission-controlled submission under `tenant`'s quota. A job with
+  /// id 0 is assigned the next id immediately (clients need it before
+  /// the job reaches the core queue); non-zero ids are honored (journal
+  /// resume). On success the admission carries the id; the job may still
+  /// be pending in the tenant sub-queue.
+  Admission submit(const std::string& tenant, Job job);
+
+  /// Withdraw a job that is still pending in its tenant sub-queue. The
+  /// canceled record (state kCanceled, `note` in error) is committed
+  /// through the scheduler so it survives a resume. Returns false with
+  /// `*error` set when the id is unknown here (already admitted, or
+  /// never submitted) — the caller decides what that means.
+  bool cancel(std::uint64_t id, const std::string& note, std::string* error);
+
+  /// Terminal-record hook: wire to EngineOptions::on_record. Returns the
+  /// tenant's in-flight credit and re-pumps the sub-queues.
+  void on_terminal(const JobRecord& record);
+
+  /// Try to admit pending work (normally driven by submit/on_terminal;
+  /// public for fronts that change core-queue capacity out of band).
+  void pump();
+
+  /// Block until no tenant has pending or in-flight work (graceful
+  /// drain: stop submitting, then wait_idle, then scheduler.drain()).
+  void wait_idle();
+
+  std::size_t backlog() const;  ///< total pending across tenants
+  std::size_t in_flight() const;
+
+  /// Tenants in registration order with their accounting snapshots.
+  std::vector<std::pair<std::string, TenantStats>> stats() const;
+  obs::Json stats_json() const;
+
+  /// Continue id assignment after a journal replay.
+  void set_next_id(std::uint64_t next_id);
+
+ private:
+  struct Tenant {
+    std::string id;
+    TenantOptions options;
+    std::deque<Job> pending;
+    double deficit = 0.0;
+    TenantStats totals;  ///< queued/in_flight mirrored on read
+    obs::Counter c_submitted, c_admitted, c_completed, c_failed;
+    obs::Counter c_rejected, c_shed, c_canceled;
+  };
+
+  Tenant& ensure_locked(const std::string& tenant);
+  void pump_locked();
+  std::string quota_reason_locked(const Tenant& t) const;
+
+  JobScheduler& scheduler_;
+  TenantOptions defaults_;
+  // Recursive: a pump-admitted submission can synchronously publish a
+  // record (queue closed during drain) whose on_record hook re-enters
+  // on_terminal on the same thread; `pumping_` stops pump recursion.
+  mutable std::recursive_mutex mutex_;
+  std::condition_variable_any idle_cv_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;  ///< registration order
+  std::unordered_map<std::string, Tenant*> by_name_;
+  std::unordered_map<std::uint64_t, Tenant*> pending_ids_;
+  std::unordered_map<std::uint64_t, Tenant*> admitted_ids_;
+  std::size_t cursor_ = 0;  ///< DRR position in tenants_
+  std::uint64_t next_id_ = 1;
+  bool pumping_ = false;
+  std::size_t metric_slot_ = 0;
+};
+
+}  // namespace mthfx::engine

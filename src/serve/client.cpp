@@ -1,0 +1,124 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "engine/journal.hpp"
+
+namespace mthfx::serve {
+
+namespace {
+
+int connect_fd(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("client: socket: ") +
+                             std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("client: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("client: connect: ") +
+                             std::strerror(err));
+  }
+  // Requests are single small frames; don't let Nagle batch them.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, int port)
+    : fd_(connect_fd(host, port)), reader_(fd_) {}
+
+Client::~Client() {
+  close();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+obs::Json Client::request(const obs::Json& message) {
+  if (fd_ < 0) throw std::runtime_error("client: connection closed");
+  if (!send_all(fd_, encode_frame(message)))
+    throw std::runtime_error("client: send failed (server gone?)");
+  std::optional<std::string> line = reader_.read_line();
+  if (!line)
+    throw std::runtime_error("client: connection closed by server");
+  return obs::Json::parse(*line);
+}
+
+obs::Json Client::hello(const std::string& tenant) {
+  obs::Json r = obs::Json::object();
+  r["op"] = "hello";
+  r["tenant"] = tenant;
+  return request(r);
+}
+
+obs::Json Client::submit(const std::string& name, const app::Input& input,
+                         int priority, double deadline_s) {
+  obs::Json r = obs::Json::object();
+  r["op"] = "submit";
+  r["name"] = name;
+  if (priority != 0) r["priority"] = priority;
+  if (deadline_s > 0.0) r["deadline_s"] = deadline_s;
+  r["input"] = engine::input_to_json(input);
+  return request(r);
+}
+
+obs::Json Client::status(std::uint64_t id) {
+  obs::Json r = obs::Json::object();
+  r["op"] = "status";
+  r["id"] = id;
+  return request(r);
+}
+
+obs::Json Client::result(std::uint64_t id, double timeout_s) {
+  obs::Json r = obs::Json::object();
+  r["op"] = "result";
+  r["id"] = id;
+  if (timeout_s > 0.0) r["timeout_s"] = timeout_s;
+  return request(r);
+}
+
+obs::Json Client::cancel(std::uint64_t id, const std::string& note) {
+  obs::Json r = obs::Json::object();
+  r["op"] = "cancel";
+  r["id"] = id;
+  if (!note.empty()) r["note"] = note;
+  return request(r);
+}
+
+obs::Json Client::stats() {
+  obs::Json r = obs::Json::object();
+  r["op"] = "stats";
+  return request(r);
+}
+
+obs::Json Client::drain(const std::string& reason) {
+  obs::Json r = obs::Json::object();
+  r["op"] = "drain";
+  if (!reason.empty()) r["reason"] = reason;
+  return request(r);
+}
+
+}  // namespace mthfx::serve

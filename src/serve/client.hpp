@@ -1,0 +1,52 @@
+#pragma once
+
+// Blocking client for the mthfx screening service: one TCP connection,
+// strictly request/response. Used by the serve tests and the A9 service
+// benchmark; also a reference implementation of the line protocol for
+// external clients.
+
+#include <cstdint>
+#include <string>
+
+#include "app/input.hpp"
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace mthfx::serve {
+
+class Client {
+ public:
+  /// Connect (IPv4). Throws std::runtime_error when the server is not
+  /// reachable — callers that expect a mid-restart window catch and
+  /// retry.
+  Client(const std::string& host, int port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request object, read one response object. Throws
+  /// std::runtime_error on a broken connection.
+  obs::Json request(const obs::Json& message);
+
+  /// Convenience wrappers. Each returns the raw response object;
+  /// check `ok` / read fields per the protocol grammar.
+  obs::Json hello(const std::string& tenant);
+  obs::Json submit(const std::string& name, const app::Input& input,
+                   int priority = 0, double deadline_s = 0.0);
+  obs::Json status(std::uint64_t id);
+  /// timeout_s 0 = wait forever (until the server finishes or stops).
+  obs::Json result(std::uint64_t id, double timeout_s = 0.0);
+  obs::Json cancel(std::uint64_t id, const std::string& note = "");
+  obs::Json stats();
+  obs::Json drain(const std::string& reason = "");
+
+  /// Raw fd, for rude-disconnect tests (close without protocol goodbye).
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  LineReader reader_;
+};
+
+}  // namespace mthfx::serve

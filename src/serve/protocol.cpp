@@ -1,0 +1,177 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "engine/journal.hpp"
+
+namespace mthfx::serve {
+
+namespace {
+
+std::string opt_string(const obs::Json& j, std::string_view key,
+                       const std::string& fallback) {
+  const obs::Json* v = j.find(key);
+  return v ? v->as_string() : fallback;
+}
+
+std::int64_t opt_int(const obs::Json& j, std::string_view key,
+                     std::int64_t fallback) {
+  const obs::Json* v = j.find(key);
+  return v ? v->as_int() : fallback;
+}
+
+double opt_double(const obs::Json& j, std::string_view key, double fallback) {
+  const obs::Json* v = j.find(key);
+  return v ? v->as_double() : fallback;
+}
+
+std::uint64_t require_id(const obs::Json& j) {
+  const obs::Json* v = j.find("id");
+  if (!v) throw std::runtime_error("missing required field 'id'");
+  const std::int64_t id = v->as_int();
+  if (id <= 0) throw std::runtime_error("'id' must be a positive integer");
+  return static_cast<std::uint64_t>(id);
+}
+
+}  // namespace
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kHello: return "hello";
+    case Op::kSubmit: return "submit";
+    case Op::kStatus: return "status";
+    case Op::kResult: return "result";
+    case Op::kCancel: return "cancel";
+    case Op::kStats: return "stats";
+    case Op::kDrain: return "drain";
+  }
+  return "?";
+}
+
+Request parse_request(const std::string& line) {
+  obs::Json j;
+  try {
+    j = obs::Json::parse(line);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("malformed JSON: ") + e.what());
+  }
+  if (!j.is_object()) throw std::runtime_error("request must be an object");
+
+  const obs::Json* op_field = j.find("op");
+  if (!op_field) throw std::runtime_error("missing required field 'op'");
+  const std::string& op = op_field->as_string();
+
+  Request r;
+  if (op == "hello") {
+    r.op = Op::kHello;
+    r.tenant = opt_string(j, "tenant", "");
+    if (r.tenant.empty())
+      throw std::runtime_error("hello requires a non-empty 'tenant'");
+  } else if (op == "submit") {
+    r.op = Op::kSubmit;
+    r.name = opt_string(j, "name", "");
+    r.priority = static_cast<int>(opt_int(j, "priority", 0));
+    r.deadline_s = opt_double(j, "deadline_s", 0.0);
+    const obs::Json* input = j.find("input");
+    const obs::Json* text = j.find("text");
+    if ((input == nullptr) == (text == nullptr))
+      throw std::runtime_error(
+          "submit requires exactly one of 'input' (engine JSON) or 'text' "
+          "(mthfx input format)");
+    try {
+      r.input = input ? engine::input_from_json(*input)
+                      : app::parse_input(text->as_string());
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("bad input: ") + e.what());
+    }
+  } else if (op == "status") {
+    r.op = Op::kStatus;
+    r.id = require_id(j);
+  } else if (op == "result") {
+    r.op = Op::kResult;
+    r.id = require_id(j);
+    r.timeout_s = opt_double(j, "timeout_s", 0.0);
+  } else if (op == "cancel") {
+    r.op = Op::kCancel;
+    r.id = require_id(j);
+    r.note = opt_string(j, "note", "");
+  } else if (op == "stats") {
+    r.op = Op::kStats;
+  } else if (op == "drain") {
+    r.op = Op::kDrain;
+    r.note = opt_string(j, "reason", "");
+  } else {
+    throw std::runtime_error("unknown op '" + op + "'");
+  }
+  return r;
+}
+
+obs::Json ok_response(Op op) {
+  obs::Json j = obs::Json::object();
+  j["ok"] = true;
+  j["op"] = to_string(op);
+  return j;
+}
+
+obs::Json error_response(const std::string& message) {
+  obs::Json j = obs::Json::object();
+  j["ok"] = false;
+  j["error"] = message;
+  return j;
+}
+
+std::string encode_frame(const obs::Json& message) {
+  std::string frame = message.dump();
+  frame.push_back('\n');
+  return frame;
+}
+
+std::optional<std::string> LineReader::read_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    if (buffer_.size() > kMaxFrameBytes)
+      throw std::runtime_error("frame exceeds " +
+                               std::to_string(kMaxFrameBytes) + " bytes");
+    if (eof_) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      eof_ = true;
+      if (!buffer_.empty()) {  // unterminated trailing frame: drop it
+        buffer_.clear();
+      }
+    } else {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      buffer_.clear();
+    }
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE, not process death.
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace mthfx::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+// Line protocol for the mthfx screening service: newline-delimited JSON
+// (NDJSON) over a byte stream, one request object per line in, one
+// response object per line out, strictly request/response in order.
+//
+// Requests ({"op": ..., ...}):
+//   hello   {op, tenant}                       — authenticate the connection
+//   submit  {op, name?, priority?, deadline_s?, input|text}
+//           `input` is the engine's full-fidelity JSON form
+//           (engine::input_from_json); `text` is the mthfx input-file
+//           format (app::parse_input). Exactly one must be present.
+//   status  {op, id}
+//   result  {op, id, timeout_s?}               — blocks until terminal
+//   cancel  {op, id, note?}
+//   stats   {op}
+//   drain   {op, reason?}                      — graceful shutdown
+//
+// Responses: {"ok": true, "op": <echoed>, ...payload} on success,
+// {"ok": false, "error": "<reason>"} on failure. A malformed line gets
+// an error response; the connection stays open (a client bug should not
+// tear down its other in-flight work). Lines longer than kMaxFrameBytes
+// are rejected and the connection closed — that is a framing failure,
+// not a request.
+//
+// See docs/engine.md (Service) for the grammar and a session transcript.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "app/input.hpp"
+#include "obs/json.hpp"
+
+namespace mthfx::serve {
+
+/// Upper bound on one frame (request or response line). Generous: a
+/// condensed-phase geometry is a few KiB; 1 MiB means a lost newline,
+/// not a big molecule.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+enum class Op : std::uint8_t {
+  kHello,
+  kSubmit,
+  kStatus,
+  kResult,
+  kCancel,
+  kStats,
+  kDrain,
+};
+
+const char* to_string(Op op);
+
+/// One parsed request. Fields are meaningful per-op (see the grammar).
+struct Request {
+  Op op = Op::kStats;
+  std::string tenant;      // hello
+  std::string name;        // submit
+  int priority = 0;        // submit
+  double deadline_s = 0.0; // submit
+  app::Input input;        // submit (parsed from `input` or `text`)
+  std::uint64_t id = 0;    // status / result / cancel
+  double timeout_s = 0.0;  // result; 0 = wait forever
+  std::string note;        // cancel note / drain reason
+};
+
+/// Parse one request line. Throws std::runtime_error with a
+/// client-safe message on anything malformed: bad JSON, unknown op,
+/// missing/mistyped fields, submit with both or neither of input/text.
+Request parse_request(const std::string& line);
+
+obs::Json ok_response(Op op);
+obs::Json error_response(const std::string& message);
+
+/// Serialize a response (or request) as one protocol frame: single-line
+/// JSON plus the terminating newline.
+std::string encode_frame(const obs::Json& message);
+
+/// Buffered line reader over a socket fd. Returns frames without the
+/// newline; nullopt on EOF or error. Throws std::runtime_error when a
+/// line exceeds kMaxFrameBytes (protocol violation — caller should
+/// close).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+  std::optional<std::string> read_line();
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Write the whole buffer, retrying on short writes and EINTR. Returns
+/// false on a hard error (peer gone); never throws or raises SIGPIPE.
+bool send_all(int fd, const std::string& data);
+
+}  // namespace mthfx::serve

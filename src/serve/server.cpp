@@ -1,0 +1,366 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/journal.hpp"
+#include "engine/report.hpp"
+
+namespace mthfx::serve {
+
+engine::EngineOptions Server::engine_options(const ServeOptions& options) {
+  engine::EngineOptions e = options.engine;
+  e.shed_lowest = false;  // shedding is per-tenant, in the FairShareQueue
+  e.on_record = [this](const engine::JobRecord& r) { on_record(r); };
+  e.on_started = [this](std::uint64_t id, std::size_t attempt) {
+    on_started(id, attempt);
+  };
+  return e;
+}
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      scheduler_(engine_options(options_)),
+      fair_(scheduler_, options_.tenant_defaults) {
+  for (const TenantConfig& t : options_.tenants)
+    fair_.configure(t.id, t.options);
+}
+
+Server::~Server() {
+  stop();
+}
+
+void Server::on_record(const engine::JobRecord& record) {
+  fair_.on_terminal(record);
+  if (record.id == 0) return;  // core reject without an id: untrackable
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    JobEntry& entry = jobs_[record.id];
+    entry.terminal = true;
+    entry.state = engine::to_string(record.state);
+    entry.record = engine::job_record_to_json(record);
+  }
+  jobs_cv_.notify_all();
+}
+
+void Server::on_started(std::uint64_t id, std::size_t attempt) {
+  (void)attempt;
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  JobEntry& entry = jobs_[id];
+  if (!entry.terminal) entry.state = "running";
+}
+
+void Server::start() {
+  scheduler_.start();
+
+  if (options_.resume && !options_.engine.journal_path.empty()) {
+    const engine::JournalReplay replay =
+        engine::Journal::replay(options_.engine.journal_path);
+    fair_.set_next_id(replay.max_id() + 1);
+    for (const engine::ReplayedJob& rj : replay.jobs) {
+      if (rj.committed) {
+        // The on_record hook files it into the job table, so clients
+        // polling the old id get the journaled (bit-identical) record.
+        scheduler_.adopt(rj.record);
+        ++replayed_;
+      } else {
+        engine::Job job = rj.job;
+        job.journaled = true;  // its submitted record is already on disk
+        if (!options_.engine.checkpoint_dir.empty()) {
+          const std::string ckpt = options_.engine.checkpoint_dir + "/job_" +
+                                   std::to_string(job.id) + ".ckpt";
+          if (std::ifstream(ckpt).good()) job.input.restore_path = ckpt;
+        }
+        fair_.submit(job.tenant, std::move(job));
+      }
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("serve: bad host '" + options_.host + "'");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    throw std::runtime_error(std::string("serve: bind: ") +
+                             std::strerror(errno));
+  if (::listen(listen_fd_, 64) < 0)
+    throw std::runtime_error(std::string("serve: listen: ") +
+                             std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  accepting_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop) or fatal: stop accepting
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (!accepting_) {
+      ::close(fd);
+      return;
+    }
+    connections_.emplace_back();
+    Connection* conn = &connections_.back();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { handle_connection(conn); });
+  }
+}
+
+void Server::handle_connection(Connection* conn) {
+  LineReader reader(conn->fd);
+  std::string conn_tenant;
+  while (true) {
+    std::optional<std::string> line;
+    try {
+      line = reader.read_line();
+    } catch (const std::exception& e) {
+      // Oversized frame: framing is broken, close after telling why.
+      send_all(conn->fd, encode_frame(error_response(e.what())));
+      break;
+    }
+    if (!line) break;  // client disconnected; its jobs keep running
+    if (line->empty()) continue;
+    obs::Json response;
+    try {
+      const Request request = parse_request(*line);
+      response = handle_request(request, conn_tenant);
+    } catch (const std::exception& e) {
+      response = error_response(e.what());
+    }
+    if (!send_all(conn->fd, encode_frame(response))) break;
+  }
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+obs::Json Server::handle_request(const Request& request,
+                                 std::string& conn_tenant) {
+  if (options_.require_hello && conn_tenant.empty() &&
+      (request.op == Op::kSubmit || request.op == Op::kStatus ||
+       request.op == Op::kResult || request.op == Op::kCancel))
+    return error_response("hello required before " +
+                          std::string(to_string(request.op)));
+
+  switch (request.op) {
+    case Op::kHello: {
+      conn_tenant = request.tenant;
+      obs::Json r = ok_response(Op::kHello);
+      r["tenant"] = conn_tenant;
+      return r;
+    }
+    case Op::kSubmit:
+      return handle_submit(request, conn_tenant);
+    case Op::kStatus: {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      auto it = jobs_.find(request.id);
+      if (it == jobs_.end())
+        return error_response("unknown job id " + std::to_string(request.id));
+      obs::Json r = ok_response(Op::kStatus);
+      r["id"] = request.id;
+      r["state"] = it->second.state;
+      return r;
+    }
+    case Op::kResult:
+      return handle_result(request);
+    case Op::kCancel: {
+      std::string error;
+      if (!fair_.cancel(request.id, request.note, &error))
+        return error_response(error);
+      obs::Json r = ok_response(Op::kCancel);
+      r["id"] = request.id;
+      return r;
+    }
+    case Op::kStats: {
+      obs::Json r = ok_response(Op::kStats);
+      r["stats"] = stats_json();
+      return r;
+    }
+    case Op::kDrain: {
+      // Refuse new work, wait for everything accepted to finish, then
+      // hand the actual teardown to the serving thread (this thread is
+      // itself a connection thread and cannot join itself).
+      draining_.store(true);
+      fair_.wait_idle();
+      obs::Json r = ok_response(Op::kDrain);
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex_);
+        r["jobs"] = jobs_.size();
+      }
+      request_stop(request.note.empty() ? "drain requested" : request.note);
+      return r;
+    }
+  }
+  return error_response("unhandled op");
+}
+
+obs::Json Server::handle_submit(const Request& request,
+                                const std::string& conn_tenant) {
+  if (draining_.load()) return error_response("server draining");
+  engine::Job job;
+  job.name = request.name;
+  job.priority = request.priority;
+  job.deadline_seconds = request.deadline_s;
+  job.input = request.input;
+  const engine::Admission admission =
+      fair_.submit(conn_tenant.empty() ? "anonymous" : conn_tenant,
+                   std::move(job));
+  if (!admission.accepted) return error_response(admission.reason);
+  {
+    // The worker may already have finished (and filed the terminal
+    // entry) by now; try_emplace never clobbers it.
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_.try_emplace(admission.id);
+  }
+  obs::Json r = ok_response(Op::kSubmit);
+  r["id"] = admission.id;
+  return r;
+}
+
+obs::Json Server::handle_result(const Request& request) {
+  std::unique_lock<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(request.id);
+  if (it == jobs_.end())
+    return error_response("unknown job id " + std::to_string(request.id));
+  auto done = [&] { return jobs_[request.id].terminal || jobs_closing_; };
+  if (request.timeout_s > 0.0) {
+    if (!jobs_cv_.wait_for(
+            lock, std::chrono::duration<double>(request.timeout_s), done))
+      return error_response("timeout waiting for job " +
+                            std::to_string(request.id));
+  } else {
+    jobs_cv_.wait(lock, done);
+  }
+  const JobEntry& entry = jobs_[request.id];
+  if (!entry.terminal)
+    return error_response("server stopping before job " +
+                          std::to_string(request.id) + " finished");
+  obs::Json r = ok_response(Op::kResult);
+  r["id"] = request.id;
+  r["state"] = entry.state;
+  r["record"] = entry.record;
+  return r;
+}
+
+obs::Json Server::stats_json() {
+  obs::Json s = obs::Json::object();
+  s["draining"] = draining_.load();
+  s["replayed"] = replayed_;
+  s["tenants"] = fair_.stats_json();
+
+  obs::Json queue = obs::Json::object();
+  queue["depth"] = scheduler_.queue().depth();
+  queue["capacity"] = scheduler_.queue().capacity();
+  queue["accepted"] = scheduler_.queue().accepted();
+  queue["rejected"] = scheduler_.queue().rejected();
+  queue["high_water"] = scheduler_.queue().high_water();
+  queue["tenant_backlog"] = fair_.backlog();
+  queue["tenant_in_flight"] = fair_.in_flight();
+  s["queue"] = std::move(queue);
+
+  obs::Json cache = obs::Json::object();
+  cache["hits"] = scheduler_.store().hits();
+  cache["misses"] = scheduler_.store().misses();
+  cache["entries"] = scheduler_.store().size();
+  s["cache"] = std::move(cache);
+
+  std::size_t tracked = 0, terminal = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    tracked = jobs_.size();
+    for (const auto& [id, entry] : jobs_)
+      if (entry.terminal) ++terminal;
+  }
+  obs::Json jobs = obs::Json::object();
+  jobs["tracked"] = tracked;
+  jobs["terminal"] = terminal;
+  s["jobs"] = std::move(jobs);
+  return s;
+}
+
+void Server::request_stop(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stop_reason_.empty()) stop_reason_ = reason;
+  }
+  stop_flag_.store(true);
+  stop_cv_.notify_all();
+}
+
+void Server::wait_for_stop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stop_flag_.load(); });
+}
+
+std::vector<engine::JobRecord> Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) return records_;
+    stopped_ = true;
+    if (stop_reason_.empty()) stop_reason_ = "stop";
+  }
+  stop_flag_.store(true);
+  draining_.store(true);
+
+  // Finish everything accepted: tenant backlogs drain through the pump
+  // as workers free up, then the core queue runs dry.
+  fair_.wait_idle();
+  records_ = scheduler_.drain();
+  scheduler_.journal().record_shutdown(stop_reason_);
+  {
+    // Every accepted job is terminal by now; release any straggler
+    // still parked in a blocking `result` wait.
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_closing_ = true;
+  }
+  jobs_cv_.notify_all();
+
+  // Tear down the listener (unblocks accept) and every connection
+  // (unblocks their reads), then join.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    accepting_ = false;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (Connection& conn : connections_)
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+  }
+  for (Connection& conn : connections_)
+    if (conn.thread.joinable()) conn.thread.join();
+  connections_.clear();
+  return records_;
+}
+
+}  // namespace mthfx::serve

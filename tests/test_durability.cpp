@@ -218,6 +218,81 @@ TEST(Journal, ReplayReconstructsLifecycle) {
   EXPECT_EQ(second->job.input.method, "pbe0");
 }
 
+TEST(Journal, ShutdownRecordMarksCleanReplayWithReason) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/run.wal";
+  {
+    engine::Journal journal;
+    journal.open(path);
+    engine::Job job = h2_job("a");
+    job.id = 1;
+    journal.record_submitted(job);
+    journal.record_shutdown("signal 15");
+  }
+  const engine::JournalReplay replay = engine::Journal::replay(path);
+  EXPECT_TRUE(replay.clean_shutdown);
+  EXPECT_EQ(replay.shutdown_reason, "signal 15");
+  // A journal that simply stops (SIGKILL) is not a clean shutdown.
+  const std::string crashed = dir + "/crashed.wal";
+  {
+    engine::Journal journal;
+    journal.open(crashed);
+    engine::Job job = h2_job("a");
+    job.id = 1;
+    journal.record_submitted(job);
+  }
+  EXPECT_FALSE(engine::Journal::replay(crashed).clean_shutdown);
+}
+
+TEST(Journal, MaxIdSpansSubmittedAndCommittedRecords) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/run.wal";
+  {
+    engine::Journal journal;
+    journal.open(path);
+    engine::Job job = h2_job("a");
+    job.id = 3;
+    journal.record_submitted(job);
+    engine::JobRecord record;
+    record.id = 9;
+    record.name = "b";
+    record.state = engine::JobState::kDone;
+    record.input = h2_job("b").input;
+    record.result = fake_result(-1.0);
+    journal.record_committed(record);
+  }
+  // The service resumes id assignment above everything in the journal,
+  // whether the high id came from a pending or a committed job.
+  EXPECT_EQ(engine::Journal::replay(path).max_id(), 9u);
+  EXPECT_EQ(engine::JournalReplay{}.max_id(), 0u);
+}
+
+TEST(Journal, TenantSurvivesTheRoundTrip) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/run.wal";
+  {
+    engine::Journal journal;
+    journal.open(path);
+    engine::Job job = h2_job("a");
+    job.id = 1;
+    job.tenant = "acme";
+    journal.record_submitted(job);
+    engine::JobRecord record;
+    record.id = 2;
+    record.name = "b";
+    record.tenant = "beta";
+    record.state = engine::JobState::kDone;
+    record.input = h2_job("b").input;
+    record.result = fake_result(-1.0);
+    journal.record_committed(record);
+  }
+  const engine::JournalReplay replay = engine::Journal::replay(path);
+  ASSERT_NE(replay.find(1), nullptr);
+  EXPECT_EQ(replay.find(1)->job.tenant, "acme");
+  ASSERT_NE(replay.find(2), nullptr);
+  EXPECT_EQ(replay.find(2)->record.tenant, "beta");
+}
+
 TEST(Journal, ReplayMissingFileIsEmptyCampaign) {
   const engine::JournalReplay replay =
       engine::Journal::replay("/tmp/mthfx_no_such_journal.wal");

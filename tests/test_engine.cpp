@@ -19,6 +19,7 @@
 #include "engine/report.hpp"
 #include "engine/result_store.hpp"
 #include "engine/scheduler.hpp"
+#include "engine/tenant.hpp"
 #include "obs/json.hpp"
 #include "workload/geometries.hpp"
 #include "workload/replicate.hpp"
@@ -552,4 +553,145 @@ TEST(Report, RejectedJobRecordKeepsOnlyAdmissionFields) {
   EXPECT_NE(member(parsed, "reject_reason").as_string().find("queue full"),
             std::string::npos);
   EXPECT_EQ(parsed.find("result"), nullptr);
+}
+
+// ----------------------------------------------------- fair-share tenancy
+
+namespace {
+const engine::TenantStats& tenant_stats(const engine::FairShareQueue& fair,
+                                        const std::string& id) {
+  static engine::TenantStats none;
+  for (const auto& [tenant, stats] : fair.stats())
+    if (tenant == id) return stats;
+  ADD_FAILURE() << "no stats for tenant '" << id << "'";
+  return none;
+}
+}  // namespace
+
+// The reject formats below are part of the service protocol surface
+// (clients parse them out of error responses), so they are pinned
+// exactly — see docs/engine.md (Service).
+TEST(JobQueue, RejectReasonFormatIsPinned) {
+  engine::JobQueue queue(2);
+  ASSERT_TRUE(queue.submit(h2_job("a")).accepted);
+  ASSERT_TRUE(queue.submit(h2_job("b")).accepted);
+  EXPECT_EQ(queue.submit(h2_job("c")).reason,
+            "queue full (capacity 2, depth 2)");
+}
+
+TEST(FairShare, TenantQuotaRejectReasonFormatIsPinned) {
+  engine::EngineOptions opts;
+  opts.concurrency = 1;
+  opts.queue_capacity = 1;  // core holds one job; the rest stay pending
+  engine::JobScheduler scheduler(opts);  // never started: nothing runs
+  engine::FairShareQueue fair(scheduler);
+  engine::TenantOptions acme;
+  acme.max_queued = 2;
+  fair.configure("acme", acme);
+  ASSERT_TRUE(fair.submit("acme", h2_job("a")).accepted);  // -> core queue
+  ASSERT_TRUE(fair.submit("acme", h2_job("b")).accepted);  // pending 1/2
+  ASSERT_TRUE(fair.submit("acme", h2_job("c")).accepted);  // pending 2/2
+  const auto verdict = fair.submit("acme", h2_job("d"));
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.reason, "tenant quota: 'acme' queued 2/2 (in-flight 1)");
+  // With an in-flight cap the reason carries it as a /cap suffix.
+  engine::JobScheduler scheduler2(opts);
+  engine::FairShareQueue fair2(scheduler2);
+  engine::TenantOptions capped;
+  capped.max_queued = 1;
+  capped.max_in_flight = 1;
+  fair2.configure("beta", capped);
+  ASSERT_TRUE(fair2.submit("beta", h2_job("x")).accepted);  // -> core queue
+  ASSERT_TRUE(fair2.submit("beta", h2_job("y")).accepted);  // pending 1/1
+  EXPECT_EQ(fair2.submit("beta", h2_job("z")).reason,
+            "tenant quota: 'beta' queued 1/1 (in-flight 1/1)");
+}
+
+TEST(FairShare, DeficitRoundRobinHonoursWeights) {
+  engine::EngineOptions opts;
+  opts.concurrency = 1;
+  opts.queue_capacity = 6;
+  engine::JobScheduler scheduler(opts);  // never started: admissions are
+  engine::FairShareQueue fair(scheduler);  // pure DRR decisions
+  engine::TenantOptions heavy, light;
+  heavy.weight = 2.0;
+  light.weight = 1.0;
+  fair.configure("heavy", heavy);
+  fair.configure("light", light);
+  // Plug the core queue first so heavy/light submissions all land in
+  // their tenant backlogs — with free slots admission is FIFO-on-arrival
+  // and no fair-share decision happens.
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(fair.submit("plug", h2_job("p" + std::to_string(i))).accepted);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        fair.submit("heavy", h2_job("h" + std::to_string(i))).accepted);
+    ASSERT_TRUE(
+        fair.submit("light", h2_job("l" + std::to_string(i))).accepted);
+  }
+  EXPECT_EQ(fair.backlog(), 20u);
+  // Drain the plugs as a worker pool would, then pump: the six freed
+  // slots must split 2:1 by weight — heavy 4, light 2.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(scheduler.queue().pop().has_value());
+  fair.pump();
+  EXPECT_EQ(tenant_stats(fair, "heavy").admitted, 4u);
+  EXPECT_EQ(tenant_stats(fair, "light").admitted, 2u);
+  EXPECT_EQ(fair.backlog(), 14u);
+}
+
+TEST(FairShare, InFlightCapHoldsJobsBackUntilCompletions) {
+  engine::EngineOptions opts;
+  opts.concurrency = 1;
+  opts.queue_capacity = 8;
+  engine::JobScheduler scheduler(opts);
+  engine::FairShareQueue fair(scheduler);
+  engine::TenantOptions capped;
+  capped.max_in_flight = 2;
+  fair.configure("capped", capped);
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(
+        fair.submit("capped", h2_job("j" + std::to_string(i))).accepted);
+  // Only two admitted despite six free core slots.
+  EXPECT_EQ(tenant_stats(fair, "capped").admitted, 2u);
+  EXPECT_EQ(fair.backlog(), 3u);
+}
+
+TEST(FairShare, ConfigureRejectsNonsenseOptions) {
+  engine::EngineOptions opts;
+  engine::JobScheduler scheduler(opts);
+  engine::FairShareQueue fair(scheduler);
+  engine::TenantOptions bad;
+  bad.weight = 0.0;
+  EXPECT_THROW(fair.configure("t", bad), std::invalid_argument);
+  bad.weight = 1.0;
+  bad.max_queued = 0;
+  EXPECT_THROW(fair.configure("t", bad), std::invalid_argument);
+}
+
+TEST(FairShare, CancelRemovesPendingJobAndRecordsIt) {
+  engine::EngineOptions opts;
+  opts.concurrency = 1;
+  opts.queue_capacity = 1;
+  engine::JobScheduler scheduler(opts);
+  engine::FairShareQueue fair(scheduler);
+  ASSERT_TRUE(fair.submit("t", h2_job("runs")).accepted);  // fills core
+  const auto pending = fair.submit("t", h2_job("waits"));
+  ASSERT_TRUE(pending.accepted);
+  std::string error;
+  EXPECT_FALSE(fair.cancel(999, "", &error));
+  EXPECT_EQ(error, "job 999 is not pending here");
+  EXPECT_TRUE(fair.cancel(pending.id, "changed my mind", &error));
+  EXPECT_EQ(fair.backlog(), 0u);
+  EXPECT_EQ(tenant_stats(fair, "t").canceled, 1u);
+  // Canceling an already-admitted job is the scheduler's problem, not
+  // the sub-queue's: callers get a distinct error.
+  const auto records = scheduler.drain();
+  bool saw_cancel = false;
+  for (const auto& r : records)
+    if (r.state == engine::JobState::kCanceled) {
+      saw_cancel = true;
+      EXPECT_EQ(r.id, pending.id);
+      EXPECT_EQ(r.error, "changed my mind");
+    }
+  EXPECT_TRUE(saw_cancel);
 }
