@@ -1,0 +1,323 @@
+// A10 — near-linear SCF cost curve on liquid propylene-carbonate boxes
+// (the paper's electrolyte workload at condensed-phase density).
+//
+// Full mode runs the blocked/purification pipeline (scf::sparse_rhf) on
+// 8/27/64/125-molecule PC boxes packed at 1.205 g/cm³ by
+// workload::box_of, records wall time, pair-list survival, block-nnz
+// fractions and the Fock-build (J/K) phase time per size, fits the
+// log-log cost exponent of the Fock-build phase over the top half of the
+// sizes, and exits nonzero unless the exponent is <= 1.3 — the
+// "near-linear" contract of the sparsity pipeline. One measured blocked
+// build is also exported as an EmpiricalCostDistribution and replayed
+// through the BG/Q discrete-event simulator, connecting the host cost
+// curve to the machine model the other benches use.
+//
+// `--smoke` runs the two smallest boxes for a handful of iterations each
+// (no convergence requirement, no exponent fit, no JSON) and exits
+// nonzero if the pipeline breaks its structural contract — finite
+// energy, surviving pairs, nnz fractions in (0, 1]. This is the tier-1
+// entry (scripts/run_tests.sh).
+//
+// Writes BENCH_scaling.json (full mode only) — committed at the repo
+// root so the measured curve rides with the code that produced it.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bgq/machine.hpp"
+#include "scf/rhf.hpp"
+#include "scf/sparse_scf.hpp"
+
+namespace {
+
+using namespace mthfx;
+
+constexpr double kPcLiquidDensity = 1.205;  // g/cm³
+constexpr std::uint64_t kBoxSeed = 11;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SizeRow {
+  int molecules = 0;
+  std::size_t nbf = 0;
+  std::size_t num_pairs = 0;
+  std::size_t pair_candidates = 0;
+  std::size_t unscreened_pairs = 0;
+  double wall_seconds = 0.0;
+  double jk_seconds = 0.0;  ///< Σ blocked J/K build time across the solve
+  double fock_build_seconds = 0.0;  ///< one exchange build, converged P
+  std::uint64_t fock_quartets = 0;
+  double density_nnz = 0.0;
+  double fock_nnz = 0.0;
+  double energy = 0.0;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Superposition-of-molecular-densities guess: one dense solve of the
+/// unit molecule (41 bf, milliseconds), tiled down the box diagonal.
+/// Every copy is a rigid translation of the unit, so its converged
+/// density is exact in the copy's own AO block; the SCF then only has
+/// to relax the (weak, insulating) inter-molecular response — a few
+/// iterations instead of building up the whole density from the core
+/// guess. Same guess at every size, so the cost curve stays comparable.
+linalg::Matrix fragment_guess(const chem::Molecule& unit,
+                              const chem::BasisSet& unit_basis,
+                              int molecules, std::size_t nbf) {
+  scf::ScfOptions opts;
+  opts.hfx.num_threads = 1;
+  const auto r = scf::rhf(unit, unit_basis, opts);
+  const std::size_t nu = unit_basis.num_functions();
+  linalg::Matrix p(nbf, nbf);
+  for (int m = 0; m < molecules; ++m) {
+    const std::size_t off = static_cast<std::size_t>(m) * nu;
+    for (std::size_t i = 0; i < nu; ++i)
+      for (std::size_t j = 0; j < nu; ++j)
+        p(off + i, off + j) = r.density(i, j);
+  }
+  return p;
+}
+
+SizeRow run_box(int molecules, bool smoke) {
+  const auto unit = workload::propylene_carbonate();
+  const auto box =
+      workload::box_of(unit, molecules, kPcLiquidDensity, kBoxSeed);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+
+  scf::ScfOptions opts;
+  opts.hfx.num_threads = 1;
+  opts.hfx.sparsity.mode = hfx::SparsityMode::kBlocked;
+  // Bench-grade thresholds: the curve measures how the Fock-build phase
+  // *scales*, and the defaults (eps 1e-10, drop 1e-12) are validation
+  // settings that keep every block alive at these box sizes. The looser
+  // chain here is uniform across sizes, so the exponent is unaffected
+  // while the largest box stays affordable on one host core.
+  opts.hfx.eps_schwarz = 1e-6;
+  opts.hfx.sparsity.drop_tol = 1e-8;
+  opts.energy_tolerance = 1e-6;
+  opts.diis_tolerance = 1e-3;
+  // The fragment guess puts the first density close to the answer;
+  // incremental dP builds then shrink monotonically, and a mid-solve
+  // full rebuild would only re-pay the expensive first J sweep.
+  opts.full_rebuild_every = 1000;
+  const auto guess = fragment_guess(unit, chem::BasisSet::build(unit, "sto-3g"),
+                                    molecules, basis.num_functions());
+  opts.initial_density = std::make_shared<linalg::Matrix>(guess);
+  if (smoke) opts.max_iterations = 3;  // structural pass, not convergence
+
+  scf::SparseScfInfo info;
+  const double t0 = now_seconds();
+  const auto result = scf::sparse_rhf(box, basis, opts, &info);
+  const double t1 = now_seconds();
+
+  SizeRow row;
+  row.molecules = molecules;
+  row.nbf = info.nbf;
+  row.num_pairs = info.num_pairs;
+  row.pair_candidates = info.pair_candidates;
+  row.unscreened_pairs = basis.num_shells() * (basis.num_shells() + 1) / 2;
+  row.wall_seconds = t1 - t0;
+  row.jk_seconds = info.jk_seconds_total;
+  row.iterations = static_cast<int>(result.log.size());
+  row.density_nnz = info.density_nnz;
+  row.fock_nnz = info.fock_nnz;
+  row.energy = result.energy;
+  row.converged = result.converged;
+
+  // The Fock-build phase the near-linear contract is made on: one
+  // exchange build against the settled density — the unit of work the
+  // paper distributes over the machine, and the phase where the density
+  // screen turns the insulating box's locality into sub-quadratic cost.
+  // (The Coulomb term is excluded on purpose: a Schwarz product carries
+  // no bra-ket distance decay, so J's quartet count is Theta(N^2) by
+  // construction until a multipole bound exists; the exchange phase is
+  // where sparsity pays.)
+  const hfx::FockBuilder builder(basis, opts.hfx);
+  const auto part = scf::shell_aligned_partition(basis, 64);
+  const auto p_blk = linalg::BlockSparseMatrix::from_dense(
+      result.density, part, opts.hfx.sparsity.drop_tol);
+  const auto ex = builder.exchange_blocked(p_blk);
+  row.fock_build_seconds = ex.stats.wall_seconds;
+  row.fock_quartets = ex.stats.screening.quartets_computed;
+  return row;
+}
+
+/// Least-squares slope of log(cost) vs log(molecules) over rows[first..).
+double fitted_exponent(const std::vector<SizeRow>& rows, std::size_t first,
+                       double SizeRow::* cost) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(rows.size() - first);
+  for (std::size_t i = first; i < rows.size(); ++i) {
+    const double x = std::log(static_cast<double>(rows[i].molecules));
+    const double y = std::log(rows[i].*cost);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+bool structural_ok(const SizeRow& r) {
+  return std::isfinite(r.energy) && r.num_pairs > 0 &&
+         r.pair_candidates >= r.num_pairs &&
+         r.pair_candidates <= r.unscreened_pairs && r.density_nnz > 0.0 &&
+         r.density_nnz <= 1.0 && r.fock_nnz > 0.0 && r.fock_nnz <= 1.0 &&
+         r.jk_seconds > 0.0 && r.fock_build_seconds > 0.0 &&
+         r.fock_quartets > 0;
+}
+
+obs::Json to_json(const SizeRow& r) {
+  obs::Json j = obs::Json::object();
+  j["molecules"] = r.molecules;
+  j["nbf"] = r.nbf;
+  j["num_pairs"] = r.num_pairs;
+  j["pair_candidates"] = r.pair_candidates;
+  j["unscreened_pairs"] = r.unscreened_pairs;
+  j["wall_seconds"] = r.wall_seconds;
+  j["jk_seconds"] = r.jk_seconds;
+  j["fock_build_seconds"] = r.fock_build_seconds;
+  j["fock_quartets"] = r.fock_quartets;
+  j["density_nnz"] = r.density_nnz;
+  j["fock_nnz"] = r.fock_nnz;
+  j["energy"] = r.energy;
+  j["converged"] = r.converged;
+  j["iterations"] = r.iterations;
+  return j;
+}
+
+/// One measured blocked build replayed at machine scale: per-task costs
+/// from the blocked J/K build feed the simulator's empirical sampler —
+/// the same host-calibration path the E-series benches use, now sourced
+/// from the sparsity pipeline instead of the dense task bag.
+obs::Json simulate_blocked_build(int molecules) {
+  const auto unit = workload::propylene_carbonate();
+  const auto box =
+      workload::box_of(unit, molecules, kPcLiquidDensity, kBoxSeed);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+
+  const auto s = ints::overlap(basis);
+  const auto x = linalg::inverse_sqrt(s);
+  const auto p = scf::core_guess_density(basis, box, x);
+
+  hfx::HfxOptions opts;
+  opts.num_threads = 1;
+  opts.sparsity.mode = hfx::SparsityMode::kBlocked;
+  opts.eps_schwarz = 1e-6;  // same chain as the cost curve above
+  opts.record_task_costs = true;
+  const hfx::FockBuilder builder(basis, opts);
+  const auto part = scf::shell_aligned_partition(basis, 64);
+  const auto p_blk = linalg::BlockSparseMatrix::from_dense(p, part, 1e-12);
+  auto ex = builder.exchange_blocked(p_blk);
+
+  const auto costs = bgq::EmpiricalCostDistribution::from_records(
+      bench::denoised(std::move(ex.stats.task_costs)));
+
+  bgq::SimWorkload w;
+  w.num_tasks = static_cast<std::int64_t>(ex.stats.num_tasks);
+  const double nao = static_cast<double>(basis.num_functions());
+  w.reduction_bytes = static_cast<std::int64_t>(8.0 * nao * nao);
+
+  const auto machine = bgq::machine_for_racks(1);
+  const auto sim = bgq::simulate_step(machine, w, costs);
+
+  obs::Json j = obs::Json::object();
+  j["molecules"] = molecules;
+  j["tasks"] = w.num_tasks;
+  j["cost_mean_seconds"] = costs.mean();
+  j["cost_max_seconds"] = costs.max();
+  j["racks"] = 1;
+  j["sim"] = bgq::to_json(sim);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const std::vector<int> sizes = smoke
+                                     ? std::vector<int>{2, 4}
+                                     : std::vector<int>{2, 4, 8, 27, 64, 125};
+
+  bench::print_header(
+      smoke ? "A10: sparsity pipeline smoke (2/4 PC molecules, 3 iters)"
+            : "A10: near-linear SCF scaling on liquid PC boxes "
+              "(STO-3G, 1.205 g/cm3)");
+  std::printf("%-10s %-6s %-12s %-10s %-10s %-10s %-10s %-8s\n", "molecules",
+              "nbf", "pairs/unscr", "cand", "jk [s]", "fock [s]", "wall [s]",
+              "P-nnz");
+  bench::print_rule();
+
+  std::vector<SizeRow> rows;
+  bool ok = true;
+  for (int n : sizes) {
+    const SizeRow r = run_box(n, smoke);
+    std::printf("%-10d %-6zu %7zu/%-7zu %-10zu %-10.2f %-10.2f %-10.2f %-8.3f\n",
+                r.molecules, r.nbf, r.num_pairs, r.unscreened_pairs,
+                r.pair_candidates, r.jk_seconds, r.fock_build_seconds,
+                r.wall_seconds, r.density_nnz);
+    std::fflush(stdout);
+    if (!structural_ok(r)) {
+      std::fprintf(stderr, "A10: structural contract broken at %d molecules\n",
+                   n);
+      ok = false;
+    }
+    if (!smoke && !r.converged) {
+      std::fprintf(stderr, "A10: SCF did not converge at %d molecules\n", n);
+      ok = false;
+    }
+    rows.push_back(r);
+  }
+
+  if (smoke) {
+    if (ok) std::printf("A10 smoke: sparsity pipeline honors its contract.\n");
+    return ok ? 0 : 1;
+  }
+
+  // The near-linear claim is made on the Fock-build (exchange) phase
+  // over the top half of the sizes — the asymptotic regime; small boxes
+  // still pay dense-ish prefactors.
+  const std::size_t first = rows.size() / 2;
+  const double fock_exponent =
+      fitted_exponent(rows, first, &SizeRow::fock_build_seconds);
+  const double jk_exponent = fitted_exponent(rows, first, &SizeRow::jk_seconds);
+  const double wall_exponent =
+      fitted_exponent(rows, first, &SizeRow::wall_seconds);
+  std::printf(
+      "\nFock-build (exchange) cost exponent over top half: %.3f "
+      "(full J+K solve total: %.3f; full-solve wall: %.3f)\n",
+      fock_exponent, jk_exponent, wall_exponent);
+
+  obs::Json record = obs::Json::object();
+  record["bench"] = "scaling";
+  record["workload"] = "propylene carbonate box, 1.205 g/cm3, sto-3g";
+  record["box_seed"] = static_cast<long long>(kBoxSeed);
+  obs::Json arr = obs::Json::array();
+  for (const auto& r : rows) arr.push_back(to_json(r));
+  record["sizes"] = std::move(arr);
+  record["fock_exponent_top_half"] = fock_exponent;
+  record["jk_exponent_top_half"] = jk_exponent;
+  record["wall_exponent_top_half"] = wall_exponent;
+  record["bgq_sim"] = simulate_blocked_build(27);
+  bench::write_bench_json("scaling", record);
+
+  if (fock_exponent > 1.3) {
+    std::fprintf(stderr,
+                 "A10: Fock-build exponent %.3f exceeds the 1.3 contract\n",
+                 fock_exponent);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

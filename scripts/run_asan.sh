@@ -16,7 +16,8 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=address
 cmake --build "$BUILD_DIR" -j --target test_fault test_parallel test_obs \
-  test_hfx test_property_hfx test_durability test_property_grad test_serve
+  test_hfx test_property_hfx test_durability test_property_grad test_serve \
+  test_scaling test_property_scaling
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:strict_string_checks=1"
 
@@ -44,5 +45,13 @@ MTHFX_PROPERTY_ITERS=2 "$BUILD_DIR"/tests/test_property_grad \
 # recv bytes and the request parser on malformed/oversized input — the
 # surface an untrusted client feeds directly.
 "$BUILD_DIR"/tests/test_serve --gtest_filter='Protocol.*'
+# Sparsity pipeline: the cell-list build (bin indexing, candidate
+# gathers over raw offset arrays) and one blocked J/K build whose
+# stamp-dedupe/link-walk buffers and CSR block scatters are the newest
+# raw-index territory.
+"$BUILD_DIR"/tests/test_scaling \
+  --gtest_filter='PairCulling.*:BlockedBuild.*:SparsityOptions.*'
+MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_property_scaling \
+  --gtest_filter='PropertyScaling.CellListCandidatesCoverSurvivingPairs:PropertyScaling.CulledPairListMatchesDenseSweep'
 
 echo "ASan pass clean."

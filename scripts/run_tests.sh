@@ -15,6 +15,8 @@
 #            (default 50) iterations
 #   gradient analytic-gradient suites: deterministic unit + golden
 #            checks and the seeded force-property suite
+#   scaling  sparsity-pipeline suites (culled pair lists, blocked J/K,
+#            purification SCF) plus the A10 bench smoke
 #   nightly  the property executables at high iteration count
 #            (MTHFX_PROPERTY_NIGHTLY_ITERS, default 400)
 #   all      everything except nightly (what a bare `ctest` runs)
@@ -33,8 +35,15 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 
 case "$TIER" in
-  tier1|fault|engine|durability|serve|property|gradient)
+  tier1|fault|engine|durability|serve|property|gradient|scaling)
     ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$(nproc)"
+    if [ "$TIER" = scaling ]; then
+      # A10 smoke: the two smallest PC boxes through the full sparsity
+      # pipeline (culled pairs -> blocked J/K -> purification), checking
+      # structural contracts only — the cost-exponent fit needs the full
+      # sweep (`bench_a10_scaling` without --smoke).
+      "$BUILD_DIR"/bench/bench_a10_scaling --smoke
+    fi
     if [ "$TIER" = tier1 ]; then
       # Perf smoke: small-iteration A7 kernel sweep. Counts and
       # batched-vs-sparse-vs-dense cross-checks only — no timing
@@ -48,6 +57,10 @@ case "$TIER" in
       # SIGKILL + resume in the middle — completion/replay/bit-identity
       # accounting only, no timing assertions.
       "$BUILD_DIR"/bench/bench_a9_service --smoke
+      # A10 smoke: the sparsity pipeline end-to-end on the two smallest
+      # PC boxes — structural contracts (pairs survive, nnz in range,
+      # finite energy), no timing assertions.
+      "$BUILD_DIR"/bench/bench_a10_scaling --smoke
     fi
     ;;
   nightly)
@@ -59,7 +72,7 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
     ;;
   *)
-    echo "unknown tier: $TIER (want tier1|fault|engine|durability|serve|property|gradient|nightly|all)" >&2
+    echo "unknown tier: $TIER (want tier1|fault|engine|durability|serve|property|gradient|scaling|nightly|all)" >&2
     exit 2
     ;;
 esac

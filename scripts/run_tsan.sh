@@ -18,7 +18,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DMTHFX_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j --target test_parallel test_obs test_hfx \
-  test_fault test_engine test_durability test_serve test_differential
+  test_fault test_engine test_durability test_serve test_differential \
+  test_property_scaling
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -52,5 +53,11 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # thread-private K accumulators.
 MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_differential \
   --gtest_filter='Differential.ThreadCountIsInvisibleAcrossSchedules:Differential.ScreenedBuildMatchesBruteForceAcrossSchedules'
+# Sparsity pipeline: cell-list candidate enumeration and the blocked
+# J/K replay share the obs registry's per-thread counter slots with the
+# dense builder's pool; small-iteration cases keep the lock-free
+# counter paths and any future threading of the blocked walk honest.
+MTHFX_PROPERTY_ITERS=3 "$BUILD_DIR"/tests/test_property_scaling \
+  --gtest_filter='PropertyScaling.CellListCandidatesCoverSurvivingPairs:PropertyScaling.BlockedJkReplaysDenseBuilder'
 
 echo "TSan pass clean."

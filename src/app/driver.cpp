@@ -26,6 +26,12 @@ bool wants_unrestricted(const Input& input) {
   return input.multiplicity != 1 || input.molecule.num_electrons() % 2 != 0;
 }
 
+hfx::SparsityMode sparsity_mode(const Input& input) {
+  if (input.sparsity == "dense") return hfx::SparsityMode::kDense;
+  if (input.sparsity == "blocked") return hfx::SparsityMode::kBlocked;
+  return hfx::SparsityMode::kAuto;
+}
+
 void print_geometry(std::ostringstream& out, const chem::Molecule& mol) {
   out << "geometry (" << mol.size() << " atoms, charge " << mol.charge()
       << ", " << mol.num_electrons() << " electrons):\n";
@@ -107,6 +113,7 @@ StructuredResult run_structured(const Input& input) {
       opts.functional = input.method;
       opts.scf.hfx.eps_schwarz = input.eps_schwarz;
       opts.scf.hfx.num_threads = input.num_threads;
+      opts.scf.hfx.sparsity.mode = sparsity_mode(input);
       opts.scf.hfx.fault = input.fault;
       opts.scf.hfx.validate_tasks = input.fault.enabled();
       opts.scf.resume = scf_resume;
@@ -136,6 +143,7 @@ StructuredResult run_structured(const Input& input) {
       opts.functional = input.method;
       opts.scf.hfx.eps_schwarz = input.eps_schwarz;
       opts.scf.hfx.num_threads = input.num_threads;
+      opts.scf.hfx.sparsity.mode = sparsity_mode(input);
       opts.scf.hfx.fault = input.fault;
       opts.scf.hfx.validate_tasks = input.fault.enabled();
       opts.scf.resume = scf_resume;
@@ -169,6 +177,7 @@ StructuredResult run_structured(const Input& input) {
           scf::ScfOptions rhf_opts;
           rhf_opts.hfx.eps_schwarz = input.eps_schwarz;
           rhf_opts.hfx.num_threads = input.num_threads;
+          rhf_opts.hfx.sparsity.mode = sparsity_mode(input);
           rhf_opts.hfx.fault = input.fault;
           rhf_opts.hfx.validate_tasks = input.fault.enabled();
           rhf_opts.cancel = input.cancel;
@@ -197,6 +206,7 @@ StructuredResult run_structured(const Input& input) {
     ks.functional = input.method;
     ks.scf.hfx.eps_schwarz = input.eps_schwarz;
     ks.scf.hfx.num_threads = input.num_threads;
+    ks.scf.hfx.sparsity.mode = sparsity_mode(input);
     ks.scf.hfx.fault = input.fault;
     ks.scf.hfx.validate_tasks = input.fault.enabled();
     ks.scf.cancel = input.cancel;

@@ -124,6 +124,10 @@ Input parse_input(const std::string& text) {
         fail(lineno, "task must be energy|gradient|md");
     } else if (key == "eps_schwarz") {
       input.eps_schwarz = std::stod(value);
+    } else if (key == "sparsity") {
+      if (value != "auto" && value != "dense" && value != "blocked")
+        fail(lineno, "sparsity must be auto|dense|blocked");
+      input.sparsity = value;
     } else if (key == "md_steps") {
       input.md_steps = std::stoi(value);
     } else if (key == "md_timestep_fs") {

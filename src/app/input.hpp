@@ -46,6 +46,10 @@ struct Input {
   int multiplicity = 1;
   Task task = Task::kEnergy;
   double eps_schwarz = 1e-10;
+  /// Pair/J-K sparsity regime: "auto" (blocked above the nbf threshold),
+  /// "dense" (always the original paths), "blocked" (force the culled
+  /// cell-list + purification pipeline).
+  std::string sparsity = "auto";
   int md_steps = 10;
   double md_timestep_fs = 0.2;
   double md_temperature_k = 0.0;

@@ -118,16 +118,9 @@ void BasisSet::evaluate(const Vec3& point, std::vector<double>& out) const {
   }
 }
 
-void BasisSet::evaluate_with_gradient(const Vec3& point,
-                                      std::vector<double>& val,
-                                      std::vector<double>& dx,
-                                      std::vector<double>& dy,
-                                      std::vector<double>& dz) const {
-  val.assign(nao_, 0.0);
-  dx.assign(nao_, 0.0);
-  dy.assign(nao_, 0.0);
-  dz.assign(nao_, 0.0);
-
+void BasisSet::evaluate_shell_with_gradient(std::size_t s, const Vec3& point,
+                                            double* val, double* dx,
+                                            double* dy, double* dz) const {
   // d/dx [x^i e^{-a r^2}] = (i x^{i-1} - 2 a x^{i+1}) e^{-a r^2}; the
   // same pattern per Cartesian direction.
   auto powi = [](double x, int n) {
@@ -136,32 +129,52 @@ void BasisSet::evaluate_with_gradient(const Vec3& point,
     return r;
   };
 
-  for (std::size_t s = 0; s < shells_.size(); ++s) {
-    const Shell& sh = shells_[s];
-    const Vec3 r = point - sh.center();
-    const double r2 = dot(r, r);
-    const auto powers = cartesian_powers(sh.l());
-    const std::size_t base = offsets_[s];
-    for (std::size_t p = 0; p < sh.num_primitives(); ++p) {
-      const double a = sh.exponents()[p];
-      const double e = std::exp(-a * r2);
-      if (e < 1e-16) continue;
-      for (std::size_t c = 0; c < powers.size(); ++c) {
-        const int i = powers[c].x, j = powers[c].y, k = powers[c].z;
-        const double xi = powi(r[0], i), yj = powi(r[1], j), zk = powi(r[2], k);
-        const double nc = sh.norm_coef(p, c) * e;
-        val[base + c] += nc * xi * yj * zk;
-        const double dxi = (i > 0 ? i * powi(r[0], i - 1) : 0.0) -
-                           2.0 * a * powi(r[0], i + 1);
-        const double dyj = (j > 0 ? j * powi(r[1], j - 1) : 0.0) -
-                           2.0 * a * powi(r[1], j + 1);
-        const double dzk = (k > 0 ? k * powi(r[2], k - 1) : 0.0) -
-                           2.0 * a * powi(r[2], k + 1);
-        dx[base + c] += nc * dxi * yj * zk;
-        dy[base + c] += nc * xi * dyj * zk;
-        dz[base + c] += nc * xi * yj * dzk;
-      }
+  const Shell& sh = shells_[s];
+  const std::size_t nf = sh.num_functions();
+  std::fill(val, val + nf, 0.0);
+  std::fill(dx, dx + nf, 0.0);
+  std::fill(dy, dy + nf, 0.0);
+  std::fill(dz, dz + nf, 0.0);
+
+  const Vec3 r = point - sh.center();
+  const double r2 = dot(r, r);
+  const auto powers = cartesian_powers(sh.l());
+  for (std::size_t p = 0; p < sh.num_primitives(); ++p) {
+    const double a = sh.exponents()[p];
+    const double e = std::exp(-a * r2);
+    if (e < 1e-16) continue;
+    for (std::size_t c = 0; c < powers.size(); ++c) {
+      const int i = powers[c].x, j = powers[c].y, k = powers[c].z;
+      const double xi = powi(r[0], i), yj = powi(r[1], j), zk = powi(r[2], k);
+      const double nc = sh.norm_coef(p, c) * e;
+      val[c] += nc * xi * yj * zk;
+      const double dxi = (i > 0 ? i * powi(r[0], i - 1) : 0.0) -
+                         2.0 * a * powi(r[0], i + 1);
+      const double dyj = (j > 0 ? j * powi(r[1], j - 1) : 0.0) -
+                         2.0 * a * powi(r[1], j + 1);
+      const double dzk = (k > 0 ? k * powi(r[2], k - 1) : 0.0) -
+                         2.0 * a * powi(r[2], k + 1);
+      dx[c] += nc * dxi * yj * zk;
+      dy[c] += nc * xi * dyj * zk;
+      dz[c] += nc * xi * yj * dzk;
     }
+  }
+}
+
+void BasisSet::evaluate_with_gradient(const Vec3& point,
+                                      std::vector<double>& val,
+                                      std::vector<double>& dx,
+                                      std::vector<double>& dy,
+                                      std::vector<double>& dz) const {
+  val.resize(nao_);
+  dx.resize(nao_);
+  dy.resize(nao_);
+  dz.resize(nao_);
+  for (std::size_t s = 0; s < shells_.size(); ++s) {
+    const std::size_t base = offsets_[s];
+    evaluate_shell_with_gradient(s, point, val.data() + base,
+                                 dx.data() + base, dy.data() + base,
+                                 dz.data() + base);
   }
 }
 

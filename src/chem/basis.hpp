@@ -109,6 +109,15 @@ class BasisSet {
                               std::vector<double>& dx, std::vector<double>& dy,
                               std::vector<double>& dz) const;
 
+  /// Evaluate one shell's AOs and gradients at a point, writing
+  /// shell(s).num_functions() entries starting at each pointer. The
+  /// screened XC integrator (dft/xc_integrator.hpp) uses this to touch
+  /// only the shells whose extent covers a grid point; the full
+  /// evaluate_with_gradient above is this call looped over every shell.
+  void evaluate_shell_with_gradient(std::size_t s, const Vec3& point,
+                                    double* val, double* dx, double* dy,
+                                    double* dz) const;
+
   /// Evaluate AOs with first and second Cartesian derivatives at a point
   /// (needed by the GGA gradient: d(sigma)/dR pulls in AO Hessians). The
   /// six second-derivative vectors follow the xx, xy, xz, yy, yz, zz

@@ -3,40 +3,74 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hfx/cell_list.hpp"
+
 namespace mthfx::dft {
 
 using linalg::Matrix;
 
 XcIntegrator::XcIntegrator(const chem::BasisSet& basis,
-                           const MolecularGrid& grid)
-    : basis_(basis), grid_(grid) {
-  const std::size_t nao = basis.num_functions();
+                           const MolecularGrid& grid, bool screen_basis)
+    : basis_(basis), grid_(grid), screened_(screen_basis) {
+  const std::size_t ns = basis.num_shells();
   const std::size_t np = grid.size();
-  ao_.resize(np * nao);
-  ax_.resize(np * nao);
-  ay_.resize(np * nao);
-  az_.resize(np * nao);
+  std::vector<double> radius2(ns, 0.0);
+  if (screened_) {
+    const std::vector<double> radii = hfx::shell_extent_radii(basis);
+    for (std::size_t s = 0; s < ns; ++s) radius2[s] = radii[s] * radii[s];
+  }
 
-  std::vector<double> val, dx, dy, dz;
+  row_off_.reserve(np + 1);
+  row_off_.push_back(0);
+  std::vector<double> val(6), dx(6), dy(6), dz(6);  // per-shell scratch
   for (std::size_t g = 0; g < np; ++g) {
-    basis.evaluate_with_gradient(grid.points()[g].pos, val, dx, dy, dz);
-    std::copy(val.begin(), val.end(), ao_.begin() + static_cast<std::ptrdiff_t>(g * nao));
-    std::copy(dx.begin(), dx.end(), ax_.begin() + static_cast<std::ptrdiff_t>(g * nao));
-    std::copy(dy.begin(), dy.end(), ay_.begin() + static_cast<std::ptrdiff_t>(g * nao));
-    std::copy(dz.begin(), dz.end(), az_.begin() + static_cast<std::ptrdiff_t>(g * nao));
+    const chem::Vec3 pos = grid.points()[g].pos;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const chem::Shell& sh = basis.shell(s);
+      if (screened_) {
+        const chem::Vec3 d = pos - sh.center();
+        if (chem::dot(d, d) > radius2[s]) continue;
+      }
+      const std::size_t nf = sh.num_functions();
+      if (val.size() < nf) {
+        val.resize(nf);
+        dx.resize(nf);
+        dy.resize(nf);
+        dz.resize(nf);
+      }
+      basis.evaluate_shell_with_gradient(s, pos, val.data(), dx.data(),
+                                         dy.data(), dz.data());
+      const std::size_t base = basis.first_function(s);
+      for (std::size_t c = 0; c < nf; ++c) {
+        cols_.push_back(static_cast<std::uint32_t>(base + c));
+        ao_.push_back(val[c]);
+        ax_.push_back(dx[c]);
+        ay_.push_back(dy[c]);
+        az_.push_back(dz[c]);
+      }
+    }
+    row_off_.push_back(cols_.size());
   }
 }
 
+double XcIntegrator::cached_fraction() const {
+  const double dense = static_cast<double>(grid_.size()) *
+                       static_cast<double>(basis_.num_functions());
+  return dense > 0.0 ? static_cast<double>(cols_.size()) / dense : 1.0;
+}
+
 double XcIntegrator::integrate_density(const Matrix& density) const {
-  const std::size_t nao = basis_.num_functions();
   double n = 0.0;
-  std::vector<double> pphi(nao);
+  std::vector<double> pphi(basis_.num_functions());
   for (std::size_t g = 0; g < grid_.size(); ++g) {
-    const double* phi = ao_.data() + g * nao;
+    const std::size_t nloc = row_off_[g + 1] - row_off_[g];
+    const double* phi = ao_.data() + row_off_[g];
+    const std::uint32_t* idx = cols_.data() + row_off_[g];
     double rho = 0.0;
-    for (std::size_t mu = 0; mu < nao; ++mu) {
+    for (std::size_t mu = 0; mu < nloc; ++mu) {
       double t = 0.0;
-      for (std::size_t nu = 0; nu < nao; ++nu) t += density(mu, nu) * phi[nu];
+      for (std::size_t nu = 0; nu < nloc; ++nu)
+        t += density(idx[mu], idx[nu]) * phi[nu];
       rho += t * phi[mu];
     }
     n += grid_.points()[g].weight * rho;
@@ -54,15 +88,18 @@ XcResult XcIntegrator::integrate(const Functional& functional,
 
   for (std::size_t g = 0; g < grid_.size(); ++g) {
     const double w = grid_.points()[g].weight;
-    const double* phi = ao_.data() + g * nao;
-    const double* gx = ax_.data() + g * nao;
-    const double* gy = ay_.data() + g * nao;
-    const double* gz = az_.data() + g * nao;
+    const std::size_t nloc = row_off_[g + 1] - row_off_[g];
+    const double* phi = ao_.data() + row_off_[g];
+    const double* gx = ax_.data() + row_off_[g];
+    const double* gy = ay_.data() + row_off_[g];
+    const double* gz = az_.data() + row_off_[g];
+    const std::uint32_t* idx = cols_.data() + row_off_[g];
 
     double rho = 0.0;
-    for (std::size_t mu = 0; mu < nao; ++mu) {
+    for (std::size_t mu = 0; mu < nloc; ++mu) {
       double t = 0.0;
-      for (std::size_t nu = 0; nu < nao; ++nu) t += density(mu, nu) * phi[nu];
+      for (std::size_t nu = 0; nu < nloc; ++nu)
+        t += density(idx[mu], idx[nu]) * phi[nu];
       pphi[mu] = t;
       rho += t * phi[mu];
     }
@@ -72,7 +109,7 @@ XcResult XcIntegrator::integrate(const Functional& functional,
     // grad rho = 2 (P phi) . grad phi.
     double drx = 0.0, dry = 0.0, drz = 0.0;
     if (functional.needs_gradient) {
-      for (std::size_t mu = 0; mu < nao; ++mu) {
+      for (std::size_t mu = 0; mu < nloc; ++mu) {
         drx += 2.0 * pphi[mu] * gx[mu];
         dry += 2.0 * pphi[mu] * gy[mu];
         drz += 2.0 * pphi[mu] * gz[mu];
@@ -98,13 +135,13 @@ XcResult XcIntegrator::integrate(const Functional& functional,
 
     // Symmetric rank-2 update: V += t phi^T + phi t^T with
     // t = (w vrho / 2) phi + (2 w vsigma) (grad rho . grad phi).
-    for (std::size_t mu = 0; mu < nao; ++mu) {
+    for (std::size_t mu = 0; mu < nloc; ++mu) {
       const double d = drx * gx[mu] + dry * gy[mu] + drz * gz[mu];
       const double t = 0.5 * w * vrho * phi[mu] + 2.0 * w * vsigma * d;
       if (t == 0.0) continue;
-      for (std::size_t nu = 0; nu < nao; ++nu) {
-        result.v(mu, nu) += t * phi[nu];
-        result.v(nu, mu) += t * phi[nu];
+      for (std::size_t nu = 0; nu < nloc; ++nu) {
+        result.v(idx[mu], idx[nu]) += t * phi[nu];
+        result.v(idx[nu], idx[mu]) += t * phi[nu];
       }
     }
   }
@@ -230,17 +267,19 @@ XcSpinResult XcIntegrator::integrate_spin(const SpinFunctional& functional,
 
   for (std::size_t g = 0; g < grid_.size(); ++g) {
     const double w = grid_.points()[g].weight;
-    const double* phi = ao_.data() + g * nao;
-    const double* gx = ax_.data() + g * nao;
-    const double* gy = ay_.data() + g * nao;
-    const double* gz = az_.data() + g * nao;
+    const std::size_t nloc = row_off_[g + 1] - row_off_[g];
+    const double* phi = ao_.data() + row_off_[g];
+    const double* gx = ax_.data() + row_off_[g];
+    const double* gy = ay_.data() + row_off_[g];
+    const double* gz = az_.data() + row_off_[g];
+    const std::uint32_t* idx = cols_.data() + row_off_[g];
 
     SpinDensity d;
-    for (std::size_t mu = 0; mu < nao; ++mu) {
+    for (std::size_t mu = 0; mu < nloc; ++mu) {
       double ta = 0.0, tb = 0.0;
-      for (std::size_t nu = 0; nu < nao; ++nu) {
-        ta += density_alpha(mu, nu) * phi[nu];
-        tb += density_beta(mu, nu) * phi[nu];
+      for (std::size_t nu = 0; nu < nloc; ++nu) {
+        ta += density_alpha(idx[mu], idx[nu]) * phi[nu];
+        tb += density_beta(idx[mu], idx[nu]) * phi[nu];
       }
       pa_phi[mu] = ta;
       pb_phi[mu] = tb;
@@ -252,7 +291,7 @@ XcSpinResult XcIntegrator::integrate_spin(const SpinFunctional& functional,
 
     double gax = 0, gay = 0, gaz = 0, gbx = 0, gby = 0, gbz = 0;
     if (functional.needs_gradient) {
-      for (std::size_t mu = 0; mu < nao; ++mu) {
+      for (std::size_t mu = 0; mu < nloc; ++mu) {
         gax += 2.0 * pa_phi[mu] * gx[mu];
         gay += 2.0 * pa_phi[mu] * gy[mu];
         gaz += 2.0 * pa_phi[mu] * gz[mu];
@@ -291,21 +330,21 @@ XcSpinResult XcIntegrator::integrate_spin(const SpinFunctional& functional,
 
     // V_a += w [vra phi phi^T + (2 vsaa grad_a + vsab grad_b).(grad(phi)
     // phi^T + phi grad(phi)^T)]; same for beta with labels swapped.
-    for (std::size_t mu = 0; mu < nao; ++mu) {
+    for (std::size_t mu = 0; mu < nloc; ++mu) {
       const double da = gax * gx[mu] + gay * gy[mu] + gaz * gz[mu];
       const double db = gbx * gx[mu] + gby * gy[mu] + gbz * gz[mu];
       const double ta =
           0.5 * w * vra * phi[mu] + w * (2.0 * vsaa * da + vsab * db);
       const double tb =
           0.5 * w * vrb * phi[mu] + w * (2.0 * vsbb * db + vsab * da);
-      for (std::size_t nu = 0; nu < nao; ++nu) {
+      for (std::size_t nu = 0; nu < nloc; ++nu) {
         if (ta != 0.0) {
-          result.v_alpha(mu, nu) += ta * phi[nu];
-          result.v_alpha(nu, mu) += ta * phi[nu];
+          result.v_alpha(idx[mu], idx[nu]) += ta * phi[nu];
+          result.v_alpha(idx[nu], idx[mu]) += ta * phi[nu];
         }
         if (tb != 0.0) {
-          result.v_beta(mu, nu) += tb * phi[nu];
-          result.v_beta(nu, mu) += tb * phi[nu];
+          result.v_beta(idx[mu], idx[nu]) += tb * phi[nu];
+          result.v_beta(idx[nu], idx[mu]) += tb * phi[nu];
         }
       }
     }

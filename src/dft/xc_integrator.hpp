@@ -5,6 +5,10 @@
 // V_xc[mu][nu] = ∫ [v_rho phi_mu phi_nu + 2 v_sigma (grad rho)·grad(phi_mu
 // phi_nu)] with (v_rho, v_sigma) from central differences of e_xc.
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "chem/basis.hpp"
 #include "dft/functionals.hpp"
 #include "dft/grid.hpp"
@@ -28,7 +32,20 @@ struct XcSpinResult {
 
 class XcIntegrator {
  public:
-  XcIntegrator(const chem::BasisSet& basis, const MolecularGrid& grid);
+  /// With screen_basis = false every AO is cached and evaluated at every
+  /// grid point (the historical dense behavior, bit-for-bit). With
+  /// screen_basis = true only shells whose extent radius
+  /// (hfx/cell_list.hpp) covers a point are cached, so the per-point
+  /// density/potential loops run over the O(1) local AO set instead of
+  /// all nao — the XC-side analogue of the distance-culled pair list.
+  /// Dropped AO values sit below the shell-extent tail (~1e-14), well
+  /// under the quadrature error.
+  XcIntegrator(const chem::BasisSet& basis, const MolecularGrid& grid,
+               bool screen_basis = false);
+
+  /// Fraction of the dense np x nao AO table actually cached (1.0 in
+  /// dense mode); observability for the screened path.
+  double cached_fraction() const;
 
   /// Evaluate E_xc and V_xc for the closed-shell density matrix P.
   XcResult integrate(const Functional& functional,
@@ -55,7 +72,14 @@ class XcIntegrator {
  private:
   const chem::BasisSet& basis_;
   const MolecularGrid& grid_;
-  // Cached AO values and gradients per grid point (point-major).
+  bool screened_ = false;
+  // Cached AO values and gradients per grid point, CSR-compressed:
+  // point g owns entries [row_off_[g], row_off_[g+1]) of cols_ (AO
+  // indices, ascending) and of the four value arrays. In dense mode
+  // cols_ lists every AO at every point, which makes the loops below
+  // walk in exactly the historical order.
+  std::vector<std::size_t> row_off_;
+  std::vector<std::uint32_t> cols_;
   std::vector<double> ao_, ax_, ay_, az_;
 };
 

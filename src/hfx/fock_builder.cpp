@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <stdexcept>
 
+#include "hfx/quartet_digest.hpp"
 #include "hfx/schedulers.hpp"
 #include "ints/eri.hpp"
 #include "ints/eri_batch.hpp"
@@ -22,16 +23,9 @@ namespace mthfx::hfx {
 using chem::BasisSet;
 using linalg::Matrix;
 
-namespace {
+namespace detail {
 
-// Digest one computed shell quartet into thread-private J/K accumulators.
-//
-// For a canonical AO quartet (i >= j, k >= l, pair(ij) >= pair(kl)) the
-// 8-member permutational orbit collapses according to three coincidence
-// flags: e1 = (i == j), e2 = (k == l), e3 = (ij == kl). The update lists
-// below enumerate exactly the distinct orbit members for every flag
-// combination (verified case-by-case against explicit orbit
-// deduplication in the unit tests via the dense reference).
+// See quartet_digest.hpp — shared with the blocked build.
 void digest_quartet(const BasisSet& basis, std::uint32_t sa, std::uint32_t sb,
                     std::uint32_t sc, std::uint32_t sd,
                     const ints::EriBlock& block, const Matrix& density,
@@ -92,10 +86,27 @@ void digest_quartet(const BasisSet& basis, std::uint32_t sa, std::uint32_t sb,
   }
 }
 
+}  // namespace detail
+
+namespace {
+
 bool all_finite(const Matrix& m) {
   for (const double v : m.flat())
     if (!std::isfinite(v)) return false;
   return true;
+}
+
+// Pair formation for the constructor's member-init list: the culled
+// branch never forms the O(ns²) Schwarz matrix (schwarz stays empty),
+// the dense branch fills it and screens against it as before.
+ShellPairList make_pairs(const BasisSet& basis, const HfxOptions& options,
+                         Matrix* schwarz, bool* culled, PairCullStats* stats) {
+  if (options.sparsity.blocked(basis.num_functions())) {
+    *culled = true;
+    return ShellPairList::culled(basis, options.eps_schwarz, stats);
+  }
+  *schwarz = ints::schwarz_bounds(basis);
+  return ShellPairList(basis, *schwarz, options.eps_schwarz);
 }
 
 }  // namespace
@@ -143,15 +154,28 @@ obs::Json to_json(const HfxStats& stats) {
 FockBuilder::FockBuilder(const BasisSet& basis, HfxOptions options)
     : basis_(&basis),
       options_(options),
-      schwarz_(ints::schwarz_bounds(basis)),
-      pairs_(basis, schwarz_, options.eps_schwarz),
+      pairs_(make_pairs(basis, options_, &schwarz_, &culled_, &cull_stats_)),
       tasks_(make_tasks(basis, pairs_, options.target_task_cost,
                         options.eps_schwarz, options.eri_kernel)) {
+  index_pairs_by_shell();
   pair_hermites_.reserve(pairs_.size());
   for (const ShellPair& pr : pairs_.pairs())
     pair_hermites_.emplace_back(basis_->shell(pr.sa), basis_->shell(pr.sb),
                                 options_.eri_kernel);
   if (options_.fault.enabled()) injector_.emplace(options_.fault);
+}
+
+void FockBuilder::index_pairs_by_shell() {
+  pairs_by_shell_.assign(basis_->num_shells(), {});
+  // pairs_ is sorted by descending q, so appending in index order keeps
+  // each shell's link list in descending q too — the sorted-break
+  // invariant the blocked enumeration relies on.
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const ShellPair& pr = pairs_[i];
+    pairs_by_shell_[pr.sa].push_back(static_cast<std::uint32_t>(i));
+    if (pr.sb != pr.sa)
+      pairs_by_shell_[pr.sb].push_back(static_cast<std::uint32_t>(i));
+  }
 }
 
 void FockBuilder::rebind(const BasisSet& basis) {
@@ -173,14 +197,18 @@ void FockBuilder::rebind(const BasisSet& basis) {
   }
 
   // Refresh Schwarz entries with a moved endpoint; bounds between two
-  // unmoved shells are bitwise identical by construction.
-  for (std::size_t sa = 0; sa < ns; ++sa)
-    for (std::size_t sb = sa; sb < ns; ++sb)
-      if (moved[sa] || moved[sb]) {
-        const double b = ints::schwarz_bound(basis.shell(sa), basis.shell(sb));
-        schwarz_(sa, sb) = b;
-        schwarz_(sb, sa) = b;
-      }
+  // unmoved shells are bitwise identical by construction. Culled mode
+  // never formed the matrix — it re-culls below instead.
+  if (!culled_) {
+    for (std::size_t sa = 0; sa < ns; ++sa)
+      for (std::size_t sb = sa; sb < ns; ++sb)
+        if (moved[sa] || moved[sb]) {
+          const double b =
+              ints::schwarz_bound(basis.shell(sa), basis.shell(sb));
+          schwarz_(sa, sb) = b;
+          schwarz_(sb, sa) = b;
+        }
+  }
 
   // Index the old pair list so surviving unmoved pairs can hand their
   // Hermite tables over instead of re-expanding them.
@@ -190,7 +218,9 @@ void FockBuilder::rebind(const BasisSet& basis) {
     old_index.emplace(
         (static_cast<std::uint64_t>(pairs_[i].sa) << 32) | pairs_[i].sb, i);
 
-  ShellPairList new_pairs(basis, schwarz_, options_.eps_schwarz);
+  ShellPairList new_pairs =
+      culled_ ? ShellPairList::culled(basis, options_.eps_schwarz, &cull_stats_)
+              : ShellPairList(basis, schwarz_, options_.eps_schwarz);
   std::vector<ints::ShellPairHermite> new_hermites;
   new_hermites.reserve(new_pairs.size());
   std::size_t reused = 0;
@@ -213,6 +243,7 @@ void FockBuilder::rebind(const BasisSet& basis) {
   tasks_ = make_tasks(basis, pairs_, options_.target_task_cost,
                       options_.eps_schwarz, options_.eri_kernel);
   basis_ = &basis;
+  index_pairs_by_shell();
   rebind_reused_ = reused;
 }
 
@@ -349,7 +380,7 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
       else
         ints::eri_shell_quartet(pair_hermites_[task.bra], pair_hermites_[kk],
                                 block);
-      digest_quartet(*basis_, bra.sa, bra.sb, ket.sa, ket.sb, block, density,
+      detail::digest_quartet(*basis_, bra.sa, bra.sb, ket.sa, ket.sb, block, density,
                      j_acc, k_acc, /*braket_same=*/kk == task.bra,
                      eps_contribution);
     }
@@ -363,7 +394,7 @@ JkResult FockBuilder::build(const Matrix& density, bool want_coulomb) const {
                                       blocks.data());
       for (std::size_t i = 0; i < survivors.size(); ++i) {
         const ShellPair& ket = pairs_[survivors[i]];
-        digest_quartet(*basis_, bra.sa, bra.sb, ket.sa, ket.sb, blocks[i],
+        detail::digest_quartet(*basis_, bra.sa, bra.sb, ket.sa, ket.sb, blocks[i],
                        density, j_acc, k_acc,
                        /*braket_same=*/survivors[i] == task.bra,
                        eps_contribution);

@@ -18,6 +18,7 @@
 #include "hfx/screening.hpp"
 #include "hfx/shell_pairs.hpp"
 #include "hfx/tasks.hpp"
+#include "linalg/block_sparse.hpp"
 #include "linalg/matrix.hpp"
 #include "obs/json.hpp"
 
@@ -31,6 +32,33 @@ enum class HfxSchedule {
   kStaticBlock,
   kStaticCyclic,
   kWorkStealing,
+};
+
+/// Sparsity regime of pair formation and J/K builds.
+/// kDense keeps the original code paths bitwise intact. kBlocked turns
+/// on the distance-culled cell-list pair list plus the density-linked
+/// (LinK-style) quartet enumeration that takes blocked densities.
+/// kAuto selects kBlocked once the basis crosses auto_nbf_threshold, so
+/// small systems never leave the dense path.
+enum class SparsityMode { kAuto, kDense, kBlocked };
+
+struct SparsityOptions {
+  SparsityMode mode = SparsityMode::kAuto;
+  /// kAuto switches to the blocked/culled machinery above this many
+  /// basis functions (large electrolyte boxes; every preexisting suite
+  /// stays far below it).
+  std::size_t auto_nbf_threshold = 768;
+  /// Block-matrix drop tolerance used by the sparse SCF side when
+  /// re-blocking J/K/density products.
+  double drop_tol = 1e-12;
+  /// Target block size (basis functions) for blocked partitions —
+  /// roughly one solvent molecule per block.
+  std::size_t block_nbf = 48;
+
+  bool blocked(std::size_t nbf) const {
+    return mode == SparsityMode::kBlocked ||
+           (mode == SparsityMode::kAuto && nbf > auto_nbf_threshold);
+  }
 };
 
 struct HfxOptions {
@@ -64,6 +92,11 @@ struct HfxOptions {
   /// clean — a poisoned (NaN/Inf) task throws and is retried instead of
   /// corrupting K. Costs one extra nao^2 zero+add per task.
   bool validate_tasks = false;
+
+  /// Pair-formation / blocked-build regime (see SparsityOptions). The
+  /// default (kAuto with a high threshold) keeps every small system on
+  /// the dense path.
+  SparsityOptions sparsity;
 
   /// Derived default for eps_contribution: 1e-6 * eps_schwarz reproduces
   /// the historical 1e-16 cutoff at the default eps_schwarz of 1e-10.
@@ -135,6 +168,19 @@ class FockBuilder {
   /// are digested from one pass over the unique quartets.
   JkResult coulomb_exchange(const linalg::Matrix& density) const;
 
+  /// Blocked-density builds (sparse_build.cpp). The quartet space is
+  /// enumerated through density-linked ket lists (LinK-style) instead of
+  /// the dense per-bra sweep: only kets reachable through a shell-block
+  /// density element large enough to pass the combined Schwarz + density
+  /// bound are visited, then every candidate is re-checked with exactly
+  /// the dense path's tests in the dense path's order. The surviving
+  /// quartet set — and therefore J/K — matches the dense build's. Cost
+  /// scales with surviving quartets, not pairs², which is what makes
+  /// exchange near-linear on large insulating boxes. Results are dense
+  /// matrices; the sparse SCF driver re-blocks them.
+  ExchangeResult exchange_blocked(const linalg::BlockSparseMatrix& density) const;
+  JkResult coulomb_exchange_blocked(const linalg::BlockSparseMatrix& density) const;
+
   /// Re-target the builder at a new geometry of the *same* molecule/basis
   /// (identical shell structure, possibly moved centers). Schwarz bounds
   /// and shell-pair Hermite tables are recomputed only for pairs with a
@@ -155,13 +201,30 @@ class FockBuilder {
   const std::vector<QuartetTask>& tasks() const { return tasks_; }
   const HfxOptions& options() const { return options_; }
 
+  /// True when the pair list came from the distance-culled cell-list
+  /// build (sparsity engaged) rather than the dense O(ns²) sweep.
+  bool culled() const { return culled_; }
+  const PairCullStats& cull_stats() const { return cull_stats_; }
+
+  /// Pair indices (into pairs()) containing each shell, descending q —
+  /// the per-shell link lists the blocked build walks.
+  const std::vector<std::vector<std::uint32_t>>& pairs_by_shell() const {
+    return pairs_by_shell_;
+  }
+
  private:
   JkResult build(const linalg::Matrix& density, bool want_coulomb) const;
+  JkResult build_blocked(const linalg::BlockSparseMatrix& density,
+                         bool want_coulomb) const;
+  void index_pairs_by_shell();
 
   const chem::BasisSet* basis_;
   HfxOptions options_;
-  linalg::Matrix schwarz_;
+  linalg::Matrix schwarz_;  ///< empty in culled mode (never formed)
+  bool culled_ = false;
+  PairCullStats cull_stats_;
   ShellPairList pairs_;
+  std::vector<std::vector<std::uint32_t>> pairs_by_shell_;
   std::vector<QuartetTask> tasks_;
   std::size_t rebind_reused_ = 0;
   /// Precomputed Hermite expansions, aligned with pairs_ — computed once

@@ -1,0 +1,32 @@
+#pragma once
+
+// Internal: the shared quartet-digestion kernel of the dense task build
+// (fock_builder.cpp) and the density-linked blocked build
+// (sparse_build.cpp). Both paths must digest an identical surviving
+// quartet the same way for dense/blocked agreement to be exact.
+
+#include <cstdint>
+
+#include "chem/basis.hpp"
+#include "ints/eri.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mthfx::hfx::detail {
+
+/// Digest one computed shell quartet into J/K accumulators.
+///
+/// For a canonical AO quartet (i >= j, k >= l, pair(ij) >= pair(kl)) the
+/// 8-member permutational orbit collapses according to three coincidence
+/// flags: e1 = (i == j), e2 = (k == l), e3 = (ij == kl). The update lists
+/// enumerate exactly the distinct orbit members for every flag
+/// combination (verified case-by-case against explicit orbit
+/// deduplication in the unit tests via the dense reference).
+/// j_acc may be null (exchange-only build).
+void digest_quartet(const chem::BasisSet& basis, std::uint32_t sa,
+                    std::uint32_t sb, std::uint32_t sc, std::uint32_t sd,
+                    const ints::EriBlock& block,
+                    const linalg::Matrix& density, linalg::Matrix* j_acc,
+                    linalg::Matrix& k_acc, bool braket_same,
+                    double eps_contribution);
+
+}  // namespace mthfx::hfx::detail

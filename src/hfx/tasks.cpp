@@ -97,32 +97,69 @@ std::vector<QuartetTask> make_tasks(const chem::BasisSet& basis,
     return lo;
   };
 
+  // Per-lsum-class prefix sums of the pair weights make any ket-range
+  // cost a handful of subtractions: cost(b, [lo, hi)) = w_b * sum_L
+  // vol[ls_b + L] * (W_L[hi] - W_L[lo]). Row totals and chunk boundaries
+  // then cost O(classes) and O(classes * log np) respectively, so task
+  // generation never walks the O(np²) quartet space — the old code
+  // re-accumulated every live quartet of every row, which dominated
+  // builder setup for distance-culled large-box pair lists.
+  const std::size_t nclasses = static_cast<std::size_t>(lmax) + 1;
+  std::vector<std::vector<double>> prefix(
+      nclasses, std::vector<double>(np + 1, 0.0));
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t l = 0; l < nclasses; ++l) {
+      prefix[l][i + 1] =
+          prefix[l][i] +
+          (static_cast<std::size_t>(lsum[i]) == l ? weight[i] : 0.0);
+    }
+  }
+  const auto range_cost = [&](std::size_t b, std::size_t lo,
+                              std::size_t hi) -> double {
+    double s = 0.0;
+    for (std::size_t l = 0; l < nclasses; ++l)
+      s += volume[static_cast<std::size_t>(lsum[b]) + l] *
+           (prefix[l][hi] - prefix[l][lo]);
+    return weight[b] * s;
+  };
+
   if (target_cost <= 0.0) {
     double total = 0.0;
-    for (std::size_t b = 0; b < np; ++b) {
-      const std::size_t live = screened_begin(b);
-      for (std::size_t k = 0; k < live; ++k)
-        total += weight[b] * weight[k] *
-                 volume[static_cast<std::size_t>(lsum[b] + lsum[k])];
-    }
+    for (std::size_t b = 0; b < np; ++b)
+      total += range_cost(b, 0, screened_begin(b));
     target_cost = total / (64.0 * static_cast<double>(np));
   }
 
   for (std::size_t b = 0; b < np; ++b) {
     const std::size_t live = screened_begin(b);
-    std::uint32_t begin = 0;
-    double acc = 0.0;
-    for (std::size_t k = 0; k <= b; ++k) {
-      if (k < live)
-        acc += weight[b] * weight[k] *
-               volume[static_cast<std::size_t>(lsum[b] + lsum[k])];
-      const bool last = (k == b);
-      if (acc >= target_cost || last) {
-        tasks.push_back({static_cast<std::uint32_t>(b), begin,
-                         static_cast<std::uint32_t>(k + 1), acc});
-        begin = static_cast<std::uint32_t>(k + 1);
-        acc = 0.0;
+    if (live == 0) {
+      // Entire row is Schwarz-screened: one zero-cost task carries the
+      // ket range so the builder's bulk tail accounting still sees it.
+      tasks.push_back({static_cast<std::uint32_t>(b), 0,
+                       static_cast<std::uint32_t>(b + 1), 0.0});
+      continue;
+    }
+    std::size_t begin = 0;
+    while (begin < live) {
+      // Smallest end in (begin, live] whose chunk cost reaches target.
+      std::size_t lo = begin + 1, hi = live;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (range_cost(b, begin, mid) >= target_cost)
+          hi = mid;
+        else
+          lo = mid + 1;
       }
+      const double acc = range_cost(b, begin, lo);
+      const bool final_chunk = (lo == live);
+      // The final chunk absorbs the screened tail [live, b]: the builder
+      // breaks at the first failing Schwarz product and bulk-accounts
+      // the rest, so the tail costs a counter bump, not kernel work.
+      const std::size_t end = final_chunk ? b + 1 : lo;
+      tasks.push_back({static_cast<std::uint32_t>(b),
+                       static_cast<std::uint32_t>(begin),
+                       static_cast<std::uint32_t>(end), acc});
+      begin = lo;
     }
   }
   return tasks;

@@ -77,8 +77,6 @@ Matrix overlap(const BasisSet& basis) {
   return s;
 }
 
-namespace {
-
 // Kinetic-energy block via the 1-D overlap ladder:
 // T(i,j) = -2 b^2 S(i,j+2) + b(2j+1) S(i,j) - j(j-1)/2 S(i,j-2)
 // applied per direction with plain overlaps in the other two.
@@ -150,6 +148,8 @@ Matrix nuclear_block(const Shell& a, const Shell& b, const Molecule& mol) {
   }
   return block;
 }
+
+namespace {
 
 Matrix assemble_symmetric(const BasisSet& basis,
                           Matrix (*block_fn)(const Shell&, const Shell&)) {

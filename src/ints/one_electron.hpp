@@ -22,6 +22,15 @@ linalg::Matrix core_hamiltonian(const chem::BasisSet& basis,
 /// Returns an (ncart_a x ncart_b) matrix for shells a, b.
 linalg::Matrix overlap_block(const chem::Shell& a, const chem::Shell& b);
 
+/// Per-shell-pair kinetic and nuclear-attraction blocks. Public so the
+/// sparse SCF path can assemble one-electron matrices over a
+/// distance-culled pair list instead of the dense O(ns²) sweep (both
+/// decay with the pair's Gaussian-product factor; nuclear attraction
+/// still sums over every atom for a kept pair).
+linalg::Matrix kinetic_block(const chem::Shell& a, const chem::Shell& b);
+linalg::Matrix nuclear_block(const chem::Shell& a, const chem::Shell& b,
+                             const chem::Molecule& mol);
+
 /// Electric-dipole integrals: component d of <mu| r_d |nu> (atomic
 /// units, origin at `origin`). d = 0, 1, 2 for x, y, z.
 linalg::Matrix dipole(const chem::BasisSet& basis, std::size_t d,

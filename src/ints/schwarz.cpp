@@ -7,7 +7,8 @@
 
 namespace mthfx::ints {
 
-double schwarz_bound(const chem::Shell& a, const chem::Shell& b) {
+double schwarz_bound(const chem::Shell& a, const chem::Shell& b,
+                     bool* floored) {
   const EriBlock block = eri_shell_quartet(a, b, a, b);
   double mx = 0.0;
   for (std::size_t i = 0; i < block.na; ++i)
@@ -26,7 +27,12 @@ double schwarz_bound(const chem::Shell& a, const chem::Shell& b) {
   const double npp =
       static_cast<double>(a.num_primitives() * b.num_primitives());
   const double noise = npp * npp * kEriPrimitiveCutoff;
+  if (floored) *floored = mx < noise;
   return mx < noise ? std::sqrt(mx + noise) : std::sqrt(mx);
+}
+
+double schwarz_bound(const chem::Shell& a, const chem::Shell& b) {
+  return schwarz_bound(a, b, nullptr);
 }
 
 linalg::Matrix schwarz_bounds(const chem::BasisSet& basis) {

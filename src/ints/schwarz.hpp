@@ -19,4 +19,16 @@ linalg::Matrix schwarz_bounds(const chem::BasisSet& basis);
 /// only the pairs whose shell centers actually moved.
 double schwarz_bound(const chem::Shell& a, const chem::Shell& b);
 
+/// As above, but also reports whether the diagonal (ab|ab) underflowed to
+/// the noise floor. A floored bound q ≈ sqrt(noise) is an *overestimate*
+/// of the true diagonal, so keeping the pair under the eps rule is
+/// conservative — and necessary: the pair's cross quartets (ab|cd) with
+/// a strong partner survive the kernel's primitive cutoff at the
+/// sqrt(noise)·q_cd scale even though every term of (ab|ab) truncates.
+/// The pair-list builds (hfx/shell_pairs.hpp) drop a pair outright only
+/// when it is beyond summed extent radii (hfx/cell_list.hpp), where the
+/// Gaussian-product factor kills every partner combination.
+double schwarz_bound(const chem::Shell& a, const chem::Shell& b,
+                     bool* floored);
+
 }  // namespace mthfx::ints

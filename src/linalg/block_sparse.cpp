@@ -1,0 +1,365 @@
+#include "linalg/block_sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mthfx::linalg {
+
+BlockPartition::BlockPartition(std::vector<std::size_t> offsets)
+    : offsets_(std::move(offsets)) {
+  if (offsets_.empty() || offsets_.front() != 0)
+    throw std::invalid_argument("BlockPartition: offsets must start at 0");
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i)
+    if (offsets_[i] >= offsets_[i + 1])
+      throw std::invalid_argument(
+          "BlockPartition: offsets must be strictly increasing");
+}
+
+BlockPartition BlockPartition::uniform(std::size_t dim,
+                                       std::size_t target_block) {
+  if (dim == 0) return BlockPartition(std::vector<std::size_t>{0});
+  if (target_block == 0) target_block = 1;
+  const std::size_t nblocks = (dim + target_block - 1) / target_block;
+  std::vector<std::size_t> offsets(nblocks + 1);
+  for (std::size_t b = 0; b <= nblocks; ++b)
+    offsets[b] = b * dim / nblocks;
+  return BlockPartition(std::move(offsets));
+}
+
+std::size_t BlockPartition::block_of(std::size_t i) const {
+  const auto it =
+      std::upper_bound(offsets_.begin(), offsets_.end(), i);
+  return static_cast<std::size_t>(it - offsets_.begin()) - 1;
+}
+
+BlockSparseMatrix::BlockSparseMatrix(BlockPartition partition)
+    : partition_(std::move(partition)), rows_(partition_.num_blocks()) {}
+
+BlockSparseMatrix BlockSparseMatrix::from_dense(const Matrix& dense,
+                                                const BlockPartition& partition,
+                                                double drop_tol) {
+  if (dense.rows() != partition.dim() || dense.cols() != partition.dim())
+    throw std::invalid_argument("from_dense: partition/dense shape mismatch");
+  BlockSparseMatrix out(partition);
+  const std::size_t nb = partition.num_blocks();
+  for (std::size_t br = 0; br < nb; ++br) {
+    const std::size_t r0 = partition.begin(br), nr = partition.size(br);
+    for (std::size_t bc = 0; bc < nb; ++bc) {
+      const std::size_t c0 = partition.begin(bc), nc = partition.size(bc);
+      double mx = 0.0;
+      for (std::size_t i = 0; i < nr; ++i)
+        for (std::size_t j = 0; j < nc; ++j)
+          mx = std::max(mx, std::abs(dense(r0 + i, c0 + j)));
+      if (mx == 0.0 || mx < drop_tol) continue;
+      Block blk;
+      blk.col = bc;
+      blk.data.resize(nr * nc);
+      for (std::size_t i = 0; i < nr; ++i)
+        for (std::size_t j = 0; j < nc; ++j)
+          blk.data[i * nc + j] = dense(r0 + i, c0 + j);
+      out.rows_[br].push_back(std::move(blk));
+    }
+  }
+  return out;
+}
+
+Matrix BlockSparseMatrix::to_dense() const {
+  Matrix out(dim(), dim());
+  for (std::size_t br = 0; br < rows_.size(); ++br) {
+    const std::size_t r0 = partition_.begin(br), nr = partition_.size(br);
+    for (const Block& blk : rows_[br]) {
+      const std::size_t c0 = partition_.begin(blk.col);
+      const std::size_t nc = partition_.size(blk.col);
+      for (std::size_t i = 0; i < nr; ++i)
+        for (std::size_t j = 0; j < nc; ++j)
+          out(r0 + i, c0 + j) = blk.data[i * nc + j];
+    }
+  }
+  return out;
+}
+
+BlockSparseMatrix BlockSparseMatrix::identity(const BlockPartition& partition) {
+  BlockSparseMatrix out(partition);
+  for (std::size_t b = 0; b < partition.num_blocks(); ++b) {
+    const std::size_t n = partition.size(b);
+    Block blk;
+    blk.col = b;
+    blk.data.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) blk.data[i * n + i] = 1.0;
+    out.rows_[b].push_back(std::move(blk));
+  }
+  return out;
+}
+
+const double* BlockSparseMatrix::find(std::size_t br, std::size_t bc) const {
+  const std::vector<Block>& row = rows_[br];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), bc,
+      [](const Block& blk, std::size_t c) { return blk.col < c; });
+  if (it == row.end() || it->col != bc) return nullptr;
+  return it->data.data();
+}
+
+void BlockSparseMatrix::set_block(std::size_t br, std::size_t bc,
+                                  std::vector<double> data) {
+  std::vector<Block>& row = rows_[br];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), bc,
+      [](const Block& blk, std::size_t c) { return blk.col < c; });
+  if (it != row.end() && it->col == bc) {
+    it->data = std::move(data);
+    return;
+  }
+  Block blk;
+  blk.col = bc;
+  blk.data = std::move(data);
+  row.insert(it, std::move(blk));
+}
+
+std::size_t BlockSparseMatrix::stored_blocks() const {
+  std::size_t n = 0;
+  for (const std::vector<Block>& row : rows_) n += row.size();
+  return n;
+}
+
+double BlockSparseMatrix::nnz_fraction() const {
+  const double total = static_cast<double>(dim()) * static_cast<double>(dim());
+  if (total == 0.0) return 0.0;
+  double stored = 0.0;
+  for (const std::vector<Block>& row : rows_)
+    for (const Block& blk : row) stored += static_cast<double>(blk.data.size());
+  return stored / total;
+}
+
+double BlockSparseMatrix::trace() const {
+  double t = 0.0;
+  for (std::size_t br = 0; br < rows_.size(); ++br) {
+    const double* d = find(br, br);
+    if (!d) continue;
+    const std::size_t n = partition_.size(br);
+    for (std::size_t i = 0; i < n; ++i) t += d[i * n + i];
+  }
+  return t;
+}
+
+double BlockSparseMatrix::max_abs() const {
+  double mx = 0.0;
+  for (const std::vector<Block>& row : rows_)
+    for (const Block& blk : row)
+      for (double v : blk.data) mx = std::max(mx, std::abs(v));
+  return mx;
+}
+
+void BlockSparseMatrix::scale(double s) {
+  for (std::vector<Block>& row : rows_)
+    for (Block& blk : row)
+      for (double& v : blk.data) v *= s;
+}
+
+void BlockSparseMatrix::axpy(double alpha, const BlockSparseMatrix& other) {
+  if (!(partition_ == other.partition_))
+    throw std::invalid_argument("axpy: partition mismatch");
+  for (std::size_t br = 0; br < rows_.size(); ++br) {
+    for (const Block& oblk : other.rows_[br]) {
+      std::vector<Block>& row = rows_[br];
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), oblk.col,
+          [](const Block& blk, std::size_t c) { return blk.col < c; });
+      if (it != row.end() && it->col == oblk.col) {
+        for (std::size_t k = 0; k < oblk.data.size(); ++k)
+          it->data[k] += alpha * oblk.data[k];
+      } else {
+        Block blk;
+        blk.col = oblk.col;
+        blk.data.resize(oblk.data.size());
+        for (std::size_t k = 0; k < oblk.data.size(); ++k)
+          blk.data[k] = alpha * oblk.data[k];
+        row.insert(it, std::move(blk));
+      }
+    }
+  }
+}
+
+void BlockSparseMatrix::add_scaled_identity(double alpha) {
+  for (std::size_t br = 0; br < rows_.size(); ++br) {
+    const std::size_t n = partition_.size(br);
+    std::vector<Block>& row = rows_[br];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), br,
+        [](const Block& blk, std::size_t c) { return blk.col < c; });
+    if (it != row.end() && it->col == br) {
+      for (std::size_t i = 0; i < n; ++i) it->data[i * n + i] += alpha;
+    } else {
+      Block blk;
+      blk.col = br;
+      blk.data.assign(n * n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) blk.data[i * n + i] = alpha;
+      row.insert(it, std::move(blk));
+    }
+  }
+}
+
+void BlockSparseMatrix::prune(double drop_tol) {
+  for (std::vector<Block>& row : rows_) {
+    std::erase_if(row, [drop_tol](const Block& blk) {
+      double mx = 0.0;
+      for (double v : blk.data) mx = std::max(mx, std::abs(v));
+      return mx < drop_tol;
+    });
+  }
+}
+
+std::pair<double, double> BlockSparseMatrix::gershgorin() const {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (std::size_t br = 0; br < rows_.size(); ++br) {
+    const std::size_t r0 = partition_.begin(br), nr = partition_.size(br);
+    std::vector<double> center(nr, 0.0), radius(nr, 0.0);
+    for (const Block& blk : rows_[br]) {
+      const std::size_t c0 = partition_.begin(blk.col);
+      const std::size_t nc = partition_.size(blk.col);
+      for (std::size_t i = 0; i < nr; ++i) {
+        for (std::size_t j = 0; j < nc; ++j) {
+          const double v = blk.data[i * nc + j];
+          if (c0 + j == r0 + i)
+            center[i] = v;
+          else
+            radius[i] += std::abs(v);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double l = center[i] - radius[i];
+      const double h = center[i] + radius[i];
+      if (first || l < lo) lo = l;
+      if (first || h > hi) hi = h;
+      first = false;
+    }
+  }
+  return {lo, hi};
+}
+
+BlockSparseMatrix multiply(const BlockSparseMatrix& a,
+                           const BlockSparseMatrix& b, double drop_tol) {
+  if (!(a.partition_ == b.partition_))
+    throw std::invalid_argument("multiply: partition mismatch");
+  const BlockPartition& part = a.partition_;
+  const std::size_t nb = part.num_blocks();
+  BlockSparseMatrix c(part);
+
+  // Row-panel accumulation: one dense panel of shape size(br) x dim per
+  // block row, touched-column tracking, then threshold extraction. The
+  // panel is reused across rows, so peak scratch is one thin slab.
+  std::vector<double> panel;
+  std::vector<char> touched(nb, 0);
+  std::vector<std::size_t> touched_cols;
+  const std::size_t dim = part.dim();
+  for (std::size_t br = 0; br < nb; ++br) {
+    if (a.rows_[br].empty()) continue;
+    const std::size_t nr = part.size(br);
+    panel.assign(nr * dim, 0.0);
+    touched_cols.clear();
+    for (const BlockSparseMatrix::Block& ablk : a.rows_[br]) {
+      const std::size_t bk = ablk.col;
+      const std::size_t nk = part.size(bk);
+      for (const BlockSparseMatrix::Block& bblk : b.rows_[bk]) {
+        const std::size_t bc = bblk.col;
+        const std::size_t nc = part.size(bc);
+        const std::size_t c0 = part.begin(bc);
+        if (!touched[bc]) {
+          touched[bc] = 1;
+          touched_cols.push_back(bc);
+        }
+        // panel[0:nr, c0:c0+nc] += ablk (nr x nk) * bblk (nk x nc)
+        for (std::size_t i = 0; i < nr; ++i) {
+          double* out = panel.data() + i * dim + c0;
+          const double* arow = ablk.data.data() + i * nk;
+          for (std::size_t k = 0; k < nk; ++k) {
+            const double av = arow[k];
+            if (av == 0.0) continue;
+            const double* brow = bblk.data.data() + k * nc;
+            for (std::size_t j = 0; j < nc; ++j) out[j] += av * brow[j];
+          }
+        }
+      }
+    }
+    std::sort(touched_cols.begin(), touched_cols.end());
+    for (const std::size_t bc : touched_cols) {
+      touched[bc] = 0;
+      const std::size_t nc = part.size(bc);
+      const std::size_t c0 = part.begin(bc);
+      double mx = 0.0;
+      for (std::size_t i = 0; i < nr; ++i)
+        for (std::size_t j = 0; j < nc; ++j)
+          mx = std::max(mx, std::abs(panel[i * dim + c0 + j]));
+      if (mx == 0.0 || mx < drop_tol) continue;
+      BlockSparseMatrix::Block blk;
+      blk.col = bc;
+      blk.data.resize(nr * nc);
+      for (std::size_t i = 0; i < nr; ++i)
+        for (std::size_t j = 0; j < nc; ++j)
+          blk.data[i * nc + j] = panel[i * dim + c0 + j];
+      c.rows_[br].push_back(std::move(blk));
+    }
+  }
+  return c;
+}
+
+double trace_product(const BlockSparseMatrix& a, const BlockSparseMatrix& b) {
+  if (!(a.partition() == b.partition()))
+    throw std::invalid_argument("trace_product: partition mismatch");
+  const BlockPartition& part = a.partition();
+  double t = 0.0;
+  for (std::size_t br = 0; br < part.num_blocks(); ++br) {
+    const std::size_t nr = part.size(br);
+    for (const BlockSparseMatrix::Block& ablk : a.row(br)) {
+      const double* bdat = b.find(ablk.col, br);
+      if (!bdat) continue;
+      const std::size_t nc = part.size(ablk.col);
+      // tr contribution: sum_ij A[br,bc](i,j) * B[bc,br](j,i)
+      for (std::size_t i = 0; i < nr; ++i)
+        for (std::size_t j = 0; j < nc; ++j)
+          t += ablk.data[i * nc + j] * bdat[j * nr + i];
+    }
+  }
+  return t;
+}
+
+double difference_norm(const BlockSparseMatrix& a, const BlockSparseMatrix& b) {
+  if (!(a.partition() == b.partition()))
+    throw std::invalid_argument("difference_norm: partition mismatch");
+  const BlockPartition& part = a.partition();
+  double s = 0.0;
+  for (std::size_t br = 0; br < part.num_blocks(); ++br) {
+    const std::size_t nr = part.size(br);
+    // Walk the union of both rows' sorted column lists.
+    const auto& arow = a.row(br);
+    const auto& brow = b.row(br);
+    std::size_t ia = 0, ib = 0;
+    while (ia < arow.size() || ib < brow.size()) {
+      const std::size_t ca =
+          ia < arow.size() ? arow[ia].col : static_cast<std::size_t>(-1);
+      const std::size_t cb =
+          ib < brow.size() ? brow[ib].col : static_cast<std::size_t>(-1);
+      if (ca < cb) {
+        for (double v : arow[ia].data) s += v * v;
+        ++ia;
+      } else if (cb < ca) {
+        for (double v : brow[ib].data) s += v * v;
+        ++ib;
+      } else {
+        const std::size_t nc = part.size(ca);
+        for (std::size_t k = 0; k < nr * nc; ++k) {
+          const double d = arow[ia].data[k] - brow[ib].data[k];
+          s += d * d;
+        }
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace mthfx::linalg

@@ -19,6 +19,13 @@ struct EigenResult {
 
 /// Full eigen-decomposition of a symmetric matrix.
 /// Throws std::invalid_argument when `a` is not square.
+///
+/// A structural pre-check first partitions the sparsity graph into
+/// connected components: diagonal inputs return immediately and
+/// block-diagonal inputs are solved per block (O(sum of block cubes));
+/// fully connected inputs take the plain Jacobi path unchanged. Records
+/// `linalg.eigh.calls` and `linalg.eigh.sweeps` in obs::global_registry()
+/// so benches can attribute diagonalization cost.
 EigenResult eigh(const Matrix& a, double tol = 1e-12, int max_sweeps = 100);
 
 /// S^{-1/2} via eigen-decomposition (Löwdin symmetric orthogonalization).

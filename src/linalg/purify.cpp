@@ -1,0 +1,99 @@
+#include "linalg/purify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mthfx::linalg {
+
+namespace {
+
+// max |(Z·Y - I)| without forming a dense product: reuse the sparse
+// multiply, subtract the identity, take max_abs.
+double residual_norm(const BlockSparseMatrix& z, const BlockSparseMatrix& y,
+                     double drop_tol) {
+  BlockSparseMatrix zy = multiply(z, y, drop_tol);
+  zy.add_scaled_identity(-1.0);
+  return zy.max_abs();
+}
+
+}  // namespace
+
+NewtonSchulzResult inverse_sqrt_ns(const BlockSparseMatrix& s, double drop_tol,
+                                   double tol, int max_iter) {
+  const auto [lo, hi] = s.gershgorin();
+  if (hi <= 0.0)
+    throw std::invalid_argument("inverse_sqrt_ns: matrix is not SPD");
+  // Scale so the spectrum of B = S/theta sits in (0, 1]; the coupled
+  // iteration then contracts monotonically. Z converges to B^{-1/2} =
+  // sqrt(theta)·S^{-1/2}.
+  const double theta = hi;
+
+  BlockSparseMatrix y = s;
+  y.scale(1.0 / theta);
+  BlockSparseMatrix z = BlockSparseMatrix::identity(s.partition());
+
+  NewtonSchulzResult out;
+  double res = residual_norm(z, y, drop_tol);
+  int it = 0;
+  for (; it < max_iter && res > tol; ++it) {
+    // T = (3I - Z·Y)/2
+    BlockSparseMatrix t = multiply(z, y, drop_tol);
+    t.scale(-0.5);
+    t.add_scaled_identity(1.5);
+    y = multiply(y, t, drop_tol);
+    z = multiply(t, z, drop_tol);
+    res = residual_norm(z, y, drop_tol);
+  }
+  z.scale(1.0 / std::sqrt(theta));
+  out.inverse_sqrt = std::move(z);
+  out.iterations = it;
+  out.residual = res;
+  out.converged = res <= tol;
+  return out;
+}
+
+BlockSparseMatrix tc2_density(const BlockSparseMatrix& f_ortho,
+                              std::size_t nocc, double drop_tol,
+                              PurifyStats* stats, int max_iter) {
+  const auto [emin, emax] = f_ortho.gershgorin();
+  const double span = emax - emin;
+  if (span <= 0.0)
+    throw std::invalid_argument("tc2_density: degenerate spectrum bounds");
+
+  // P0 = (emax·I - F')/(emax - emin): maps the spectrum into [0, 1] with
+  // the occupied (low-energy) states nearest 1.
+  BlockSparseMatrix p = f_ortho;
+  p.scale(-1.0 / span);
+  p.add_scaled_identity(emax / span);
+
+  const double target = static_cast<double>(nocc);
+  PurifyStats st;
+  double tr = p.trace();
+  double tr2 = 0.0;
+  for (st.iterations = 0; st.iterations < max_iter; ++st.iterations) {
+    BlockSparseMatrix p2 = multiply(p, p, drop_tol);
+    tr2 = p2.trace();
+    if (std::abs(tr - target) < 1e-10 && std::abs(tr2 - tr) < 1e-10) {
+      st.converged = true;
+      break;
+    }
+    if (tr >= target) {
+      // Trace too high: P² pushes small eigenvalues toward 0.
+      p = std::move(p2);
+      tr = tr2;
+    } else {
+      // Trace too low: 2P - P² pushes large eigenvalues toward 1.
+      p.scale(2.0);
+      p.axpy(-1.0, p2);
+      tr = 2.0 * tr - tr2;
+    }
+    if (drop_tol > 0.0) p.prune(drop_tol);
+  }
+  st.trace_error = std::abs(tr - target);
+  st.idempotency_error = std::abs(tr2 - tr);
+  if (stats) *stats = st;
+  return p;
+}
+
+}  // namespace mthfx::linalg

@@ -106,4 +106,9 @@ Json Registry::to_json() const {
   return out;
 }
 
+Registry& global_registry() {
+  static Registry registry(1);
+  return registry;
+}
+
 }  // namespace mthfx::obs

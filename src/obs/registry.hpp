@@ -133,4 +133,11 @@ class Registry {
   std::deque<Entry> entries_;
 };
 
+/// Process-wide registry for subsystems with no natural Registry owner
+/// (e.g. linalg, which is called from every driver). Sized with a single
+/// slot: all threads share slot 0, which stays correct — slot updates are
+/// atomic adds — at the cost of cache-line contention, acceptable for the
+/// coarse call/sweep counters recorded here.
+Registry& global_registry();
+
 }  // namespace mthfx::obs

@@ -10,6 +10,7 @@
 #include "obs/stopwatch.hpp"
 #include "obs/trace.hpp"
 #include "scf/guess.hpp"
+#include "scf/sparse_scf.hpp"
 
 namespace mthfx::scf {
 
@@ -63,6 +64,11 @@ Matrix initial_scf_density(const chem::BasisSet& basis,
 
 ScfResult rhf(const chem::Molecule& mol, const chem::BasisSet& basis,
               const ScfOptions& options) {
+  // Large-basis route: distance-culled pairs, blocked J/K, purification
+  // instead of diagonalization (scf/sparse_scf.hpp). Small systems never
+  // enter it under the default kAuto threshold.
+  if (options.hfx.sparsity.blocked(basis.num_functions()))
+    return sparse_rhf(mol, basis, options);
   const obs::Trace::Scope scf_span(obs::global_trace(), "scf.rhf");
   const int nelec = mol.num_electrons();
   if (nelec % 2 != 0)

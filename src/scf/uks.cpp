@@ -71,7 +71,11 @@ UksResult uks(const chem::Molecule& mol, const chem::BasisSet& basis,
   std::unique_ptr<dft::XcIntegrator> xc;
   if (semilocal) {
     grid = std::make_unique<dft::MolecularGrid>(mol, options.grid);
-    xc = std::make_unique<dft::XcIntegrator>(basis, *grid);
+    // Basis-evaluation screening rides the same sparsity switch as
+    // the culled pair list: on for systems routed to the blocked path.
+    xc = std::make_unique<dft::XcIntegrator>(
+        basis, *grid,
+        options.scf.hfx.sparsity.blocked(basis.num_functions()));
   }
 
   SpinState a = solve_channel(h, x, na);

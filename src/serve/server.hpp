@@ -117,7 +117,9 @@ class Server {
   engine::JobScheduler scheduler_;
   engine::FairShareQueue fair_;
 
-  int listen_fd_ = -1;
+  // Atomic: stop() closes and clears the fd while accept_loop() reads
+  // it into ::accept on another thread.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
   std::mutex conn_mutex_;

@@ -1,6 +1,12 @@
 #include "workload/replicate.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "chem/elements.hpp"
 
 namespace mthfx::workload {
 
@@ -40,6 +46,88 @@ chem::Molecule cluster_of(const chem::Molecule& unit, int count,
         copy.translate({ix * spacing_bohr, iy * spacing_bohr,
                         iz * spacing_bohr});
         out.append(copy);
+      }
+  return out;
+}
+
+namespace {
+
+// splitmix64: tiny, seed-deterministic, no <random> engine state to
+// worry about across standard libraries.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Uniform double in [-1, 1).
+double uniform_pm1(std::uint64_t& state) {
+  return 2.0 * (static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53) -
+         1.0;
+}
+
+constexpr double kGramPerAmu = 1.66053906660e-24;
+constexpr double kCmPerBohr = 0.529177210903e-8;
+// Jitter amplitude as a fraction of the lattice spacing per axis: large
+// enough to break lattice symmetry, small enough that re-draws from the
+// min-distance check are rare.
+constexpr double kJitterFraction = 0.15;
+
+}  // namespace
+
+double box_spacing_bohr(const chem::Molecule& unit, double density_g_cm3) {
+  double mass_amu = 0.0;
+  for (const chem::Atom& a : unit.atoms())
+    mass_amu += chem::element(a.z).mass_amu;
+  const double volume_cm3 = mass_amu * kGramPerAmu / density_g_cm3;
+  const double volume_bohr3 = volume_cm3 / (kCmPerBohr * kCmPerBohr *
+                                            kCmPerBohr);
+  return std::cbrt(volume_bohr3);
+}
+
+chem::Molecule box_of(const chem::Molecule& unit, int count,
+                      double density_g_cm3, std::uint64_t seed,
+                      double min_distance_bohr) {
+  const double spacing = box_spacing_bohr(unit, density_g_cm3);
+  const LatticeSpec spec = lattice_for_count(count, spacing);
+  // Decorrelate seed 0 from seed 1 etc. before the first draw.
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+
+  chem::Molecule out;
+  int placed = 0;
+  for (int ix = 0; ix < spec.nx && placed < count; ++ix)
+    for (int iy = 0; iy < spec.ny && placed < count; ++iy)
+      for (int iz = 0; iz < spec.nz && placed < count; ++iz, ++placed) {
+        const chem::Vec3 site{ix * spacing, iy * spacing, iz * spacing};
+        // Re-draw the jitter while it violates the inter-copy minimum
+        // distance; the unjittered site is the last candidate. If no
+        // draw clears min_distance_bohr — a rigid parallel lattice at a
+        // true liquid density cannot always honor a generous floor —
+        // keep the draw with the LARGEST separation seen rather than an
+        // unchecked fallback, so the constraint degrades to best-effort
+        // instead of silently admitting clashes worse than every
+        // rejected draw.
+        chem::Molecule best;
+        double best_sep = -1.0;
+        for (int attempt = 0; attempt <= 8; ++attempt) {
+          const double amp = attempt < 8 ? kJitterFraction * spacing : 0.0;
+          chem::Molecule copy = unit;
+          copy.translate({site.x + amp * uniform_pm1(state),
+                          site.y + amp * uniform_pm1(state),
+                          site.z + amp * uniform_pm1(state)});
+          double sep = std::numeric_limits<double>::infinity();
+          for (const chem::Atom& a : copy.atoms())
+            for (const chem::Atom& b : out.atoms())
+              sep = std::min(sep, chem::distance(a.pos, b.pos));
+          if (sep > best_sep) {
+            best_sep = sep;
+            best = std::move(copy);
+          }
+          if (best_sep >= min_distance_bohr) break;
+        }
+        out.append(best);
       }
   return out;
 }

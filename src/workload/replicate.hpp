@@ -6,6 +6,8 @@
 // workload — quartet-task counts and screening survival growing with the
 // number of interacting molecule pairs.
 
+#include <cstdint>
+
 #include "chem/molecule.hpp"
 
 namespace mthfx::workload {
@@ -25,5 +27,25 @@ LatticeSpec lattice_for_count(int count, double spacing_bohr = 10.0);
 /// the covering lattice (row-major).
 chem::Molecule cluster_of(const chem::Molecule& unit, int count,
                           double spacing_bohr = 10.0);
+
+/// Liquid-like box: `count` copies of `unit` on a jittered cubic lattice
+/// whose spacing reproduces the requested mass density (g/cm³ from the
+/// unit's standard atomic weights). Jitter displaces each copy by a
+/// seeded, reproducible fraction of the spacing; any draw that brings two
+/// atoms of different copies closer than min_distance_bohr is re-drawn
+/// (the unjittered site is the final candidate). When no draw clears the
+/// floor — rigid parallel copies at a true liquid density can leave less
+/// room than a generous floor asks for — the draw with the largest
+/// separation wins, so the packing degrades gracefully instead of
+/// admitting a clash worse than every rejected draw. At spacings with
+/// slack (lower densities) the floor is honored exactly. Deterministic
+/// in (unit, count, density, seed).
+chem::Molecule box_of(const chem::Molecule& unit, int count,
+                      double density_g_cm3, std::uint64_t seed = 0,
+                      double min_distance_bohr = 3.0);
+
+/// Lattice spacing (Bohr) at which `count` copies of `unit` on a cubic
+/// lattice have the given mass density. Exposed for tests and benches.
+double box_spacing_bohr(const chem::Molecule& unit, double density_g_cm3);
 
 }  // namespace mthfx::workload

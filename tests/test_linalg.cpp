@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <random>
+#include <vector>
 
+#include "linalg/block_sparse.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/diis.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/purify.hpp"
+#include "obs/registry.hpp"
 
 namespace la = mthfx::linalg;
 
@@ -229,3 +234,149 @@ TEST_P(SymmetrizeParam, SymmetrizeMakesSymmetric) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SymmetrizeParam,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Eigensolver pre-check and observability.
+
+TEST(EighPrecheck, DiagonalMatrixUsesZeroSweeps) {
+  la::Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) = 5.0 - static_cast<double>(i);
+  const auto r = la::eigh(a);
+  EXPECT_EQ(r.sweeps, 0);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(r.values[i], 1.0 + static_cast<double>(i));
+}
+
+TEST(EighPrecheck, BlockDiagonalMatchesFullSolve) {
+  // Two decoupled 4x4 blocks on a 8x8 matrix: the component pre-check
+  // must reproduce the fully-coupled solver's spectrum.
+  la::Matrix a(8, 8);
+  const la::Matrix b1 = random_symmetric(4, 11);
+  const la::Matrix b2 = random_symmetric(4, 12);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = b1(i, j);
+      a(4 + i, 4 + j) = b2(i, j);
+    }
+  const auto split = la::eigh(a);
+  // Reference: solve the blocks independently and merge-sort the values.
+  std::vector<double> ref;
+  for (double v : la::eigh(b1).values) ref.push_back(v);
+  for (double v : la::eigh(b2).values) ref.push_back(v);
+  std::sort(ref.begin(), ref.end());
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(split.values[i], ref[i], 1e-10);
+  // Eigenvectors must still diagonalize: A v = lambda v.
+  for (std::size_t k = 0; k < 8; ++k) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < 8; ++j) av += a(i, j) * split.vectors(j, k);
+      EXPECT_NEAR(av, split.values[k] * split.vectors(i, k), 1e-9);
+    }
+  }
+}
+
+TEST(EighPrecheck, SweepCounterAccumulates) {
+  auto& reg = mthfx::obs::global_registry();
+  const auto calls0 = reg.counter_total("linalg.eigh.calls");
+  const auto sweeps0 = reg.counter_total("linalg.eigh.sweeps");
+  la::eigh(random_symmetric(6, 21));
+  EXPECT_EQ(reg.counter_total("linalg.eigh.calls"), calls0 + 1);
+  EXPECT_GT(reg.counter_total("linalg.eigh.sweeps"), sweeps0);
+  // A diagonal input records the call but zero sweeps.
+  la::Matrix d(3, 3);
+  d(0, 0) = 1; d(1, 1) = 2; d(2, 2) = 3;
+  const auto sweeps1 = reg.counter_total("linalg.eigh.sweeps");
+  la::eigh(d);
+  EXPECT_EQ(reg.counter_total("linalg.eigh.sweeps"), sweeps1);
+}
+
+// ---------------------------------------------------------------------------
+// Block-sparse matrices.
+
+namespace {
+
+la::Matrix banded_spd(std::size_t n, unsigned seed, std::size_t bandwidth) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-0.4, 0.4);
+  la::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0 + 0.05 * static_cast<double>(i % 7);
+    for (std::size_t j = i + 1; j < std::min(n, i + bandwidth); ++j) {
+      const double v = dist(rng) / static_cast<double>(j - i);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+TEST(BlockSparse, RoundTripAndNnz) {
+  const la::Matrix a = banded_spd(20, 3, 4);
+  const auto part = la::BlockPartition::uniform(20, 5);
+  const auto blk = la::BlockSparseMatrix::from_dense(a, part, 0.0);
+  const la::Matrix back = blk.to_dense();
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 20; ++j)
+      EXPECT_DOUBLE_EQ(back(i, j), a(i, j));
+  EXPECT_GT(blk.nnz_fraction(), 0.0);
+  EXPECT_LT(blk.nnz_fraction(), 1.0);  // far-off-diagonal blocks absent
+}
+
+TEST(BlockSparse, MultiplyMatchesDense) {
+  const la::Matrix a = banded_spd(18, 5, 5);
+  const la::Matrix b = banded_spd(18, 6, 3);
+  const auto part = la::BlockPartition::uniform(18, 4);
+  const auto ab = la::multiply(la::BlockSparseMatrix::from_dense(a, part, 0.0),
+                               la::BlockSparseMatrix::from_dense(b, part, 0.0),
+                               0.0)
+                      .to_dense();
+  const la::Matrix ref = la::matmul(a, b);
+  for (std::size_t i = 0; i < 18; ++i)
+    for (std::size_t j = 0; j < 18; ++j)
+      EXPECT_NEAR(ab(i, j), ref(i, j), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Purification (eigensolver bypass).
+
+TEST(Purify, NewtonSchulzMatchesEighInverseSqrt) {
+  const std::size_t n = 24;
+  const la::Matrix s = banded_spd(n, 9, 4);
+  const auto part = la::BlockPartition::uniform(n, 6);
+  const auto ns =
+      la::inverse_sqrt_ns(la::BlockSparseMatrix::from_dense(s, part, 0.0), 0.0);
+  ASSERT_TRUE(ns.converged);
+  // X S X = I is the defining property.
+  const la::Matrix x = ns.inverse_sqrt.to_dense();
+  const la::Matrix xsx = la::matmul(la::matmul(x, s), x);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(xsx(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Purify, Tc2MatchesEighProjector) {
+  const std::size_t n = 16, nocc = 5;
+  const la::Matrix f = random_symmetric(n, 33);
+  const auto part = la::BlockPartition::uniform(n, 4);
+  la::PurifyStats stats;
+  const la::Matrix p =
+      la::tc2_density(la::BlockSparseMatrix::from_dense(f, part, 0.0), nocc,
+                      0.0, &stats)
+          .to_dense();
+  ASSERT_TRUE(stats.converged);
+  // Reference projector from the eigensolver.
+  const auto e = la::eigh(f);
+  la::Matrix ref(n, n);
+  for (std::size_t k = 0; k < nocc; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ref(i, j) += e.vectors(i, k) * e.vectors(j, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(p(i, j), ref(i, j), 1e-8);
+  EXPECT_LT(stats.trace_error, 1e-9);
+  EXPECT_LT(stats.idempotency_error, 1e-8);
+}

@@ -1,0 +1,254 @@
+// Sparsity-aware near-linear SCF pipeline: distance-culled pair lists
+// vs the dense sweep, blocked J/K vs the dense builder, the
+// purification-based sparse_rhf vs the eigensolver path, and the
+// screened XC basis cache. Registered under the compound
+// "tier1-scaling" label (see tests/CMakeLists.txt for the regex-label
+// convention): part of the PR gate and of `ctest -L scaling`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "dft/functionals.hpp"
+#include "dft/grid.hpp"
+#include "dft/xc_integrator.hpp"
+#include "hfx/cell_list.hpp"
+#include "hfx/fock_builder.hpp"
+#include "hfx/shell_pairs.hpp"
+#include "ints/schwarz.hpp"
+#include "linalg/matrix.hpp"
+#include "scf/rhf.hpp"
+#include "scf/sparse_scf.hpp"
+#include "workload/geometries.hpp"
+#include "workload/replicate.hpp"
+
+namespace chem = mthfx::chem;
+namespace dft = mthfx::dft;
+namespace hfx = mthfx::hfx;
+namespace ints = mthfx::ints;
+namespace la = mthfx::linalg;
+namespace scf = mthfx::scf;
+namespace wl = mthfx::workload;
+
+namespace {
+
+std::vector<hfx::ShellPair> sorted_by_index(
+    const std::vector<hfx::ShellPair>& in) {
+  std::vector<hfx::ShellPair> out = in;
+  std::sort(out.begin(), out.end(),
+            [](const hfx::ShellPair& a, const hfx::ShellPair& b) {
+              return std::tuple(a.sa, a.sb) < std::tuple(b.sa, b.sb);
+            });
+  return out;
+}
+
+la::Matrix random_density_like(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-0.3, 0.3);
+  la::Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = dist(rng);
+      p(i, j) = v;
+      p(j, i) = v;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pair formation: the culled cell-list build must reproduce the dense
+// O(ns²) sweep pair-for-pair (both drop exactly the beyond-extent-range
+// pairs; in-range pairs pass through the same eps rule).
+
+TEST(PairCulling, CulledListMatchesDenseOnSpreadBox) {
+  const auto box = wl::box_of(wl::propylene_carbonate(), 4, 1.205, 3);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+  const double eps = 1e-10;
+
+  const hfx::ShellPairList dense(basis, ints::schwarz_bounds(basis), eps);
+  hfx::PairCullStats st;
+  const hfx::ShellPairList culled = hfx::ShellPairList::culled(basis, eps, &st);
+
+  ASSERT_EQ(culled.size(), dense.size());
+  EXPECT_DOUBLE_EQ(culled.max_q(), dense.max_q());
+  const auto a = sorted_by_index(dense.pairs());
+  const auto b = sorted_by_index(culled.pairs());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sa, b[i].sa);
+    EXPECT_EQ(a[i].sb, b[i].sb);
+    EXPECT_DOUBLE_EQ(a[i].q, b[i].q);  // exact same bound, same kernel
+  }
+  // The cell list must have proposed strictly fewer candidates than the
+  // dense sweep touches on a spread box.
+  EXPECT_LT(st.candidates, basis.num_shells() * (basis.num_shells() + 1) / 2);
+  EXPECT_EQ(culled.unscreened_count(),
+            basis.num_shells() * (basis.num_shells() + 1) / 2);
+}
+
+TEST(PairCulling, FlooredPairsAreDroppedByBothBuilds) {
+  // Two PC molecules ~60 bohr apart: every cross pair underflows.
+  auto far = wl::propylene_carbonate();
+  auto other = wl::propylene_carbonate();
+  other.translate({60.0, 0.0, 0.0});
+  far.append(other);
+  const auto basis = chem::BasisSet::build(far, "sto-3g");
+
+  const hfx::ShellPairList dense(basis, ints::schwarz_bounds(basis), 1e-10);
+  const hfx::ShellPairList culled = hfx::ShellPairList::culled(basis, 1e-10);
+  ASSERT_EQ(dense.size(), culled.size());
+  // No surviving pair may straddle the two far-apart copies.
+  const std::size_t ns_half = basis.num_shells() / 2;
+  for (const auto& p : dense.pairs())
+    EXPECT_EQ(p.sa < ns_half, p.sb < ns_half)
+        << "cross pair survived: " << p.sa << "," << p.sb << " q=" << p.q;
+}
+
+// ---------------------------------------------------------------------------
+// Blocked J/K against the dense builder on the same pair list.
+
+TEST(BlockedBuild, JkMatchesDenseBuilder) {
+  const auto box = wl::box_of(wl::propylene_carbonate(), 2, 1.205, 1);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+
+  hfx::HfxOptions dense_opts;
+  dense_opts.num_threads = 1;
+  const hfx::FockBuilder dense(basis, dense_opts);
+
+  hfx::HfxOptions blocked_opts;
+  blocked_opts.num_threads = 1;
+  blocked_opts.sparsity.mode = hfx::SparsityMode::kBlocked;
+  const hfx::FockBuilder blocked(basis, blocked_opts);
+  EXPECT_TRUE(blocked.culled());
+
+  const la::Matrix p = random_density_like(basis.num_functions(), 7);
+  const auto part = scf::shell_aligned_partition(basis, 48);
+  const auto p_blk = la::BlockSparseMatrix::from_dense(p, part, 1e-12);
+
+  const auto ref = dense.coulomb_exchange(p);
+  const auto got = blocked.coulomb_exchange_blocked(p_blk);
+
+  double jdiff = 0.0, kdiff = 0.0;
+  for (std::size_t i = 0; i < p.rows(); ++i)
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      jdiff = std::max(jdiff, std::abs(ref.j(i, j) - got.j(i, j)));
+      kdiff = std::max(kdiff, std::abs(ref.k(i, j) - got.k(i, j)));
+    }
+  // Same pair list, same digestion order, single thread: the blocked
+  // build replays the dense loop exactly.
+  EXPECT_LT(jdiff, 1e-13);
+  EXPECT_LT(kdiff, 1e-13);
+  EXPECT_EQ(ref.stats.screening.quartets_computed,
+            got.stats.screening.quartets_computed);
+}
+
+// ---------------------------------------------------------------------------
+// Full sparse SCF against the dense eigensolver path.
+
+TEST(SparseScf, MatchesDenseEnergyOnWaterBox) {
+  const auto box = wl::box_of(wl::water(), 4, 1.0, 2);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+
+  scf::ScfOptions dense_opts;
+  dense_opts.hfx.num_threads = 1;
+  dense_opts.hfx.sparsity.mode = hfx::SparsityMode::kDense;
+  const auto ref = scf::rhf(box, basis, dense_opts);
+  ASSERT_TRUE(ref.converged);
+
+  scf::ScfOptions blocked_opts;
+  blocked_opts.hfx.num_threads = 1;
+  blocked_opts.hfx.sparsity.mode = hfx::SparsityMode::kBlocked;
+  scf::SparseScfInfo info;
+  const auto got = scf::sparse_rhf(box, basis, blocked_opts, &info);
+  ASSERT_TRUE(got.converged);
+
+  EXPECT_NEAR(got.energy, ref.energy, 1e-8);
+  EXPECT_EQ(info.nbf, basis.num_functions());
+  EXPECT_GT(info.num_pairs, 0u);
+  EXPECT_GT(info.ns_iterations, 0);
+  EXPECT_GT(info.last_tc2_iterations, 0);
+  EXPECT_GT(info.density_nnz, 0.0);
+  EXPECT_LE(info.density_nnz, 1.0);
+}
+
+TEST(SparseScf, MatchesDenseEnergyOnCompactMolecule) {
+  // Compact system: no floored pairs, both paths see identical quartets.
+  const auto pc = wl::propylene_carbonate();
+  const auto basis = chem::BasisSet::build(pc, "sto-3g");
+
+  scf::ScfOptions dense_opts;
+  dense_opts.hfx.num_threads = 1;
+  const auto ref = scf::rhf(pc, basis, dense_opts);
+  ASSERT_TRUE(ref.converged);
+
+  scf::ScfOptions blocked_opts;
+  blocked_opts.hfx.num_threads = 1;
+  blocked_opts.hfx.sparsity.mode = hfx::SparsityMode::kBlocked;
+  const auto got = scf::sparse_rhf(pc, basis, blocked_opts);
+  ASSERT_TRUE(got.converged);
+  EXPECT_NEAR(got.energy, ref.energy, 1e-8);
+}
+
+TEST(SparseScf, RhfRoutesThroughSparsityMode) {
+  // scf::rhf itself must dispatch to the sparse path when the options
+  // say blocked — same energy, no orbital data on the sparse result.
+  const auto box = wl::box_of(wl::water(), 2, 1.0, 4);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+  scf::ScfOptions opts;
+  opts.hfx.num_threads = 1;
+  opts.hfx.sparsity.mode = hfx::SparsityMode::kBlocked;
+  const auto routed = scf::rhf(box, basis, opts);
+  opts.hfx.sparsity.mode = hfx::SparsityMode::kDense;
+  const auto dense = scf::rhf(box, basis, opts);
+  ASSERT_TRUE(routed.converged);
+  ASSERT_TRUE(dense.converged);
+  EXPECT_NEAR(routed.energy, dense.energy, 1e-8);
+  EXPECT_TRUE(routed.coefficients.empty());
+}
+
+TEST(SparsityOptions, AutoThresholdRouting) {
+  hfx::SparsityOptions s;
+  EXPECT_FALSE(s.blocked(s.auto_nbf_threshold));
+  EXPECT_TRUE(s.blocked(s.auto_nbf_threshold + 1));
+  s.mode = hfx::SparsityMode::kDense;
+  EXPECT_FALSE(s.blocked(1u << 20));
+  s.mode = hfx::SparsityMode::kBlocked;
+  EXPECT_TRUE(s.blocked(1));
+}
+
+// ---------------------------------------------------------------------------
+// Screened XC basis evaluation.
+
+TEST(XcScreening, ScreenedIntegratorMatchesDense) {
+  const auto box = wl::box_of(wl::water(), 2, 1.0, 9);
+  const auto basis = chem::BasisSet::build(box, "sto-3g");
+  dft::GridOptions gopts;
+  gopts.radial_points = 20;
+  gopts.angular_points = 26;
+  const dft::MolecularGrid grid(box, gopts);
+
+  const dft::XcIntegrator dense(basis, grid, /*screen_basis=*/false);
+  const dft::XcIntegrator screened(basis, grid, /*screen_basis=*/true);
+  EXPECT_DOUBLE_EQ(dense.cached_fraction(), 1.0);
+  EXPECT_LE(screened.cached_fraction(), 1.0);
+
+  const la::Matrix p = random_density_like(basis.num_functions(), 13);
+  const auto functional = dft::make_functional("pbe");
+  const auto a = dense.integrate(functional, p);
+  const auto b = screened.integrate(functional, p);
+  EXPECT_NEAR(a.energy, b.energy, 1e-10);
+  EXPECT_NEAR(a.integrated_density, b.integrated_density, 1e-10);
+  double vdiff = 0.0;
+  for (std::size_t i = 0; i < p.rows(); ++i)
+    for (std::size_t j = 0; j < p.cols(); ++j)
+      vdiff = std::max(vdiff, std::abs(a.v(i, j) - b.v(i, j)));
+  EXPECT_LT(vdiff, 1e-10);
+}
